@@ -1,0 +1,280 @@
+(* rings-of-neighbors command-line driver.
+
+   Subcommands (cmdliner):
+     estimate    -- build a (0,delta)-triangulation / Thm 3.4 labels on a
+                    generated metric and estimate sampled pairs
+     route       -- run a routing scheme on a generated graph/metric
+     smallworld  -- run small-world lookups
+     experiment  -- run one of the named reproduction experiments
+     inspect     -- print substrate facts about a generated metric *)
+
+open Cmdliner
+
+module Rng = Ron_util.Rng
+module Metric = Ron_metric.Metric
+module Indexed = Ron_metric.Indexed
+module Generators = Ron_metric.Generators
+module Net = Ron_metric.Net
+module Measure = Ron_metric.Measure
+module Doubling = Ron_metric.Doubling
+module Scheme = Ron_routing.Scheme
+
+(* ------------------------------------------------------ metric selection *)
+
+let make_metric name n seed =
+  let rng = Rng.create seed in
+  match name with
+  | "cloud" -> Generators.random_cloud rng ~n ~dim:2
+  | "cloud3d" -> Generators.random_cloud rng ~n ~dim:3
+  | "grid" ->
+    let side = max 2 (int_of_float (sqrt (float_of_int n))) in
+    Generators.grid2d side side
+  | "expline" -> Generators.exponential_line (min n 48)
+  | "expclusters" ->
+    let clusters = max 2 (n / 16) in
+    Generators.exponential_clusters rng ~clusters ~per_cluster:(max 1 (n / clusters)) ~base:16.0
+  | "latency" ->
+    Generators.clustered_latency rng ~clusters:(max 2 (n / 40)) ~per_cluster:40 ~spread:30.0
+      ~access:6.0
+  | "ring" -> Metric.normalize (Generators.ring n)
+  | "line" -> Metric.normalize (Generators.uniform_line n)
+  | other -> failwith (Printf.sprintf "unknown metric family %S" other)
+
+let metric_names = [ "cloud"; "cloud3d"; "grid"; "expline"; "expclusters"; "latency"; "ring"; "line" ]
+
+let metric_arg =
+  let doc = Printf.sprintf "Metric family: %s." (String.concat ", " metric_names) in
+  Arg.(value & opt string "cloud" & info [ "m"; "metric" ] ~docv:"FAMILY" ~doc)
+
+let n_arg = Arg.(value & opt int 128 & info [ "n" ] ~docv:"N" ~doc:"Number of nodes.")
+let seed_arg = Arg.(value & opt int 1 & info [ "s"; "seed" ] ~docv:"SEED" ~doc:"Random seed.")
+
+let delta_arg =
+  Arg.(value & opt float 0.25 & info [ "d"; "delta" ] ~docv:"DELTA" ~doc:"Accuracy parameter.")
+
+let pairs_arg =
+  Arg.(value & opt int 500 & info [ "p"; "pairs" ] ~docv:"PAIRS" ~doc:"Number of sampled pairs.")
+
+(* -------------------------------------------------------------- estimate *)
+
+let run_estimate family n seed delta pairs =
+  let idx = Indexed.create (make_metric family n seed) in
+  let n = Indexed.size idx in
+  Printf.printf "metric=%s n=%d log2(aspect)=%d\n" family n (Indexed.log2_aspect_ratio idx);
+  let tri = Ron_labeling.Triangulation.build idx ~delta in
+  let dls = Ron_labeling.Dls.build tri in
+  Printf.printf "triangulation order=%d; Thm 3.4 max label = %d bits\n"
+    (Ron_labeling.Triangulation.order tri)
+    (Ron_labeling.Dls.max_label_bits dls);
+  let rng = Rng.create (seed + 1) in
+  let worst_tri = ref 1.0 and worst_dls = ref 1.0 in
+  for _ = 1 to pairs do
+    let u = Rng.int rng n and v = Rng.int rng n in
+    if u <> v then begin
+      let d = Indexed.dist idx u v in
+      let (_, hi) = Ron_labeling.Triangulation.estimate tri u v in
+      let e = Ron_labeling.Dls.estimate (Ron_labeling.Dls.label dls u) (Ron_labeling.Dls.label dls v) in
+      worst_tri := Float.max !worst_tri (hi /. d);
+      worst_dls := Float.max !worst_dls (e /. d)
+    end
+  done;
+  Printf.printf "worst overestimate on %d pairs: triangulation %.4f, labels-only %.4f (bound %.4f)\n"
+    pairs !worst_tri !worst_dls
+    ((1.0 +. (2.0 *. delta)) *. (1.0 +. (delta /. 8.0)));
+  0
+
+let estimate_cmd =
+  let doc = "Distance estimation: Theorem 3.2 triangulation + Theorem 3.4 labels." in
+  Cmd.v (Cmd.info "estimate" ~doc)
+    Term.(const run_estimate $ metric_arg $ n_arg $ seed_arg $ delta_arg $ pairs_arg)
+
+(* ----------------------------------------------------------------- route *)
+
+let scheme_arg =
+  let doc = "Routing scheme: thm21 (graphs), thm41 (graphs), metric (Sec 4.1), thm42 (metric two-mode), trivial." in
+  Arg.(value & opt string "thm21" & info [ "scheme" ] ~docv:"SCHEME" ~doc)
+
+let run_route family n seed delta pairs scheme =
+  let rng = Rng.create seed in
+  let report name route dist max_table header n =
+    let prs = Ron_experiments.Exp_common.sample_pairs (Rng.create (seed + 2)) ~n ~count:pairs in
+    let q = Ron_experiments.Exp_common.collect_routes ~route ~dist prs in
+    Printf.printf "%s: table<=%d bits, header<=%d bits\n  %s\n" name max_table header
+      (Ron_experiments.Exp_common.pp_quality q)
+  in
+  begin
+    match scheme with
+    | "metric" | "thm42" ->
+      let idx = Indexed.create (make_metric family n seed) in
+      let nn = Indexed.size idx in
+      if scheme = "metric" then begin
+        let s = Ron_routing.On_metric.build idx ~delta in
+        report "Thm 2.1 on metric"
+          (fun u v -> Ron_routing.On_metric.route s ~src:u ~dst:v)
+          (fun u v -> Indexed.dist idx u v)
+          (Array.fold_left max 0 (Ron_routing.On_metric.table_bits s))
+          (Ron_routing.On_metric.header_bits s) nn
+      end
+      else begin
+        let s = Ron_routing.Two_mode.build idx ~delta:(Float.min delta 0.125) in
+        report "Thm 4.2 two-mode"
+          (fun u v -> Ron_routing.Two_mode.route s ~src:u ~dst:v)
+          (fun u v -> Indexed.dist idx u v)
+          (Array.fold_left max 0 (Ron_routing.Two_mode.table_bits_m1 s))
+          (Ron_routing.Two_mode.header_bits s) nn;
+        Printf.printf "  M2 switches: %d\n" (Ron_routing.Two_mode.mode2_switches s)
+      end
+    | "thm21" | "thm41" | "trivial" ->
+      let g =
+        match family with
+        | "grid" ->
+          let side = max 2 (int_of_float (sqrt (float_of_int n))) in
+          Ron_graph.Graph_gen.grid side side
+        | "expline" -> Ron_graph.Graph_gen.exponential_line_graph (min n 40)
+        | _ -> Ron_graph.Graph_gen.random_geometric rng ~n ~radius:(2.0 /. sqrt (float_of_int n))
+      in
+      let sp = Ron_graph.Sp_metric.create g in
+      let nn = Ron_graph.Graph.size g in
+      let dist u v = Ron_graph.Sp_metric.dist sp u v in
+      (match scheme with
+      | "thm21" ->
+        let s = Ron_routing.Basic.build sp ~delta:(Float.min delta 0.25) in
+        report "Thm 2.1" (fun u v -> Ron_routing.Basic.route s ~src:u ~dst:v) dist
+          (Array.fold_left max 0 (Ron_routing.Basic.table_bits s))
+          (Ron_routing.Basic.header_bits s) nn
+      | "thm41" ->
+        let s = Ron_routing.Labelled.build sp ~delta in
+        report "Thm 4.1" (fun u v -> Ron_routing.Labelled.route s ~src:u ~dst:v) dist
+          (Array.fold_left max 0 (Ron_routing.Labelled.table_bits s))
+          (Ron_routing.Labelled.header_bits s) nn
+      | _ ->
+        let s = Ron_routing.Full_table.build sp in
+        report "stretch-1 trivial" (fun u v -> Ron_routing.Full_table.route s ~src:u ~dst:v) dist
+          (Array.fold_left max 0 (Ron_routing.Full_table.table_bits s))
+          (Ron_routing.Full_table.header_bits s) nn)
+    | other -> failwith (Printf.sprintf "unknown scheme %S" other)
+  end;
+  0
+
+let route_cmd =
+  let doc = "Compact (1+delta)-stretch routing (Theorems 2.1, 4.1, 4.2; Section 4.1)." in
+  Cmd.v (Cmd.info "route" ~doc)
+    Term.(const run_route $ metric_arg $ n_arg $ seed_arg $ delta_arg $ pairs_arg $ scheme_arg)
+
+(* ------------------------------------------------------------ smallworld *)
+
+let model_arg =
+  let doc = "Small-world model: a (Thm 5.2a), b (Thm 5.2b), structures, single (Thm 5.5 needs grid)." in
+  Arg.(value & opt string "a" & info [ "model" ] ~docv:"MODEL" ~doc)
+
+let run_smallworld family n seed pairs model =
+  let idx = Indexed.create (make_metric family n seed) in
+  let nn = Indexed.size idx in
+  let mu = Measure.create idx (Net.Hierarchy.create idx) in
+  let rng = Rng.create (seed + 3) in
+  let route, (deg_max, deg_mean) =
+    match model with
+    | "a" ->
+      let m = Ron_smallworld.Doubling_a.build idx mu (Rng.split rng) in
+      ((fun u v -> Ron_smallworld.Doubling_a.route m ~src:u ~dst:v ~max_hops:300),
+       Ron_smallworld.Doubling_a.out_degree m)
+    | "b" ->
+      let m = Ron_smallworld.Doubling_b.build idx mu (Rng.split rng) in
+      ((fun u v -> Ron_smallworld.Doubling_b.route m ~src:u ~dst:v ~max_hops:300),
+       Ron_smallworld.Doubling_b.out_degree m)
+    | "structures" ->
+      let m = Ron_smallworld.Structures.build idx (Rng.split rng) in
+      ((fun u v -> Ron_smallworld.Structures.route m ~src:u ~dst:v ~max_hops:300),
+       Ron_smallworld.Structures.out_degree m)
+    | other -> failwith (Printf.sprintf "unknown model %S" other)
+  in
+  Printf.printf "model=%s n=%d out-degree max=%d mean=%.1f\n" model nn deg_max deg_mean;
+  let fails = ref 0 and hmax = ref 0 and hsum = ref 0 and ok = ref 0 and ng = ref 0 in
+  for _ = 1 to pairs do
+    let u = Rng.int rng nn and v = Rng.int rng nn in
+    if u <> v then begin
+      let r = route u v in
+      if r.Ron_smallworld.Sw_model.delivered then begin
+        incr ok;
+        hmax := max !hmax r.Ron_smallworld.Sw_model.hops;
+        hsum := !hsum + r.Ron_smallworld.Sw_model.hops;
+        ng := !ng + r.Ron_smallworld.Sw_model.nongreedy_hops
+      end
+      else incr fails
+    end
+  done;
+  Printf.printf "lookups: mean %.2f hops, max %d, nongreedy %d, failed %d\n"
+    (float_of_int !hsum /. float_of_int (max 1 !ok))
+    !hmax !ng !fails;
+  0
+
+let smallworld_cmd =
+  let doc = "Searchable small worlds on doubling metrics (Theorem 5.2, Section 5.2)." in
+  Cmd.v (Cmd.info "smallworld" ~doc)
+    Term.(const run_smallworld $ metric_arg $ n_arg $ seed_arg $ pairs_arg $ model_arg)
+
+(* --------------------------------------------------------------- inspect *)
+
+let run_inspect family n seed =
+  let m = make_metric family n seed in
+  (match Metric.check m with
+  | Ok () -> ()
+  | Error e -> Printf.printf "WARNING: metric check failed: %s\n" e);
+  let idx = Indexed.create m in
+  let rng = Rng.create (seed + 4) in
+  let alpha = Doubling.dimension_estimate idx rng in
+  let hier = Net.Hierarchy.create idx in
+  let mu = Measure.create idx hier in
+  Printf.printf "metric %s: n=%d\n" (Metric.name m) (Indexed.size idx);
+  Printf.printf "  diameter %.3g, min distance %.3g, log2(aspect) %d\n" (Indexed.diameter idx)
+    (Indexed.min_distance idx) (Indexed.log2_aspect_ratio idx);
+  Printf.printf "  empirical doubling dimension ~ %.2f (Lemma 1.2 floor: %.2f)\n" alpha
+    (Ron_util.Bits.flog2 (float_of_int (Indexed.size idx))
+    /. (1.0 +. Ron_util.Bits.flog2 (Float.max 2.0 (Indexed.aspect_ratio idx))));
+  Printf.printf "  net hierarchy: %d levels; level sizes:" (Net.Hierarchy.jmax hier + 1);
+  for j = 0 to Net.Hierarchy.jmax hier do
+    Printf.printf " %d" (Array.length (Net.Hierarchy.level hier j))
+  done;
+  Printf.printf "\n  doubling measure: constant ~ %.1f\n"
+    (Measure.doubling_constant_estimate mu idx rng);
+  0
+
+let inspect_cmd =
+  let doc = "Print substrate facts (dimension, nets, doubling measure) about a metric." in
+  Cmd.v (Cmd.info "inspect" ~doc) Term.(const run_inspect $ metric_arg $ n_arg $ seed_arg)
+
+(* ------------------------------------------------------------ experiment *)
+
+let experiment_ids =
+  [ "t1"; "t2"; "t3"; "e21"; "e32"; "e34"; "e41"; "e52a"; "e52b"; "e54"; "e55"; "esub"; "fig1"; "mer" ]
+
+let run_experiment id =
+  let module E = Ron_experiments in
+  let table =
+    [
+      ("t1", E.Exp_t1.run); ("t2", E.Exp_t2.run); ("t3", E.Exp_t3.run);
+      ("e21", E.Exp_e21.run); ("e32", E.Exp_e32.run); ("e34", E.Exp_e34.run);
+      ("e41", E.Exp_e41.run); ("e52a", E.Exp_e52.run_a); ("e52b", E.Exp_e52.run_b);
+      ("e54", E.Exp_e54.run); ("e55", E.Exp_e55.run); ("esub", E.Exp_esub.run); ("mer", E.Exp_mer.run);
+      ("fig1", E.Exp_fig1.run);
+    ]
+  in
+  match List.assoc_opt id table with
+  | Some run ->
+    run ();
+    0
+  | None ->
+    Printf.eprintf "unknown experiment %S; one of: %s\n" id (String.concat ", " experiment_ids);
+    1
+
+let experiment_cmd =
+  let id = Arg.(required & pos 0 (some string) None & info [] ~docv:"ID") in
+  let doc = "Run one reproduction experiment (same ids as bench/main.exe)." in
+  Cmd.v (Cmd.info "experiment" ~doc) Term.(const run_experiment $ id)
+
+let () =
+  let doc = "rings of neighbors: distance estimation and object location (Slivkins, PODC 2005)" in
+  let info = Cmd.info "ron" ~version:"1.0.0" ~doc in
+  let default = Term.(ret (const (`Help (`Pager, None)))) in
+  exit
+    (Cmd.eval' (Cmd.group ~default info [ estimate_cmd; route_cmd; smallworld_cmd; inspect_cmd; experiment_cmd ]))

@@ -1,0 +1,1 @@
+examples/compact_routing.ml: Array Printf Ron_graph Ron_routing Ron_util

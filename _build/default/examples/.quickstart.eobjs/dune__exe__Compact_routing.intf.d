@@ -1,0 +1,1 @@
+examples/compact_routing.mli:

@@ -1,0 +1,1 @@
+examples/latency_estimation.ml: Array List Printf Ron_labeling Ron_metric Ron_util

@@ -1,0 +1,1 @@
+examples/p2p_object_location.ml: Array Printf Ron_metric Ron_smallworld Ron_util

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Printf Ron_core Ron_labeling Ron_metric Ron_routing Ron_smallworld Ron_util

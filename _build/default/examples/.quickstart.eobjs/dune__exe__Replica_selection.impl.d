@@ -1,0 +1,1 @@
+examples/replica_selection.ml: Array Float Fun List Printf Ron_metric Ron_smallworld Ron_util

@@ -1,0 +1,74 @@
+(* Compact low-stretch routing on a network topology (Sections 2 and 4).
+
+   A wireless mesh / ISP-like topology: a random geometric graph whose
+   shortest-path metric is doubling. The trivial stretch-1 scheme stores a
+   full routing table at every node; Theorem 2.1 stores translation tables
+   over rings of neighbors and routes with stretch 1+delta; Theorem 4.1
+   additionally makes packet headers independent of the aspect ratio.
+
+   Run with: dune exec examples/compact_routing.exe *)
+
+module Rng = Ron_util.Rng
+module Stats = Ron_util.Stats
+module Graph = Ron_graph.Graph
+module Graph_gen = Ron_graph.Graph_gen
+module Sp_metric = Ron_graph.Sp_metric
+module Scheme = Ron_routing.Scheme
+module Basic = Ron_routing.Basic
+module Labelled = Ron_routing.Labelled
+module Full_table = Ron_routing.Full_table
+
+let sample_routes route dist n rng =
+  let stretches = ref [] in
+  let fails = ref 0 in
+  for _ = 1 to 1500 do
+    let u = Rng.int rng n and v = Rng.int rng n in
+    if u <> v then begin
+      let r = route u v in
+      if r.Scheme.delivered then stretches := Scheme.stretch r (dist u v) :: !stretches
+      else incr fails
+    end
+  done;
+  (Array.of_list !stretches, !fails)
+
+let () =
+  let rng = Rng.create 19 in
+  let g = Graph_gen.random_geometric (Rng.split rng) ~n:150 ~radius:0.13 in
+  let sp = Sp_metric.create g in
+  let n = Graph.size g in
+  Printf.printf "topology: %d nodes, %d arcs, max degree %d\n\n" n (Graph.edge_count g)
+    (Graph.max_out_degree g);
+
+  let delta = 0.25 in
+
+  let ft = Full_table.build sp in
+  let (s0, f0) = sample_routes (fun u v -> Full_table.route ft ~src:u ~dst:v)
+      (fun u v -> Sp_metric.dist sp u v) n (Rng.split rng) in
+  Printf.printf "stretch-1 full tables:   table %7d bits/node, header %3d bits, stretch max %.3f, fails %d\n"
+    (Array.fold_left max 0 (Full_table.table_bits ft))
+    (Full_table.header_bits ft) (Stats.maximum s0) f0;
+
+  let basic = Basic.build sp ~delta in
+  let (s1, f1) = sample_routes (fun u v -> Basic.route basic ~src:u ~dst:v)
+      (fun u v -> Sp_metric.dist sp u v) n (Rng.split rng) in
+  Printf.printf "Theorem 2.1 (1+%.2f):    table %7d bits/node, header %3d bits, stretch max %.3f, fails %d\n"
+    delta
+    (Array.fold_left max 0 (Basic.table_bits basic))
+    (Basic.header_bits basic) (Stats.maximum s1) f1;
+  Printf.printf "  (labels are %d-bit zooming sequences; K = %d ring members max)\n"
+    (Array.fold_left max 0 (Basic.label_bits basic))
+    (Basic.max_ring_size basic);
+
+  let lab = Labelled.build sp ~delta in
+  let (s2, f2) = sample_routes (fun u v -> Labelled.route lab ~src:u ~dst:v)
+      (fun u v -> Sp_metric.dist sp u v) n (Rng.split rng) in
+  Printf.printf "Theorem 4.1 (1+%.2f):    table %7d bits/node, header %3d bits, stretch max %.3f, fails %d\n"
+    delta
+    (Array.fold_left max 0 (Labelled.table_bits lab))
+    (Labelled.header_bits lab) (Stats.maximum s2) f2;
+
+  Printf.printf
+    "\nAt this toy scale the asymptotic constants dominate (the paper's K is\n\
+     (16/delta)^alpha); the point of the comparison is the shape: Theorem 2.1\n\
+     labels/headers are tiny and scale with log Delta * log K rather than n,\n\
+     and every packet arrives within stretch 1+O(delta).\n"

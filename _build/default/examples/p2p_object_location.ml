@@ -1,0 +1,70 @@
+(* Peer-to-peer object location — the small-world application (Sections 1
+   and 5; compare Symphony [40] and Meridian [57]).
+
+   An overlay of peers lives on a latency metric with very uneven density:
+   a few big data centers and a long tail of far-flung nodes (we use the
+   exponential-clusters metric, whose aspect ratio is astronomically larger
+   than n). Each peer keeps a small, locally sampled contact list; a lookup
+   greedily forwards toward the peer responsible for the key.
+
+   This is exactly the regime where Theorem 5.2 improves on a naive
+   small world: O(log n) lookup hops even though the metric has log(Delta)
+   >> log(n) distance scales.
+
+   Run with: dune exec examples/p2p_object_location.exe *)
+
+module Rng = Ron_util.Rng
+module Indexed = Ron_metric.Indexed
+module Generators = Ron_metric.Generators
+module Net = Ron_metric.Net
+module Measure = Ron_metric.Measure
+module Stats = Ron_util.Stats
+module Doubling_a = Ron_smallworld.Doubling_a
+module Doubling_b = Ron_smallworld.Doubling_b
+module Sw_model = Ron_smallworld.Sw_model
+
+let run_lookups name route n rng =
+  let hops = ref [] and fails = ref 0 in
+  for _ = 1 to 2000 do
+    let client = Rng.int rng n and holder = Rng.int rng n in
+    if client <> holder then begin
+      let r = route client holder in
+      if r.Sw_model.delivered then hops := float_of_int r.Sw_model.hops :: !hops
+      else incr fails
+    end
+  done;
+  let h = Array.of_list !hops in
+  Printf.printf "  %-28s lookups: mean %.2f hops, p99 %.0f, max %.0f, failed %d\n" name
+    (Stats.mean h) (Stats.percentile h 99.0) (Stats.maximum h) !fails
+
+let () =
+  let rng = Rng.create 11 in
+  (* 16 "regions" whose pairwise latencies span ~14 decimal orders of magnitude in
+     base 8: log2(Delta) ~ 50 while log2(n) ~ 9. *)
+  let metric = Generators.exponential_clusters rng ~clusters:16 ~per_cluster:32 ~base:8.0 in
+  let idx = Indexed.create metric in
+  let n = Indexed.size idx in
+  Printf.printf "overlay: %d peers, log2(aspect ratio) = %d, log2(n) = %d\n\n" n
+    (Indexed.log2_aspect_ratio idx) (Indexed.log2_size idx);
+
+  let mu = Measure.create idx (Net.Hierarchy.create idx) in
+
+  let a = Doubling_a.build ~c:1 idx mu (Rng.split rng) in
+  let (da, ma) = Doubling_a.out_degree a in
+  Printf.printf "Theorem 5.2a contacts (X uniform-in-ball + Y measure-weighted):\n";
+  Printf.printf "  out-degree: max %d, mean %.1f\n" da ma;
+  run_lookups "greedy routing" (fun s t -> Doubling_a.route a ~src:s ~dst:t ~max_hops:200) n
+    (Rng.split rng);
+
+  let b = Doubling_b.build ~c:1 idx mu (Rng.split rng) in
+  let (db, mb) = Doubling_b.out_degree b in
+  Printf.printf "\nTheorem 5.2b contacts (X + pruned Y + Z annuli escape hatches):\n";
+  Printf.printf "  out-degree: max %d, mean %.1f\n" db mb;
+  run_lookups "sidestep routing" (fun s t -> Doubling_b.route b ~src:s ~dst:t ~max_hops:200) n
+    (Rng.split rng);
+
+  Printf.printf
+    "\nBoth finish lookups in O(log n) hops despite log(Delta) = %d distance\n\
+     scales; the doubling measure is what lets a contact list of a few\n\
+     hundred entries cover 14 orders of magnitude of latency.\n"
+    (Indexed.log2_aspect_ratio idx)

@@ -1,0 +1,67 @@
+(* Quickstart: build a doubling metric, look at its rings of neighbors, and
+   use them for the three headline tasks — distance estimation
+   (triangulation), compact routing, and small-world search.
+
+   Run with: dune exec examples/quickstart.exe *)
+
+module Rng = Ron_util.Rng
+module Metric = Ron_metric.Metric
+module Indexed = Ron_metric.Indexed
+module Generators = Ron_metric.Generators
+module Net = Ron_metric.Net
+module Measure = Ron_metric.Measure
+module Rings = Ron_core.Rings
+module Triangulation = Ron_labeling.Triangulation
+module On_metric = Ron_routing.On_metric
+module Scheme = Ron_routing.Scheme
+module Doubling_a = Ron_smallworld.Doubling_a
+module Sw_model = Ron_smallworld.Sw_model
+
+let () =
+  let rng = Rng.create 2025 in
+
+  (* 1. A metric space: 200 random points in the unit square (normalized so
+     the minimum distance is 1 — the library's convention). *)
+  let metric = Generators.random_cloud rng ~n:200 ~dim:2 in
+  let idx = Indexed.create metric in
+  Printf.printf "metric %-16s n=%d  diameter=%.1f  aspect ratio=%.1f\n"
+    (Metric.name metric) (Indexed.size idx) (Indexed.diameter idx) (Indexed.aspect_ratio idx);
+
+  (* 2. Rings of neighbors: the generic structure underlying everything.
+     Here, the second canonical collection — radii growing geometrically,
+     members taken from a nested net hierarchy. *)
+  let hier = Net.Hierarchy.create idx in
+  let rings =
+    Rings.net_rings idx hier
+      ~scales:(Net.Hierarchy.jmax hier + 1)
+      ~radius_of:(fun j -> 4.0 *. Ron_util.Bits.pow2 j)
+      ~level_of:(fun j -> j)
+  in
+  Printf.printf "rings: %d scales, max ring size %d, max out-degree %d\n"
+    (Rings.scales rings 0) (Rings.max_ring_size rings) (Rings.max_out_degree rings);
+
+  (* 3. Distance estimation: a (0, delta)-triangulation (Theorem 3.2). Every
+     pair of labels yields certified bounds D- <= d <= D+. *)
+  let tri = Triangulation.build idx ~delta:0.25 in
+  let u = 3 and v = 117 in
+  let (lo, hi) = Triangulation.estimate tri u v in
+  Printf.printf "triangulation: order=%d;  d(%d,%d)=%.2f  certified in [%.2f, %.2f]\n"
+    (Triangulation.order tri) u v (Indexed.dist idx u v) lo hi;
+
+  (* 4. Compact routing on the metric (Theorem 2.1 via Section 4.1): packets
+     chase intermediate targets decoded from translation tables. *)
+  let scheme = On_metric.build idx ~delta:0.25 in
+  let r = On_metric.route scheme ~src:u ~dst:v in
+  Printf.printf "routing: delivered=%b  hops=%d  stretch=%.3f  header<=%d bits\n"
+    r.Scheme.delivered r.Scheme.hops
+    (Scheme.stretch r (Indexed.dist idx u v))
+    (On_metric.header_bits scheme);
+
+  (* 5. Small-world search (Theorem 5.2a): sampled contacts, greedy routing,
+     O(log n) hops. *)
+  let mu = Measure.create idx hier in
+  let sw = Doubling_a.build idx mu (Rng.split rng) in
+  let q = Doubling_a.route sw ~src:u ~dst:v ~max_hops:100 in
+  let (deg_max, deg_mean) = Doubling_a.out_degree sw in
+  Printf.printf "small world: delivered=%b in %d hops (degree max=%d mean=%.1f)\n"
+    q.Sw_model.delivered q.Sw_model.hops deg_max deg_mean

@@ -1,0 +1,85 @@
+(* Nearest-replica selection with a Meridian-style overlay (Section 6, [57]).
+
+   A content provider runs replicas at a subset of nodes of a latency
+   metric. A client (any node, not necessarily a replica) wants the replica
+   closest to it. Instead of probing all replicas, the client hands the
+   query to any overlay member; the overlay walks its rings of neighbors,
+   measuring only a handful of candidates per hop, and settles on the
+   (almost always exact) closest member.
+
+   We also exercise churn: replicas come and go, and the rings keep
+   working.
+
+   Run with: dune exec examples/replica_selection.exe *)
+
+module Rng = Ron_util.Rng
+module Indexed = Ron_metric.Indexed
+module Generators = Ron_metric.Generators
+module Stats = Ron_util.Stats
+module Meridian = Ron_smallworld.Meridian
+
+let percent a b = 100.0 *. float_of_int a /. float_of_int (max 1 b)
+
+let run_queries t idx clients members rng =
+  let exact = ref 0 and total = ref 0 in
+  let probes = ref [] and hops = ref [] and penalty = ref [] in
+  Array.iter
+    (fun client ->
+      if not (Meridian.is_member t client) then begin
+        let entry = members.(Rng.int rng (Array.length members)) in
+        let r = Meridian.closest t ~start:entry ~target:client in
+        let truth = Meridian.exact_closest t client in
+        incr total;
+        if r.Meridian.found = truth then incr exact;
+        probes := float_of_int r.Meridian.measurements :: !probes;
+        hops := float_of_int r.Meridian.hops :: !hops;
+        penalty :=
+          (Indexed.dist idx r.Meridian.found client /. Float.max 1e-9 (Indexed.dist idx truth client))
+          :: !penalty
+      end)
+    clients;
+  (!exact, !total, Array.of_list !probes, Array.of_list !hops, Array.of_list !penalty)
+
+let () =
+  let rng = Rng.create 2026 in
+  let metric =
+    Generators.clustered_latency (Rng.split rng) ~clusters:10 ~per_cluster:60 ~spread:35.0
+      ~access:8.0
+  in
+  let idx = Indexed.create metric in
+  let n = Indexed.size idx in
+
+  (* 120 of the 600 nodes host replicas. *)
+  let perm = Array.init n Fun.id in
+  Rng.shuffle rng perm;
+  let replicas = Array.sub perm 0 120 in
+  let clients = Array.sub perm 120 (n - 120) in
+  Printf.printf "latency metric: %d nodes; %d replicas, %d clients\n\n" n (Array.length replicas)
+    (Array.length clients);
+
+  let t = Meridian.build idx (Rng.split rng) ~ring_size:8 ~members:replicas in
+  let (dmax, dmean) = Meridian.out_degree t in
+  Printf.printf "overlay rings: out-degree max %d, mean %.1f (vs %d replicas)\n" dmax dmean
+    (Array.length replicas);
+
+  let (exact, total, probes, hops, penalty) = run_queries t idx clients replicas (Rng.split rng) in
+  Printf.printf "nearest-replica queries: %d/%d exact (%.1f%%)\n" exact total (percent exact total);
+  Printf.printf "  probes per query: mean %.1f, max %.0f (vs %d for probing all replicas)\n"
+    (Stats.mean probes) (Stats.maximum probes) (Array.length replicas);
+  Printf.printf "  overlay hops: mean %.1f, max %.0f\n" (Stats.mean hops) (Stats.maximum hops);
+  Printf.printf "  latency penalty on misses: mean %.3fx, max %.3fx\n\n" (Stats.mean penalty)
+    (Stats.maximum penalty);
+
+  (* Churn: a third of the replicas are replaced. *)
+  let leavers = Array.sub replicas 0 40 in
+  Array.iter (fun u -> Meridian.leave t u) leavers;
+  let joiners = Array.sub clients 0 40 in
+  Array.iter (fun u -> Meridian.join t (Rng.split rng) u) joiners;
+  let members = Meridian.members t in
+  let still_clients =
+    Array.of_list (List.filter (fun v -> not (Meridian.is_member t v)) (Array.to_list clients))
+  in
+  let (exact, total, probes, _, _) = run_queries t idx still_clients members (Rng.split rng) in
+  Printf.printf "after replacing 1/3 of the replicas (join/leave maintenance):\n";
+  Printf.printf "  %d/%d exact (%.1f%%), probes mean %.1f — rings absorbed the churn\n" exact total
+    (percent exact total) (Stats.mean probes)

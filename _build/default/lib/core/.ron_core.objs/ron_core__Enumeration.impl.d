@@ -1,0 +1,1 @@
+lib/core/enumeration.ml: Array Hashtbl List Ron_util

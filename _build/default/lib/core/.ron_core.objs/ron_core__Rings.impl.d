@@ -1,0 +1,1 @@
+lib/core/rings.ml: Array Hashtbl List Ron_metric Ron_util

@@ -1,0 +1,1 @@
+lib/core/rings.mli: Ron_metric Ron_util

@@ -1,0 +1,1 @@
+lib/core/translation.ml: Hashtbl

@@ -1,0 +1,1 @@
+lib/core/zooming.ml: Array List Printf

@@ -1,0 +1,27 @@
+type t = { order : int array; pos : (int, int) Hashtbl.t }
+
+let of_array nodes =
+  let pos = Hashtbl.create (Array.length nodes) in
+  Array.iteri
+    (fun i v ->
+      if Hashtbl.mem pos v then invalid_arg "Enumeration.of_array: duplicate node";
+      Hashtbl.replace pos v i)
+    nodes;
+  { order = Array.copy nodes; pos }
+
+let with_prefix ~prefix rest =
+  let fresh = Array.of_list (List.filter (fun v -> not (Hashtbl.mem prefix.pos v)) (Array.to_list rest)) in
+  of_array (Array.append prefix.order fresh)
+
+let size t = Array.length t.order
+let node t i = t.order.(i)
+let index t v = Hashtbl.find_opt t.pos v
+
+let index_exn t v =
+  match Hashtbl.find_opt t.pos v with
+  | Some i -> i
+  | None -> invalid_arg "Enumeration.index_exn: node not enumerated"
+
+let mem t v = Hashtbl.mem t.pos v
+let nodes t = Array.copy t.order
+let index_bits t = Ron_util.Bits.index_bits (size t)

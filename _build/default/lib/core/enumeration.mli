@@ -1,0 +1,35 @@
+(** Host enumerations (paper, proofs of Theorems 2.1 and 3.4).
+
+    Storing global [ceil(log2 n)]-bit node identifiers in every routing table
+    and label costs an extra [(log n)] factor; the paper avoids it by giving
+    each node [u] an {e enumeration} [phi_u] of its neighbor set — a
+    bijection onto [0 .. k-1] — and referring to neighbors by their local
+    index, which costs only [ceil(log2 K)] bits for rings of size at most
+    [K]. Two nodes can share indices only on sets on which their
+    enumerations are guaranteed to coincide (the canonical level-0 prefix). *)
+
+type t
+
+val of_array : int array -> t
+(** [of_array nodes]: the enumeration mapping [nodes.(i)] to index [i].
+    Raises [Invalid_argument] on duplicates. *)
+
+val with_prefix : prefix:t -> int array -> t
+(** [with_prefix ~prefix rest]: enumeration whose first [size prefix]
+    indices are exactly [prefix]'s (the canonical shared part) followed by
+    the nodes of [rest] not already in the prefix, in order. *)
+
+val size : t -> int
+val node : t -> int -> int
+(** [node t i]: the node with index [i]. *)
+
+val index : t -> int -> int option
+(** [index t v]: [v]'s index, if enumerated. *)
+
+val index_exn : t -> int -> int
+val mem : t -> int -> bool
+val nodes : t -> int array
+(** All enumerated nodes in index order (fresh copy). *)
+
+val index_bits : t -> int
+(** Bits needed to store one index. *)

@@ -1,0 +1,98 @@
+(** Rings of neighbors — the paper's unifying data structure (Section 1).
+
+    Every node [u] stores pointers to some nodes ("neighbors"), partitioned
+    into rings: for an increasing sequence of balls [{B_i}] around [u], the
+    neighbors in the i-th ring lie inside [B_i]. The radii of the balls and
+    the selection of neighbors inside them depend on the application; the
+    paper singles out two canonical collections (Section 1, "The unifying
+    technique"):
+
+    - {b cardinality-scaled, uniform}: the ball [B_i] is the smallest ball
+      around [u] with at least [n / 2^i] nodes, and the i-ring neighbors are
+      sampled uniformly from its node set (the X-type neighbors of
+      Theorems 3.2 and 5.2);
+    - {b radius-scaled}: the ball [B_i] has radius growing geometrically,
+      and the i-ring neighbors are either the points of a [2^j]-net inside
+      it (deterministic: routing and labeling) or sampled from a doubling
+      measure (randomized: small worlds, "uniform in the space region").
+
+    This module provides both constructions over the substrate and the
+    accounting shared by all applications. *)
+
+type ring = {
+  scale : int;  (** the ring's index [i] *)
+  radius : float;  (** radius of the ball [B_i] *)
+  members : int array;  (** the neighbors of the ring, duplicates possible in
+                            sampled collections, never containing [u] unless
+                            the construction selects it *)
+}
+
+type t
+(** A collection: one array of rings per node. *)
+
+val of_rings : ring array array -> t
+
+val ring : t -> int -> int -> ring
+(** [ring t u i]: the i-th ring of node [u]. *)
+
+val rings_of : t -> int -> ring array
+val scales : t -> int -> int
+(** Number of rings of a node. *)
+
+val size : t -> int
+(** Number of nodes. *)
+
+val neighbors : t -> int -> int array
+(** Distinct neighbors of [u] across all rings, sorted. *)
+
+val out_degree : t -> int -> int
+val max_out_degree : t -> int
+val max_ring_size : t -> int
+
+val of_membership :
+  Ron_metric.Indexed.t ->
+  scales:int ->
+  radius_of:(int -> float) ->
+  member_of:(int -> int -> bool) ->
+  t
+(** Generic deterministic rings: ring [i] of [u] is [B_u(radius_of i)]
+    filtered by [member_of i], with members listed in ascending node id (so
+    rings that coincide as sets get identical enumeration orders across
+    nodes — the canonical-sharing requirement of host enumerations). *)
+
+val net_rings :
+  Ron_metric.Indexed.t ->
+  Ron_metric.Net.Hierarchy.t ->
+  scales:int ->
+  radius_of:(int -> float) ->
+  level_of:(int -> int) ->
+  t
+(** Deterministic radius-scaled rings: ring [i] of [u] is
+    [B_u(radius_of i)] intersected with the net [G_(level_of i)].
+    This is the [Y_uj = B_u(r_j) ∩ G_j] construction of Theorem 2.1 and the
+    Y-neighbor construction of Theorem 3.2. *)
+
+val uniform_rings :
+  Ron_metric.Indexed.t ->
+  Ron_util.Rng.t ->
+  scales:int ->
+  samples:int ->
+  t
+(** Cardinality-scaled uniform rings: ring [i] of [u] consists of [samples]
+    independent uniform draws from the smallest ball around [u] holding at
+    least [ceil(n / 2^i)] nodes (the X-type neighbors of Theorem 5.2). *)
+
+val measure_rings :
+  Ron_metric.Indexed.t ->
+  Ron_metric.Measure.t ->
+  Ron_util.Rng.t ->
+  scales:int ->
+  samples:int ->
+  radius_of:(int -> float) ->
+  t
+(** Radius-scaled measure-weighted rings: ring [j] of [u] consists of
+    [samples] draws from [B_u(radius_of j)] proportionally to a doubling
+    measure (the Y-type neighbors of Theorem 5.2a). *)
+
+val check_containment : Ron_metric.Indexed.t -> t -> bool
+(** Structural invariant: every ring member lies inside its ring's ball. *)

@@ -1,0 +1,35 @@
+type t = {
+  table : (int * int, int) Hashtbl.t;
+  by_x : (int, (int * int) list ref) Hashtbl.t;
+}
+
+let create () = { table = Hashtbl.create 16; by_x = Hashtbl.create 16 }
+
+let add t ~x ~y ~z =
+  match Hashtbl.find_opt t.table (x, y) with
+  | Some z' when z' = z -> ()
+  | Some _ -> invalid_arg "Translation.add: conflicting entry"
+  | None ->
+    Hashtbl.replace t.table (x, y) z;
+    let bucket =
+      match Hashtbl.find_opt t.by_x x with
+      | Some b -> b
+      | None ->
+        let b = ref [] in
+        Hashtbl.replace t.by_x x b;
+        b
+    in
+    bucket := (y, z) :: !bucket
+
+let find t ~x ~y = Hashtbl.find_opt t.table (x, y)
+
+let entries t = Hashtbl.fold (fun (x, y) z acc -> (x, y, z) :: acc) t.table []
+
+let entries_with_x t ~x =
+  match Hashtbl.find_opt t.by_x x with Some b -> !b | None -> []
+
+let entry_count t = Hashtbl.length t.table
+
+let bits_sparse t ~x_bits ~y_bits ~z_bits = entry_count t * (x_bits + y_bits + z_bits)
+
+let bits_dense ~x_card ~y_card ~z_bits = x_card * y_card * z_bits

@@ -1,0 +1,35 @@
+(** Translation functions zeta (Figure 2; proofs of Theorems 2.1 and 3.4).
+
+    A translation function lets a node [u] convert a pointer expressed in
+    some {e other} node's enumeration into its own: given the index of [f]
+    in [u]'s enumeration and the index of [w] in [f]'s enumeration, it
+    returns the index of [w] in [u]'s enumeration — or null when [w] is not
+    a neighbor of [u], which is exactly how routing and decoding detect that
+    they must stop zooming. Stored sparsely as triples [(x, y, z)]. *)
+
+type t
+
+val create : unit -> t
+
+val add : t -> x:int -> y:int -> z:int -> unit
+(** Raises [Invalid_argument] if [(x, y)] is already bound to a different
+    [z] (the function would be ill-defined). Rebinding to the same [z] is a
+    no-op. *)
+
+val find : t -> x:int -> y:int -> int option
+
+val entries : t -> (int * int * int) list
+(** All triples, in unspecified order. *)
+
+val entries_with_x : t -> x:int -> (int * int) list
+(** All [(y, z)] with [(x, y) -> z]: the "entries of the form (f, .)" scan
+    used by the distance-labeling decoder. *)
+
+val entry_count : t -> int
+
+val bits_sparse : t -> x_bits:int -> y_bits:int -> z_bits:int -> int
+(** Storage as a list of triples. *)
+
+val bits_dense : x_card:int -> y_card:int -> z_bits:int -> int
+(** Storage as a dense [x_card * y_card] matrix of [z] values (the paper's
+    [K^2 ceil(log K)] accounting). *)

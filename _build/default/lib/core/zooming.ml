@@ -1,0 +1,33 @@
+type encoded = { first : int; rest : int array }
+
+let encode ~sequence ~enum_of_prev ~first_index =
+  let k = Array.length sequence in
+  if k = 0 then invalid_arg "Zooming.encode: empty sequence";
+  let rest =
+    Array.init (k - 1) (fun j ->
+        match enum_of_prev j sequence.(j + 1) with
+        | Some i -> i
+        | None ->
+          invalid_arg
+            (Printf.sprintf
+               "Zooming.encode: element %d not enumerable at its predecessor (Claim 2.3/3.5 violated)"
+               (j + 1)))
+  in
+  { first = first_index; rest }
+
+let decode_walk ~translate enc =
+  let acc = ref [ enc.first ] in
+  let m = ref enc.first in
+  let continue = ref true in
+  let j = ref 0 in
+  while !continue && !j < Array.length enc.rest do
+    match translate !j ~x:!m ~y:enc.rest.(!j) with
+    | None -> continue := false
+    | Some next ->
+      acc := next :: !acc;
+      m := next;
+      incr j
+  done;
+  Array.of_list (List.rev !acc)
+
+let bits enc ~index_bits = (1 + Array.length enc.rest) * index_bits

@@ -1,0 +1,1 @@
+lib/experiments/exp_common.ml: Float List Printf Ron_routing Ron_util String

@@ -1,0 +1,1 @@
+lib/experiments/exp_e21.ml: Exp_common List Ron_graph Ron_routing Ron_util

@@ -1,0 +1,1 @@
+lib/experiments/exp_e32.ml: Exp_common Float Hashtbl List Printf Ron_labeling Ron_metric Ron_util

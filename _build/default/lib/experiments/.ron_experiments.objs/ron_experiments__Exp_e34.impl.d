@@ -1,0 +1,1 @@
+lib/experiments/exp_e34.ml: Array Exp_common Float List Ron_labeling Ron_metric Ron_util

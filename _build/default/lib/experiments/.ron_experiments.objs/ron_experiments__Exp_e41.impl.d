@@ -1,0 +1,1 @@
+lib/experiments/exp_e41.ml: Exp_common Float List Printf Ron_graph Ron_metric Ron_routing Ron_util

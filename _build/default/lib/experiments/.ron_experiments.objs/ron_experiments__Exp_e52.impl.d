@@ -1,0 +1,1 @@
+lib/experiments/exp_e52.ml: Exp_common List Printf Ron_metric Ron_smallworld Ron_util

@@ -1,0 +1,1 @@
+lib/experiments/exp_e54.ml: Array Exp_common Hashtbl List Ron_metric Ron_smallworld Ron_util

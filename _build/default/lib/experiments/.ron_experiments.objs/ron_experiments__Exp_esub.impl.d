@@ -1,0 +1,1 @@
+lib/experiments/exp_esub.ml: Exp_common List Printf Ron_metric Ron_util

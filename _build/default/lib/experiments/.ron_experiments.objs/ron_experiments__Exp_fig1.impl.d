@@ -1,0 +1,1 @@
+lib/experiments/exp_fig1.ml: Exp_common Ron_graph Ron_labeling Ron_metric Ron_routing Ron_util

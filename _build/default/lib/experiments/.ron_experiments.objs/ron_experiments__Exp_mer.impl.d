@@ -1,0 +1,1 @@
+lib/experiments/exp_mer.ml: Array Exp_common Float Fun List Printf Ron_metric Ron_smallworld Ron_util

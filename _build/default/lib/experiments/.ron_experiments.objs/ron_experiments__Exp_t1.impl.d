@@ -1,0 +1,1 @@
+lib/experiments/exp_t1.ml: Array Exp_common List Printf Ron_graph Ron_metric Ron_routing Ron_util

@@ -1,0 +1,1 @@
+lib/experiments/exp_t2.ml: Array Exp_common List Ron_metric Ron_routing Ron_util

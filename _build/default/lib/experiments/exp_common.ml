@@ -1,0 +1,76 @@
+module Rng = Ron_util.Rng
+module Scheme = Ron_routing.Scheme
+
+let section id title =
+  Printf.printf "\n================================================================================\n";
+  Printf.printf "[%s] %s\n" id title;
+  Printf.printf "================================================================================\n"
+
+let subsection title = Printf.printf "\n--- %s ---\n" title
+
+let row cells = Printf.printf "%s\n" (String.concat " " cells)
+
+let header cells =
+  row cells;
+  let width = List.fold_left (fun acc c -> acc + String.length c + 1) 0 cells - 1 in
+  Printf.printf "%s\n" (String.make (max 1 width) '-')
+
+let cell ?(w = 12) s =
+  let len = String.length s in
+  if len >= w then String.sub s 0 w else s ^ String.make (w - len) ' '
+
+let cell_int ?w i = cell ?w (string_of_int i)
+
+let cell_float ?w ?(prec = 3) f = cell ?w (Printf.sprintf "%.*f" prec f)
+
+let note s = Printf.printf "  | %s\n" s
+
+let sample_pairs rng ~n ~count =
+  let rec go acc k guard =
+    if k = 0 || guard > 50 * count then List.rev acc
+    else begin
+      let u = Rng.int rng n and v = Rng.int rng n in
+      if u <> v then go ((u, v) :: acc) (k - 1) guard else go acc k (guard + 1)
+    end
+  in
+  go [] count 0
+
+type route_quality = {
+  queries : int;
+  failures : int;
+  stretch_max : float;
+  stretch_mean : float;
+  hops_max : int;
+  hops_mean : float;
+}
+
+let collect_routes ~route ~dist pairs =
+  let queries = ref 0 and failures = ref 0 in
+  let smax = ref 0.0 and ssum = ref 0.0 in
+  let hmax = ref 0 and hsum = ref 0 in
+  List.iter
+    (fun (u, v) ->
+      incr queries;
+      let r = route u v in
+      if not r.Scheme.delivered then incr failures
+      else begin
+        let s = Scheme.stretch r (dist u v) in
+        smax := Float.max !smax s;
+        ssum := !ssum +. s;
+        hmax := max !hmax r.Scheme.hops;
+        hsum := !hsum + r.Scheme.hops
+      end)
+    pairs;
+  let ok = max 1 (!queries - !failures) in
+  {
+    queries = !queries;
+    failures = !failures;
+    stretch_max = !smax;
+    stretch_mean = !ssum /. float_of_int ok;
+    hops_max = !hmax;
+    hops_mean = float_of_int !hsum /. float_of_int ok;
+  }
+
+let pp_quality q =
+  Printf.sprintf "stretch max %.3f mean %.3f | hops max %d mean %.1f | fails %d/%d" q.stretch_max
+    q.stretch_mean q.hops_max q.hops_mean q.failures q.queries

@@ -1,0 +1,43 @@
+(** Shared plumbing for the experiment harness: fixed-width table printing,
+    pair sampling, and route-quality aggregation. Every experiment module
+    exposes [run : unit -> unit] that prints one paper-artifact section. *)
+
+val section : string -> string -> unit
+(** [section id title] prints the experiment banner. *)
+
+val subsection : string -> unit
+
+val row : string list -> unit
+(** Print one table row; columns are pre-formatted cells. *)
+
+val header : string list -> unit
+(** Print a header row plus a rule. *)
+
+val cell : ?w:int -> string -> string
+(** Right-pad/truncate to [w] (default 12). *)
+
+val cell_int : ?w:int -> int -> string
+val cell_float : ?w:int -> ?prec:int -> float -> string
+
+val note : string -> unit
+(** Indented free-form commentary line. *)
+
+val sample_pairs : Ron_util.Rng.t -> n:int -> count:int -> (int * int) list
+(** Up to [count] ordered pairs with distinct endpoints. *)
+
+type route_quality = {
+  queries : int;
+  failures : int;
+  stretch_max : float;
+  stretch_mean : float;
+  hops_max : int;
+  hops_mean : float;
+}
+
+val collect_routes :
+  route:(int -> int -> Ron_routing.Scheme.result) ->
+  dist:(int -> int -> float) ->
+  (int * int) list ->
+  route_quality
+
+val pp_quality : route_quality -> string

@@ -1,0 +1,6 @@
+(** Experiment E-2.1 — Theorem 2.1's guarantee: every packet is delivered
+    along a path of stretch 1 + O(delta). Sweeps delta and verifies the
+    measured worst-case stretch against the proof's (1+delta)/(1-delta)
+    bound, plus the K = (16/delta)^alpha ring-size cap (Lemma 1.4). *)
+
+val run : unit -> unit

@@ -1,0 +1,168 @@
+module C = Exp_common
+module Rng = Ron_util.Rng
+module Indexed = Ron_metric.Indexed
+module Generators = Ron_metric.Generators
+module Metric = Ron_metric.Metric
+module Triangulation = Ron_labeling.Triangulation
+module Beacon = Ron_labeling.Beacon
+
+(* All-pairs quality of a triangulation. *)
+let quality tri idx delta =
+  let n = Indexed.size idx in
+  let worst_plus = ref 0.0 and worst_ratio = ref 0.0 and bad = ref 0 and total = ref 0 in
+  for u = 0 to n - 1 do
+    for v = u + 1 to n - 1 do
+      incr total;
+      match Triangulation.estimate tri u v with
+      | (lo, hi) ->
+        let d = Indexed.dist idx u v in
+        worst_plus := Float.max !worst_plus (hi /. d);
+        if lo > 0.0 then worst_ratio := Float.max !worst_ratio (hi /. lo) else incr bad;
+        if lo > 0.0 && hi /. lo > 1.0 +. (2.0 *. delta) then incr bad
+      | exception Failure _ -> incr bad
+    done
+  done;
+  (!worst_plus, !worst_ratio, !bad, !total)
+
+let run () =
+  C.section "E-3.2" "Theorem 3.2: (0,delta)-triangulation vs the (eps,delta) beacon baseline";
+  let delta = 0.25 in
+  let rng = Rng.create 32 in
+
+  C.subsection "zero bad pairs across metric families (delta = 0.25)";
+  C.header
+    [
+      C.cell ~w:14 "metric"; C.cell ~w:6 "n"; C.cell ~w:7 "order";
+      C.cell ~w:10 "D+/d max"; C.cell ~w:10 "D+/D- max"; C.cell ~w:12 "bound 1+2d";
+      C.cell ~w:10 "bad pairs";
+    ];
+  List.iter
+    (fun (name, m) ->
+      let idx = Indexed.create m in
+      let tri = Triangulation.build idx ~delta in
+      let (wp, wr, bad, total) = quality tri idx delta in
+      C.row
+        [
+          C.cell ~w:14 name; C.cell_int ~w:6 (Indexed.size idx);
+          C.cell_int ~w:7 (Triangulation.order tri);
+          C.cell_float ~w:10 wp; C.cell_float ~w:10 wr;
+          C.cell_float ~w:12 (1.0 +. (2.0 *. delta));
+          C.cell ~w:10 (Printf.sprintf "%d/%d" bad total);
+        ])
+    [
+      ("grid9x9", Generators.grid2d 9 9);
+      ("cloud150", Generators.random_cloud (Rng.split rng) ~n:150 ~dim:2);
+      ("expline24", Generators.exponential_line 24);
+      ("latency180",
+       Generators.clustered_latency (Rng.split rng) ~clusters:6 ~per_cluster:30 ~spread:30.0
+         ~access:6.0);
+      ("expclust", Generators.exponential_clusters (Rng.split rng) ~clusters:10 ~per_cluster:16 ~base:16.0);
+    ];
+
+  C.subsection "the baseline's flaw: common beacons leave an eps-fraction uncertified";
+  C.header [ C.cell ~w:14 "metric"; C.cell ~w:10 "k beacons"; C.cell ~w:22 "pairs w/o guarantee" ];
+  let idx = Indexed.create (Metric.normalize (Generators.uniform_line 200)) in
+  List.iter
+    (fun k ->
+      let b = Beacon.build idx (Rng.split rng) ~k in
+      C.row
+        [
+          C.cell ~w:14 "line200"; C.cell_int ~w:10 k;
+          C.cell ~w:22 (Printf.sprintf "%.2f%%" (100.0 *. Beacon.bad_fraction b ~delta:(2.0 *. delta)));
+        ])
+    [ 2; 8; 32; 128 ];
+  C.note "Theorem 3.2's rows above have 0 bad pairs by construction; the shared-";
+  C.note "beacon scheme keeps a positive bad fraction even with many beacons.";
+
+  C.subsection "order vs n (uniform lines, delta=0.45): paper predicts O_alpha,delta(log n)";
+  C.header
+    [
+      C.cell ~w:8 "n"; C.cell ~w:16 "order (paper)"; C.cell ~w:16 "order (rf=2,nd=1)";
+      C.cell ~w:16 "order (rf=1,nd=.5)";
+    ];
+  List.iter
+    (fun n ->
+      let idx = Indexed.create (Metric.normalize (Generators.uniform_line n)) in
+      let t_paper = Triangulation.build idx ~delta:0.45 in
+      let t_mid = Triangulation.build ~radius_factor:2.0 ~net_divisor:1.0 idx ~delta:0.45 in
+      let t_tight = Triangulation.build ~radius_factor:1.0 ~net_divisor:0.5 idx ~delta:0.45 in
+      C.row
+        [
+          C.cell_int ~w:8 n;
+          C.cell_int ~w:16 (Triangulation.order t_paper);
+          C.cell_int ~w:16 (Triangulation.order t_mid);
+          C.cell_int ~w:16 (Triangulation.order t_tight);
+        ])
+    [ 64; 128; 256; 512; 1024 ];
+  C.note "With the paper's constants (radius 12r/delta, net spacing delta r/4) the";
+  C.note "order saturates at n until n >> (96/delta^2)^alpha — the theory constants";
+  C.note "are astronomical at laptop scale. Tightened constants expose the log n";
+  C.note "shape; the ablation below confirms how much accuracy margin they cost.";
+
+  C.subsection "Section 6 diagnostic: size-scale / distance-scale alignment";
+  (* The paper's closing intuition for an Omega(log n) triangulation lower
+     bound: around each node there are ~log n cardinality scales; when their
+     radii are spread over distinct distance scales, a reasonable label
+     should pay at least one beacon per scale. We measure, per metric, the
+     mean number of distinct distance octaves among {r_ui} and compare with
+     the measured order. *)
+  C.header
+    [
+      C.cell ~w:14 "metric"; C.cell ~w:9 "log2 n"; C.cell ~w:16 "aligned scales";
+      C.cell ~w:16 "order (tight)";
+    ];
+  List.iter
+    (fun (name, m) ->
+      let idxm = Indexed.create m in
+      let n = Indexed.size idxm in
+      let li = Indexed.log2_size idxm + 1 in
+      let total = ref 0 in
+      for u = 0 to n - 1 do
+        let octaves = Hashtbl.create 16 in
+        for i = 0 to li - 1 do
+          let r = Indexed.r_level idxm u i in
+          if r > 0.0 then
+            Hashtbl.replace octaves (int_of_float (Float.floor (Ron_util.Bits.flog2 r))) ()
+        done;
+        total := !total + Hashtbl.length octaves
+      done;
+      let tight = Triangulation.build ~radius_factor:2.0 ~net_divisor:1.0 idxm ~delta:0.45 in
+      C.row
+        [
+          C.cell ~w:14 name; C.cell_int ~w:9 (Indexed.log2_size idxm);
+          C.cell_float ~w:16 ~prec:1 (float_of_int !total /. float_of_int n);
+          C.cell_int ~w:16 (Triangulation.order tight);
+        ])
+    [
+      ("line512", Metric.normalize (Generators.uniform_line 512));
+      ("expline24", Generators.exponential_line 24);
+      ("expclust", Generators.exponential_clusters (Rng.split rng) ~clusters:10 ~per_cluster:16 ~base:16.0);
+    ];
+  C.note "Even the tightened construction pays well above one beacon per aligned";
+  C.note "scale — consistent with the paper's conjecture that sub-logarithmic";
+  C.note "order would be very surprising.";
+
+  C.subsection "constant ablation on cloud150 (delta=0.45): order vs worst D+/D-";
+  C.header
+    [
+      C.cell ~w:18 "constants"; C.cell ~w:7 "order"; C.cell ~w:10 "D+/d max";
+      C.cell ~w:10 "D+/D- max"; C.cell ~w:10 "bad pairs";
+    ];
+  let idx = Indexed.create (Generators.random_cloud (Rng.split rng) ~n:150 ~dim:2) in
+  List.iter
+    (fun (label, rf, nd) ->
+      let tri = Triangulation.build ~radius_factor:rf ~net_divisor:nd idx ~delta:0.45 in
+      let (wp, wr, bad, total) = quality tri idx 0.45 in
+      C.row
+        [
+          C.cell ~w:18 label; C.cell_int ~w:7 (Triangulation.order tri);
+          C.cell_float ~w:10 wp; C.cell_float ~w:10 wr;
+          C.cell ~w:10 (Printf.sprintf "%d/%d" bad total);
+        ])
+    [
+      ("paper (12, 4)", 12.0, 4.0);
+      ("(4, 2)", 4.0, 2.0);
+      ("(2, 1)", 2.0, 1.0);
+      ("(1, 0.5)", 1.0, 0.5);
+      ("(0.5, 0.25)", 0.5, 0.25);
+    ]

@@ -1,0 +1,10 @@
+(** Experiment E-3.2 — Theorem 3.2: (0, delta)-triangulation.
+
+    Checks, over all pairs, that D- <= d <= D+ with D+ <= (1+2 delta) d
+    (zero bad pairs — the paper's improvement over [33, 50]); contrasts
+    with the common-beacon baseline's bad-pair fraction; measures order
+    growth with n; and runs the constant-tightening ablation described in
+    DESIGN.md (the paper's 12/delta and delta/4 constants vs smaller ones,
+    trading order against the certified-accuracy margin). *)
+
+val run : unit -> unit

@@ -1,0 +1,88 @@
+module C = Exp_common
+module Rng = Ron_util.Rng
+module Indexed = Ron_metric.Indexed
+module Generators = Ron_metric.Generators
+module Triangulation = Ron_labeling.Triangulation
+module Dls = Ron_labeling.Dls
+module Trivial_dls = Ron_labeling.Trivial_dls
+
+let max_arr = Array.fold_left max 0
+
+let accuracy dls idx delta =
+  let n = Indexed.size idx in
+  let worst = ref 0.0 and contractions = ref 0 and fails = ref 0 in
+  for u = 0 to n - 1 do
+    for v = u + 1 to n - 1 do
+      match Dls.estimate (Dls.label dls u) (Dls.label dls v) with
+      | est ->
+        let d = Indexed.dist idx u v in
+        if est < d -. 1e-9 then incr contractions;
+        worst := Float.max !worst (est /. d)
+      | exception Failure _ -> incr fails
+    done
+  done;
+  (!worst, !contractions, !fails, (1.0 +. (2.0 *. delta)) *. (1.0 +. (delta /. 8.0)))
+
+let run () =
+  C.section "E-3.4" "Theorem 3.4: label bits vs aspect ratio (log log Delta scaling)";
+  let delta = 0.25 in
+  let rng = Rng.create 34 in
+
+  C.subsection "label bits at fixed n = 48 as log2(Delta) grows (exponential clusters)";
+  C.header
+    [
+      C.cell ~w:8 "base"; C.cell ~w:9 "log2(D)"; C.cell ~w:14 "thm3.4 bits";
+      C.cell ~w:14 "trivial bits"; C.cell ~w:10 "est/d max"; C.cell ~w:8 "bound";
+      C.cell ~w:10 "contract"; C.cell ~w:6 "fails";
+    ];
+  List.iter
+    (fun base ->
+      let m =
+        Generators.exponential_clusters (Rng.split rng) ~clusters:12 ~per_cluster:4 ~base
+      in
+      let idx = Indexed.create m in
+      let tri = Triangulation.build idx ~delta in
+      let dls = Dls.build tri in
+      let trivial = Trivial_dls.build idx in
+      let (worst, contractions, fails, bound) = accuracy dls idx delta in
+      C.row
+        [
+          C.cell_float ~w:8 ~prec:0 base;
+          C.cell_int ~w:9 (Indexed.log2_aspect_ratio idx);
+          C.cell_int ~w:14 (Dls.max_label_bits dls);
+          C.cell_int ~w:14 (max_arr (Trivial_dls.label_bits trivial));
+          C.cell_float ~w:10 worst;
+          C.cell_float ~w:8 bound;
+          C.cell_int ~w:10 contractions;
+          C.cell_int ~w:6 fails;
+        ])
+    [ 4.0; 16.0; 256.0; 65536.0; 4294967296.0 ];
+  C.note "Paper's shape: Theorem 3.4 labels grow ~log log Delta (the swept rows";
+  C.note "should be nearly flat: doubling log Delta adds one bit to each distance";
+  C.note "exponent and one scale's worth of Z-levels), while the trivial scheme's";
+  C.note "n * log Delta growth is linear in the log2(D) column once distances";
+  C.note "exceed float mantissas. 'contract' must be 0 (estimates never go below";
+  C.note "the true distance) and est/d stays within the bound.";
+
+  C.subsection "the exponential line: n tied to log Delta (the paper's canonical stress case)";
+  C.header
+    [
+      C.cell ~w:8 "n"; C.cell ~w:9 "log2(D)"; C.cell ~w:14 "thm3.4 bits";
+      C.cell ~w:14 "trivial bits"; C.cell ~w:10 "est/d max";
+    ];
+  List.iter
+    (fun n ->
+      let idx = Indexed.create (Generators.exponential_line n) in
+      let tri = Triangulation.build idx ~delta in
+      let dls = Dls.build tri in
+      let trivial = Trivial_dls.build idx in
+      let (worst, _, _, _) = accuracy dls idx delta in
+      C.row
+        [
+          C.cell_int ~w:8 n;
+          C.cell_int ~w:9 (Indexed.log2_aspect_ratio idx);
+          C.cell_int ~w:14 (Dls.max_label_bits dls);
+          C.cell_int ~w:14 (max_arr (Trivial_dls.label_bits trivial));
+          C.cell_float ~w:10 worst;
+        ])
+    [ 12; 16; 20; 24; 28; 32 ]

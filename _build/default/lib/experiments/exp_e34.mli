@@ -1,0 +1,12 @@
+(** Experiment E-3.4 — Theorem 3.4: (1+delta)-approximate distance labels of
+    [(O(1/delta))^O(alpha) (log n)(log log Delta)] bits, decoded from two
+    labels alone.
+
+    The headline is the aspect-ratio scaling: at (near-)fixed n, growing
+    log Delta geometrically should grow Theorem 3.4 labels like
+    log log Delta (near-flat) while the trivial exact labels grow like
+    n log Delta. Uses exponential-cluster metrics with a swept base.
+    Also verifies decode accuracy (never contracting, within
+    (1+2 delta)(1 + delta/8)). *)
+
+val run : unit -> unit

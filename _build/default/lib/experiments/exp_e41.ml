@@ -1,0 +1,58 @@
+module C = Exp_common
+module Rng = Ron_util.Rng
+module Indexed = Ron_metric.Indexed
+module Graph = Ron_graph.Graph
+module Sp_metric = Ron_graph.Sp_metric
+module Basic = Ron_routing.Basic
+module Labelled = Ron_routing.Labelled
+
+(* A path graph whose shortest-path metric is the exponential-clusters
+   metric: clusters of [per] unit-spaced nodes, consecutive clusters
+   [base^i] apart. *)
+let cluster_path_graph ~clusters ~per ~base =
+  let n = clusters * per in
+  let edges = ref [] in
+  for i = 0 to n - 2 do
+    let w =
+      if (i + 1) mod per = 0 then base ** Float.of_int ((i / per) + 1)
+      else 1.0
+    in
+    edges := (i, i + 1, w) :: !edges
+  done;
+  Ron_graph.Graph.undirected n !edges
+
+let run () =
+  C.section "E-4.1" "Theorem 4.1: header bits vs log Delta (vs Theorem 2.1)";
+  let delta = 0.25 in
+  let rng = Rng.create 41 in
+  C.header
+    [
+      C.cell ~w:8 "base"; C.cell ~w:9 "log2(D)"; C.cell ~w:14 "hdr thm2.1";
+      C.cell ~w:14 "hdr thm4.1"; C.cell ~w:12 "s2.1/fails"; C.cell ~w:12 "s4.1/fails";
+    ];
+  List.iter
+    (fun base ->
+      let g = cluster_path_graph ~clusters:10 ~per:4 ~base in
+      let sp = Sp_metric.create g in
+      let n = Graph.size g in
+      let idx = Indexed.create (Sp_metric.metric sp) in
+      let b = Basic.build sp ~delta in
+      let l = Labelled.build sp ~delta in
+      let pairs = C.sample_pairs (Rng.split rng) ~n ~count:500 in
+      let dist u v = Sp_metric.dist sp u v in
+      let qb = C.collect_routes ~route:(fun u v -> Basic.route b ~src:u ~dst:v) ~dist pairs in
+      let ql = C.collect_routes ~route:(fun u v -> Labelled.route l ~src:u ~dst:v) ~dist pairs in
+      C.row
+        [
+          C.cell_float ~w:8 ~prec:0 base;
+          C.cell_int ~w:9 (Indexed.log2_aspect_ratio idx);
+          C.cell_int ~w:14 (Basic.header_bits b);
+          C.cell_int ~w:14 (Labelled.header_bits l);
+          C.cell ~w:12 (Printf.sprintf "%.2f/%d" qb.C.stretch_max qb.C.failures);
+          C.cell ~w:12 (Printf.sprintf "%.2f/%d" ql.C.stretch_max ql.C.failures);
+        ])
+    [ 4.0; 32.0; 256.0; 4096.0; 1048576.0 ];
+  C.note "Thm 2.1's header column grows linearly with log2(Delta); Thm 4.1's is";
+  C.note "near-flat (a Thm 3.4 label + one global id), which is exactly the";
+  C.note "improvement Table 1 row 4 claims. Both deliver everything within";
+  C.note "stretch 1+O(delta)."

@@ -1,0 +1,8 @@
+(** Experiment E-4.1 — Theorem 4.1: packet headers freed from (log Delta).
+
+    At (near-)fixed n with geometrically growing aspect ratio, Theorem
+    2.1's header grows linearly in log Delta (one ring index per distance
+    scale) while Theorem 4.1's header — a Theorem 3.4 distance label —
+    grows like log log Delta. Verifies delivery and stretch for both. *)
+
+val run : unit -> unit

@@ -1,0 +1,161 @@
+module C = Exp_common
+module Rng = Ron_util.Rng
+module Indexed = Ron_metric.Indexed
+module Generators = Ron_metric.Generators
+module Net = Ron_metric.Net
+module Measure = Ron_metric.Measure
+module Doubling_a = Ron_smallworld.Doubling_a
+module Doubling_b = Ron_smallworld.Doubling_b
+module Sw_model = Ron_smallworld.Sw_model
+
+let fixture m =
+  let idx = Indexed.create m in
+  (idx, Measure.create idx (Net.Hierarchy.create idx))
+
+type sw_quality = { hops_max : int; hops_mean : float; fails : int; nongreedy : int }
+
+let collect route n rng queries max_hops =
+  let hmax = ref 0 and hsum = ref 0 and fails = ref 0 and ok = ref 0 and ng = ref 0 in
+  for _ = 1 to queries do
+    let u = Rng.int rng n and v = Rng.int rng n in
+    if u <> v then begin
+      let r = route u v ~max_hops in
+      if r.Sw_model.delivered then begin
+        incr ok;
+        hmax := max !hmax r.Sw_model.hops;
+        hsum := !hsum + r.Sw_model.hops;
+        ng := !ng + r.Sw_model.nongreedy_hops
+      end
+      else incr fails
+    end
+  done;
+  {
+    hops_max = !hmax;
+    hops_mean = float_of_int !hsum /. float_of_int (max 1 !ok);
+    fails = !fails;
+    nongreedy = !ng;
+  }
+
+let run_a () =
+  C.section "E-5.2a" "Theorem 5.2a: greedy small worlds, O(log n) hops, degree ~ log n log Delta";
+  let rng = Rng.create 520 in
+
+  C.subsection "hops and degree vs n (2-d clouds, c = 1)";
+  C.header
+    [
+      C.cell ~w:8 "n"; C.cell ~w:9 "log2 n"; C.cell ~w:9 "deg max"; C.cell ~w:10 "deg mean";
+      C.cell ~w:10 "hops max"; C.cell ~w:10 "hops mean"; C.cell ~w:6 "fails";
+    ];
+  List.iter
+    (fun n ->
+      let (idx, mu) = fixture (Generators.random_cloud (Rng.split rng) ~n ~dim:2) in
+      let a = Doubling_a.build ~c:1 idx mu (Rng.split rng) in
+      let (dmax, dmean) = Doubling_a.out_degree a in
+      let q =
+        collect (fun u v -> Doubling_a.route a ~src:u ~dst:v) n (Rng.split rng) 1500 300
+      in
+      C.row
+        [
+          C.cell_int ~w:8 n; C.cell_int ~w:9 (Indexed.log2_size idx);
+          C.cell_int ~w:9 dmax; C.cell_float ~w:10 ~prec:1 dmean;
+          C.cell_int ~w:10 q.hops_max; C.cell_float ~w:10 ~prec:2 q.hops_mean;
+          C.cell_int ~w:6 q.fails;
+        ])
+    [ 256; 512; 1024; 2048 ];
+  C.note "hops stay O(log n) (here far below it) as n grows 8x; degree grows";
+  C.note "like (log n)(log Delta), sub-linearly in n.";
+
+  C.subsection "the headline: Delta exponential in n (exponential line), still O(log n) hops";
+  C.header
+    [
+      C.cell ~w:8 "n"; C.cell ~w:9 "log2(D)"; C.cell ~w:9 "deg max";
+      C.cell ~w:10 "hops max"; C.cell ~w:10 "hops mean"; C.cell ~w:6 "fails";
+    ];
+  List.iter
+    (fun n ->
+      let (idx, mu) = fixture (Generators.exponential_line n) in
+      let a = Doubling_a.build idx mu (Rng.split rng) in
+      let (dmax, _) = Doubling_a.out_degree a in
+      let q = collect (fun u v -> Doubling_a.route a ~src:u ~dst:v) n (Rng.split rng) 1500 200 in
+      C.row
+        [
+          C.cell_int ~w:8 n; C.cell_int ~w:9 (Indexed.log2_aspect_ratio idx);
+          C.cell_int ~w:9 dmax;
+          C.cell_int ~w:10 q.hops_max; C.cell_float ~w:10 ~prec:2 q.hops_mean;
+          C.cell_int ~w:6 q.fails;
+        ])
+    [ 16; 24; 32; 40; 48 ]
+
+let run_b () =
+  C.section "E-5.2b" "Theorem 5.2b: breaking the log Delta out-degree barrier (sidestep routing)";
+  let rng = Rng.create 521 in
+
+  C.subsection "degree of models (a) vs (b) as log Delta grows at n = 512 (c = 1)";
+  C.header
+    [
+      C.cell ~w:10 "clusters"; C.cell ~w:9 "log2(D)"; C.cell ~w:11 "deg A mean";
+      C.cell ~w:11 "deg B mean"; C.cell ~w:11 "hops A/B"; C.cell ~w:11 "fails A/B";
+      C.cell ~w:10 "nongreedy";
+    ];
+  List.iter
+    (fun clusters ->
+      let per = 512 / clusters in
+      let (idx, mu) =
+        fixture (Generators.exponential_clusters (Rng.split rng) ~clusters ~per_cluster:per ~base:16.0)
+      in
+      let n = Indexed.size idx in
+      let a = Doubling_a.build ~c:1 idx mu (Rng.split rng) in
+      let b = Doubling_b.build ~c:1 idx mu (Rng.split rng) in
+      let (_, da) = Doubling_a.out_degree a in
+      let (_, db) = Doubling_b.out_degree b in
+      let qa = collect (fun u v -> Doubling_a.route a ~src:u ~dst:v) n (Rng.split rng) 1000 300 in
+      let qb = collect (fun u v -> Doubling_b.route b ~src:u ~dst:v) n (Rng.split rng) 1000 300 in
+      C.row
+        [
+          C.cell_int ~w:10 clusters; C.cell_int ~w:9 (Indexed.log2_aspect_ratio idx);
+          C.cell_float ~w:11 ~prec:1 da; C.cell_float ~w:11 ~prec:1 db;
+          C.cell ~w:11 (Printf.sprintf "%d/%d" qa.hops_max qb.hops_max);
+          C.cell ~w:11 (Printf.sprintf "%d/%d" qa.fails qb.fails);
+          C.cell_int ~w:10 qb.nongreedy;
+        ])
+    [ 4; 8; 16; 32; 64 ];
+  C.note "Model A's mean degree grows with log Delta; model B's stays closer to";
+  C.note "flat — but at feasible Delta the paper's window cap (3x+3)loglogD never";
+  C.note "truncates (it exceeds log Delta until log Delta ~ thousands), so B's";
+  C.note "saving comes only from the per-scale windows. The ablation below caps";
+  C.note "the window to ~sqrt(log Delta) to exhibit the intended asymptotic shape.";
+
+  C.subsection "window-cap ablation at clusters=64 (log Delta ~ 256): degree vs delivery";
+  C.header
+    [
+      C.cell ~w:12 "window cap"; C.cell ~w:11 "deg B mean"; C.cell ~w:10 "hops max";
+      C.cell ~w:10 "nongreedy"; C.cell ~w:6 "fails";
+    ];
+  let (idx, mu) =
+    fixture (Generators.exponential_clusters (Rng.split rng) ~clusters:64 ~per_cluster:8 ~base:16.0)
+  in
+  let n = Indexed.size idx in
+  let log_delta = float_of_int (Indexed.log2_aspect_ratio idx) in
+  let caps =
+    [
+      ("paper", None);
+      ("3*sqrt(logD)", Some (int_of_float (3.0 *. sqrt log_delta)));
+      ("sqrt(logD)", Some (int_of_float (sqrt log_delta)));
+      ("2", Some 2);
+    ]
+  in
+  List.iter
+    (fun (label, cap) ->
+      let b =
+        match cap with
+        | None -> Doubling_b.build ~c:1 idx mu (Rng.split rng)
+        | Some window_cap -> Doubling_b.build ~c:1 ~window_cap idx mu (Rng.split rng)
+      in
+      let (_, db) = Doubling_b.out_degree b in
+      let q = collect (fun u v -> Doubling_b.route b ~src:u ~dst:v) n (Rng.split rng) 1000 300 in
+      C.row
+        [
+          C.cell ~w:12 label; C.cell_float ~w:11 ~prec:1 db;
+          C.cell_int ~w:10 q.hops_max; C.cell_int ~w:10 q.nongreedy; C.cell_int ~w:6 q.fails;
+        ])
+    caps

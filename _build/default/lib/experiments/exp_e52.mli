@@ -1,0 +1,17 @@
+(** Experiments E-5.2a / E-5.2b — Theorem 5.2: searchable small worlds on
+    doubling metrics.
+
+    (a) O(log n)-hop greedy routing with out-degree
+    [2^O(alpha)(log n)(log Delta)]: hop counts vs n on clouds (flat-ish in
+    log n) and, the headline, O(log n) hops on metrics whose aspect ratio
+    is exponential in n.
+
+    (b) the (log Delta) -> sqrt(log Delta) out-degree trade: degree of the
+    (a) and (b) models as log Delta grows at fixed n, plus the sidestep
+    router's non-greedy step counts, plus a window-cap ablation (the
+    paper's |j| <= (3x+3) log log Delta truncation only bites at
+    astronomical Delta; a tighter cap shows the intended scaling while
+    queries still succeed). *)
+
+val run_a : unit -> unit
+val run_b : unit -> unit

@@ -1,0 +1,6 @@
+(** Experiment E-5.4 — Theorem 5.4: on UL-constrained metrics the Theorem
+    5.2 models coincide with Kleinberg's STRUCTURES group-structure model:
+    greedy-only routing (Z contacts never used), Theta(log^2 n) contacts,
+    contact probability Theta(log n)/x_uv, O(log n)-hop queries. *)
+
+val run : unit -> unit

@@ -1,0 +1,66 @@
+module C = Exp_common
+module Rng = Ron_util.Rng
+module Indexed = Ron_metric.Indexed
+module Metric = Ron_metric.Metric
+module Net = Ron_metric.Net
+module Measure = Ron_metric.Measure
+module Graph_gen = Ron_graph.Graph_gen
+module Sp_metric = Ron_graph.Sp_metric
+module Single_link = Ron_smallworld.Single_link
+module Kleinberg_grid = Ron_smallworld.Kleinberg_grid
+module Sw_model = Ron_smallworld.Sw_model
+
+let mean_hops route n rng queries max_hops =
+  let hsum = ref 0 and hmax = ref 0 and fails = ref 0 and ok = ref 0 in
+  for _ = 1 to queries do
+    let u = Rng.int rng n and v = Rng.int rng n in
+    if u <> v then begin
+      let r = route u v ~max_hops in
+      if r.Sw_model.delivered then begin
+        incr ok;
+        hsum := !hsum + r.Sw_model.hops;
+        hmax := max !hmax r.Sw_model.hops
+      end
+      else incr fails
+    end
+  done;
+  (float_of_int !hsum /. float_of_int (max 1 !ok), !hmax, !fails)
+
+let run () =
+  C.section "E-5.5" "Theorem 5.5: single long-range contact per node (vs Kleinberg's grid)";
+  let rng = Rng.create 55 in
+  C.header
+    [
+      C.cell ~w:8 "side"; C.cell ~w:8 "n"; C.cell ~w:10 "log2^2(D)";
+      C.cell ~w:16 "thm5.5 mean/max"; C.cell ~w:16 "kleinb mean/max"; C.cell ~w:12 "fails 5.5/KG";
+    ];
+  List.iter
+    (fun side ->
+      let g = Graph_gen.grid side side in
+      let sp = Sp_metric.create g in
+      let idx = Indexed.create (Metric.normalize (Sp_metric.metric sp)) in
+      let mu = Measure.create idx (Net.Hierarchy.create idx) in
+      let sl = Single_link.build sp mu (Rng.split rng) in
+      let kg = Kleinberg_grid.build ~side (Rng.split rng) in
+      let n = side * side in
+      let budget = 50 * Indexed.log2_aspect_ratio idx * Indexed.log2_aspect_ratio idx in
+      let (m1, x1, f1) =
+        mean_hops (fun u v -> Single_link.route sl ~src:u ~dst:v) n (Rng.split rng) 1200 budget
+      in
+      let (m2, x2, f2) =
+        mean_hops (fun u v -> Kleinberg_grid.route kg ~src:u ~dst:v) n (Rng.split rng) 1200 budget
+      in
+      let logd = float_of_int (Indexed.log2_aspect_ratio idx) in
+      C.row
+        [
+          C.cell_int ~w:8 side; C.cell_int ~w:8 n;
+          C.cell_float ~w:10 ~prec:0 (logd *. logd);
+          C.cell ~w:16 (Printf.sprintf "%.1f / %d" m1 x1);
+          C.cell ~w:16 (Printf.sprintf "%.1f / %d" m2 x2);
+          C.cell ~w:12 (Printf.sprintf "%d / %d" f1 f2);
+        ])
+    [ 8; 12; 16; 24; 32 ];
+  C.note "Expected hop counts grow like log^2(Delta) (column 3, up to constants)";
+  C.note "for both the doubling-measure construction and Kleinberg's original";
+  C.note "inverse-square grid — Theorem 5.5 generalizes the latter, and on an";
+  C.note "actual grid the two behave alike."

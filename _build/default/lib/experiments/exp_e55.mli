@@ -1,0 +1,9 @@
+(** Experiment E-5.5 — Theorem 5.5: one long-range contact per node.
+
+    On grid graphs, greedy routing with a single doubling-measure-sampled
+    long contact completes queries in [2^O(alpha) log^2 Delta] hops —
+    the generalization of Kleinberg's inverse-square grid model, which we
+    run side by side as the baseline. Sweeps the grid side and compares
+    hop growth against log^2 of the diameter. *)
+
+val run : unit -> unit

@@ -1,0 +1,80 @@
+module C = Exp_common
+module Rng = Ron_util.Rng
+module Indexed = Ron_metric.Indexed
+module Generators = Ron_metric.Generators
+module Metric = Ron_metric.Metric
+module Doubling = Ron_metric.Doubling
+module Net = Ron_metric.Net
+module Measure = Ron_metric.Measure
+module Packing = Ron_metric.Packing
+
+let run () =
+  C.section "E-SUB" "Substrate: Lemmas 1.1-1.4, Theorem 1.3, Lemma 3.1/A.1";
+  let rng = Rng.create 99 in
+  C.header
+    [
+      C.cell ~w:14 "metric"; C.cell ~w:6 "n"; C.cell ~w:9 "log2(D)"; C.cell ~w:8 "alpha^";
+      C.cell ~w:10 "mu-dbl"; C.cell ~w:12 "net-in-ball"; C.cell ~w:12 "pack 6r ok";
+      C.cell ~w:10 "lemma1.2";
+    ];
+  let families =
+    [
+      ("grid10x10", Generators.grid2d 10 10);
+      ("cloud200", Generators.random_cloud (Rng.split rng) ~n:200 ~dim:2);
+      ("cloud150d4", Generators.random_cloud (Rng.split rng) ~n:150 ~dim:4);
+      ("expline32", Generators.exponential_line 32);
+      ("expclust", Generators.exponential_clusters (Rng.split rng) ~clusters:12 ~per_cluster:12 ~base:32.0);
+      ("ring120", Metric.normalize (Generators.ring 120));
+      ("latency200",
+       Generators.clustered_latency (Rng.split rng) ~clusters:5 ~per_cluster:40 ~spread:25.0
+         ~access:6.0);
+    ]
+  in
+  List.iter
+    (fun (name, m) ->
+      let idx = Indexed.create m in
+      let n = Indexed.size idx in
+      let alpha = Doubling.dimension_estimate idx (Rng.split rng) in
+      let hier = Net.Hierarchy.create idx in
+      let mu = Measure.create idx hier in
+      let s = Measure.doubling_constant_estimate mu idx (Rng.split rng) in
+      (* Lemma 1.4: worst ratio (count of 2^j-net points in B_u(4*2^j)) vs
+         the bound 16^alpha. *)
+      let worst_net = ref 0 in
+      let local = Rng.split rng in
+      for _ = 1 to 100 do
+        let u = Rng.int local n in
+        let j = Rng.int local (Net.Hierarchy.jmax hier + 1) in
+        let r = Net.Hierarchy.radius hier j in
+        let count = ref 0 in
+        Indexed.ball_iter idx u (4.0 *. r) (fun v _ ->
+            if Net.Hierarchy.mem hier j v then incr count);
+        worst_net := max !worst_net !count
+      done;
+      (* Lemma A.1 guarantee. *)
+      let pack_ok = ref true in
+      List.iter
+        (fun i ->
+          let eps = 1.0 /. Ron_util.Bits.pow2 i in
+          let p = Packing.create idx ~eps in
+          for u = 0 to n - 1 do
+            let b = Packing.covering_ball p idx u in
+            if
+              Indexed.dist idx u b.Packing.center +. b.Packing.radius
+              > (6.0 *. Indexed.r_eps idx u eps) +. 1e-9
+            then pack_ok := false
+          done)
+        [ 1; 3; 5 ];
+      C.row
+        [
+          C.cell ~w:14 name; C.cell_int ~w:6 n; C.cell_int ~w:9 (Indexed.log2_aspect_ratio idx);
+          C.cell_float ~w:8 ~prec:1 alpha; C.cell_float ~w:10 ~prec:1 s;
+          C.cell ~w:12 (Printf.sprintf "%d<=%.0f" !worst_net (16.0 ** alpha));
+          C.cell ~w:12 (if !pack_ok then "yes" else "VIOLATED");
+          C.cell ~w:10 (if Doubling.lemma_1_2_lower_bound idx ~alpha then "holds" else "FAILS");
+        ])
+    families;
+  C.note "alpha^ = empirical doubling dimension; mu-dbl = measured doubling constant";
+  C.note "of the Theorem 1.3 measure (bounded by 2^O(alpha)); net-in-ball checks the";
+  C.note "Lemma 1.4 cap (4r'/r)^alpha with r' = 4r; pack column checks Lemma A.1's";
+  C.note "d(u,h_B)+r <= 6 r_u(eps) for every node at three scales."

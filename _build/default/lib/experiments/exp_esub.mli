@@ -1,0 +1,6 @@
+(** Experiment E-SUB — substrate validation: the quantitative content of
+    Lemma 1.1 (greedy covers), Lemma 1.2 (aspect-ratio lower bound),
+    Lemma 1.4 (net points in balls), Theorem 1.3 (doubling measures) and
+    Lemma 3.1/A.1 ((eps,mu)-packings), measured on the generator zoo. *)
+
+val run : unit -> unit

@@ -1,0 +1,7 @@
+(** Experiment FIG1 — Figure 1: the flow of ideas between the results,
+    verified as actual code dependencies: Theorem 3.2's structures feed
+    Theorem 3.4; Theorem 4.1 consumes Theorem 3.4 as a black box; Theorems
+    2.1 and 3.4 share the rings/zooming/enumeration core. Prints the
+    dependency ledger with a live smoke test of each edge. *)
+
+val run : unit -> unit

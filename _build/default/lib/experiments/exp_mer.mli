@@ -1,0 +1,9 @@
+(** Experiment MER — the practical side of "object location": Meridian-style
+    closest-node discovery over rings of neighbors (Section 6, [57]).
+
+    Measures exact-hit rate, approximation ratio, hop counts and probe
+    counts of closest-node queries against held-out targets, as the ring
+    cardinality grows; then repeats queries under membership churn
+    (join/leave) to validate the ring maintenance. *)
+
+val run : unit -> unit

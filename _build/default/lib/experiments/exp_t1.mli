@@ -1,0 +1,8 @@
+(** Experiment T1 — Table 1: (1+delta)-stretch routing schemes for doubling
+    graphs. Measures routing-table bits, packet-header bits and realized
+    stretch for Theorem 2.1, Theorem 4.1, and the stretch-1 full-table
+    baseline, on grid and random geometric graphs, and checks the scaling
+    shapes the table predicts ((log Delta) for Thm 2.1's headers vs
+    (log n)(log log Delta)-flavored headers for Thm 4.1). *)
+
+val run : unit -> unit

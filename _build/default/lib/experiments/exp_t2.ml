@@ -1,0 +1,93 @@
+module C = Exp_common
+module Rng = Ron_util.Rng
+module Indexed = Ron_metric.Indexed
+module Generators = Ron_metric.Generators
+module Metric = Ron_metric.Metric
+module On_metric = Ron_routing.On_metric
+
+let max_arr = Array.fold_left max 0
+
+let metric_row name m rng =
+  let idx = Indexed.create m in
+  let n = Indexed.size idx in
+  let s = On_metric.build idx ~delta:0.25 in
+  let pairs = C.sample_pairs rng ~n ~count:800 in
+  let q =
+    C.collect_routes
+      ~route:(fun u v -> On_metric.route s ~src:u ~dst:v)
+      ~dist:(fun u v -> Indexed.dist idx u v)
+      pairs
+  in
+  C.row
+    [
+      C.cell ~w:14 name; C.cell_int ~w:6 n;
+      C.cell_int ~w:8 (Indexed.log2_aspect_ratio idx);
+      C.cell_int ~w:8 (On_metric.out_degree s);
+      C.cell_float ~w:9 ~prec:1 (On_metric.mean_out_degree s);
+      C.cell_int ~w:10 (max_arr (On_metric.table_bits s));
+      C.cell_int ~w:9 (On_metric.header_bits s);
+      C.cell_float ~w:8 q.C.stretch_max;
+      C.cell_int ~w:6 q.C.hops_max;
+      C.cell_int ~w:6 q.C.failures;
+    ]
+
+let run () =
+  C.section "T2" "Table 2: (1+delta)-stretch routing schemes on doubling metrics";
+  let rng = Rng.create 202 in
+  C.header
+    [
+      C.cell ~w:14 "metric"; C.cell ~w:6 "n"; C.cell ~w:8 "log2(D)";
+      C.cell ~w:8 "deg max"; C.cell ~w:9 "deg mean"; C.cell ~w:10 "tbl bits";
+      C.cell ~w:9 "hdr bits"; C.cell ~w:8 "stretch"; C.cell ~w:6 "hops"; C.cell ~w:6 "fails";
+    ];
+  metric_row "grid10x10" (Generators.grid2d 10 10) (Rng.split rng);
+  metric_row "cloud200" (Generators.random_cloud (Rng.split rng) ~n:200 ~dim:2) (Rng.split rng);
+  metric_row "cloud200d3" (Generators.random_cloud (Rng.split rng) ~n:200 ~dim:3) (Rng.split rng);
+  metric_row "expline28" (Generators.exponential_line 28) (Rng.split rng);
+  metric_row "expclust8x16"
+    (Generators.exponential_clusters (Rng.split rng) ~clusters:8 ~per_cluster:16 ~base:32.0)
+    (Rng.split rng);
+  metric_row "latency240"
+    (Generators.clustered_latency (Rng.split rng) ~clusters:6 ~per_cluster:40 ~spread:30.0
+       ~access:6.0)
+    (Rng.split rng);
+  C.subsection "Theorem 4.1 on metrics (Table 2 row 3): same out-degree, label-sized tables";
+  C.header
+    [
+      C.cell ~w:14 "metric"; C.cell ~w:6 "n"; C.cell ~w:8 "deg max"; C.cell ~w:9 "deg mean";
+      C.cell ~w:11 "tbl bits"; C.cell ~w:10 "hdr bits"; C.cell ~w:8 "stretch"; C.cell ~w:6 "fails";
+    ];
+  List.iter
+    (fun (name, m) ->
+      let idx = Indexed.create m in
+      let n = Indexed.size idx in
+      let s = Ron_routing.Labelled_m.build idx ~delta:0.25 in
+      let pairs = C.sample_pairs (Rng.split rng) ~n ~count:500 in
+      let q =
+        C.collect_routes
+          ~route:(fun u v -> Ron_routing.Labelled_m.route s ~src:u ~dst:v)
+          ~dist:(fun u v -> Indexed.dist idx u v)
+          pairs
+      in
+      C.row
+        [
+          C.cell ~w:14 name; C.cell_int ~w:6 n;
+          C.cell_int ~w:8 (Ron_routing.Labelled_m.out_degree s);
+          C.cell_float ~w:9 ~prec:1 (Ron_routing.Labelled_m.mean_out_degree s);
+          C.cell_int ~w:11 (max_arr (Ron_routing.Labelled_m.table_bits s));
+          C.cell_int ~w:10 (Ron_routing.Labelled_m.header_bits s);
+          C.cell_float ~w:8 q.C.stretch_max;
+          C.cell_int ~w:6 q.C.failures;
+        ])
+    [
+      ("grid8x8", Generators.grid2d 8 8);
+      ("expline24", Generators.exponential_line 24);
+      ("expclust6x12",
+       Generators.exponential_clusters (Rng.split rng) ~clusters:6 ~per_cluster:12 ~base:64.0);
+    ];
+  C.note "Table 2's Thm 2.1 row: out-degree (1/delta)^O(alpha) log Delta, table bits";
+  C.note "(1/delta)^O(alpha) phi log Delta, header O(alpha log(1/delta)) log Delta.";
+  C.note "Out-degree on expline28 tracks log Delta with a small constant (the rings";
+  C.note "of an exponential line hold O(1) net points each); hop counts stay at most";
+  C.note "the number of scales because every hop jumps straight to the next";
+  C.note "intermediate target over an overlay link."

@@ -1,0 +1,6 @@
+(** Experiment T2 — Table 2: (1+delta)-stretch routing schemes on doubling
+    metrics (Section 4.1). The scheme chooses its own overlay; measures
+    out-degree, table bits (translation functions), label/header bits and
+    stretch for the Theorem 2.1 metric scheme across metric families. *)
+
+val run : unit -> unit

@@ -1,0 +1,122 @@
+module C = Exp_common
+module Rng = Ron_util.Rng
+module Indexed = Ron_metric.Indexed
+module Generators = Ron_metric.Generators
+module Metric = Ron_metric.Metric
+module Two_mode = Ron_routing.Two_mode
+
+let max_arr = Array.fold_left max 0
+let mean_arr a =
+  float_of_int (Array.fold_left ( + ) 0 a) /. float_of_int (max 1 (Array.length a))
+
+let run () =
+  C.section "T3" "Table 3: Theorem 4.2/B.1's two routing modes (metric form)";
+  let rng = Rng.create 303 in
+  C.header
+    [
+      C.cell ~w:14 "metric"; C.cell ~w:6 "n"; C.cell ~w:11 "M1 bits max";
+      C.cell ~w:11 "M2 bits max"; C.cell ~w:11 "M2 bits avg"; C.cell ~w:9 "hdr bits";
+      C.cell ~w:8 "stretch"; C.cell ~w:9 "switches"; C.cell ~w:6 "fails";
+    ];
+  List.iter
+    (fun (name, m) ->
+      let idx = Indexed.create m in
+      let n = Indexed.size idx in
+      let tm = Two_mode.build idx ~delta:0.125 in
+      Two_mode.reset_counters tm;
+      let pairs = C.sample_pairs (Rng.split rng) ~n ~count:600 in
+      let q =
+        C.collect_routes
+          ~route:(fun u v -> Two_mode.route tm ~src:u ~dst:v)
+          ~dist:(fun u v -> Indexed.dist idx u v)
+          pairs
+      in
+      C.row
+        [
+          C.cell ~w:14 name; C.cell_int ~w:6 n;
+          C.cell_int ~w:11 (max_arr (Two_mode.table_bits_m1 tm));
+          C.cell_int ~w:11 (max_arr (Two_mode.table_bits_m2 tm));
+          C.cell_float ~w:11 ~prec:0 (mean_arr (Two_mode.table_bits_m2 tm));
+          C.cell_int ~w:9 (Two_mode.header_bits tm);
+          C.cell_float ~w:8 q.C.stretch_max;
+          C.cell_int ~w:9 (Two_mode.mode2_switches tm);
+          C.cell_int ~w:6 q.C.failures;
+        ])
+    [
+      ("grid8x8", Generators.grid2d 8 8);
+      ("cloud120", Generators.random_cloud (Rng.split rng) ~n:120 ~dim:2);
+      ("expline24", Generators.exponential_line 24);
+      ("expclust6x16",
+       Generators.exponential_clusters (Rng.split rng) ~clusters:6 ~per_cluster:16 ~base:64.0);
+    ];
+  C.subsection "the Theorem 4.2 hypothesis measured: N_delta on real topologies";
+  (* The graph form of the theorem assumes (1+delta)-stretch paths with at
+     most N_delta ~ k log n hops ("a natural property of a good network
+     topology"); we measure N_delta with hop-bounded Bellman-Ford. *)
+  C.header
+    [
+      C.cell ~w:14 "graph"; C.cell ~w:6 "n"; C.cell ~w:9 "log2 n";
+      C.cell ~w:14 "N_d (d=1/8)"; C.cell ~w:14 "N_d (d=1/4)";
+    ];
+  List.iter
+    (fun (name, g) ->
+      let sp = Ron_graph.Sp_metric.create g in
+      let n = Ron_graph.Graph.size g in
+      C.row
+        [
+          C.cell ~w:14 name; C.cell_int ~w:6 n;
+          C.cell_int ~w:9 (Ron_util.Bits.ilog2_ceil (max 2 n));
+          C.cell_int ~w:14 (Ron_graph.Hop_paths.n_delta sp ~stretch:1.125);
+          C.cell_int ~w:14 (Ron_graph.Hop_paths.n_delta sp ~stretch:1.25);
+        ])
+    [
+      ("grid10x10", Ron_graph.Graph_gen.grid 10 10);
+      ("geo120", Ron_graph.Graph_gen.random_geometric (Rng.split rng) ~n:120 ~radius:0.15);
+      ("ring64+chords", Ron_graph.Graph_gen.ring_with_chords (Rng.split rng) ~n:64 ~chords:40);
+      ("expline20", Ron_graph.Graph_gen.exponential_line_graph 20);
+    ];
+  C.note "On these topologies N_delta sits at roughly the hop diameter (unit-edge";
+  C.note "graphs have no hop shortcuts to buy with stretch), i.e. N_delta ~ 2-3x";
+  C.note "log2 n here and growing slowly with n. The theorem's hypothesis asks for";
+  C.note "hop-efficient shortcut structure; the metric form of the scheme (used";
+  C.note "above) needs no such assumption, which is why we implement that form.";
+
+  C.subsection "forcing mode M2 (strict M1 threshold): the directories must deliver";
+  C.header
+    [
+      C.cell ~w:14 "threshold"; C.cell ~w:8 "stretch"; C.cell ~w:9 "hops max";
+      C.cell ~w:9 "switches"; C.cell ~w:6 "fails";
+    ];
+  let idx =
+    Indexed.create
+      (Generators.exponential_clusters (Rng.split rng) ~clusters:12 ~per_cluster:8 ~base:64.0)
+  in
+  let n = Indexed.size idx in
+  List.iter
+    (fun thr ->
+      let tm = Two_mode.build ~m1_threshold:thr idx ~delta:0.125 in
+      Two_mode.reset_counters tm;
+      let pairs = C.sample_pairs (Rng.split rng) ~n ~count:600 in
+      let q =
+        C.collect_routes
+          ~route:(fun u v -> Two_mode.route tm ~src:u ~dst:v)
+          ~dist:(fun u v -> Indexed.dist idx u v)
+          pairs
+      in
+      C.row
+        [
+          C.cell_float ~w:14 thr; C.cell_float ~w:8 q.C.stretch_max;
+          C.cell_int ~w:9 q.C.hops_max; C.cell_int ~w:9 (Two_mode.mode2_switches tm);
+          C.cell_int ~w:6 q.C.failures;
+        ])
+    [ 0.333; 0.05; 0.005 ];
+  C.note "With a strict threshold M1 gives up early and the packing-ball";
+  C.note "directories carry the packet (hub -> owner -> target): delivery stays";
+  C.note "perfect and the detour stays bounded, at the cost of extra stretch —";
+  C.note "the behaviour the Appendix B analysis prices at O(delta * d).";
+  C.note "";
+  C.note "Table 3's shape: M1 storage is label-sized; M2 storage is a per-node";
+  C.note "constant number of direct routes per cardinality scale (2^O(alpha) log n";
+  C.note "routes; in the metric form each route is one link id). 'switches' counts";
+  C.note "M1->M2 transitions across the sampled routes: M2 is the rare escape";
+  C.note "hatch, not the common path."

@@ -1,0 +1,6 @@
+(** Experiment T3 — Table 3: the space requirements of Theorem 4.2/B.1's two
+    routing modes, measured on the metric form of the scheme: mode M1
+    (label-driven zooming) vs mode M2 (packing-ball directories of direct
+    routes), plus delivery/stretch and the frequency of M2 switches. *)
+
+val run : unit -> unit

@@ -1,0 +1,1 @@
+lib/graph/graph_gen.ml: Array Float Graph List Ron_util

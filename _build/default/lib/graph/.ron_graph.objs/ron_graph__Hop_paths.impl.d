@@ -1,0 +1,1 @@
+lib/graph/hop_paths.ml: Array Graph Sp_metric

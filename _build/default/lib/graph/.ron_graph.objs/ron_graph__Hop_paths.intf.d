@@ -1,0 +1,1 @@
+lib/graph/hop_paths.mli: Sp_metric

@@ -1,0 +1,1 @@
+lib/graph/sp_metric.ml: Array Dijkstra Graph List Ron_metric

@@ -1,0 +1,1 @@
+lib/graph/sp_metric.mli: Graph Ron_metric

@@ -1,0 +1,29 @@
+(** Single-source shortest paths with first-hop extraction.
+
+    The routing schemes never store whole paths — only the {e first-hop
+    pointer} from [u] towards a neighbor [v]: the index of the first edge of
+    some shortest [u->v] path in [u]'s out-edge list (proof of Theorem 2.1).
+    Dijkstra from every source yields both the distance matrix (the
+    shortest-paths metric of the graph) and all first-hop pointers.
+
+    To make "the" shortest path well defined even with distance ties, ties
+    are broken deterministically: among equal-length paths the one whose
+    first edge has the smallest index wins (propagated along the search). *)
+
+type sssp = {
+  source : int;
+  dist : float array;
+  first_hop : int array;
+      (** [first_hop.(v)]: index into [out_edges g source] of the first edge
+          of the chosen shortest path to [v]; [-1] for [v = source] or
+          unreachable [v]. *)
+}
+
+val run : Graph.t -> int -> sssp
+
+val all_pairs : Graph.t -> sssp array
+(** One [sssp] per source. O(n (m + n log n)). *)
+
+val next_node : Graph.t -> sssp -> int -> int
+(** [next_node g s v]: the node reached by following [s]'s first hop toward
+    [v]. Raises [Invalid_argument] if [v] is the source or unreachable. *)

@@ -1,0 +1,63 @@
+type edge = { dst : int; weight : float }
+
+type t = { n : int; adj : edge array array }
+
+let create n arcs =
+  if n < 1 then invalid_arg "Graph.create: need at least one node";
+  let buckets = Array.make n [] in
+  List.iter
+    (fun (u, v, w) ->
+      if u < 0 || u >= n || v < 0 || v >= n then invalid_arg "Graph.create: node out of range";
+      if u = v then invalid_arg "Graph.create: self-loop";
+      if not (w > 0.0 && Float.is_finite w) then invalid_arg "Graph.create: weight must be positive";
+      buckets.(u) <- { dst = v; weight = w } :: buckets.(u))
+    arcs;
+  { n; adj = Array.map (fun l -> Array.of_list (List.rev l)) buckets }
+
+let undirected n edges =
+  let arcs = List.concat_map (fun (u, v, w) -> [ (u, v, w); (v, u, w) ]) edges in
+  create n arcs
+
+let size t = t.n
+let out_edges t u = t.adj.(u)
+let out_degree t u = Array.length t.adj.(u)
+
+let max_out_degree t =
+  Array.fold_left (fun acc row -> max acc (Array.length row)) 0 t.adj
+
+let edge_count t = Array.fold_left (fun acc row -> acc + Array.length row) 0 t.adj
+
+let hop t u k = t.adj.(u).(k).dst
+
+let is_connected t =
+  let n = t.n in
+  if n = 0 then true
+  else begin
+    (* Symmetrize for weak connectivity. *)
+    let nbrs = Array.make n [] in
+    Array.iteri
+      (fun u row ->
+        Array.iter
+          (fun e ->
+            nbrs.(u) <- e.dst :: nbrs.(u);
+            nbrs.(e.dst) <- u :: nbrs.(e.dst))
+          row)
+      t.adj;
+    let seen = Array.make n false in
+    let queue = Queue.create () in
+    Queue.add 0 queue;
+    seen.(0) <- true;
+    let visited = ref 1 in
+    while not (Queue.is_empty queue) do
+      let u = Queue.pop queue in
+      List.iter
+        (fun v ->
+          if not seen.(v) then begin
+            seen.(v) <- true;
+            incr visited;
+            Queue.add v queue
+          end)
+        nbrs.(u)
+    done;
+    !visited = n
+  end

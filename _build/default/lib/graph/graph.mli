@@ -1,0 +1,32 @@
+(** Weighted graphs: the connectivity substrate for routing schemes.
+
+    A routing scheme routes over the physical edges of a graph [G]; edge
+    weights are delays. Edges out of a node are held in a fixed order — the
+    paper's enumeration [phi_u] of outgoing links — so a first-hop pointer
+    is just an index of [ceil(log2 Dout)] bits into this list. *)
+
+type edge = { dst : int; weight : float }
+
+type t
+
+val create : int -> (int * int * float) list -> t
+(** [create n arcs]: directed graph with arcs [(src, dst, weight)]; weights
+    must be positive, self-loops rejected. Arc order per node is the order
+    of the input list. *)
+
+val undirected : int -> (int * int * float) list -> t
+(** Adds both directions of every edge. *)
+
+val size : t -> int
+val out_edges : t -> int -> edge array
+val out_degree : t -> int -> int
+val max_out_degree : t -> int
+
+val edge_count : t -> int
+(** Number of arcs. *)
+
+val hop : t -> int -> int -> int
+(** [hop g u k]: destination of the [k]-th outgoing edge of [u]. *)
+
+val is_connected : t -> bool
+(** Weak connectivity via BFS over arcs in both directions. *)

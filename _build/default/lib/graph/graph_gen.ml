@@ -1,0 +1,101 @@
+module Rng = Ron_util.Rng
+
+let grid w h =
+  if w < 1 || h < 1 then invalid_arg "Graph_gen.grid";
+  let id x y = (y * w) + x in
+  let edges = ref [] in
+  for y = 0 to h - 1 do
+    for x = 0 to w - 1 do
+      if x + 1 < w then edges := (id x y, id (x + 1) y, 1.0) :: !edges;
+      if y + 1 < h then edges := (id x y, id x (y + 1), 1.0) :: !edges
+    done
+  done;
+  Graph.undirected (w * h) !edges
+
+let torus w h =
+  if w < 3 || h < 3 then invalid_arg "Graph_gen.torus";
+  let id x y = (y * w) + x in
+  let edges = ref [] in
+  for y = 0 to h - 1 do
+    for x = 0 to w - 1 do
+      edges := (id x y, id ((x + 1) mod w) y, 1.0) :: !edges;
+      edges := (id x y, id x ((y + 1) mod h), 1.0) :: !edges
+    done
+  done;
+  Graph.undirected (w * h) !edges
+
+let random_geometric rng ~n ~radius =
+  if n < 2 then invalid_arg "Graph_gen.random_geometric";
+  let pts = Array.init n (fun _ -> (Rng.float rng 1.0, Rng.float rng 1.0)) in
+  let d u v =
+    let (x1, y1) = pts.(u) and (x2, y2) = pts.(v) in
+    Float.hypot (x1 -. x2) (y1 -. y2)
+  in
+  let edges = ref [] in
+  for u = 0 to n - 1 do
+    for v = u + 1 to n - 1 do
+      let duv = d u v in
+      if duv <= radius && duv > 0.0 then edges := (u, v, duv) :: !edges
+    done
+  done;
+  (* Bridge components via nearest cross-component pairs until connected. *)
+  let comp = Array.init n (fun i -> i) in
+  let rec find i = if comp.(i) = i then i else (comp.(i) <- find comp.(i); comp.(i)) in
+  let union i j = comp.(find i) <- find j in
+  List.iter (fun (u, v, _) -> union u v) !edges;
+  let rec connect () =
+    let roots = Array.init n find in
+    let root0 = roots.(0) in
+    let other = ref (-1) in
+    for i = 0 to n - 1 do
+      if roots.(i) <> root0 && !other < 0 then other := i
+    done;
+    if !other >= 0 then begin
+      (* Nearest pair between component of 0 and the rest. *)
+      let best = ref (-1, -1) and best_d = ref infinity in
+      for u = 0 to n - 1 do
+        if roots.(u) = root0 then
+          for v = 0 to n - 1 do
+            if roots.(v) <> root0 then begin
+              let duv = d u v in
+              if duv < !best_d && duv > 0.0 then begin
+                best := (u, v);
+                best_d := duv
+              end
+            end
+          done
+      done;
+      let (u, v) = !best in
+      edges := (u, v, !best_d) :: !edges;
+      union u v;
+      connect ()
+    end
+  in
+  connect ();
+  Graph.undirected n !edges
+
+let ring_with_chords rng ~n ~chords =
+  if n < 3 then invalid_arg "Graph_gen.ring_with_chords";
+  let ring_dist u v =
+    let k = abs (u - v) in
+    float_of_int (min k (n - k))
+  in
+  let edges = ref [] in
+  for u = 0 to n - 1 do
+    edges := (u, (u + 1) mod n, 1.0) :: !edges
+  done;
+  for _ = 1 to chords do
+    let u = Rng.int rng n in
+    let v = Rng.int rng n in
+    if u <> v && ring_dist u v > 1.0 then edges := (u, v, ring_dist u v) :: !edges
+  done;
+  Graph.undirected n !edges
+
+let exponential_line_graph n =
+  if n < 2 then invalid_arg "Graph_gen.exponential_line_graph";
+  if n > 52 then invalid_arg "Graph_gen.exponential_line_graph: n too large";
+  let edges =
+    List.init (n - 1) (fun i ->
+        (i, i + 1, Float.of_int ((1 lsl (i + 1)) - (1 lsl i))))
+  in
+  Graph.undirected n edges

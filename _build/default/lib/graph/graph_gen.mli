@@ -1,0 +1,27 @@
+(** Graph generators whose shortest-path metrics are doubling.
+
+    These provide the "doubling graphs" of Sections 2 and 4: grid graphs
+    (doubling dimension ~2), random geometric graphs (the standard model of
+    wireless/network topologies), rings with chords, and a line graph with
+    exponentially growing edge weights whose metric has super-polynomial
+    aspect ratio (stress case for the (log Delta) factors). *)
+
+val grid : int -> int -> Graph.t
+(** [grid w h]: 4-neighbor grid, unit weights, undirected. *)
+
+val torus : int -> int -> Graph.t
+(** Wrap-around grid (used by the Kleinberg small-world baseline). *)
+
+val random_geometric : Ron_util.Rng.t -> n:int -> radius:float -> Graph.t
+(** [n] uniform points in the unit square; undirected edges between pairs at
+    l2 distance [<= radius], weighted by distance. If the result is
+    disconnected, nearest-pair bridges are added between components, so the
+    result is always connected. *)
+
+val ring_with_chords : Ron_util.Rng.t -> n:int -> chords:int -> Graph.t
+(** Cycle of [n] unit edges plus [chords] random chords weighted by ring
+    distance (so the metric is unchanged but path diversity increases). *)
+
+val exponential_line_graph : int -> Graph.t
+(** Path graph over the exponential line: edge [i ~ i+1] of weight
+    [2^(i+1) - 2^i]; its shortest-path metric is the exponential line. *)

@@ -1,0 +1,44 @@
+(* Hop-bounded Bellman–Ford: best.(v) after h rounds is the length of the
+   shortest src->v path with at most h hops. A target's answer is the first
+   h at which best.(v) <= stretch * d(src, v). *)
+
+let min_hops_within_stretch sp ~src ~stretch =
+  if stretch < 1.0 then invalid_arg "Hop_paths.min_hops_within_stretch: stretch must be >= 1";
+  let g = Sp_metric.graph sp in
+  let n = Graph.size g in
+  let best = Array.make n infinity in
+  best.(src) <- 0.0;
+  let answer = Array.make n (-1) in
+  answer.(src) <- 0;
+  let tol = 1.0 +. 1e-12 in
+  let unresolved = ref (n - 1) in
+  let h = ref 0 in
+  while !unresolved > 0 && !h <= n do
+    incr h;
+    let next = Array.copy best in
+    for u = 0 to n - 1 do
+      if best.(u) < infinity then
+        Array.iter
+          (fun e ->
+            let cand = best.(u) +. e.Graph.weight in
+            if cand < next.(e.Graph.dst) then next.(e.Graph.dst) <- cand)
+          (Graph.out_edges g u)
+    done;
+    Array.blit next 0 best 0 n;
+    for v = 0 to n - 1 do
+      if answer.(v) < 0 && best.(v) <= stretch *. Sp_metric.dist sp src v *. tol then begin
+        answer.(v) <- !h;
+        decr unresolved
+      end
+    done
+  done;
+  if !unresolved > 0 then failwith "Hop_paths: graph not connected";
+  answer
+
+let n_delta sp ~stretch =
+  let n = Graph.size (Sp_metric.graph sp) in
+  let worst = ref 0 in
+  for src = 0 to n - 1 do
+    Array.iter (fun h -> worst := max !worst h) (min_hops_within_stretch sp ~src ~stretch)
+  done;
+  !worst

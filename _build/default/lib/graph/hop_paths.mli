@@ -1,0 +1,16 @@
+(** Near-shortest paths with few hops — the hypothesis of Theorem 4.2/B.1.
+
+    Theorem B.1 assumes every node pair is connected by a (1+delta)-stretch
+    path with at most [N_delta] hops, and the paper argues this is "a
+    natural property of a good network topology". This module computes the
+    quantity: a hop-bounded Bellman–Ford gives, per pair, the smallest hop
+    count achievable without exceeding the stretch budget, so the
+    assumption can be {e measured} on a topology instead of assumed. *)
+
+val min_hops_within_stretch : Sp_metric.t -> src:int -> stretch:float -> int array
+(** [min_hops_within_stretch sp ~src ~stretch]: for every target [v], the
+    minimum number of hops of any [src -> v] path of length at most
+    [stretch * d(src,v)]; [0] for the source itself. [stretch >= 1]. *)
+
+val n_delta : Sp_metric.t -> stretch:float -> int
+(** The topology-wide maximum: the paper's [N_delta]. *)

@@ -1,0 +1,33 @@
+type t = { graph : Graph.t; sssp : Dijkstra.sssp array; metric : Ron_metric.Metric.t }
+
+let create g =
+  if not (Graph.is_connected g) then invalid_arg "Sp_metric.create: graph must be connected";
+  let sssp = Dijkstra.all_pairs g in
+  let n = Graph.size g in
+  (* On an undirected graph the two directions can differ in the last ulp
+     (float additions in opposite order); canonicalize on the smaller
+     endpoint so the metric is exactly symmetric. *)
+  let symmetric_dist u v =
+    if u <= v then sssp.(u).Dijkstra.dist.(v) else sssp.(v).Dijkstra.dist.(u)
+  in
+  let metric = Ron_metric.Metric.create ~name:"sp-metric" n symmetric_dist in
+  { graph = g; sssp; metric }
+
+let graph t = t.graph
+let metric t = t.metric
+
+let dist t u v =
+  if u <= v then t.sssp.(u).Dijkstra.dist.(v) else t.sssp.(v).Dijkstra.dist.(u)
+
+let first_hop_index t u v =
+  if u = v then invalid_arg "Sp_metric.first_hop_index: u = v";
+  t.sssp.(u).Dijkstra.first_hop.(v)
+
+let next_toward t u v = Dijkstra.next_node t.graph t.sssp.(u) v
+
+let path t u v =
+  let rec go acc cur =
+    if cur = v then List.rev (v :: acc)
+    else go (cur :: acc) (next_toward t cur v)
+  in
+  go [] u

@@ -1,0 +1,27 @@
+(** Shortest-paths metric of a weighted graph, with routing support.
+
+    Bundles the all-pairs shortest-path computation: the induced metric
+    (a "doubling graph" in the paper's sense is a graph whose [Sp_metric]
+    has low doubling dimension), first-hop lookup, and shortest-path-walk
+    simulation used by every routing scheme. *)
+
+type t
+
+val create : Graph.t -> t
+(** Requires a connected graph. *)
+
+val graph : t -> Graph.t
+val metric : t -> Ron_metric.Metric.t
+(** The induced shortest-paths metric (same node ids). *)
+
+val dist : t -> int -> int -> float
+
+val first_hop_index : t -> int -> int -> int
+(** [first_hop_index t u v]: index (into [u]'s out-edges) of the first edge
+    of the canonical shortest [u->v] path; [v <> u]. *)
+
+val next_toward : t -> int -> int -> int
+(** The node after [u] on the canonical shortest path toward [v]. *)
+
+val path : t -> int -> int -> int list
+(** Full canonical shortest path from [u] to [v], inclusive. *)

@@ -1,0 +1,1 @@
+lib/labeling/beacon.ml: Array Float Fun Ron_metric Ron_util

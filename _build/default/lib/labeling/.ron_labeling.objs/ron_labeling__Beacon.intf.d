@@ -1,0 +1,1 @@
+lib/labeling/beacon.mli: Ron_metric Ron_util

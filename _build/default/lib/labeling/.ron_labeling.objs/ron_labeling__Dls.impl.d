@@ -1,0 +1,1 @@
+lib/labeling/dls.ml: Array Bytes Float Fun Hashtbl List Ron_core Ron_metric Ron_util Triangulation

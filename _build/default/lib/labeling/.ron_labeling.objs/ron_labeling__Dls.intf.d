@@ -1,0 +1,1 @@
+lib/labeling/dls.mli: Bytes Triangulation

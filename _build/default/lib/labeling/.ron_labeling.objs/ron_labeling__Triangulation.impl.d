@@ -1,0 +1,1 @@
+lib/labeling/triangulation.ml: Array Float Hashtbl List Ron_metric Ron_util

@@ -1,0 +1,1 @@
+lib/labeling/triangulation.mli: Ron_metric

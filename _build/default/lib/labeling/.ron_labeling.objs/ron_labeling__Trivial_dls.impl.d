@@ -1,0 +1,1 @@
+lib/labeling/trivial_dls.ml: Array Float Ron_metric Ron_util

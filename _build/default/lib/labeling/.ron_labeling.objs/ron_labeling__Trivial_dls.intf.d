@@ -1,0 +1,1 @@
+lib/labeling/trivial_dls.mli: Ron_metric

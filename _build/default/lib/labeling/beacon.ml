@@ -1,0 +1,47 @@
+module Indexed = Ron_metric.Indexed
+module Rng = Ron_util.Rng
+module Bits = Ron_util.Bits
+module Qfloat = Ron_util.Qfloat
+
+type t = { idx : Indexed.t; beacons : int array }
+
+let build idx rng ~k =
+  let n = Indexed.size idx in
+  if k < 1 || k > n then invalid_arg "Beacon.build: k out of range";
+  let perm = Array.init n Fun.id in
+  Rng.shuffle rng perm;
+  let beacons = Array.sub perm 0 k in
+  Array.sort compare beacons;
+  { idx; beacons }
+
+let beacons t = Array.copy t.beacons
+let order t = Array.length t.beacons
+
+let estimate t u v =
+  if u = v then (0.0, 0.0)
+  else
+    Array.fold_left
+      (fun (lo, hi) b ->
+        let da = Indexed.dist t.idx u b and db = Indexed.dist t.idx v b in
+        (Float.max lo (Float.abs (da -. db)), Float.min hi (da +. db)))
+      (0.0, infinity) t.beacons
+
+let bad_fraction t ~delta =
+  let n = Indexed.size t.idx in
+  let bad = ref 0 and total = ref 0 in
+  for u = 0 to n - 1 do
+    for v = u + 1 to n - 1 do
+      incr total;
+      let (lo, hi) = estimate t u v in
+      if lo <= 0.0 || hi > (1.0 +. delta) *. lo then incr bad
+    done
+  done;
+  if !total = 0 then 0.0 else float_of_int !bad /. float_of_int !total
+
+let label_bits t =
+  let n = Indexed.size t.idx in
+  let codec =
+    Qfloat.codec_for ~delta:0.25 ~aspect_ratio:(Float.max 2.0 (Indexed.aspect_ratio t.idx))
+  in
+  ignore (Bits.index_bits n);
+  Array.make n (Array.length t.beacons * Qfloat.bits codec)

@@ -1,0 +1,27 @@
+(** Common-beacon (eps, delta)-triangulation — the [33, 50] baseline.
+
+    All nodes share one beacon set of [k] uniformly random nodes; a node's
+    label is its distances to the beacons. This is the construction whose
+    "obvious flaw" motivates Theorem 3.2: it guarantees
+    [D+/D- <= 1 + delta] only for all but an eps-fraction of pairs, and for
+    the remaining pairs gives no guarantee at all. [bad_fraction] measures
+    that eps empirically so the benchmark can exhibit the contrast. *)
+
+type t
+
+val build : Ron_metric.Indexed.t -> Ron_util.Rng.t -> k:int -> t
+(** [k] beacons sampled uniformly without replacement ([k <= n]). *)
+
+val beacons : t -> int array
+val order : t -> int
+
+val estimate : t -> int -> int -> float * float
+(** [(D-, D+)] over the (shared) beacon set. [D-] can be 0 and [D+] loose:
+    no per-pair guarantee. *)
+
+val bad_fraction : t -> delta:float -> float
+(** Fraction of unordered node pairs with [D+ > (1 + delta) * D-]
+    (including pairs with [D- = 0]). *)
+
+val label_bits : t -> int array
+(** Distances only — the beacon ids are global constants, charged once. *)

@@ -1,0 +1,318 @@
+module Indexed = Ron_metric.Indexed
+module Net = Ron_metric.Net
+module Bits = Ron_util.Bits
+module Qfloat = Ron_util.Qfloat
+module Enumeration = Ron_core.Enumeration
+module Translation = Ron_core.Translation
+
+type label = {
+  id : int;
+  prefix_len : int;
+  dists : float array; (* quantized distance to the k-th host-enumerated beacon *)
+  zetas : Translation.t array; (* zetas.(i) translates scale-i pointers *)
+  zoom_first : int; (* phi_u(f_u0), an index into the canonical prefix *)
+  zoom_rest : int array; (* zoom_rest.(i) = psi_(f_ui)(f_(u,i+1)) *)
+  bits : int;
+}
+
+type wire_codec = {
+  wc_n : int;
+  wc_li : int;
+  wc_prefix_len : int;
+  wc_host_bits : int;
+  wc_virt_bits : int;
+  wc_qcodec : Qfloat.codec;
+}
+
+type t = {
+  tri : Triangulation.t;
+  labels : label array;
+  virtuals : int array array; (* T_u sorted, for tests *)
+  zooms : int array array;
+  host_order : int array array; (* host_order.(u).(k) = node at phi_u index k *)
+  wire : wire_codec;
+}
+
+let triangulation t = t.tri
+let label t u = t.labels.(u)
+let label_of_id l = l.id
+let virtual_neighbors t u = Array.copy t.virtuals.(u)
+let zooming_sequence t u = Array.copy t.zooms.(u)
+let label_bits t = Array.map (fun l -> l.bits) t.labels
+let max_label_bits t = Array.fold_left (fun acc l -> max acc l.bits) 0 t.labels
+let host_beacons t u = Array.copy t.host_order.(u)
+
+let sorted_distinct lst =
+  let tbl = Hashtbl.create 64 in
+  List.iter (fun v -> Hashtbl.replace tbl v ()) lst;
+  let a = Array.of_list (Hashtbl.fold (fun v () acc -> v :: acc) tbl []) in
+  Array.sort compare a;
+  a
+
+let build ?(z_divisor = 64.0) tri =
+  let idx = Triangulation.idx tri in
+  let delta = Triangulation.delta tri in
+  let hier = Triangulation.hierarchy tri in
+  let n = Indexed.size idx in
+  let li = Triangulation.levels tri in
+  let jmax = Net.Hierarchy.jmax hier in
+  (* --- Z-rings: Z_uj = B_u(2^j) ∩ G_l, l = log2(2^j * delta / z_divisor). *)
+  let z_level j =
+    let r = Bits.pow2 j *. delta /. z_divisor in
+    if r <= 1.0 then 0 else int_of_float (Float.floor (Bits.flog2 r))
+  in
+  let z_of u =
+    let acc = ref [] in
+    for j = 1 to jmax do
+      let level = z_level j in
+      Indexed.ball_iter idx u (Bits.pow2 j) (fun v _ ->
+          if Net.Hierarchy.mem hier level v then acc := v :: !acc)
+    done;
+    !acc
+  in
+  let z_sets = Array.init n z_of in
+  (* --- X_u across scales. *)
+  let x_all u =
+    let acc = ref [] in
+    for i = 0 to li - 1 do
+      Array.iter (fun v -> acc := v :: !acc) (Triangulation.x_neighbors tri u i)
+    done;
+    !acc
+  in
+  (* --- Virtual neighbors T_u and enumerations psi_u. *)
+  let virtuals =
+    Array.init n (fun u ->
+        let xs = x_all u in
+        let via_x = List.concat_map (fun v -> z_sets.(v)) (sorted_distinct xs |> Array.to_list) in
+        sorted_distinct (List.concat [ xs; z_sets.(u); via_x ]))
+  in
+  let psi = Array.map Enumeration.of_array virtuals in
+  let max_virtual = Array.fold_left (fun acc a -> max acc (Array.length a)) 1 virtuals in
+  (* --- Host neighbor sets per scale and host enumerations phi_u with the
+     canonical scale-0 prefix. *)
+  let scale_set u i =
+    sorted_distinct
+      (List.concat
+         [
+           Array.to_list (Triangulation.x_neighbors tri u i);
+           Array.to_list (Triangulation.y_neighbors tri u i);
+         ])
+  in
+  let scale_sets = Array.init n (fun u -> Array.init li (fun i -> scale_set u i)) in
+  let prefix_nodes = scale_sets.(0).(0) in
+  (* Scale-0 sets coincide for every node by construction; the prefix is
+     canonical. *)
+  let prefix = Enumeration.of_array prefix_nodes in
+  let prefix_len = Enumeration.size prefix in
+  let phi =
+    Array.init n (fun u ->
+        let rest =
+          sorted_distinct (List.concat_map Array.to_list (Array.to_list scale_sets.(u)))
+        in
+        Enumeration.with_prefix ~prefix rest)
+  in
+  let max_host = Array.fold_left (fun acc e -> max acc (Enumeration.size e)) 1 (Array.map Fun.id phi) in
+  (* --- Zooming sequences: f_ui = nearest node of G_(log2 (r_ui/4)). *)
+  let zoom_of u =
+    Array.init li (fun i ->
+        let r = Indexed.r_level idx u i in
+        let level =
+          if r <= 4.0 then 0 else int_of_float (Float.floor (Bits.flog2 (r /. 4.0)))
+        in
+        fst (Net.Hierarchy.nearest hier level u))
+  in
+  let zooms = Array.init n zoom_of in
+  (* --- Translation maps zeta_ui. *)
+  let zetas_of u =
+    Array.init (li - 1) (fun i ->
+        let z = Translation.create () in
+        let next_scale = scale_sets.(u).(i + 1) in
+        Array.iter
+          (fun v ->
+            let x = Enumeration.index_exn phi.(u) v in
+            Array.iter
+              (fun w ->
+                match Enumeration.index psi.(v) w with
+                | None -> ()
+                | Some y -> Translation.add z ~x ~y ~z:(Enumeration.index_exn phi.(u) w))
+              next_scale)
+          scale_sets.(u).(i);
+        z)
+  in
+  (* --- Quantized distances. *)
+  let codec =
+    Qfloat.codec_for ~delta ~aspect_ratio:(Float.max 2.0 (Indexed.aspect_ratio idx))
+  in
+  let labels =
+    Array.init n (fun u ->
+        let e = phi.(u) in
+        let k = Enumeration.size e in
+        let dists =
+          Array.init k (fun idx_k -> Qfloat.quantize codec (Indexed.dist idx u (Enumeration.node e idx_k)))
+        in
+        let zetas = zetas_of u in
+        let f = zooms.(u) in
+        let zoom_first =
+          match Enumeration.index prefix f.(0) with
+          | Some i -> i
+          | None -> failwith "Dls.build: f_u0 outside the canonical prefix"
+        in
+        let zoom_rest =
+          Array.init (li - 1) (fun i ->
+              match Enumeration.index psi.(f.(i)) f.(i + 1) with
+              | Some y -> y
+              | None -> failwith "Dls.build: Claim 3.5(c) violated: f_(u,i+1) not virtual at f_ui")
+        in
+        let host_bits = Bits.index_bits max_host in
+        let virt_bits = Bits.index_bits max_virtual in
+        let zeta_bits =
+          Array.fold_left
+            (fun acc z ->
+              acc + Translation.bits_sparse z ~x_bits:host_bits ~y_bits:virt_bits ~z_bits:host_bits)
+            0 zetas
+        in
+        let bits =
+          Bits.index_bits n (* global id *)
+          + (k * Qfloat.bits codec) (* distance array *)
+          + zeta_bits
+          + host_bits (* zoom_first *)
+          + ((li - 1) * virt_bits) (* zoom_rest *)
+        in
+        { id = u; prefix_len; dists; zetas; zoom_first; zoom_rest; bits })
+  in
+  let host_order = Array.init n (fun u -> Enumeration.nodes phi.(u)) in
+  let wire =
+    {
+      wc_n = n;
+      wc_li = li;
+      wc_prefix_len = prefix_len;
+      wc_host_bits = Bits.index_bits max_host;
+      wc_virt_bits = Bits.index_bits max_virtual;
+      wc_qcodec = codec;
+    }
+  in
+  { tri; labels; virtuals; zooms; host_order; wire }
+
+(* ------------------------------------------------------------- Decoding *)
+
+(* Walk [src]'s zooming sequence through the translation maps of both labels
+   simultaneously. [a] tracks the current element's index in [la]'s host
+   enumeration, [b] in [lb]'s. At each level we (1) record the element itself
+   as a common beacon, (2) join the two maps' (element, .) entry lists on the
+   virtual index to find more common beacons, then (3) step to the next
+   element. [emit ia ib] receives host-index pairs (la-index, lb-index). *)
+let walk_candidates ~src ~la ~lb ~emit =
+  let levels = Array.length la.zetas in
+  let a = ref src.zoom_first and b = ref src.zoom_first in
+  (try
+     for j = 0 to levels - 1 do
+       emit !a !b;
+       (* Join on virtual indices. *)
+       let right = Hashtbl.create 16 in
+       List.iter (fun (y, z) -> Hashtbl.replace right y z) (Translation.entries_with_x lb.zetas.(j) ~x:!b);
+       List.iter
+         (fun (y, z_a) ->
+           match Hashtbl.find_opt right y with
+           | Some z_b -> emit z_a z_b
+           | None -> ())
+         (Translation.entries_with_x la.zetas.(j) ~x:!a);
+       (* Step down the zooming sequence. *)
+       let y = src.zoom_rest.(j) in
+       match (Translation.find la.zetas.(j) ~x:!a ~y, Translation.find lb.zetas.(j) ~x:!b ~y) with
+       | Some a', Some b' ->
+         a := a';
+         b := b'
+       | _ -> raise Exit
+     done;
+     emit !a !b
+   with Exit -> ())
+
+let candidates l_u l_v =
+  if l_u.prefix_len <> l_v.prefix_len then failwith "Dls.candidates: labels from different schemes";
+  let acc = ref [] in
+  let emit iu iv =
+    if iu < Array.length l_u.dists && iv < Array.length l_v.dists then
+      acc := (iu, iv, l_u.dists.(iu), l_v.dists.(iv)) :: !acc
+  in
+  (* Canonical prefix: index k names the same node in both labels. *)
+  for k = 0 to l_u.prefix_len - 1 do
+    emit k k
+  done;
+  (* Zoom in on v, reading indices in both labels. *)
+  walk_candidates ~src:l_v ~la:l_u ~lb:l_v ~emit:(fun a b -> emit a b);
+  (* Symmetrically zoom in on u. *)
+  walk_candidates ~src:l_u ~la:l_v ~lb:l_u ~emit:(fun a b -> emit b a);
+  !acc
+
+let estimate l_u l_v =
+  if l_u.id = l_v.id then 0.0
+  else begin
+    let best =
+      List.fold_left
+        (fun acc (_, _, du, dv) -> Float.min acc (du +. dv))
+        infinity (candidates l_u l_v)
+    in
+    if Float.is_finite best then best
+    else failwith "Dls.estimate: no common beacon identified (Theorem 3.4 violated)"
+  end
+
+(* ----------------------------------------------------------- Wire format *)
+
+module Bitio = Ron_util.Bitio
+
+let wire_codec t = t.wire
+
+let serialize wc l =
+  let w = Bitio.Writer.create () in
+  let host v = Bitio.Writer.bits w v ~width:wc.wc_host_bits in
+  let virt v = Bitio.Writer.bits w v ~width:wc.wc_virt_bits in
+  Bitio.Writer.bits w l.id ~width:(Bits.index_bits wc.wc_n);
+  let k = Array.length l.dists in
+  Bitio.Writer.bits w k ~width:(wc.wc_host_bits + 1);
+  Array.iter (fun d -> Qfloat.write wc.wc_qcodec w d) l.dists;
+  Array.iter
+    (fun zeta ->
+      let entries = Translation.entries zeta in
+      Bitio.Writer.bits w (List.length entries)
+        ~width:(wc.wc_host_bits + wc.wc_virt_bits + 1);
+      List.iter
+        (fun (x, y, z) ->
+          host x;
+          virt y;
+          host z)
+        (List.sort compare entries))
+    l.zetas;
+  host l.zoom_first;
+  Array.iter virt l.zoom_rest;
+  (Bitio.Writer.to_bytes w, Bitio.Writer.length w)
+
+let deserialize wc bytes =
+  let r = Bitio.Reader.of_bytes bytes in
+  let host () = Bitio.Reader.bits r ~width:wc.wc_host_bits in
+  let virt () = Bitio.Reader.bits r ~width:wc.wc_virt_bits in
+  let id = Bitio.Reader.bits r ~width:(Bits.index_bits wc.wc_n) in
+  let k = Bitio.Reader.bits r ~width:(wc.wc_host_bits + 1) in
+  let dists = Array.init k (fun _ -> Qfloat.read wc.wc_qcodec r) in
+  let zetas =
+    Array.init (wc.wc_li - 1) (fun _ ->
+        let zeta = Translation.create () in
+        let count = Bitio.Reader.bits r ~width:(wc.wc_host_bits + wc.wc_virt_bits + 1) in
+        for _ = 1 to count do
+          let x = host () in
+          let y = virt () in
+          let z = host () in
+          Translation.add zeta ~x ~y ~z
+        done;
+        zeta)
+  in
+  let zoom_first = host () in
+  let zoom_rest = Array.init (wc.wc_li - 1) (fun _ -> virt ()) in
+  {
+    id;
+    prefix_len = wc.wc_prefix_len;
+    dists;
+    zetas;
+    zoom_first;
+    zoom_rest;
+    bits = 8 * Bytes.length bytes;
+  }

@@ -1,0 +1,88 @@
+(** (1 + delta)-approximate distance labeling without global identifiers
+    (Theorem 3.4): [(O(1/delta))^O(alpha) (log n)(log log Delta)] bits per
+    label.
+
+    The scheme elaborates the Theorem 3.2 triangulation: the label of [u]
+    stores quantized distances to [u]'s X/Y-beacons indexed by [u]'s host
+    enumeration, the translation functions [zeta_ui], and [u]'s zooming
+    sequence encoded through {e virtual} enumerations. Virtual neighbors
+    [T_u = X_u ∪ Z_u ∪ (∪_{v in X_u} Z_v)], with
+    [Z_uj = B_u(2^j) ∩ G_(log2 (2^j delta / 64))], exist only to give
+    consecutive zooming elements (and the final common beacon) decodable
+    pointers (Claim 3.5).
+
+    {b Decoding uses only the two labels}: [estimate] never touches the
+    metric. It walks both zooming sequences through both labels' translation
+    maps (the Claim 2.2 walk), joining the maps' [(f, .)] entries on the
+    shared virtual indices to identify common beacons, and returns the best
+    [D+] upper bound. The proof guarantees a common beacon within
+    [delta * d] of one endpoint is identified, so
+    [estimate <= (1 + 2 delta)(1 + delta/8) d] and [estimate >= d]. *)
+
+type t
+(** A built scheme (the centralized constructor's view). *)
+
+type label
+(** A self-contained node label. *)
+
+val build : ?z_divisor:float -> Triangulation.t -> t
+(** Build on top of a Theorem 3.2 triangulation (which fixes [delta], the
+    packings and the net hierarchy). [z_divisor] (default 64, the paper's
+    constant) sets the Z-ring net spacing [2^j delta / z_divisor]. *)
+
+val triangulation : t -> Triangulation.t
+
+val label : t -> int -> label
+val label_of_id : label -> int
+(** The node's global identifier (kept in the label as in the paper; used
+    only for the [u = v] short-circuit, never for decoding). *)
+
+val candidates : label -> label -> (int * int * float * float) list
+(** [candidates l_u l_v]: the common beacons the label-only decoder can
+    identify, as tuples [(i_u, i_v, d_u, d_v)] of the beacon's host index
+    and quantized distance in each label. [estimate] is the minimum of
+    [d_u + d_v] over this list. Empty only for labels from different
+    schemes. Exposed for the Theorem 4.2 routing scheme, whose mode M1
+    jumps to the identified beacon closest to the target. *)
+
+val host_beacons : t -> int -> int array
+(** [host_beacons t u]: node ids in [u]'s host-enumeration order, so that a
+    candidate's [i_u] can be resolved to an address by node [u] (local
+    knowledge: these are [u]'s own neighbors). *)
+
+val estimate : label -> label -> float
+(** [estimate l_u l_v]: a [D+] upper bound on [d(u,v)] computed from the two
+    labels alone. Raises [Failure] if no common beacon can be identified —
+    Theorem 3.4 proves this cannot happen on labels from one scheme; it
+    does happen on labels from different schemes (failure injection). *)
+
+val virtual_neighbors : t -> int -> int array
+(** [T_u], for tests. *)
+
+val zooming_sequence : t -> int -> int array
+(** [f_ui] for [i = 0 .. levels-1], for tests. *)
+
+(** {2 Wire format}
+
+    Labels can be serialized to actual bitstrings, proving the storage
+    claims byte-for-byte: the scheme-wide constants (field widths, the
+    distance codec) form a {!wire_codec} that a deployment would ship once;
+    each label is then a self-contained bitstring. Estimation from
+    deserialized labels is bit-identical to estimation from built ones. *)
+
+type wire_codec
+
+val wire_codec : t -> wire_codec
+
+val serialize : wire_codec -> label -> Bytes.t * int
+(** [(bytes, bits)]: the encoded label and its exact bit length. *)
+
+val deserialize : wire_codec -> Bytes.t -> label
+(** Raises [Invalid_argument] on truncated or corrupt input that walks off
+    the end of the bitstring. *)
+
+val label_bits : t -> int array
+(** Exact per-label storage: quantized distances, sparse translation
+    triples, the encoded zooming sequence, and the global id. *)
+
+val max_label_bits : t -> int

@@ -1,0 +1,157 @@
+module Indexed = Ron_metric.Indexed
+module Net = Ron_metric.Net
+module Packing = Ron_metric.Packing
+module Bits = Ron_util.Bits
+module Qfloat = Ron_util.Qfloat
+
+type t = {
+  idx : Indexed.t;
+  delta : float;
+  levels : int;
+  hierarchy : Net.Hierarchy.t;
+  packings : Packing.t array;
+  xn : int array array array; (* xn.(u).(i) *)
+  yn : int array array array;
+  beacon_dist : (int, float) Hashtbl.t array; (* per node: beacon -> distance *)
+}
+
+let idx t = t.idx
+let delta t = t.delta
+let levels t = t.levels
+let hierarchy t = t.hierarchy
+let packing t i = t.packings.(i)
+let x_neighbors t u i = t.xn.(u).(i)
+let y_neighbors t u i = t.yn.(u).(i)
+
+(* Net level of the Y-ring at scale i, given the ball radius r_ui. *)
+let y_net_level r_ui delta ~net_divisor =
+  if r_ui <= 0.0 then 0
+  else max 0 (int_of_float (Float.floor (Bits.flog2 (delta *. r_ui /. net_divisor))))
+
+let build ?(radius_factor = 12.0) ?(net_divisor = 4.0) idx_ ~delta =
+  if not (delta > 0.0 && delta < 0.5) then
+    invalid_arg "Triangulation.build: delta must be in (0, 1/2)";
+  if Indexed.size idx_ >= 2 && Indexed.min_distance idx_ < 1.0 then
+    invalid_arg "Triangulation.build: metric must be normalized";
+  let n = Indexed.size idx_ in
+  let levels = Indexed.log2_size idx_ + 1 in
+  let hierarchy = Net.Hierarchy.create idx_ in
+  let packings =
+    Array.init levels (fun i -> Packing.create idx_ ~eps:(1.0 /. Bits.pow2 i))
+  in
+  let aspect = Float.max 2.0 (Indexed.diameter idx_) in
+  (* X-type: designated nodes h_B of packing balls B with
+     d(u, h_B) + radius <= r_(u, i-1) (Appendix-B form of "B inside the
+     previous ball"); at i = 0 the previous radius is unbounded. *)
+  let xn =
+    Array.init n (fun u ->
+        Array.init levels (fun i ->
+            let r_prev = Indexed.r_level idx_ u (i - 1) in
+            let keep b =
+              Indexed.dist idx_ u b.Packing.center +. b.Packing.radius <= r_prev
+            in
+            Array.to_list (Packing.balls packings.(i))
+            |> List.filter keep
+            |> List.map (fun b -> b.Packing.center)
+            |> Array.of_list))
+  in
+  (* Y-type: net points of G_(j_i) within 12 r_ui / delta. Scale 0 is made
+     canonical (identical for all nodes): the whole space intersected with
+     G_(floor(log2 (delta * Delta / 8))) — a superset of the paper's
+     per-node Y_u0, needed so that all host enumerations can share their
+     scale-0 prefix (see DESIGN.md). *)
+  let y0_level =
+    max 0 (int_of_float (Float.floor (Bits.flog2 (delta *. aspect /. (2.0 *. net_divisor)))))
+  in
+  let y0 = Array.copy (Net.Hierarchy.level hierarchy y0_level) in
+  Array.sort compare y0;
+  let yn =
+    Array.init n (fun u ->
+        Array.init levels (fun i ->
+            if i = 0 then y0
+            else begin
+              let r_ui = Indexed.r_level idx_ u i in
+              let level = y_net_level r_ui delta ~net_divisor in
+              let radius = radius_factor *. r_ui /. delta in
+              let ball = Indexed.ball idx_ u radius in
+              Array.of_list
+                (List.filter (fun v -> Net.Hierarchy.mem hierarchy level v)
+                   (Array.to_list ball))
+            end))
+  in
+  let beacon_dist =
+    Array.init n (fun u ->
+        let tbl = Hashtbl.create 64 in
+        let addall arr =
+          Array.iter (fun b -> if not (Hashtbl.mem tbl b) then
+                         Hashtbl.replace tbl b (Indexed.dist idx_ u b)) arr
+        in
+        Array.iter addall xn.(u);
+        Array.iter addall yn.(u);
+        tbl)
+  in
+  { idx = idx_; delta; levels; hierarchy; packings; xn; yn; beacon_dist }
+
+let beacons t u =
+  let out = Hashtbl.fold (fun b _ acc -> b :: acc) t.beacon_dist.(u) [] in
+  let a = Array.of_list out in
+  Array.sort compare a;
+  a
+
+let order t =
+  let best = ref 0 in
+  Array.iter (fun tbl -> best := max !best (Hashtbl.length tbl)) t.beacon_dist;
+  !best
+
+let fold_common t u v f init =
+  (* Iterate over the smaller table for speed. *)
+  let a, b =
+    if Hashtbl.length t.beacon_dist.(u) <= Hashtbl.length t.beacon_dist.(v) then
+      (t.beacon_dist.(u), t.beacon_dist.(v))
+    else (t.beacon_dist.(v), t.beacon_dist.(u))
+  in
+  Hashtbl.fold
+    (fun beacon da acc ->
+      match Hashtbl.find_opt b beacon with
+      | Some db -> f acc beacon da db
+      | None -> acc)
+    a init
+
+let estimate t u v =
+  if u = v then (0.0, 0.0)
+  else begin
+    let (lo, hi, wit) =
+      fold_common t u v
+        (fun (lo, hi, wit) beacon da db ->
+          let s = da +. db and d = Float.abs (da -. db) in
+          let hi, wit = if s < hi then (s, beacon) else (hi, wit) in
+          ((Float.max lo d), hi, wit))
+        (0.0, infinity, -1)
+    in
+    if wit < 0 then failwith "Triangulation.estimate: no common beacon (Theorem 3.2 violated)";
+    (lo, hi)
+  end
+
+let estimate_plus t u v = snd (estimate t u v)
+let estimate_minus t u v = fst (estimate t u v)
+
+let witness t u v =
+  if u = v then u
+  else begin
+    let (_, wit) =
+      fold_common t u v
+        (fun (hi, wit) beacon da db ->
+          let s = da +. db in
+          if s < hi then (s, beacon) else (hi, wit))
+        (infinity, -1)
+    in
+    if wit < 0 then failwith "Triangulation.witness: no common beacon";
+    wit
+  end
+
+let label_bits t =
+  let n = Indexed.size t.idx in
+  let id_bits = Bits.index_bits n in
+  let codec = Qfloat.codec_for ~delta:t.delta ~aspect_ratio:(Float.max 2.0 (Indexed.aspect_ratio t.idx)) in
+  let per_entry = id_bits + Qfloat.bits codec in
+  Array.init n (fun u -> Hashtbl.length t.beacon_dist.(u) * per_entry)

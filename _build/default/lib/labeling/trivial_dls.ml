@@ -1,0 +1,20 @@
+module Indexed = Ron_metric.Indexed
+module Bits = Ron_util.Bits
+
+type t = { idx : Indexed.t }
+
+let build idx = { idx }
+
+let estimate t u v = Indexed.dist t.idx u v
+
+let label_bits t =
+  let n = Indexed.size t.idx in
+  (* An exact distance needs ceil(log2 Delta) integer bits plus mantissa
+     precision; we charge the float-standard 53 bits of mantissa or the
+     magnitude range, whichever dominates, so that the O(n log Delta)
+     scaling of the trivial scheme is visible. *)
+  let log_delta =
+    int_of_float (ceil (Bits.flog2 (Float.max 2.0 (Indexed.aspect_ratio t.idx))))
+  in
+  let dist_bits = max 53 (log_delta + 1) in
+  Array.make n ((n - 1) * (Bits.index_bits n + dist_bits))

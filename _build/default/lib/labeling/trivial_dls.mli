@@ -1,0 +1,15 @@
+(** The trivial exact distance labeling scheme (Section 1, "Distance
+    labeling"): the label of [u] encodes the distances to all other nodes,
+    [O(n log Delta)] bits. Exact answers; used as the storage baseline that
+    Theorems 3.2/3.4 are measured against. *)
+
+type t
+
+val build : Ron_metric.Indexed.t -> t
+val estimate : t -> int -> int -> float
+(** Exact distance. *)
+
+val label_bits : t -> int array
+(** [n-1] exact distance entries per node, each charged [ceil(log2 n)] id
+    bits plus [max(53, ceil(log2 Delta)+1)] distance bits — the
+    [O(n log Delta)] baseline of Section 1. *)

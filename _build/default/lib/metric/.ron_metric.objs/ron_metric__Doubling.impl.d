@@ -1,0 +1,1 @@
+lib/metric/doubling.ml: Array Float Hashtbl Indexed List Ron_util

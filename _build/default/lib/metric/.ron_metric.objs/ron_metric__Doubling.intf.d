@@ -1,0 +1,1 @@
+lib/metric/doubling.mli: Indexed Ron_util

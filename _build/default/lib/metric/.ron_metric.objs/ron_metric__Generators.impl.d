@@ -1,0 +1,1 @@
+lib/metric/generators.ml: Array Float Metric Printf Ron_util

@@ -1,0 +1,1 @@
+lib/metric/generators.mli: Metric Ron_util

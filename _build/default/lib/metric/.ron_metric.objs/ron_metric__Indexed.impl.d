@@ -1,0 +1,1 @@
+lib/metric/indexed.ml: Array Metric Ron_util

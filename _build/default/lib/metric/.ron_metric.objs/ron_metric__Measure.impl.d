@@ -1,0 +1,1 @@
+lib/metric/measure.ml: Array Float Hashtbl Indexed List Net Ron_util

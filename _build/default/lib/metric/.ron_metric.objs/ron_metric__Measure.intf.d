@@ -1,0 +1,1 @@
+lib/metric/measure.mli: Indexed Net Ron_util

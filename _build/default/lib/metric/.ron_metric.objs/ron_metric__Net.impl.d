@@ -1,0 +1,1 @@
+lib/metric/net.ml: Array Indexed List Ron_util

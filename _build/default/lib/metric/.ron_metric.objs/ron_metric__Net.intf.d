@@ -1,0 +1,1 @@
+lib/metric/net.mli: Indexed

@@ -1,0 +1,1 @@
+lib/metric/packing.ml: Array Doubling Indexed List

@@ -1,0 +1,41 @@
+module Rng = Ron_util.Rng
+module Bits = Ron_util.Bits
+
+let greedy_cover idx nodes ~radius =
+  if radius < 0.0 then invalid_arg "Doubling.greedy_cover: negative radius";
+  let remaining = Hashtbl.create (Array.length nodes) in
+  Array.iter (fun u -> Hashtbl.replace remaining u ()) nodes;
+  let centers = ref [] in
+  (* Iterate in the fixed order of [nodes] for determinism. *)
+  Array.iter
+    (fun u ->
+      if Hashtbl.mem remaining u then begin
+        centers := u :: !centers;
+        Array.iter
+          (fun v -> if Indexed.dist idx u v <= radius then Hashtbl.remove remaining v)
+          nodes
+      end)
+    nodes;
+  Array.of_list (List.rev !centers)
+
+let dimension_estimate idx ?(samples = 64) rng =
+  let n = Indexed.size idx in
+  let best = ref 0.0 in
+  for _ = 1 to samples do
+    let u = Rng.int rng n in
+    (* Random scale: radius of the ball holding a random number of nodes. *)
+    let k = 2 + Rng.int rng (max 1 (n - 2)) in
+    let r = Indexed.radius_for_count idx u k in
+    if r > 0.0 then begin
+      let members = Indexed.ball idx u r in
+      let cover = greedy_cover idx members ~radius:(r /. 2.0) in
+      let c = Array.length cover in
+      if c > 1 then best := Float.max !best (Bits.flog2 (float_of_int c))
+    end
+  done;
+  Float.max 1.0 !best
+
+let lemma_1_2_lower_bound idx ~alpha =
+  let n = float_of_int (Indexed.size idx) in
+  let delta = Indexed.aspect_ratio idx in
+  1.0 +. Bits.flog2 delta >= Bits.flog2 n /. alpha

@@ -1,0 +1,24 @@
+(** Doubling-dimension machinery: greedy ball covers (Lemma 1.1) and an
+    empirical dimension estimator.
+
+    The doubling dimension of a metric is the infimum of all [alpha] such
+    that every set of diameter [d] can be covered by [2^alpha] sets of
+    diameter [d/2]. Lemma 1.1 turns this into an efficiently constructible
+    cover by balls: any set of diameter [d] is covered by [2^(alpha k)]
+    balls of radius [d / 2^k]. *)
+
+val greedy_cover : Indexed.t -> int array -> radius:float -> int array
+(** [greedy_cover idx nodes ~radius] implements the Lemma 1.1 procedure:
+    repeatedly select a not-yet-covered node as a center and remove every
+    node within [radius] of it. Returns the centers. The centers are
+    pairwise more than [radius] apart, and every node of [nodes] is within
+    [radius] of some center. *)
+
+val dimension_estimate : Indexed.t -> ?samples:int -> Ron_util.Rng.t -> float
+(** Empirical doubling dimension: the maximum over sampled balls [B = B_u(r)]
+    of [log2 (size of a greedy (r/2)-cover of B)]. This upper-bounds honest
+    local doubling behaviour well enough to parameterize constructions
+    whose constants depend on [2^O(alpha)]. *)
+
+val lemma_1_2_lower_bound : Indexed.t -> alpha:float -> bool
+(** Checks Lemma 1.2: [1 + log2 Delta >= (log2 n) / alpha]. *)

@@ -1,0 +1,126 @@
+module Rng = Ron_util.Rng
+
+let lp_dist p a b =
+  let k = Array.length a in
+  if p = infinity then begin
+    let m = ref 0.0 in
+    for i = 0 to k - 1 do
+      m := Float.max !m (Float.abs (a.(i) -. b.(i)))
+    done;
+    !m
+  end
+  else begin
+    let acc = ref 0.0 in
+    for i = 0 to k - 1 do
+      acc := !acc +. (Float.abs (a.(i) -. b.(i)) ** p)
+    done;
+    !acc ** (1.0 /. p)
+  end
+
+let euclidean ~name ?(p = 2.0) points =
+  if p < 1.0 then invalid_arg "Generators.euclidean: p must be >= 1";
+  let n = Array.length points in
+  if n = 0 then invalid_arg "Generators.euclidean: no points";
+  Metric.create ~name n (fun u v -> lp_dist p points.(u) points.(v))
+
+let grid2d w h =
+  if w < 1 || h < 1 then invalid_arg "Generators.grid2d";
+  let points =
+    Array.init (w * h) (fun i -> [| float_of_int (i mod w); float_of_int (i / w) |])
+  in
+  euclidean ~name:(Printf.sprintf "grid2d-%dx%d" w h) points
+
+let random_cloud rng ~n ~dim =
+  if n < 1 || dim < 1 then invalid_arg "Generators.random_cloud";
+  let fresh () = Array.init dim (fun _ -> Rng.float rng 1.0) in
+  let points = Array.init n (fun _ -> fresh ()) in
+  (* Enforce distinctness: resample any point that collides. *)
+  let rec fix u guard =
+    if guard > 1000 then failwith "random_cloud: could not separate points";
+    let bad = ref false in
+    for v = 0 to n - 1 do
+      if v <> u && lp_dist 2.0 points.(u) points.(v) = 0.0 then bad := true
+    done;
+    if !bad then begin
+      points.(u) <- fresh ();
+      fix u (guard + 1)
+    end
+  in
+  for u = 0 to n - 1 do
+    fix u 0
+  done;
+  Metric.normalize (euclidean ~name:(Printf.sprintf "cloud-n%d-d%d" n dim) points)
+
+let exponential_line n =
+  if n < 2 then invalid_arg "Generators.exponential_line";
+  if n > 52 then invalid_arg "Generators.exponential_line: n too large for exact floats";
+  let xs = Array.init n (fun i -> Float.of_int (1 lsl i)) in
+  Metric.create ~name:(Printf.sprintf "expline-%d" n) n (fun u v -> Float.abs (xs.(u) -. xs.(v)))
+
+let exponential_clusters rng ~clusters ~per_cluster ~base =
+  if clusters < 2 || per_cluster < 1 then invalid_arg "Generators.exponential_clusters";
+  if base < 2.0 then invalid_arg "Generators.exponential_clusters: base must be >= 2";
+  if base ** Float.of_int clusters > 1e300 then
+    invalid_arg "Generators.exponential_clusters: aspect ratio overflows floats";
+  let n = clusters * per_cluster in
+  (* Members are spread over [scale, 1.5 * scale]: the spread is relative to
+     the cluster's scale so it survives float precision at huge magnitudes
+     (an absolute unit jitter underflows beyond ~2^52). Each cluster is a
+     scaled copy of a bounded blob, so the metric stays doubling. *)
+  let xs =
+    Array.init n (fun i ->
+        let cluster = i / per_cluster in
+        let scale = base ** Float.of_int cluster in
+        scale *. (1.0 +. Rng.float rng 0.5))
+  in
+  (* Enforce distinct positions with a relative bump. *)
+  Array.sort compare xs;
+  for i = 1 to n - 1 do
+    if xs.(i) <= xs.(i - 1) then xs.(i) <- xs.(i - 1) *. (1.0 +. 1e-9)
+  done;
+  let m =
+    Metric.create ~name:(Printf.sprintf "expclusters-%dx%d" clusters per_cluster) n
+      (fun u v -> Float.abs (xs.(u) -. xs.(v)))
+  in
+  Metric.normalize m
+
+let uniform_line n =
+  if n < 2 then invalid_arg "Generators.uniform_line";
+  Metric.create ~name:(Printf.sprintf "line-%d" n) n (fun u v ->
+      Float.abs (float_of_int u -. float_of_int v))
+
+let ring n =
+  if n < 3 then invalid_arg "Generators.ring";
+  Metric.create ~name:(Printf.sprintf "ring-%d" n) n (fun u v ->
+      let k = abs (u - v) in
+      float_of_int (min k (n - k)))
+
+let clustered_latency rng ~clusters ~per_cluster ~spread ~access =
+  if clusters < 1 || per_cluster < 1 then invalid_arg "Generators.clustered_latency";
+  let n = clusters * per_cluster in
+  let centers =
+    Array.init clusters (fun _ -> (Rng.float rng 1000.0, Rng.float rng 1000.0))
+  in
+  let points =
+    Array.init n (fun i ->
+        let (cx, cy) = centers.(i / per_cluster) in
+        let angle = Rng.float rng (2.0 *. Float.pi) in
+        let radius = Rng.float rng spread in
+        [| cx +. (radius *. cos angle); cy +. (radius *. sin angle) |])
+  in
+  let delays = Array.init n (fun _ -> Rng.float rng access) in
+  (* Canonicalize the argument order so the float summation is performed
+     identically for (u,v) and (v,u): exact symmetry. *)
+  let base = Metric.create ~name:"latency" n (fun u v ->
+      if u = v then 0.0
+      else begin
+        let a = min u v and b = max u v in
+        lp_dist 2.0 points.(a) points.(b) +. delays.(a) +. delays.(b)
+      end)
+  in
+  Metric.normalize base
+
+let three_point_example delta =
+  if delta <= 2.0 then invalid_arg "Generators.three_point_example: Delta must exceed 2";
+  let xs = [| 1.0; 2.0; delta |] in
+  Metric.create ~name:"three-point" 3 (fun u v -> Float.abs (xs.(u) -. xs.(v)))

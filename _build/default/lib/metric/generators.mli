@@ -1,0 +1,59 @@
+(** Synthetic doubling metrics used throughout tests and experiments.
+
+    These play the role of the paper's input families: constant-dimensional
+    lp point sets (which have doubling dimension k + O(1), Assouad), the
+    exponential line (the paper's canonical example of a doubling metric with
+    super-polynomial aspect ratio and unbounded grid dimension, Section 1),
+    and a clustered "Internet latency" metric standing in for the latency
+    matrices that motivated triangulation in [33, 50].
+
+    All generators return metrics already normalized to minimum distance 1
+    (possibly approximately for randomized clouds, exactly after
+    [Metric.normalize], which each generator applies). *)
+
+val euclidean : name:string -> ?p:float -> float array array -> Metric.t
+(** [euclidean ~name ~p points] is the lp metric on explicit coordinates;
+    [p] defaults to 2 and must be [>= 1]. Not normalized (the only exception
+    here — coordinates are caller-controlled); apply [Metric.normalize] if
+    needed. *)
+
+val grid2d : int -> int -> Metric.t
+(** [grid2d w h]: the w-by-h unit grid under l2; doubling dimension ~2. *)
+
+val random_cloud : Ron_util.Rng.t -> n:int -> dim:int -> Metric.t
+(** [n] uniform points in the [dim]-dimensional unit cube under l2,
+    normalized; doubling dimension ~dim. Distinctness is enforced by
+    resampling. *)
+
+val exponential_line : int -> Metric.t
+(** [exponential_line n]: the set [{2^0, 2^1, ..., 2^(n-1)}] on the real
+    line (paper, Section 1): doubling (dimension <= 2) with aspect ratio
+    [2^(n-1) - 1] — super-polynomial in [n]. *)
+
+val exponential_clusters :
+  Ron_util.Rng.t -> clusters:int -> per_cluster:int -> base:float -> Metric.t
+(** Cluster [i] sits at position [base^i] on the real line, its
+    [per_cluster] members jittered within a unit interval around it. The
+    aspect ratio is ~[base^clusters] while [n = clusters * per_cluster]:
+    a doubling metric with a huge aspect ratio at moderate [n] — the stress
+    regime for the (log Delta) factors of Theorems 2.1 and 5.2(a) and the
+    showcase for Theorems 3.4 and 5.2(b). Normalized. *)
+
+val uniform_line : int -> Metric.t
+(** [{0, 1, ..., n-1}] on the line: a UL-constrained metric (growth rate of
+    balls bounded above and below), used for the Theorem 5.4 comparison. *)
+
+val ring : int -> Metric.t
+(** [n] evenly spaced points on a circle with the shortest-arc distance;
+    UL-constrained, doubling dimension ~1. *)
+
+val clustered_latency :
+  Ron_util.Rng.t -> clusters:int -> per_cluster:int -> spread:float -> access:float -> Metric.t
+(** Synthetic Internet-latency metric: cluster centers ("cities") uniform in
+    a square of side 1000, members within [spread] of their center, distance
+    = l2 backbone distance plus per-node access delays in [0, access]
+    (adding a star metric keeps the triangle inequality). Normalized. *)
+
+val three_point_example : float -> Metric.t
+(** The paper's Section 1.1 example [{1, 2, Delta}] with [d(x,y) = |x-y|]:
+    three nodes, aspect ratio arbitrarily large relative to n. *)

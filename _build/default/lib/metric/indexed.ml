@@ -1,0 +1,112 @@
+(* Distances and node ids are kept in parallel unboxed arrays (rather than
+   tuple arrays) so that an index over n nodes costs ~16 n^2 bytes; this is
+   what allows the experiments to run at n in the thousands. *)
+type t = {
+  metric : Metric.t;
+  (* sorted_d.(u).(k) / sorted_v.(u).(k): distance and id of the k-th
+     closest node to u (k = 0 is u itself). Ties are broken by node id. *)
+  sorted_d : float array array;
+  sorted_v : int array array;
+  diameter : float;
+  min_distance : float;
+}
+
+let create m =
+  let n = Metric.size m in
+  let diameter = ref 0.0 and dmin = ref infinity in
+  let sorted_d = Array.make n [||] and sorted_v = Array.make n [||] in
+  for u = 0 to n - 1 do
+    let row = Array.init n (fun v -> (Metric.dist m u v, v)) in
+    Array.sort compare row;
+    let far = fst row.(n - 1) in
+    if far > !diameter then diameter := far;
+    if n > 1 then begin
+      let near = fst row.(1) in
+      if near < !dmin then dmin := near
+    end;
+    sorted_d.(u) <- Array.map fst row;
+    sorted_v.(u) <- Array.map snd row
+  done;
+  { metric = m; sorted_d; sorted_v; diameter = !diameter; min_distance = !dmin }
+
+let metric t = t.metric
+let size t = Metric.size t.metric
+let dist t u v = Metric.dist t.metric u v
+let diameter t = t.diameter
+let min_distance t = t.min_distance
+
+let aspect_ratio t = if size t < 2 then 1.0 else t.diameter /. t.min_distance
+
+let log2_aspect_ratio t =
+  let a = aspect_ratio t in
+  max 1 (int_of_float (ceil (Ron_util.Bits.flog2 (max 2.0 a))))
+
+let log2_size t = max 1 (Ron_util.Bits.ilog2_ceil (max 2 (size t)))
+
+let nth_neighbor t u k = (t.sorted_v.(u).(k), t.sorted_d.(u).(k))
+
+(* Number of nodes at distance <= r from u: binary search for the last index
+   with distance <= r. *)
+let count_le t u r =
+  if r < 0.0 then 0
+  else begin
+    let row = t.sorted_d.(u) in
+    let n = Array.length row in
+    let rec go lo hi =
+      (* invariant: row.(lo-1) <= r (or lo = 0), row.(hi) > r (or hi = n) *)
+      if lo >= hi then lo
+      else
+        let mid = (lo + hi) / 2 in
+        if row.(mid) <= r then go (mid + 1) hi else go lo mid
+    in
+    go 0 n
+  end
+
+let ball_count = count_le
+
+let ball t u r =
+  let k = count_le t u r in
+  Array.sub t.sorted_v.(u) 0 k
+
+let ball_iter t u r f =
+  let k = count_le t u r in
+  for i = 0 to k - 1 do
+    f t.sorted_v.(u).(i) t.sorted_d.(u).(i)
+  done
+
+let annulus t u r_in r_out =
+  let k_in = count_le t u r_in and k_out = count_le t u r_out in
+  Array.sub t.sorted_v.(u) k_in (max 0 (k_out - k_in))
+
+let radius_for_count t u k =
+  let n = size t in
+  if k < 1 || k > n then invalid_arg "Indexed.radius_for_count";
+  t.sorted_d.(u).(k - 1)
+
+let r_eps t u eps =
+  let n = size t in
+  let k = int_of_float (ceil (eps *. float_of_int n)) in
+  radius_for_count t u (max 1 (min n k))
+
+let r_level t u i =
+  if i < 0 then infinity
+  else begin
+    let n = size t in
+    (* ceil (n / 2^i), computed in integers to avoid float rounding. *)
+    let p = if i >= 62 then max_int else 1 lsl i in
+    let k = if p >= n then 1 else (n + p - 1) / p in
+    radius_for_count t u k
+  end
+
+let nearest_of t u candidates =
+  if Array.length candidates = 0 then invalid_arg "Indexed.nearest_of: empty";
+  let best = ref candidates.(0) and best_d = ref (dist t u candidates.(0)) in
+  Array.iter
+    (fun v ->
+      let d = dist t u v in
+      if d < !best_d || (d = !best_d && v < !best) then begin
+        best := v;
+        best_d := d
+      end)
+    candidates;
+  (!best, !best_d)

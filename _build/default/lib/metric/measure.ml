@@ -1,0 +1,64 @@
+module Rng = Ron_util.Rng
+
+type t = { mu : float array }
+
+let create idx hier =
+  let n = Indexed.size idx in
+  let jmax = Net.Hierarchy.jmax hier in
+  (* mass_at.(u) is the mass of u at the level currently being processed. *)
+  let mass_at = Array.make n 0.0 in
+  Array.iter (fun u -> mass_at.(u) <- 1.0 /. float_of_int (Array.length (Net.Hierarchy.level hier jmax)))
+    (Net.Hierarchy.level hier jmax);
+  for j = jmax - 1 downto 0 do
+    let children = Hashtbl.create 64 in
+    (* Assign each level-j point to its nearest level-(j+1) parent. A point
+       that is itself in G_(j+1) is its own parent (distance 0). *)
+    Array.iter
+      (fun q ->
+        let (p, _) = Net.Hierarchy.nearest hier (j + 1) q in
+        let cur = try Hashtbl.find children p with Not_found -> [] in
+        Hashtbl.replace children p (q :: cur))
+      (Net.Hierarchy.level hier j);
+    let next = Array.make n 0.0 in
+    Hashtbl.iter
+      (fun p kids ->
+        let share = mass_at.(p) /. float_of_int (List.length kids) in
+        List.iter (fun q -> next.(q) <- next.(q) +. share) kids)
+      children;
+    Array.blit next 0 mass_at 0 n
+  done;
+  (* G_0 is the whole node set on a normalized metric, so every node now has
+     positive mass. *)
+  { mu = mass_at }
+
+let mass t u = t.mu.(u)
+
+let ball_mass t idx u r =
+  let acc = ref 0.0 in
+  Indexed.ball_iter idx u r (fun v _ -> acc := !acc +. t.mu.(v));
+  !acc
+
+let cumulative_by_distance t idx u =
+  let n = Indexed.size idx in
+  let c = Array.make n 0.0 in
+  let acc = ref 0.0 in
+  for k = 0 to n - 1 do
+    let (v, _) = Indexed.nth_neighbor idx u k in
+    acc := !acc +. t.mu.(v);
+    c.(k) <- !acc
+  done;
+  c
+
+let doubling_constant_estimate t idx ?(samples = 200) rng =
+  let n = Indexed.size idx in
+  let worst = ref 1.0 in
+  for _ = 1 to samples do
+    let u = Rng.int rng n in
+    let k = 2 + Rng.int rng (max 1 (n - 2)) in
+    let r = Indexed.radius_for_count idx u k in
+    if r > 0.0 then begin
+      let big = ball_mass t idx u r and small = ball_mass t idx u (r /. 2.0) in
+      if small > 0.0 then worst := Float.max !worst (big /. small)
+    end
+  done;
+  !worst

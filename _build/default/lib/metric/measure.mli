@@ -1,0 +1,35 @@
+(** Doubling measures (Theorem 1.3).
+
+    A measure is [s]-doubling if [mu(B_u(r)) <= s * mu(B_u(r/2))] for every
+    ball. For any finite metric of doubling dimension [alpha] a
+    [2^O(alpha)]-doubling measure exists and is efficiently constructible
+    [Volberg–Konyagin; Wu; Mendel–Har-Peled]. Intuitively the measure makes
+    the metric look growth-constrained: on the exponential line
+    [{2^i : i in [n]}] it assigns [mu(2^i) ~ 2^(i-n)], so sparse regions are
+    up-weighted — exactly what the small-world constructions of Section 5
+    need in order to oversample nodes in sparse neighborhoods.
+
+    Construction: walk the nested net hierarchy top-down; the single top
+    point carries mass 1, and each net point at level [j+1] splits its mass
+    equally among its level-[j] children (net points whose nearest
+    level-[j+1] parent it is). The number of children is bounded by
+    [2^O(alpha)] (Lemma 1.4), which bounds the doubling constant. *)
+
+type t
+
+val create : Indexed.t -> Net.Hierarchy.t -> t
+
+val mass : t -> int -> float
+(** [mass t u]: the measure of node [u]; positive, and summing to 1. *)
+
+val ball_mass : t -> Indexed.t -> int -> float -> float
+(** Measure of the closed ball [B_u(r)]. *)
+
+val cumulative_by_distance : t -> Indexed.t -> int -> float array
+(** [cumulative_by_distance t idx u]: array [c] where [c.(k)] is the total
+    mass of the [k+1] nodes closest to [u] (in the index's sorted order).
+    Used for O(log n) sampling from balls proportionally to the measure. *)
+
+val doubling_constant_estimate : t -> Indexed.t -> ?samples:int -> Ron_util.Rng.t -> float
+(** Empirical doubling constant: max over sampled balls of
+    [mu(B_u(r)) / mu(B_u(r/2))]. *)

@@ -1,0 +1,109 @@
+type t = { name : string; n : int; dist : int -> int -> float }
+
+let create ~name n dist =
+  if n < 1 then invalid_arg "Metric.create: need at least one node";
+  { name; n; dist }
+
+let of_matrix ~name m =
+  let n = Array.length m in
+  if n = 0 then invalid_arg "Metric.of_matrix: empty matrix";
+  Array.iter (fun row -> if Array.length row <> n then invalid_arg "Metric.of_matrix: not square") m;
+  { name; n; dist = (fun u v -> m.(u).(v)) }
+
+let name t = t.name
+let size t = t.n
+
+let dist t u v =
+  if u < 0 || u >= t.n || v < 0 || v >= t.n then invalid_arg "Metric.dist: node out of range";
+  t.dist u v
+
+let check t =
+  let n = t.n in
+  let err fmt = Format.kasprintf (fun s -> Error s) fmt in
+  let exception Bad of string in
+  try
+    for u = 0 to n - 1 do
+      if t.dist u u <> 0.0 then raise (Bad (Format.asprintf "d(%d,%d) <> 0" u u));
+      for v = u + 1 to n - 1 do
+        let d = t.dist u v in
+        if not (Float.is_finite d) || d <= 0.0 then
+          raise (Bad (Format.asprintf "d(%d,%d) = %g not positive finite" u v d));
+        (* Tolerate last-ulp asymmetry from float summation order (e.g. a
+           shortest path walked in the two directions). *)
+        if Float.abs (t.dist v u -. d) > 1e-9 *. Float.max 1.0 d then
+          raise (Bad (Format.asprintf "d(%d,%d) asymmetric" u v))
+      done
+    done;
+    (* Triangle inequality, with a tiny tolerance for float rounding. *)
+    for u = 0 to n - 1 do
+      for v = 0 to n - 1 do
+        if v <> u then
+          for w = 0 to n - 1 do
+            if w <> u && w <> v then begin
+              let duv = t.dist u v and duw = t.dist u w and dwv = t.dist w v in
+              if duv > (duw +. dwv) *. (1.0 +. 1e-9) then
+                raise
+                  (Bad
+                     (Format.asprintf "triangle violated: d(%d,%d)=%g > d(%d,%d)+d(%d,%d)=%g" u v duv
+                        u w w v (duw +. dwv)))
+            end
+          done
+      done
+    done;
+    Ok ()
+  with Bad s -> err "%s: %s" t.name s
+
+let min_distance t =
+  if t.n < 2 then infinity
+  else begin
+    let best = ref infinity in
+    for u = 0 to t.n - 1 do
+      for v = u + 1 to t.n - 1 do
+        let d = t.dist u v in
+        if d < !best then best := d
+      done
+    done;
+    !best
+  end
+
+let diameter t =
+  let best = ref 0.0 in
+  for u = 0 to t.n - 1 do
+    for v = u + 1 to t.n - 1 do
+      let d = t.dist u v in
+      if d > !best then best := d
+    done
+  done;
+  !best
+
+let aspect_ratio t = if t.n < 2 then 1.0 else diameter t /. min_distance t
+
+let materialize t =
+  Array.init t.n (fun u -> Array.init t.n (fun v -> t.dist u v))
+
+let scale t c =
+  if not (c > 0.0) then invalid_arg "Metric.scale: factor must be positive";
+  { t with dist = (fun u v -> c *. t.dist u v) }
+
+let normalize t =
+  let dmin = min_distance t in
+  if t.n >= 2 && not (dmin > 0.0 && Float.is_finite dmin) then
+    invalid_arg "Metric.normalize: degenerate metric (duplicate or infinitely far points)";
+  if t.n < 2 || dmin = 1.0 then { t with dist = (let m = materialize t in fun u v -> m.(u).(v)) }
+  else begin
+    let m = materialize t in
+    (* Divide rather than multiply by the inverse so that the minimum pair
+       lands exactly on 1.0. *)
+    Array.iteri (fun u row -> Array.iteri (fun v d -> m.(u).(v) <- d /. dmin) row) m;
+    { t with dist = (fun u v -> m.(u).(v)) }
+  end
+
+let submetric t nodes =
+  let k = Array.length nodes in
+  if k = 0 then invalid_arg "Metric.submetric: empty node set";
+  Array.iter (fun u -> if u < 0 || u >= t.n then invalid_arg "Metric.submetric: node out of range") nodes;
+  {
+    name = t.name ^ "/sub";
+    n = k;
+    dist = (fun i j -> t.dist nodes.(i) nodes.(j));
+  }

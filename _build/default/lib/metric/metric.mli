@@ -1,0 +1,52 @@
+(** Finite metric spaces.
+
+    Nodes are integers [0 .. n-1]. A metric is a name, a size, and a distance
+    function; the distance function must be symmetric, non-negative, zero
+    exactly on the diagonal, and satisfy the triangle inequality —
+    [check] verifies all of this exhaustively.
+
+    Throughout the library (as in the paper, Section 1.1) metrics are
+    {e normalized} so that the minimum inter-node distance is 1; then the
+    aspect ratio [Delta] equals the diameter and the nested net hierarchy
+    uses radii [2^j] with level 0 containing every node. [normalize]
+    rescales an arbitrary metric into this form. *)
+
+type t
+
+val create : name:string -> int -> (int -> int -> float) -> t
+(** [create ~name n dist] wraps a distance function. The function is trusted;
+    call [check] to validate it. *)
+
+val of_matrix : name:string -> float array array -> t
+(** Build from a dense symmetric matrix. *)
+
+val name : t -> string
+val size : t -> int
+
+val dist : t -> int -> int -> float
+(** [dist m u v]; raises [Invalid_argument] on out-of-range nodes. *)
+
+val check : t -> (unit, string) result
+(** Exhaustive O(n^3) validation of the metric axioms; intended for tests and
+    for rejecting malformed user input, not for hot paths. *)
+
+val min_distance : t -> float
+(** Smallest distance between two distinct nodes; [infinity] if [n < 2]. *)
+
+val diameter : t -> float
+(** Largest pairwise distance; [0] if [n < 2]. *)
+
+val aspect_ratio : t -> float
+(** [diameter / min_distance]; [1] if [n < 2]. *)
+
+val normalize : t -> t
+(** Rescale so that the minimum distance is 1. Materializes the distances of
+    the input into a matrix, so the result has O(n^2) memory but O(1)
+    lookups. The identity scaling is skipped. *)
+
+val scale : t -> float -> t
+(** [scale m c] multiplies every distance by [c > 0]. *)
+
+val submetric : t -> int array -> t
+(** [submetric m nodes] restricts [m] to the given nodes (renumbered
+    [0 .. length-1]). Doubling dimension never increases under restriction. *)

@@ -1,0 +1,76 @@
+let r_net idx ?(seeds = [||]) ~r () =
+  let n = Indexed.size idx in
+  let pts = ref (Array.to_list seeds) in
+  let far u = List.for_all (fun p -> Indexed.dist idx u p >= r) !pts in
+  let added = ref [] in
+  for u = 0 to n - 1 do
+    if far u then begin
+      pts := u :: !pts;
+      added := u :: !added
+    end
+  done;
+  Array.append seeds (Array.of_list (List.rev !added))
+
+let is_r_net idx net ~r =
+  let n = Indexed.size idx in
+  let packing = ref true in
+  Array.iteri
+    (fun i u ->
+      Array.iteri (fun j v -> if j > i && Indexed.dist idx u v < r then packing := false) net)
+    net;
+  let covering = ref true in
+  for u = 0 to n - 1 do
+    let covered = Array.exists (fun p -> Indexed.dist idx u p <= r) net in
+    if not covered then covering := false
+  done;
+  !packing && !covering
+
+module Hierarchy = struct
+  type t = {
+    idx : Indexed.t;
+    levels : int array array; (* levels.(j) = points of G_j *)
+    member : bool array array; (* member.(j).(u) *)
+    jmax : int;
+  }
+
+  let create idx =
+    if Indexed.size idx >= 2 && Indexed.min_distance idx < 1.0 then
+      invalid_arg "Net.Hierarchy.create: metric must be normalized (min distance >= 1)";
+    let n = Indexed.size idx in
+    let jmax =
+      if n < 2 then 0
+      else max 1 (int_of_float (ceil (Ron_util.Bits.flog2 (Indexed.diameter idx))))
+    in
+    let levels = Array.make (jmax + 1) [||] in
+    (* Top level: a single node covers everything since 2^jmax >= Delta. *)
+    levels.(jmax) <- [| 0 |];
+    for j = jmax - 1 downto 0 do
+      let r = Ron_util.Bits.pow2 j in
+      levels.(j) <- r_net idx ~seeds:levels.(j + 1) ~r ()
+    done;
+    let member =
+      Array.map
+        (fun pts ->
+          let b = Array.make n false in
+          Array.iter (fun u -> b.(u) <- true) pts;
+          b)
+        levels
+    in
+    { idx; levels; member; jmax }
+
+  let jmax t = t.jmax
+
+  let clamp t j = max 0 (min t.jmax j)
+
+  let level t j = t.levels.(clamp t j)
+
+  let mem t j u = t.member.(clamp t j).(u)
+
+  let max_level_of t u =
+    let rec go j = if j < 0 then -1 else if t.member.(j).(u) then j else go (j - 1) in
+    go t.jmax
+
+  let nearest t j u = Indexed.nearest_of t.idx u (level t j)
+
+  let radius t j = Ron_util.Bits.pow2 (clamp t j)
+end

@@ -1,0 +1,52 @@
+(** r-nets and nested net hierarchies.
+
+    An [r]-net (Section 1.1) is a set [S] such that every point of the metric
+    is within [r] of [S] (covering) and any two points of [S] are at distance
+    at least [r] (packing). By Lemma 1.4 an [r]-net has at most [(4 r'/r)^alpha]
+    elements in any ball of radius [r' >= r].
+
+    The hierarchy is the paper's greedily constructed sequence of nested nets
+    [G_jmax ⊆ ... ⊆ G_1 ⊆ G_0] where [G_j] is a [2^j]-net (proof of Theorem
+    3.2). On a metric normalized to minimum distance 1, [G_0] is the whole
+    node set, which several proofs rely on. *)
+
+val r_net : Indexed.t -> ?seeds:int array -> r:float -> unit -> int array
+(** [r_net idx ~r ()] greedily builds an [r]-net: starting from [seeds]
+    (which must be pairwise at distance [>= r]; default empty), scan nodes in
+    id order and add any node at distance [>= r] from all current net points.
+    Returns net points in the order added (seeds first). *)
+
+val is_r_net : Indexed.t -> int array -> r:float -> bool
+(** Checks both the packing and covering conditions. *)
+
+module Hierarchy : sig
+  type t
+
+  val create : Indexed.t -> t
+  (** Requires a metric with minimum distance [>= 1] (normalized). Builds
+      nested [2^j]-nets for [j = 0 .. jmax], top-down, where
+      [jmax = ceil(log2 Delta)] and [G_jmax] is a single node. *)
+
+  val jmax : t -> int
+
+  val level : t -> int -> int array
+  (** [level h j]: the points of [G_j]. [j] is clamped to [0 .. jmax], which
+      implements the paper's convention that scales below the minimum
+      distance are the whole node set and scales above the diameter are a
+      single point. *)
+
+  val mem : t -> int -> int -> bool
+  (** [mem h j u]: is [u] a point of [G_j] (with the same clamping)? *)
+
+  val max_level_of : t -> int -> int
+  (** [max_level_of h u]: the largest [j] such that [u ∈ G_j]; [-1] never
+      happens since [G_0] contains every node. *)
+
+  val nearest : t -> int -> int -> int * float
+  (** [nearest h j u]: the net point of [G_j] closest to [u] and its
+      distance (at most [2^j] by the covering property). Ties broken by
+      node id. *)
+
+  val radius : t -> int -> float
+  (** [radius h j] is [2^j] (clamped [j]). *)
+end

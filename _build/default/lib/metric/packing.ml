@@ -1,0 +1,76 @@
+type ball = { center : int; radius : float; members : int array }
+
+type t = { eps : float; n : int; balls : ball array; owner : int array }
+
+(* The Appendix-A descent for one node: returns a candidate ball. *)
+let candidate idx ~eps u =
+  let n = Indexed.size idx in
+  let meas members_count = float_of_int members_count /. float_of_int n in
+  let r_u = Indexed.r_eps idx u eps in
+  if r_u = 0.0 then { center = u; radius = 0.0; members = [| u |] }
+  else begin
+    let rec descend c rho =
+      if rho < Indexed.min_distance idx then
+        (* Only the center remains: the "heavy single node" case. *)
+        { center = c; radius = 0.0; members = [| c |] }
+      else begin
+        let members = Indexed.ball idx c rho in
+        let centers = Doubling.greedy_cover idx members ~radius:(rho /. 8.0) in
+        (* Heaviest cover ball by global measure. *)
+        let best = ref centers.(0) and best_count = ref (-1) in
+        Array.iter
+          (fun v ->
+            let k = Indexed.ball_count idx v (rho /. 8.0) in
+            if k > !best_count then begin
+              best := v;
+              best_count := k
+            end)
+          centers;
+        let v = !best in
+        if meas (Indexed.ball_count idx v (rho /. 2.0)) <= eps then
+          { center = v; radius = rho /. 8.0; members = Indexed.ball idx v (rho /. 8.0) }
+        else descend v (rho /. 2.0)
+      end
+    in
+    descend u r_u
+  end
+
+let create idx ~eps =
+  if not (eps > 0.0 && eps <= 1.0) then invalid_arg "Packing.create: eps must be in (0,1]";
+  let n = Indexed.size idx in
+  let candidates = Array.init n (fun u -> candidate idx ~eps u) in
+  (* Maximal disjoint subfamily, scanning candidates in node order. *)
+  let owner = Array.make n (-1) in
+  let chosen = ref [] in
+  let count = ref 0 in
+  Array.iter
+    (fun b ->
+      let disjoint = Array.for_all (fun v -> owner.(v) < 0) b.members in
+      if disjoint then begin
+        Array.iter (fun v -> owner.(v) <- !count) b.members;
+        chosen := b :: !chosen;
+        incr count
+      end)
+    candidates;
+  { eps; n; balls = Array.of_list (List.rev !chosen); owner }
+
+let eps t = t.eps
+let balls t = t.balls
+
+let measure_of t b = float_of_int (Array.length b.members) /. float_of_int t.n
+
+let ball_index_of_member t u = if t.owner.(u) < 0 then None else Some t.owner.(u)
+
+let covering_ball t idx u =
+  if Array.length t.balls = 0 then invalid_arg "Packing.covering_ball: empty packing";
+  let score b = Indexed.dist idx u b.center +. b.radius in
+  let best = ref t.balls.(0) and best_score = ref (score t.balls.(0)) in
+  Array.iter
+    (fun b ->
+      let s = score b in
+      if s < !best_score then begin
+        best := b;
+        best_score := s
+      end)
+    t.balls;
+  !best

@@ -1,0 +1,39 @@
+(** (eps, mu)-packings (Lemma 3.1 / Lemma A.1).
+
+    An (eps, mu)-packing is a family [F] of disjoint balls, each of measure
+    at least [eps / 2^O(alpha)], such that for every node [u] some ball
+    [B_v(r)] of [F] satisfies [d(u,v) + r <= 6 r_u(eps)] (so in particular
+    the ball lies inside [B_u(6 r_u(eps))]). The paper uses these with the
+    counting measure [mu(S) = |S|/n] to build the X-type neighbors of
+    Theorems 3.2, 3.4 and 4.2.
+
+    The construction follows Appendix A: for each node [u] descend from the
+    ball [B_u(r_u(eps))], at each step covering the current ball with radius/8
+    balls (Lemma 1.1) and recursing into the heaviest one until its 4x
+    blow-up is light enough ("u-zooming" ball) or a single node remains; then
+    keep a maximal disjoint subfamily of the candidate balls. *)
+
+type ball = {
+  center : int;  (** the designated node [h_B] — a center of the ball *)
+  radius : float;
+  members : int array;  (** nodes of the ball, the disjointness domain *)
+}
+
+type t
+
+val create : Indexed.t -> eps:float -> t
+(** Counting-measure packing. [eps] in (0, 1]. *)
+
+val eps : t -> float
+val balls : t -> ball array
+
+val measure_of : t -> ball -> float
+(** Counting measure [|members| / n] of a ball. *)
+
+val ball_index_of_member : t -> int -> int option
+(** The (unique, by disjointness) index of the ball containing a node. *)
+
+val covering_ball : t -> Indexed.t -> int -> ball
+(** [covering_ball t idx u]: a ball [B] of the packing minimizing
+    [d(u, h_B) + radius]; Lemma A.1 guarantees this value is at most
+    [6 r_u(eps)]. *)

@@ -1,0 +1,1 @@
+lib/routing/basic.ml: Array Hashtbl Ron_core Ron_graph Ron_metric Ron_util Scheme Structure

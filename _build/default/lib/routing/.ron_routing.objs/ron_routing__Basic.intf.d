@@ -1,0 +1,1 @@
+lib/routing/basic.mli: Bytes Ron_graph Scheme

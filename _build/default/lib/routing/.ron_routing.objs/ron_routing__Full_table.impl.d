@@ -1,0 +1,1 @@
+lib/routing/full_table.ml: Array Ron_graph Ron_util Scheme

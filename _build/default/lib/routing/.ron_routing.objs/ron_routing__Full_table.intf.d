@@ -1,0 +1,1 @@
+lib/routing/full_table.mli: Ron_graph Scheme

@@ -1,0 +1,1 @@
+lib/routing/labelled.ml: Array Hashtbl Ron_graph Ron_labeling Ron_metric Ron_util Scheme

@@ -1,0 +1,1 @@
+lib/routing/labelled.mli: Ron_graph Scheme

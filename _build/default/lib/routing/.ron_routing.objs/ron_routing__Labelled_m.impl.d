@@ -1,0 +1,1 @@
+lib/routing/labelled_m.ml: Array Hashtbl Labelled Ron_labeling Ron_metric Ron_util Scheme

@@ -1,0 +1,1 @@
+lib/routing/labelled_m.mli: Ron_metric Scheme

@@ -1,0 +1,1 @@
+lib/routing/on_metric.ml: Array Fun Ron_core Ron_metric Ron_util Scheme Structure

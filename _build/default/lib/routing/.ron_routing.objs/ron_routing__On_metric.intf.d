@@ -1,0 +1,1 @@
+lib/routing/on_metric.mli: Ron_metric Scheme

@@ -1,0 +1,1 @@
+lib/routing/structure.ml: Array Float Ron_core Ron_metric Ron_util

@@ -1,0 +1,1 @@
+lib/routing/structure.mli: Ron_core Ron_metric

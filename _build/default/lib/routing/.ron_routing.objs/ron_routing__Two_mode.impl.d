@@ -1,0 +1,1 @@
+lib/routing/two_mode.ml: Array Float Hashtbl List Ron_labeling Ron_metric Ron_util Scheme

@@ -1,0 +1,1 @@
+lib/routing/two_mode.mli: Ron_metric Scheme

@@ -1,0 +1,134 @@
+module Indexed = Ron_metric.Indexed
+module Sp_metric = Ron_graph.Sp_metric
+module Graph = Ron_graph.Graph
+module Bits = Ron_util.Bits
+module Rings = Ron_core.Rings
+module Zooming = Ron_core.Zooming
+
+type t = {
+  sp : Sp_metric.t;
+  st : Structure.t;
+  first_hop : (int, int) Hashtbl.t array; (* per node: neighbor -> out-edge index *)
+}
+
+type header = { label : Zooming.encoded; target : int; level : int option }
+
+let scales t = t.st.Structure.scales
+
+let ring t u j = Array.copy (Rings.ring t.st.Structure.rings u j).Rings.members
+
+let zooming t u = Array.copy t.st.Structure.zoomings.(u)
+
+let max_ring_size t = Rings.max_ring_size t.st.Structure.rings
+
+let build sp ~delta =
+  let idx = Indexed.create (Sp_metric.metric sp) in
+  let st = Structure.build idx ~delta in
+  let n = Indexed.size idx in
+  let first_hop =
+    Array.init n (fun u ->
+        let tbl = Hashtbl.create 64 in
+        Array.iter
+          (fun v ->
+            if v <> u && not (Hashtbl.mem tbl v) then
+              Hashtbl.replace tbl v (Sp_metric.first_hop_index sp u v))
+          (Rings.neighbors st.Structure.rings u);
+        tbl)
+  in
+  { sp; st; first_hop }
+
+let initial_header t dst = { label = t.st.Structure.labels.(dst); target = dst; level = None }
+
+let step t u (h : header) : header Scheme.action =
+  if u = h.target then Deliver
+  else begin
+    let m = Structure.decode t.st u h.label in
+    let jut = Array.length m - 1 in
+    let forward_to j =
+      let w = Structure.intermediate_of t.st u m j in
+      if w = u then
+        failwith "Basic.step: intermediate target equals current node (invariant broken)"
+      else begin
+        match Hashtbl.find_opt t.first_hop.(u) w with
+        | None -> failwith "Basic.step: no first-hop pointer to intermediate target"
+        | Some k -> Scheme.Forward (Graph.hop (Sp_metric.graph t.sp) u k, { h with level = Some j })
+      end
+    in
+    match h.level with
+    | None -> forward_to jut
+    | Some j ->
+      if j > jut then failwith "Basic.step: Claim 2.4(b) violated (j > j_ut)";
+      let w = Structure.intermediate_of t.st u m j in
+      if w = u then forward_to jut (* u is the intermediate target: re-zoom *)
+      else forward_to j
+  end
+
+let route t ~src ~dst =
+  let n = Indexed.size t.st.Structure.idx in
+  let hb = Structure.label_bits t.st dst + Bits.index_bits (scales t + 1) in
+  Scheme.simulate
+    ~dist:(fun a b -> Sp_metric.dist t.sp a b)
+    ~step:(step t)
+    ~header_bits:(fun _ -> hb)
+    ~src ~header:(initial_header t dst)
+    ~max_hops:(max 64 (8 * n))
+
+let table_bits t =
+  let n = Indexed.size t.st.Structure.idx in
+  let g = Sp_metric.graph t.sp in
+  let fh_bits = Bits.index_bits (max 2 (Graph.max_out_degree g)) in
+  Array.init n (fun u ->
+      Structure.zeta_bits_sparse t.st u
+      + (Hashtbl.length t.first_hop.(u) * fh_bits)
+      + Bits.index_bits n)
+
+let table_bits_dense t =
+  let n = Indexed.size t.st.Structure.idx in
+  let g = Sp_metric.graph t.sp in
+  let fh_bits = Bits.index_bits (max 2 (Graph.max_out_degree g)) in
+  let dense = Structure.zeta_bits_dense t.st in
+  Array.init n (fun u ->
+      dense + (Hashtbl.length t.first_hop.(u) * fh_bits) + Bits.index_bits n)
+
+let label_bits t =
+  Array.init (Indexed.size t.st.Structure.idx) (fun u -> Structure.label_bits t.st u)
+
+let header_bits t = Structure.header_bits t.st
+
+(* ----------------------------------------------------------- Wire format *)
+
+module Bitio = Ron_util.Bitio
+
+let serialize_label t dst =
+  let n = Indexed.size t.st.Structure.idx in
+  let enc = t.st.Structure.labels.(dst) in
+  let w = Bitio.Writer.create () in
+  Bitio.Writer.bits w dst ~width:(Bits.index_bits n);
+  Bitio.Writer.bits w enc.Zooming.first ~width:t.st.Structure.ring_index_bits;
+  Array.iter
+    (fun y -> Bitio.Writer.bits w y ~width:t.st.Structure.ring_index_bits)
+    enc.Zooming.rest;
+  (Bitio.Writer.to_bytes w, Bitio.Writer.length w)
+
+let deserialize_label t bytes =
+  let n = Indexed.size t.st.Structure.idx in
+  let r = Bitio.Reader.of_bytes bytes in
+  let target = Bitio.Reader.bits r ~width:(Bits.index_bits n) in
+  let first = Bitio.Reader.bits r ~width:t.st.Structure.ring_index_bits in
+  let rest =
+    Array.init (t.st.Structure.scales - 1) (fun _ ->
+        Bitio.Reader.bits r ~width:t.st.Structure.ring_index_bits)
+  in
+  { label = { Zooming.first; rest }; target; level = None }
+
+let route_header t ~src header =
+  let n = Indexed.size t.st.Structure.idx in
+  let hb =
+    Structure.label_bits t.st header.target + Bits.index_bits (t.st.Structure.scales + 1)
+  in
+  Scheme.simulate
+    ~dist:(fun a b -> Sp_metric.dist t.sp a b)
+    ~step:(step t)
+    ~header_bits:(fun _ -> hb)
+    ~src ~header
+    ~max_hops:(max 64 (8 * n))

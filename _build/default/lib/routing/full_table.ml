@@ -1,0 +1,29 @@
+module Sp_metric = Ron_graph.Sp_metric
+module Graph = Ron_graph.Graph
+module Bits = Ron_util.Bits
+
+type t = { sp : Sp_metric.t }
+
+let build sp = { sp }
+
+let route t ~src ~dst =
+  let g = Sp_metric.graph t.sp in
+  let n = Graph.size g in
+  let step u target =
+    if u = target then Scheme.Deliver
+    else Scheme.Forward (Sp_metric.next_toward t.sp u target, target)
+  in
+  Scheme.simulate
+    ~dist:(fun a b -> Sp_metric.dist t.sp a b)
+    ~step
+    ~header_bits:(fun _ -> Bits.index_bits n)
+    ~src ~header:dst ~max_hops:(max 64 (2 * n))
+
+let table_bits t =
+  let g = Sp_metric.graph t.sp in
+  let n = Graph.size g in
+  let fh_bits = Bits.index_bits (max 2 (Graph.max_out_degree g)) in
+  (* One first-hop entry per target, indexed by the target's global id. *)
+  Array.make n ((n - 1) * fh_bits)
+
+let header_bits t = Bits.index_bits (Graph.size (Sp_metric.graph t.sp))

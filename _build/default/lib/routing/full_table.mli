@@ -1,0 +1,13 @@
+(** The trivial stretch-1 routing scheme (Section 1): every node stores the
+    first hop of a shortest path to every target, [n ceil(log2 Dout)] bits
+    plus target identifiers — the [Omega(n log n)]-bit baseline compact
+    routing is measured against. Headers carry only the target id. *)
+
+type t
+
+val build : Ron_graph.Sp_metric.t -> t
+val route : t -> src:int -> dst:int -> Scheme.result
+(** Always delivers with stretch exactly 1. *)
+
+val table_bits : t -> int array
+val header_bits : t -> int

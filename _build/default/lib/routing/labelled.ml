@@ -1,0 +1,113 @@
+module Indexed = Ron_metric.Indexed
+module Net = Ron_metric.Net
+module Sp_metric = Ron_graph.Sp_metric
+module Graph = Ron_graph.Graph
+module Bits = Ron_util.Bits
+module Triangulation = Ron_labeling.Triangulation
+module Dls = Ron_labeling.Dls
+
+(* Internal delta for the black-box DLS: (1+2d)(1+d/8) <= 3/2 holds for
+   d = 0.22. *)
+let dls_delta = 0.22
+
+type t = {
+  sp : Sp_metric.t;
+  idx : Indexed.t;
+  delta : float;
+  dls : Dls.t;
+  nbrs : int array array; (* per node: sorted distinct neighbor ids *)
+  first_hop : (int, int) Hashtbl.t array;
+  dls_bits : int array;
+}
+
+let neighbors t u = Array.copy t.nbrs.(u)
+
+let build sp ~delta =
+  if not (delta > 0.0 && delta < 2.0 /. 3.0) then
+    invalid_arg "Labelled.build: delta must be in (0, 2/3)";
+  let metric = Ron_metric.Metric.normalize (Sp_metric.metric sp) in
+  let idx = Indexed.create metric in
+  let n = Indexed.size idx in
+  let tri = Triangulation.build idx ~delta:dls_delta in
+  let dls = Dls.build tri in
+  (* F_j = 2^j-nets (the hierarchy's levels); F_j(u) = B_u(2^(j+2)/delta). *)
+  let hier = Triangulation.hierarchy tri in
+  let jmax = Net.Hierarchy.jmax hier in
+  let nbrs =
+    Array.init n (fun u ->
+        let tbl = Hashtbl.create 32 in
+        for j = 0 to jmax do
+          let r = Ron_util.Bits.pow2 (j + 2) /. delta in
+          Indexed.ball_iter idx u r (fun v _ ->
+              if Net.Hierarchy.mem hier j v then Hashtbl.replace tbl v ())
+        done;
+        let a = Array.of_list (Hashtbl.fold (fun v () acc -> v :: acc) tbl []) in
+        Array.sort compare a;
+        a)
+  in
+  let first_hop =
+    Array.init n (fun u ->
+        let tbl = Hashtbl.create 32 in
+        Array.iter
+          (fun v -> if v <> u then Hashtbl.replace tbl v (Sp_metric.first_hop_index sp u v))
+          nbrs.(u);
+        tbl)
+  in
+  { sp; idx; delta; dls; nbrs; first_hop; dls_bits = Dls.label_bits dls }
+
+type header = { target : int; intermediate : int }
+
+let step t u (h : header) : header Scheme.action =
+  if u = h.target then Deliver
+  else begin
+    let forward_to v h' =
+      match Hashtbl.find_opt t.first_hop.(u) v with
+      | Some k -> Scheme.Forward (Graph.hop (Sp_metric.graph t.sp) u k, h')
+      | None -> failwith "Labelled.step: intermediate target is not a neighbor"
+    in
+    if h.intermediate = u then begin
+      (* Select a new intermediate target: the neighbor minimizing the
+         labeled distance estimate to the target. *)
+      let lt = Dls.label t.dls h.target in
+      let best = ref (-1) and best_d = ref infinity in
+      Array.iter
+        (fun v ->
+          if v <> u then begin
+            let d = Dls.estimate (Dls.label t.dls v) lt in
+            if d < !best_d || (d = !best_d && v < !best) then begin
+              best := v;
+              best_d := d
+            end
+          end)
+        t.nbrs.(u);
+      if !best < 0 then failwith "Labelled.step: no neighbors";
+      forward_to !best { h with intermediate = !best }
+    end
+    else forward_to h.intermediate h
+  end
+
+let route t ~src ~dst =
+  let n = Indexed.size t.idx in
+  let hdr_bits _ = t.dls_bits.(dst) + Bits.index_bits n in
+  Scheme.simulate
+    ~dist:(fun a b -> Sp_metric.dist t.sp a b)
+    ~step:(step t)
+    ~header_bits:hdr_bits ~src
+    ~header:{ target = dst; intermediate = src }
+    ~max_hops:(max 64 (8 * n))
+
+let table_bits t =
+  let g = Sp_metric.graph t.sp in
+  let n = Indexed.size t.idx in
+  let fh_bits = Bits.index_bits (max 2 (Graph.max_out_degree g)) in
+  Array.init n (fun u ->
+      Array.fold_left (fun acc v -> acc + t.dls_bits.(v) + fh_bits) 0 t.nbrs.(u)
+      + Bits.index_bits n)
+
+let label_bits t = Array.copy t.dls_bits
+
+let header_bits t =
+  let n = Indexed.size t.idx in
+  Array.fold_left max 0 t.dls_bits + Bits.index_bits n
+
+let out_degree t = Array.fold_left (fun acc a -> max acc (Array.length a)) 0 t.nbrs

@@ -1,0 +1,83 @@
+module Indexed = Ron_metric.Indexed
+module Net = Ron_metric.Net
+module Bits = Ron_util.Bits
+module Triangulation = Ron_labeling.Triangulation
+module Dls = Ron_labeling.Dls
+
+type t = {
+  idx : Indexed.t;
+  delta : float;
+  dls : Dls.t;
+  nbrs : int array array;
+  dls_bits : int array;
+}
+
+let build idx ~delta =
+  if not (delta > 0.0 && delta < 2.0 /. 3.0) then
+    invalid_arg "Labelled_m.build: delta must be in (0, 2/3)";
+  if Indexed.size idx >= 2 && Indexed.min_distance idx < 1.0 then
+    invalid_arg "Labelled_m.build: metric must be normalized";
+  let n = Indexed.size idx in
+  let tri = Triangulation.build idx ~delta:Labelled.dls_delta in
+  let dls = Dls.build tri in
+  let hier = Triangulation.hierarchy tri in
+  let jmax = Net.Hierarchy.jmax hier in
+  let nbrs =
+    Array.init n (fun u ->
+        let tbl = Hashtbl.create 32 in
+        for j = 0 to jmax do
+          let r = Bits.pow2 (j + 2) /. delta in
+          Indexed.ball_iter idx u r (fun v _ ->
+              if Net.Hierarchy.mem hier j v then Hashtbl.replace tbl v ())
+        done;
+        let a = Array.of_list (Hashtbl.fold (fun v () acc -> v :: acc) tbl []) in
+        Array.sort compare a;
+        a)
+  in
+  { idx; delta; dls; nbrs; dls_bits = Dls.label_bits dls }
+
+let step t u target : int Scheme.action =
+  if u = target then Deliver
+  else begin
+    let lt = Dls.label t.dls target in
+    let best = ref (-1) and best_d = ref infinity in
+    Array.iter
+      (fun v ->
+        if v <> u then begin
+          let d = Dls.estimate (Dls.label t.dls v) lt in
+          if d < !best_d || (d = !best_d && v < !best) then begin
+            best := v;
+            best_d := d
+          end
+        end)
+      t.nbrs.(u);
+    if !best < 0 then failwith "Labelled_m.step: no neighbors";
+    Forward (!best, target)
+  end
+
+let route t ~src ~dst =
+  let n = Indexed.size t.idx in
+  let hb = t.dls_bits.(dst) + Bits.index_bits n in
+  Scheme.simulate
+    ~dist:(fun a b -> Indexed.dist t.idx a b)
+    ~step:(step t)
+    ~header_bits:(fun _ -> hb)
+    ~src ~header:dst
+    ~max_hops:(max 64 (4 * n))
+
+let out_degree t = Array.fold_left (fun acc a -> max acc (Array.length a)) 0 t.nbrs
+
+let mean_out_degree t =
+  let n = Array.length t.nbrs in
+  float_of_int (Array.fold_left (fun acc a -> acc + Array.length a) 0 t.nbrs)
+  /. float_of_int (max 1 n)
+
+let table_bits t =
+  let n = Indexed.size t.idx in
+  Array.init n (fun u ->
+      Array.fold_left (fun acc v -> acc + t.dls_bits.(v)) 0 t.nbrs.(u) + Bits.index_bits n)
+
+let label_bits t = Array.copy t.dls_bits
+
+let header_bits t =
+  Array.fold_left max 0 t.dls_bits + Bits.index_bits (Indexed.size t.idx)

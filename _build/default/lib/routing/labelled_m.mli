@@ -1,0 +1,20 @@
+(** Theorem 4.1 as a routing scheme on metrics (Section 4.1, Table 2 row 3).
+
+    The overlay links each node to its j-level neighbors
+    [F_j(u) = B_u(2^(j+2)/delta) ∩ F_j]; since every neighbor is one hop
+    away, the first-hop machinery disappears and each intermediate-target
+    selection is a single overlay hop. Tables store the neighbors' distance
+    labels (to evaluate the labeled estimate [D]); headers carry the
+    target's label. *)
+
+type t
+
+val build : Ron_metric.Indexed.t -> delta:float -> t
+(** [delta] in (0, 2/3); requires a normalized metric. *)
+
+val route : t -> src:int -> dst:int -> Scheme.result
+val out_degree : t -> int
+val mean_out_degree : t -> float
+val table_bits : t -> int array
+val label_bits : t -> int array
+val header_bits : t -> int

@@ -1,0 +1,57 @@
+module Indexed = Ron_metric.Indexed
+module Bits = Ron_util.Bits
+module Rings = Ron_core.Rings
+module Zooming = Ron_core.Zooming
+
+type t = { st : Structure.t }
+
+type header = { label : Zooming.encoded; target : int }
+
+let build idx ~delta = { st = Structure.build idx ~delta }
+
+let scales t = t.st.Structure.scales
+let max_ring_size t = Rings.max_ring_size t.st.Structure.rings
+
+(* Each step jumps straight to the best intermediate target: the overlay
+   link to f_(t, j_ut). *)
+let step t u (h : header) : header Scheme.action =
+  if u = h.target then Deliver
+  else begin
+    let m = Structure.decode t.st u h.label in
+    let jut = Array.length m - 1 in
+    let w = Structure.intermediate_of t.st u m jut in
+    if w = u then failwith "On_metric.step: intermediate target equals current node"
+    else Forward (w, h)
+  end
+
+let route t ~src ~dst =
+  let hb = Structure.label_bits t.st dst in
+  Scheme.simulate
+    ~dist:(fun a b -> Indexed.dist t.st.Structure.idx a b)
+    ~step:(step t)
+    ~header_bits:(fun _ -> hb)
+    ~src
+    ~header:{ label = t.st.Structure.labels.(dst); target = dst }
+    ~max_hops:(max 64 (4 * t.st.Structure.scales))
+
+let out_degree t = Rings.max_out_degree t.st.Structure.rings
+
+let mean_out_degree t =
+  let n = Rings.size t.st.Structure.rings in
+  let acc = ref 0 in
+  for u = 0 to n - 1 do
+    acc := !acc + Rings.out_degree t.st.Structure.rings u
+  done;
+  float_of_int !acc /. float_of_int n
+
+let table_bits t =
+  let n = Indexed.size t.st.Structure.idx in
+  Array.init n (fun u -> Structure.zeta_bits_sparse t.st u + Bits.index_bits n)
+
+let label_bits t =
+  Array.init (Indexed.size t.st.Structure.idx) (fun u -> Structure.label_bits t.st u)
+
+let header_bits t =
+  let n = Indexed.size t.st.Structure.idx in
+  Array.fold_left (fun acc u -> max acc (Structure.label_bits t.st u)) 0
+    (Array.init n Fun.id)

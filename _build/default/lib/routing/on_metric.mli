@@ -1,0 +1,30 @@
+(** Routing schemes on metrics (Section 4.1, Table 2).
+
+    Here the input is a metric [(V, d)] and the scheme is free to choose an
+    overlay edge set [E] (edge weights = distances); the out-degree of the
+    overlay becomes a parameter to optimize alongside table and header
+    bits. The Theorem 2.1 structure gives an overlay where each node links
+    to all of its ring members; a packet hops {e directly} to each
+    intermediate target, so the first-hop machinery disappears and the
+    routing table is just the translation functions. *)
+
+type t
+
+val build : Ron_metric.Indexed.t -> delta:float -> t
+(** [delta] in (0, 1/4]. *)
+
+val route : t -> src:int -> dst:int -> Scheme.result
+(** Hops are overlay links (one per intermediate target). *)
+
+val out_degree : t -> int
+(** Max number of overlay out-links (distinct ring members). *)
+
+val mean_out_degree : t -> float
+val table_bits : t -> int array
+(** Translation functions only (links are the overlay's edges; their
+    endpoints' addresses are the out-degree column, as in Table 2). *)
+
+val label_bits : t -> int array
+val header_bits : t -> int
+val scales : t -> int
+val max_ring_size : t -> int

@@ -1,0 +1,43 @@
+type 'h step = int -> 'h -> 'h action
+
+and 'h action = Deliver | Forward of int * 'h
+
+type result = {
+  delivered : bool;
+  hops : int;
+  length : float;
+  path : int list;
+  max_header_bits : int;
+}
+
+let simulate ~dist ~step ~header_bits ~src ~header ~max_hops =
+  let rec go node header acc_path acc_len hops max_hb =
+    let max_hb = max max_hb (header_bits header) in
+    match step node header with
+    | Deliver ->
+      { delivered = true; hops; length = acc_len; path = List.rev acc_path; max_header_bits = max_hb }
+    | Forward (next, header') ->
+      if next = node then failwith "Scheme.simulate: scheme forwarded a packet to itself";
+      if hops >= max_hops then
+        {
+          delivered = false;
+          hops;
+          length = acc_len;
+          path = List.rev acc_path;
+          max_header_bits = max_hb;
+        }
+      else go next header' (next :: acc_path) (acc_len +. dist node next) (hops + 1) max_hb
+  in
+  go src header [ src ] 0.0 0 0
+
+type table_stats = {
+  max_table_bits : int;
+  mean_table_bits : float;
+  max_label_bits : int;
+  header_bits : int;
+  out_degree : int;
+}
+
+let stretch r d =
+  if not r.delivered then invalid_arg "Scheme.stretch: packet not delivered";
+  if d = 0.0 then 1.0 else r.length /. d

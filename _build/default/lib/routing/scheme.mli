@@ -1,0 +1,48 @@
+(** Routing-scheme plumbing: the local-step packet simulator and the
+    measurements every scheme reports.
+
+    A routing scheme (Section 1) assigns each node a routing table and a
+    routing label; forwarding is {e local} — a function of the current
+    node's table and the packet header only. The simulator enforces this
+    shape: a scheme exposes a step function from (node, header) to the next
+    hop, and the simulator walks it, accumulating the traversed length and
+    the largest header it saw. *)
+
+type 'h step = int -> 'h -> 'h action
+(** The local forwarding decision at a node. *)
+
+and 'h action =
+  | Deliver  (** the current node is the target *)
+  | Forward of int * 'h  (** next physical hop and the (possibly rewritten) header *)
+
+type result = {
+  delivered : bool;
+  hops : int;
+  length : float;  (** total metric length of the traversed hops *)
+  path : int list;  (** nodes visited, source first; includes the target *)
+  max_header_bits : int;
+}
+
+val simulate :
+  dist:(int -> int -> float) ->
+  step:'h step ->
+  header_bits:('h -> int) ->
+  src:int ->
+  header:'h ->
+  max_hops:int ->
+  result
+(** Runs the packet until [Deliver] or [max_hops]. [dist] is charged on
+    every [Forward] edge. A step that forwards to the current node itself
+    raises [Failure] (a broken scheme must be loud, not spin). *)
+
+type table_stats = {
+  max_table_bits : int;
+  mean_table_bits : float;
+  max_label_bits : int;
+  header_bits : int;
+  out_degree : int;  (** max out-degree of the overlay/graph used *)
+}
+
+val stretch : result -> float -> float
+(** [stretch r d]: [r.length / d]; 1.0 when [d = 0]. Raises if not
+    delivered. *)

@@ -1,0 +1,110 @@
+module Indexed = Ron_metric.Indexed
+module Net = Ron_metric.Net
+module Bits = Ron_util.Bits
+module Rings = Ron_core.Rings
+module Enumeration = Ron_core.Enumeration
+module Translation = Ron_core.Translation
+module Zooming = Ron_core.Zooming
+
+type t = {
+  idx : Indexed.t;
+  delta : float;
+  scales : int;
+  nets : int array array;
+  rings : Rings.t;
+  enums : Enumeration.t array array;
+  zetas : Translation.t array array;
+  zoomings : int array array;
+  labels : Zooming.encoded array;
+  ring_index_bits : int;
+}
+
+let build idx ~delta =
+  if not (delta > 0.0 && delta <= 0.25) then
+    invalid_arg "Structure.build: delta must be in (0, 1/4]";
+  let n = Indexed.size idx in
+  let diam = Float.max (Indexed.diameter idx) 1e-9 in
+  let big_l = Indexed.log2_aspect_ratio idx in
+  let scales = big_l + 1 in
+  (* Nested nets: G_j is a (Delta/2^j)-net; G_L is the whole node set. *)
+  let nets = Array.make scales [||] in
+  nets.(0) <- Net.r_net idx ~r:diam ();
+  for j = 1 to scales - 1 do
+    nets.(j) <- Net.r_net idx ~seeds:nets.(j - 1) ~r:(diam /. Bits.pow2 j) ()
+  done;
+  let net_member =
+    Array.map
+      (fun pts ->
+        let b = Array.make n false in
+        Array.iter (fun u -> b.(u) <- true) pts;
+        b)
+      nets
+  in
+  let radius_of j = 4.0 *. diam /. (delta *. Bits.pow2 j) in
+  let rings =
+    Rings.of_membership idx ~scales ~radius_of ~member_of:(fun j v -> net_member.(j).(v))
+  in
+  let enums =
+    Array.init n (fun u ->
+        Array.init scales (fun j -> Enumeration.of_array (Rings.ring rings u j).Rings.members))
+  in
+  let zoomings =
+    Array.init n (fun t_ -> Array.init scales (fun j -> fst (Indexed.nearest_of idx t_ nets.(j))))
+  in
+  let zetas =
+    Array.init n (fun u ->
+        Array.init (scales - 1) (fun j ->
+            let z = Translation.create () in
+            let next_ring = (Rings.ring rings u (j + 1)).Rings.members in
+            Array.iter
+              (fun f ->
+                let x = Enumeration.index_exn enums.(u).(j) f in
+                Array.iter
+                  (fun w ->
+                    match Enumeration.index enums.(f).(j + 1) w with
+                    | None -> ()
+                    | Some y ->
+                      Translation.add z ~x ~y ~z:(Enumeration.index_exn enums.(u).(j + 1) w))
+                  next_ring)
+              (Rings.ring rings u j).Rings.members;
+            z))
+  in
+  let labels =
+    Array.init n (fun t_ ->
+        let sequence = zoomings.(t_) in
+        Zooming.encode ~sequence
+          ~enum_of_prev:(fun j next -> Enumeration.index enums.(sequence.(j)).(j + 1) next)
+          ~first_index:(Enumeration.index_exn enums.(t_).(0) sequence.(0)))
+  in
+  let ring_index_bits = Bits.index_bits (max 2 (Rings.max_ring_size rings)) in
+  { idx; delta; scales; nets; rings; enums; zetas; zoomings; labels; ring_index_bits }
+
+let decode t u label =
+  Zooming.decode_walk ~translate:(fun j ~x ~y -> Translation.find t.zetas.(u).(j) ~x ~y) label
+
+let intermediate_of t u m j = Enumeration.node t.enums.(u).(j) m.(j)
+
+let zeta_bits_sparse t u =
+  Array.fold_left
+    (fun acc z ->
+      acc
+      + Translation.bits_sparse z ~x_bits:t.ring_index_bits ~y_bits:t.ring_index_bits
+          ~z_bits:t.ring_index_bits)
+    0 t.zetas.(u)
+
+let zeta_bits_dense t =
+  let k = max 2 (Rings.max_ring_size t.rings) in
+  (t.scales - 1) * Translation.bits_dense ~x_card:k ~y_card:k ~z_bits:t.ring_index_bits
+
+let label_bits t u =
+  Zooming.bits t.labels.(u) ~index_bits:t.ring_index_bits + Bits.index_bits (Indexed.size t.idx)
+
+let header_bits t =
+  let n = Indexed.size t.idx in
+  Array.fold_left
+    (fun acc enc ->
+      max acc
+        (Zooming.bits enc ~index_bits:t.ring_index_bits
+        + Bits.index_bits n
+        + Bits.index_bits (t.scales + 1)))
+    0 t.labels

@@ -1,0 +1,44 @@
+(** Internal: the Theorem 2.1 ring/zooming/translation structure, shared by
+    the graph scheme ({!Basic}) and the metric scheme ({!On_metric}).
+
+    Holds, for a metric of aspect ratio [Delta] and a given [delta]: the
+    nested nets [G_j] ([Delta/2^j]-nets), the rings
+    [Y_uj = B_u(4 Delta/(delta 2^j)) ∩ G_j], their host enumerations, the
+    translation functions [zeta_uj], the zooming sequences [f_tj] and their
+    encoded routing labels. *)
+
+type t = {
+  idx : Ron_metric.Indexed.t;
+  delta : float;
+  scales : int;
+  nets : int array array;
+  rings : Ron_core.Rings.t;
+  enums : Ron_core.Enumeration.t array array;
+  zetas : Ron_core.Translation.t array array;
+  zoomings : int array array;
+  labels : Ron_core.Zooming.encoded array;
+  ring_index_bits : int;
+}
+
+val build : Ron_metric.Indexed.t -> delta:float -> t
+(** [delta] in (0, 1/4]. *)
+
+val decode : t -> int -> Ron_core.Zooming.encoded -> int array
+(** Claim 2.2 at node [u]: local indices [m_0 .. m_jut] of the encoded
+    zooming sequence. *)
+
+val intermediate_of : t -> int -> int array -> int -> int
+(** [intermediate_of t u m j]: the node [f_tj] named by local index
+    [m.(j)] in [u]'s ring [j]. *)
+
+val zeta_bits_sparse : t -> int -> int
+(** Total sparse translation-table bits of node [u]. *)
+
+val zeta_bits_dense : t -> int
+(** Dense per-node accounting: [(scales-1) * K^2 * ceil(log2 K)]. *)
+
+val label_bits : t -> int -> int
+(** Encoded zooming sequence plus the global id. *)
+
+val header_bits : t -> int
+(** Max label bits plus the intermediate-level field. *)

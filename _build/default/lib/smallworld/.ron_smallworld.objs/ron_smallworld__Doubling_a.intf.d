@@ -1,0 +1,1 @@
+lib/smallworld/doubling_a.mli: Ron_metric Ron_util Sw_model

@@ -1,0 +1,1 @@
+lib/smallworld/doubling_b.ml: Array Doubling_a Float Ron_metric Ron_util Sw_model

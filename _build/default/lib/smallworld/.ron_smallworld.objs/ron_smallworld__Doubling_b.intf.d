@@ -1,0 +1,1 @@
+lib/smallworld/doubling_b.mli: Ron_metric Ron_util Sw_model

@@ -1,0 +1,1 @@
+lib/smallworld/kleinberg_grid.ml: Array Printf Ron_metric Ron_util Sw_model

@@ -1,0 +1,1 @@
+lib/smallworld/kleinberg_grid.mli: Ron_util Sw_model

@@ -1,0 +1,1 @@
+lib/smallworld/meridian.ml: Array Float Hashtbl List Queue Ron_metric Ron_util

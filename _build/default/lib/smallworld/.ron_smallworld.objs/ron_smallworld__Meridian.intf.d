@@ -1,0 +1,1 @@
+lib/smallworld/meridian.mli: Ron_metric Ron_util

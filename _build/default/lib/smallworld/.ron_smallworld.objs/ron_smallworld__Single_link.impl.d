@@ -1,0 +1,1 @@
+lib/smallworld/single_link.ml: Array Ron_graph Ron_metric Ron_util Sw_model

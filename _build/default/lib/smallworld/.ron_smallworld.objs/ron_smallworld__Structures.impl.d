@@ -1,0 +1,1 @@
+lib/smallworld/structures.ml: Array Ron_metric Ron_util Sw_model

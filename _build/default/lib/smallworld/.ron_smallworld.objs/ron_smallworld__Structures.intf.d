@@ -1,0 +1,1 @@
+lib/smallworld/structures.mli: Ron_metric Ron_util Sw_model

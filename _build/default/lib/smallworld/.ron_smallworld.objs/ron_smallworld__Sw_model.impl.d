@@ -1,0 +1,1 @@
+lib/smallworld/sw_model.ml: Array Hashtbl List Ron_metric

@@ -1,0 +1,1 @@
+lib/smallworld/sw_model.mli: Ron_metric

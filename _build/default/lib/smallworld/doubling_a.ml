@@ -1,0 +1,71 @@
+module Indexed = Ron_metric.Indexed
+module Measure = Ron_metric.Measure
+module Doubling = Ron_metric.Doubling
+module Rng = Ron_util.Rng
+
+type t = {
+  idx : Indexed.t;
+  contacts : int array array;
+  xc : int array array;
+  yc : int array array;
+}
+
+let sample_uniform_ball idx rng u k samples =
+  let radius = Indexed.radius_for_count idx u k in
+  let ball = Indexed.ball idx u radius in
+  Array.init samples (fun _ -> Rng.pick rng ball)
+
+let sample_measure_ball idx cum rng u radius samples =
+  let count = Indexed.ball_count idx u radius in
+  if count <= 0 then [||]
+  else begin
+    let prefix = Array.sub cum 0 count in
+    if prefix.(count - 1) <= 0.0 then [||]
+    else
+      Array.init samples (fun _ ->
+          let k = Rng.weighted_index rng prefix in
+          fst (Indexed.nth_neighbor idx u k))
+  end
+
+let x_contacts_of idx rng ~samples u =
+  let n = Indexed.size idx in
+  let li = Indexed.log2_size idx + 1 in
+  let acc = ref [] in
+  for i = 0 to li - 1 do
+    let p = if i >= 62 then max_int else 1 lsl i in
+    let k = if p >= n then 1 else (n + p - 1) / p in
+    Array.iter (fun v -> acc := v :: !acc) (sample_uniform_ball idx rng u k samples)
+  done;
+  Array.of_list !acc
+
+let build ?(c = 3) idx mu rng =
+  if Indexed.size idx >= 2 && Indexed.min_distance idx < 1.0 then
+    invalid_arg "Doubling_a.build: metric must be normalized";
+  let n = Indexed.size idx in
+  let logn = Indexed.log2_size idx in
+  let jmax = Indexed.log2_aspect_ratio idx in
+  let alpha = Doubling.dimension_estimate idx (Rng.split rng) in
+  let x_samples = c * logn in
+  let y_samples = max 1 (int_of_float (2.0 *. float_of_int c *. alpha *. float_of_int logn)) in
+  let xc = Array.init n (fun u -> x_contacts_of idx rng ~samples:x_samples u) in
+  let yc =
+    Array.init n (fun u ->
+        let cum = Measure.cumulative_by_distance mu idx u in
+        let acc = ref [] in
+        for j = 0 to jmax do
+          Array.iter
+            (fun v -> acc := v :: !acc)
+            (sample_measure_ball idx cum rng u (Ron_util.Bits.pow2 j) y_samples)
+        done;
+        Array.of_list !acc)
+  in
+  let contacts = Array.init n (fun u -> Array.append xc.(u) yc.(u)) in
+  { idx; contacts; xc; yc }
+
+let contacts t = t.contacts
+let out_degree t = Sw_model.out_degree_stats t.contacts
+let x_contacts t u = Array.copy t.xc.(u)
+let y_contacts t u = Array.copy t.yc.(u)
+
+let route t ~src ~dst ~max_hops =
+  Sw_model.route t.idx ~contacts:t.contacts ~policy:Sw_model.Greedy ~src ~dst ~max_hops

@@ -1,0 +1,39 @@
+(** The Theorem 5.2(a) small-world model: out-degree
+    [2^O(alpha) (log n)(log Delta)], greedy routing, O(log n)-hop queries
+    w.h.p. — even when the aspect ratio is exponential in [n].
+
+    Contacts of [u]:
+    - X-type: for each cardinality scale [i in [log n]], [c log n] nodes
+      sampled uniformly from [B_ui], the smallest ball around [u] with at
+      least [n/2^i] nodes;
+    - Y-type: for each distance scale [j in [log Delta]], [c_y log n] nodes
+      sampled from [B_u(2^j)] proportionally to a doubling measure (which
+      oversamples nodes in sparse regions — the reason greedy can cross
+      sparse annuli in O(1) hops, the proof's property star). *)
+
+type t
+
+val build :
+  ?c:int ->
+  Ron_metric.Indexed.t ->
+  Ron_metric.Measure.t ->
+  Ron_util.Rng.t ->
+  t
+(** [c] (default 3) scales the per-ring sample counts ([c log n] for X,
+    [2 c alpha' log n] for Y with [alpha'] the estimated dimension, as in
+    the theorem). Requires a normalized metric. *)
+
+val contacts : t -> int array array
+val out_degree : t -> int * float
+(** [(max, mean)] distinct contacts. *)
+
+val route : t -> src:int -> dst:int -> max_hops:int -> Sw_model.result
+(** Greedy routing. *)
+
+val x_contacts : t -> int -> int array
+val y_contacts : t -> int -> int array
+
+val x_contacts_of :
+  Ron_metric.Indexed.t -> Ron_util.Rng.t -> samples:int -> int -> int array
+(** The shared X-type sampler ([samples] uniform draws from each ball
+    [B_ui]); also used by Theorem 5.2(b). *)

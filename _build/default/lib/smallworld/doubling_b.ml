@@ -1,0 +1,93 @@
+module Indexed = Ron_metric.Indexed
+module Measure = Ron_metric.Measure
+module Doubling = Ron_metric.Doubling
+module Bits = Ron_util.Bits
+module Rng = Ron_util.Rng
+
+type t = {
+  idx : Indexed.t;
+  contacts : int array array;
+  yc : int array array;
+  zc : int array array;
+}
+
+let build ?(c = 3) ?window_cap idx mu rng =
+  if Indexed.size idx >= 2 && Indexed.min_distance idx < 1.0 then
+    invalid_arg "Doubling_b.build: metric must be normalized";
+  let n = Indexed.size idx in
+  let logn = Indexed.log2_size idx in
+  let log_delta = Float.max 2.0 (Bits.flog2 (Float.max 2.0 (Indexed.aspect_ratio idx))) in
+  let x = sqrt log_delta in
+  let alpha = Doubling.dimension_estimate idx (Rng.split rng) in
+  let x_samples = c * logn in
+  let y_samples = max 1 (int_of_float (2.0 *. float_of_int c *. alpha *. float_of_int logn)) in
+  let li = Indexed.log2_size idx + 1 in
+  let jcap =
+    match window_cap with
+    | Some k -> max 0 k
+    | None ->
+      int_of_float (Float.ceil (((3.0 *. x) +. 3.0) *. Float.max 1.0 (Bits.flog2 log_delta)))
+  in
+  let delta_diam = Indexed.diameter idx in
+  let xc = Array.init n (fun u -> Doubling_a.x_contacts_of idx rng ~samples:x_samples u) in
+  (* Pruned Y-type. *)
+  let yc =
+    Array.init n (fun u ->
+        let cum = Measure.cumulative_by_distance mu idx u in
+        let acc = ref [] in
+        for i = 0 to li - 1 do
+          let r_prev = Indexed.r_level idx u (i - 1) in
+          let r_ui = Indexed.r_level idx u i in
+          let r_next = if i + 1 <= li - 1 then Indexed.r_level idx u (i + 1) else 0.0 in
+          if r_ui > 0.0 then
+            for j = -jcap to jcap do
+              let radius = r_ui *. (2.0 ** Float.of_int j) in
+              if radius > r_next && radius < r_prev then begin
+                let count = Indexed.ball_count idx u radius in
+                if count > 0 && cum.(count - 1) > 0.0 then begin
+                  let prefix = Array.sub cum 0 count in
+                  for _ = 1 to y_samples do
+                    let k = Rng.weighted_index rng prefix in
+                    acc := fst (Indexed.nth_neighbor idx u k) :: !acc
+                  done
+                end
+              end
+            done
+        done;
+        Array.of_list !acc)
+  in
+  (* Z-type: annuli with super-geometric radii rho_j = 2^((1+1/x)^j). *)
+  let zc =
+    Array.init n (fun u ->
+        let acc = ref [] in
+        let j = ref 0 in
+        let continue = ref true in
+        while !continue do
+          incr j;
+          let expo_hi = (1.0 +. (1.0 /. x)) ** Float.of_int !j in
+          let rho_hi = 2.0 ** expo_hi in
+          if rho_hi > delta_diam *. 2.0 || !j > 10_000 then continue := false
+          else begin
+            let expo_lo = (1.0 +. (1.0 /. x)) ** Float.of_int (!j - 1) in
+            let rho_lo = 2.0 ** expo_lo in
+            let annulus = Indexed.annulus idx u rho_lo rho_hi in
+            if Array.length annulus > 0 then acc := Rng.pick rng annulus :: !acc
+            else begin
+              (* Closest node outside B_u(rho_hi), if any. *)
+              let k = Indexed.ball_count idx u rho_hi in
+              if k < n then acc := fst (Indexed.nth_neighbor idx u k) :: !acc
+            end
+          end
+        done;
+        Array.of_list !acc)
+  in
+  let contacts = Array.init n (fun u -> Array.concat [ xc.(u); yc.(u); zc.(u) ]) in
+  { idx; contacts; yc; zc }
+
+let contacts t = t.contacts
+let out_degree t = Sw_model.out_degree_stats t.contacts
+let z_contacts t u = Array.copy t.zc.(u)
+let y_contacts t u = Array.copy t.yc.(u)
+
+let route t ~src ~dst ~max_hops =
+  Sw_model.route t.idx ~contacts:t.contacts ~policy:Sw_model.Sidestep ~src ~dst ~max_hops

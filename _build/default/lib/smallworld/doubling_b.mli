@@ -1,0 +1,40 @@
+(** The Theorem 5.2(b) small-world model: out-degree
+    [2^O(alpha) (log n)^2 sqrt(log Delta) (log log Delta)] — breaking the
+    (log Delta) barrier of part (a) — with the non-greedy strongly local
+    {e sidestep} routing rule, O(log n)-hop queries w.h.p.
+
+    Contacts of [u] (with [x = sqrt(log2 Delta)], [rho_j = 2^((1+1/x)^j)]):
+    - X-type: as in part (a);
+    - pruned Y-type: for each cardinality scale [i] and each {e signed}
+      offset [j] with [|j| <= (3x+3) log log Delta] and
+      [r_(u,i+1) < r_ui 2^j < r_(u,i-1)], samples from [B_u(r_ui 2^j)]
+      proportionally to the doubling measure — only the distance scales near
+      the cardinality scales survive, which is where the sqrt saving comes
+      from;
+    - Z-type: one node per annulus [B_u(rho_j) \ B_u(rho_(j-1))] (uniform;
+      or the closest node beyond the annulus when it is empty) — the escape
+      hatches the sidestep rule jumps to. *)
+
+type t
+
+val build :
+  ?c:int ->
+  ?window_cap:int ->
+  Ron_metric.Indexed.t ->
+  Ron_metric.Measure.t ->
+  Ron_util.Rng.t ->
+  t
+(** [window_cap] overrides the pruning cap on the signed offsets [j]
+    (default: the paper's [(3x+3) log log Delta]). The default only
+    truncates anything once [log Delta] is in the thousands — beyond float
+    range — so the E-5.2b ablation passes smaller caps to exhibit the
+    sqrt(log Delta) out-degree shape at feasible aspect ratios. *)
+
+val contacts : t -> int array array
+val out_degree : t -> int * float
+
+val route : t -> src:int -> dst:int -> max_hops:int -> Sw_model.result
+(** Sidestep routing; [result.nongreedy_hops] counts rule-(star-star) steps. *)
+
+val z_contacts : t -> int -> int array
+val y_contacts : t -> int -> int array

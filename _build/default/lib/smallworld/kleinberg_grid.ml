@@ -1,0 +1,50 @@
+module Rng = Ron_util.Rng
+
+type t = { side : int; contacts : int array array; metric_idx : Ron_metric.Indexed.t }
+
+let torus_dist side u v =
+  let ux = u mod side and uy = u / side in
+  let vx = v mod side and vy = v / side in
+  let dx = abs (ux - vx) and dy = abs (uy - vy) in
+  min dx (side - dx) + min dy (side - dy)
+
+let build ?(q = 1) ~side rng =
+  if side < 3 then invalid_arg "Kleinberg_grid.build: side must be >= 3";
+  let n = side * side in
+  let dist u v = torus_dist side u v in
+  (* Inverse-square long-range distribution per node. *)
+  let contacts =
+    Array.init n (fun u ->
+        let ux = u mod side and uy = u / side in
+        let locals =
+          [|
+            (uy * side) + ((ux + 1) mod side);
+            (uy * side) + ((ux + side - 1) mod side);
+            (((uy + 1) mod side) * side) + ux;
+            (((uy + side - 1) mod side) * side) + ux;
+          |]
+        in
+        let cum = Array.make n 0.0 in
+        let acc = ref 0.0 in
+        for v = 0 to n - 1 do
+          if v <> u then begin
+            let d = float_of_int (dist u v) in
+            acc := !acc +. (1.0 /. (d *. d))
+          end;
+          cum.(v) <- !acc
+        done;
+        let longs = Array.init q (fun _ -> Rng.weighted_index rng cum) in
+        Array.append locals longs)
+  in
+  let metric =
+    Ron_metric.Metric.create ~name:(Printf.sprintf "torus-%d" side) n (fun u v ->
+        float_of_int (dist u v))
+  in
+  { side; contacts; metric_idx = Ron_metric.Indexed.create metric }
+
+let size t = t.side * t.side
+let dist t u v = torus_dist t.side u v
+let contacts t = t.contacts
+
+let route t ~src ~dst ~max_hops =
+  Sw_model.route t.metric_idx ~contacts:t.contacts ~policy:Sw_model.Greedy ~src ~dst ~max_hops

@@ -1,0 +1,19 @@
+(** Kleinberg's original 2-D small world [30]: the baseline the paper
+    generalizes.
+
+    Nodes form a [k x k] torus with 4 local neighbors each; every node draws
+    [q] long-range contacts with [Pr[v] ∝ d(u,v)^(-2)] (the inverse-square
+    law, the unique searchable exponent in 2D). Greedy routing on the
+    Manhattan torus distance finds targets in [O(log^2 n)] expected hops. *)
+
+type t
+
+val build : ?q:int -> side:int -> Ron_util.Rng.t -> t
+(** [side >= 3]; [q] long-range contacts per node (default 1). *)
+
+val size : t -> int
+val dist : t -> int -> int -> int
+(** Torus Manhattan distance. *)
+
+val route : t -> src:int -> dst:int -> max_hops:int -> Sw_model.result
+val contacts : t -> int array array

@@ -1,0 +1,205 @@
+module Indexed = Ron_metric.Indexed
+module Bits = Ron_util.Bits
+module Rng = Ron_util.Rng
+
+type t = {
+  idx : Indexed.t;
+  ring_size : int;
+  scales : int;
+  member : bool array;
+  mutable member_count : int;
+  rings : int list array array; (* rings.(u).(i): scale-i ring of member u *)
+}
+
+let scale_of t d =
+  (* Annulus index: d in (2^(i-1), 2^i] maps to i; d <= 1 maps to 0. *)
+  if d <= 1.0 then 0
+  else min (t.scales - 1) (int_of_float (Float.ceil (Bits.flog2 d)))
+
+let members t =
+  let out = ref [] in
+  Array.iteri (fun u m -> if m then out := u :: !out) t.member;
+  Array.of_list (List.rev !out)
+
+let is_member t u = t.member.(u)
+
+let ring t u i =
+  if i < 0 || i >= t.scales then [||] else Array.of_list t.rings.(u).(i)
+
+let out_degree t =
+  let maxd = ref 0 and sum = ref 0 and count = ref 0 in
+  Array.iteri
+    (fun u rs ->
+      if t.member.(u) then begin
+        let tbl = Hashtbl.create 16 in
+        Array.iter (fun l -> List.iter (fun v -> Hashtbl.replace tbl v ()) l) rs;
+        let d = Hashtbl.length tbl in
+        maxd := max !maxd d;
+        sum := !sum + d;
+        incr count
+      end)
+    t.rings;
+  (!maxd, float_of_int !sum /. float_of_int (max 1 !count))
+
+(* Insert [v] into [u]'s ring for their distance, reservoir-style: rings
+   keep at most [ring_size] entries; beyond that an existing entry is
+   replaced with probability ring_size/occupancy (approximated by random
+   eviction), keeping the ring a uniform-ish sample of the annulus. *)
+let insert_into_ring t rng u v =
+  if u <> v && t.member.(u) && t.member.(v) then begin
+    let i = scale_of t (Indexed.dist t.idx u v) in
+    let current = t.rings.(u).(i) in
+    if not (List.mem v current) then begin
+      if List.length current < t.ring_size then t.rings.(u).(i) <- v :: current
+      else begin
+        let slot = Rng.int rng (t.ring_size + 1) in
+        if slot < t.ring_size then
+          t.rings.(u).(i) <- v :: List.filteri (fun k _ -> k <> slot) current
+      end
+    end
+  end
+
+let rebuild_rings_of t rng u =
+  Array.iteri (fun i _ -> t.rings.(u).(i) <- []) t.rings.(u);
+  Array.iteri
+    (fun v m -> if m && v <> u then insert_into_ring t rng u v)
+    t.member
+
+let build idx rng ~ring_size ~members =
+  if Indexed.size idx >= 2 && Indexed.min_distance idx < 1.0 then
+    invalid_arg "Meridian.build: metric must be normalized";
+  if ring_size < 1 then invalid_arg "Meridian.build: ring_size must be positive";
+  if Array.length members = 0 then invalid_arg "Meridian.build: no members";
+  let n = Indexed.size idx in
+  let scales = Indexed.log2_aspect_ratio idx + 1 in
+  let member = Array.make n false in
+  Array.iter
+    (fun u ->
+      if u < 0 || u >= n then invalid_arg "Meridian.build: member out of range";
+      member.(u) <- true)
+    members;
+  let member_count = Array.fold_left (fun acc m -> if m then acc + 1 else acc) 0 member in
+  let rings = Array.init n (fun _ -> Array.make scales []) in
+  let t = { idx; ring_size; scales; member; member_count; rings } in
+  (* Fill rings in a random order so reservoir eviction is unbiased. *)
+  let order = Array.copy members in
+  Rng.shuffle rng order;
+  Array.iter (fun u -> Array.iter (fun v -> insert_into_ring t rng u v) order) order;
+  t
+
+type result = { found : int; hops : int; measurements : int; path : int list }
+
+let closest t ~start ~target =
+  if not t.member.(start) then invalid_arg "Meridian.closest: start is not a member";
+  let measurements = ref 0 in
+  let measure v =
+    incr measurements;
+    Indexed.dist t.idx v target
+  in
+  let rec go u d hops acc =
+    (* Poll ring members at scales up to ~2d: anything farther from u than
+       2d cannot be closer than d/2 to the target (triangle inequality), so
+       those rings are not worth probing — Meridian's beta-restriction. *)
+    let limit = scale_of t (2.0 *. d) in
+    let best = ref u and best_d = ref d in
+    for i = 0 to min limit (t.scales - 1) do
+      List.iter
+        (fun v ->
+          let dv = measure v in
+          if dv < !best_d || (dv = !best_d && v < !best) then begin
+            best := v;
+            best_d := dv
+          end)
+        t.rings.(u).(i)
+    done;
+    (* Forward only on geometric progress (factor 1/2 as in Meridian),
+       otherwise settle here. *)
+    if !best <> u && !best_d <= d /. 2.0 then go !best !best_d (hops + 1) (!best :: acc)
+    else if !best <> u && !best_d < d then
+      (* Sub-geometric improvement: take it once, then the next poll decides;
+         progress is still strict so the walk terminates. *)
+      go !best !best_d (hops + 1) (!best :: acc)
+    else { found = u; hops; measurements = !measurements; path = List.rev acc }
+  in
+  let d0 = measure start in
+  go start d0 0 [ start ]
+
+let exact_closest t target =
+  let best = ref (-1) and best_d = ref infinity in
+  Array.iteri
+    (fun u m ->
+      if m then begin
+        let d = Indexed.dist t.idx u target in
+        if d < !best_d || (d = !best_d && u < !best) then begin
+          best := u;
+          best_d := d
+        end
+      end)
+    t.member;
+  !best
+
+let join t rng u =
+  if t.member.(u) then invalid_arg "Meridian.join: already a member";
+  t.member.(u) <- true;
+  t.member_count <- t.member_count + 1;
+  rebuild_rings_of t rng u;
+  (* Gossip into others' rings. *)
+  Array.iteri (fun v m -> if m && v <> u then insert_into_ring t rng v u) t.member
+
+let leave t u =
+  if not t.member.(u) then invalid_arg "Meridian.leave: not a member";
+  if t.member_count <= 1 then invalid_arg "Meridian.leave: cannot empty the overlay";
+  t.member.(u) <- false;
+  t.member_count <- t.member_count - 1;
+  Array.iteri (fun i _ -> t.rings.(u).(i) <- []) t.rings.(u);
+  Array.iteri
+    (fun v m ->
+      if m then
+        Array.iteri (fun i l -> t.rings.(v).(i) <- List.filter (( <> ) u) l) t.rings.(v))
+    t.member
+
+type range_result = { matches : int array; range_hops : int; range_measurements : int }
+
+let within t ~start ~target ~radius =
+  if radius < 0.0 then invalid_arg "Meridian.within: negative radius";
+  (* Phase 1: locate the closest member (re-using the nearest-node walk). *)
+  let seed = closest t ~start ~target in
+  let measurements = ref seed.measurements in
+  let matches = Hashtbl.create 16 in
+  let consulted = Hashtbl.create 16 in
+  let queue = Queue.create () in
+  let consider v =
+    if not (Hashtbl.mem consulted v) then begin
+      Hashtbl.replace consulted v ();
+      incr measurements;
+      if Indexed.dist t.idx v target <= radius then begin
+        Hashtbl.replace matches v ();
+        Queue.add v queue
+      end
+    end
+  in
+  consider seed.found;
+  let hops = ref 0 in
+  while not (Queue.is_empty queue) do
+    let u = Queue.pop queue in
+    incr hops;
+    (* A member v with d(u,v) > d(u,target) + radius cannot match, so only
+       ring scales up to that limit are polled. *)
+    let du = Indexed.dist t.idx u target in
+    let limit = scale_of t (du +. radius) in
+    for i = 0 to min limit (t.scales - 1) do
+      List.iter consider t.rings.(u).(i)
+    done
+  done;
+  let out = Array.of_list (Hashtbl.fold (fun v () acc -> v :: acc) matches []) in
+  Array.sort compare out;
+  { matches = out; range_hops = !hops; range_measurements = !measurements }
+
+let exact_within t target radius =
+  let out = ref [] in
+  Array.iteri
+    (fun u m -> if m && Indexed.dist t.idx u target <= radius then out := u :: !out)
+    t.member;
+  let a = Array.of_list !out in
+  Array.sort compare a;
+  a

@@ -1,0 +1,77 @@
+(** Meridian-style closest-node discovery over rings of neighbors
+    (Section 6; Wong–Slivkins–Sirer, SIGCOMM 2005 [57]).
+
+    The paper closes by noting that rings of neighbors are "the framework
+    used … practically in Meridian, a system for nearest-neighbor and
+    multi-range queries in a peer-to-peer network". This module implements
+    that object-location service over the same substrate: every member node
+    keeps, for each distance scale [i], a ring of up to [ring_size] members
+    sampled from the annulus [(2^(i-1), 2^i]] around it.
+
+    A {e closest-node query} locates the member nearest to an external
+    target point given only the ability to measure distances to the target:
+    the current node measures its ring members against the target and
+    forwards to the best one provided it (multiplicatively) beats the
+    current distance; otherwise the search stops. On doubling metrics the
+    ring structure guarantees geometric progress, so searches take
+    O(log Delta) hops; the number of distance measurements per hop is the
+    ring cardinality within the polling radius.
+
+    Membership is dynamic: [join] and [leave] maintain the rings (the open
+    question the paper's Section 6 raises — here solved centrally-assisted:
+    a joining node fills its rings from its own measurements and inserts
+    itself into other members' rings by reservoir sampling). *)
+
+type t
+
+val build : Ron_metric.Indexed.t -> Ron_util.Rng.t -> ring_size:int -> members:int array -> t
+(** [build idx rng ~ring_size ~members]: an overlay over [members] (a
+    subset of the metric's nodes). The metric must be normalized. *)
+
+val members : t -> int array
+val is_member : t -> int -> bool
+
+val ring : t -> int -> int -> int array
+(** [ring t u i]: the scale-i ring of member [u]. *)
+
+val out_degree : t -> int * float
+
+type result = {
+  found : int;  (** the member the search settled on *)
+  hops : int;
+  measurements : int;  (** target-distance probes issued *)
+  path : int list;
+}
+
+val closest : t -> start:int -> target:int -> result
+(** [closest t ~start ~target]: locate the member closest to [target]
+    (which need not be a member), starting from member [start], using only
+    ring state and distance measurements to [target]. *)
+
+val exact_closest : t -> int -> int
+(** Ground truth for tests: the member genuinely closest to a target. *)
+
+type range_result = {
+  matches : int array;  (** members found within the radius, sorted *)
+  range_hops : int;  (** members whose rings were consulted *)
+  range_measurements : int;
+}
+
+val within : t -> start:int -> target:int -> radius:float -> range_result
+(** Multi-range query (the second Meridian query type the paper's Section 6
+    cites): collect members within [radius] of [target]. Locates the
+    closest member first, then explores outward over rings, consulting only
+    members that are themselves within the radius and polling only ring
+    scales that can intersect the query ball. Returned members all satisfy
+    the radius (exact precision); recall is best-effort, like Meridian's. *)
+
+val exact_within : t -> int -> float -> int array
+(** Ground truth for tests. *)
+
+val join : t -> Ron_util.Rng.t -> int -> unit
+(** Add a node of the underlying metric to the overlay and stitch it into
+    the rings. Raises [Invalid_argument] if it is already a member. *)
+
+val leave : t -> int -> unit
+(** Remove a member and purge it from every ring. Raises
+    [Invalid_argument] if it is not a member or is the last member. *)

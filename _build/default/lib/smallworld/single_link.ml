@@ -1,0 +1,39 @@
+module Indexed = Ron_metric.Indexed
+module Metric = Ron_metric.Metric
+module Measure = Ron_metric.Measure
+module Sp_metric = Ron_graph.Sp_metric
+module Graph = Ron_graph.Graph
+module Rng = Ron_util.Rng
+
+type t = { idx : Indexed.t; contacts : int array array; long : int array }
+
+let build sp mu rng =
+  let idx = Indexed.create (Metric.normalize (Sp_metric.metric sp)) in
+  let g = Sp_metric.graph sp in
+  let n = Indexed.size idx in
+  let jmax = Indexed.log2_aspect_ratio idx in
+  let long =
+    Array.init n (fun u ->
+        let j = Rng.int rng (jmax + 1) in
+        let radius = Ron_util.Bits.pow2 j in
+        let count = Indexed.ball_count idx u radius in
+        let cum = Measure.cumulative_by_distance mu idx u in
+        if count <= 0 || cum.(count - 1) <= 0.0 then u
+        else begin
+          let prefix = Array.sub cum 0 count in
+          let k = Rng.weighted_index rng prefix in
+          fst (Indexed.nth_neighbor idx u k)
+        end)
+  in
+  let contacts =
+    Array.init n (fun u ->
+        let locals = Array.map (fun e -> e.Graph.dst) (Graph.out_edges g u) in
+        Array.append locals [| long.(u) |])
+  in
+  { idx; contacts; long }
+
+let long_contact t u = t.long.(u)
+let contacts t = t.contacts
+
+let route t ~src ~dst ~max_hops =
+  Sw_model.route t.idx ~contacts:t.contacts ~policy:Sw_model.Greedy ~src ~dst ~max_hops

@@ -1,0 +1,25 @@
+(** The single-long-range-contact model (Theorem 5.5): Kleinberg's original
+    setting generalized to graphs with doubling shortest-path metrics.
+
+    Given a connected graph [G] of local contacts, every node receives
+    {e exactly one} long-range contact: pick a scale [j] uniformly from
+    [[log Delta]], then sample from [B_u(2^j)] proportionally to a doubling
+    measure. Greedy routing (over local + long contacts, distances in
+    [d_G]) completes every query in [2^O(alpha) log^2 Delta] hops w.h.p.:
+    local edges always make progress, and each halving of the distance
+    waits ~[2^O(alpha) log Delta] hops for a lucky long link. *)
+
+type t
+
+val build : Ron_graph.Sp_metric.t -> Ron_metric.Measure.t -> Ron_util.Rng.t -> t
+(** The measure must be over the graph's (normalized) shortest-path
+    metric — build it from [Indexed.create (Metric.normalize (Sp_metric.metric g))]'s
+    hierarchy; [build] re-derives the same index internally. *)
+
+val long_contact : t -> int -> int
+(** The one long-range contact of [u]. *)
+
+val route : t -> src:int -> dst:int -> max_hops:int -> Sw_model.result
+(** Greedy over local graph neighbors plus the long contact. *)
+
+val contacts : t -> int array array

@@ -1,0 +1,69 @@
+module Indexed = Ron_metric.Indexed
+module Rng = Ron_util.Rng
+
+type t = {
+  idx : Indexed.t;
+  x : int array array; (* x.(u).(v) = smallest ball cardinality containing both *)
+  pi_cum : float array array; (* per u: cumulative pi_u over node ids *)
+  contacts : int array array;
+}
+
+let compute_x idx =
+  let n = Indexed.size idx in
+  let x = Array.make_matrix n n max_int in
+  for w = 0 to n - 1 do
+    (* Walk w's sorted neighbor list; when v appears at rank k (0-based),
+       the ball around w containing u and v has cardinality
+       max(rank u, rank v) + 1. *)
+    let rank = Array.make n 0 in
+    for k = 0 to n - 1 do
+      let (v, _) = Indexed.nth_neighbor idx w k in
+      rank.(v) <- k
+    done;
+    for u = 0 to n - 1 do
+      for v = u to n - 1 do
+        let c = max rank.(u) rank.(v) + 1 in
+        if c < x.(u).(v) then begin
+          x.(u).(v) <- c;
+          x.(v).(u) <- c
+        end
+      done
+    done
+  done;
+  x
+
+let build ?contacts_per_node idx rng =
+  let n = Indexed.size idx in
+  let logn = Indexed.log2_size idx in
+  let k = match contacts_per_node with Some k -> k | None -> logn * logn in
+  let x = compute_x idx in
+  let pi_cum =
+    Array.init n (fun u ->
+        let c = Array.make n 0.0 in
+        let acc = ref 0.0 in
+        for v = 0 to n - 1 do
+          if v <> u then acc := !acc +. (1.0 /. float_of_int x.(u).(v));
+          c.(v) <- !acc
+        done;
+        c)
+  in
+  let contacts =
+    Array.init n (fun u ->
+        Array.init k (fun _ -> Rng.weighted_index rng pi_cum.(u)))
+  in
+  { idx; x; pi_cum; contacts }
+
+let x_uv t u v = t.x.(u).(v)
+let contacts t = t.contacts
+let out_degree t = Sw_model.out_degree_stats t.contacts
+
+let route t ~src ~dst ~max_hops =
+  Sw_model.route t.idx ~contacts:t.contacts ~policy:Sw_model.Greedy ~src ~dst ~max_hops
+
+let contact_probability t u v =
+  if u = v then 0.0
+  else begin
+    let n = Indexed.size t.idx in
+    let total = t.pi_cum.(u).(n - 1) in
+    1.0 /. float_of_int t.x.(u).(v) /. total
+  end

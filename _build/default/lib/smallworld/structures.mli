@@ -1,0 +1,26 @@
+(** Kleinberg's group-structure small world applied to metric balls
+    (STRUCTURES, Section 5.2).
+
+    For nodes [u, v] let [x_uv] be the smallest cardinality of a ball
+    containing both. Each node draws [Theta(log^2 n)] contacts from the
+    distribution [pi_u(v) ∝ 1/x_uv]; routing is greedy. Theorem 5.4 shows
+    that on UL-constrained metrics the Theorem 5.2 models share all its
+    characteristics: greedy routing, [Theta(log^2 n)] contacts,
+    [Pr[v is a contact of u] = Theta(log n)/x_uv], O(log n)-hop queries.
+
+    Computing [x_uv] exactly costs O(n^3); keep [n] modest. *)
+
+type t
+
+val build : ?contacts_per_node:int -> Ron_metric.Indexed.t -> Ron_util.Rng.t -> t
+(** [contacts_per_node] defaults to [ceil(log2 n)^2]. *)
+
+val x_uv : t -> int -> int -> int
+(** The ball-cardinality "group size" of the pair. *)
+
+val contacts : t -> int array array
+val out_degree : t -> int * float
+val route : t -> src:int -> dst:int -> max_hops:int -> Sw_model.result
+
+val contact_probability : t -> int -> int -> float
+(** The model's [pi_u(v)] (normalized), for the E-5.4 profile comparison. *)

@@ -1,0 +1,80 @@
+module Indexed = Ron_metric.Indexed
+
+type policy = Greedy | Sidestep
+
+type result = { delivered : bool; hops : int; nongreedy_hops : int; path : int list }
+
+(* Greedy choice: contact minimizing d(c, t); ties broken by node id so runs
+   are reproducible. Returns None when u has no contact other than itself. *)
+let greedy_choice idx contacts u t =
+  let best = ref (-1) and best_d = ref infinity in
+  Array.iter
+    (fun c ->
+      if c <> u then begin
+        let d = Indexed.dist idx c t in
+        if d < !best_d || (d = !best_d && (!best < 0 || c < !best)) then begin
+          best := c;
+          best_d := d
+        end
+      end)
+    contacts;
+  if !best < 0 then None else Some (!best, !best_d)
+
+(* Sidestep choice (Theorem 5.2b, rule star-star). *)
+let sidestep_choice idx contacts u t =
+  let dut = Indexed.dist idx u t in
+  match greedy_choice idx contacts u t with
+  | None -> None
+  | Some (g, gd) ->
+    if gd <= dut /. 4.0 then Some (g, false)
+    else begin
+      (* Farthest contact v from u subject to d(u,v) <= d(u,t). *)
+      let best = ref (-1) and best_d = ref neg_infinity in
+      Array.iter
+        (fun c ->
+          if c <> u then begin
+            let d = Indexed.dist idx u c in
+            if d <= dut && (d > !best_d || (d = !best_d && (!best < 0 || c < !best))) then begin
+              best := c;
+              best_d := d
+            end
+          end)
+        contacts;
+      if !best >= 0 then Some (!best, true) else Some (g, false)
+    end
+
+let route idx ~contacts ~policy ~src ~dst ~max_hops =
+  let rec go u hops nongreedy acc =
+    if u = dst then
+      { delivered = true; hops; nongreedy_hops = nongreedy; path = List.rev acc }
+    else if hops >= max_hops then
+      { delivered = false; hops; nongreedy_hops = nongreedy; path = List.rev acc }
+    else begin
+      let choice =
+        match policy with
+        | Greedy -> (
+          match greedy_choice idx contacts.(u) u dst with
+          | None -> None
+          | Some (v, _) -> Some (v, false))
+        | Sidestep -> sidestep_choice idx contacts.(u) u dst
+      in
+      match choice with
+      | None -> { delivered = false; hops; nongreedy_hops = nongreedy; path = List.rev acc }
+      | Some (v, was_nongreedy) ->
+        go v (hops + 1) (if was_nongreedy then nongreedy + 1 else nongreedy) (v :: acc)
+    end
+  in
+  go src 0 0 [ src ]
+
+let out_degree_stats contacts =
+  let n = Array.length contacts in
+  let maxd = ref 0 and sum = ref 0 in
+  Array.iteri
+    (fun u cs ->
+      let tbl = Hashtbl.create 16 in
+      Array.iter (fun c -> if c <> u then Hashtbl.replace tbl c ()) cs;
+      let d = Hashtbl.length tbl in
+      maxd := max !maxd d;
+      sum := !sum + d)
+    contacts;
+  (!maxd, float_of_int !sum /. float_of_int (max 1 n))

@@ -1,0 +1,41 @@
+(** Searchable small-world models on metrics (Definition 5.1).
+
+    A model is a distribution over contact graphs (out-links chosen
+    independently per node) together with a {e strongly local} routing
+    algorithm: the next hop is chosen among the current node's contacts by
+    looking only at distances to the contacts and from the contacts to the
+    target. This module fixes the simulator and the two strongly local
+    policies used in Theorem 5.2:
+
+    - {b greedy}: move to the contact closest to the target (Kleinberg's
+      rule);
+    - {b sidestep} (Theorem 5.2b, step "star-star"): if some contact is within
+      [d(u,t)/4] of the target, move greedily; otherwise move to the contact
+      [v] {e farthest} from [u] subject to [d(u,v) <= d(u,t)] — jump out of
+      the bad neighborhood without overshooting. To the paper's knowledge
+      the first non-greedy strongly local routing rule. *)
+
+type policy = Greedy | Sidestep
+
+type result = {
+  delivered : bool;
+  hops : int;
+  nongreedy_hops : int;  (** sidestep activations *)
+  path : int list;
+}
+
+val route :
+  Ron_metric.Indexed.t ->
+  contacts:int array array ->
+  policy:policy ->
+  src:int ->
+  dst:int ->
+  max_hops:int ->
+  result
+(** Walks the contact graph. The policy sees only [d(u, c)] and [d(c, t)]
+    for contacts [c] (strong locality); the current node is never a valid
+    next hop. Fails (delivered = false) if a node has no usable contact or
+    the hop budget runs out. *)
+
+val out_degree_stats : int array array -> int * float
+(** [(max, mean)] number of distinct contacts (excluding self). *)

@@ -1,0 +1,1 @@
+lib/util/qfloat.ml: Bitio Bits Float

@@ -1,0 +1,64 @@
+module Writer = struct
+  type t = { mutable buf : Bytes.t; mutable len_bits : int }
+
+  let create () = { buf = Bytes.make 64 '\000'; len_bits = 0 }
+
+  let ensure t extra_bits =
+    let needed = (t.len_bits + extra_bits + 7) / 8 in
+    if needed > Bytes.length t.buf then begin
+      let bigger = Bytes.make (max needed (2 * Bytes.length t.buf)) '\000' in
+      Bytes.blit t.buf 0 bigger 0 (Bytes.length t.buf);
+      t.buf <- bigger
+    end
+
+  let put_bit t b =
+    let byte = t.len_bits / 8 and off = t.len_bits mod 8 in
+    if b then begin
+      let cur = Char.code (Bytes.get t.buf byte) in
+      Bytes.set t.buf byte (Char.chr (cur lor (1 lsl (7 - off))))
+    end;
+    t.len_bits <- t.len_bits + 1
+
+  let bits t v ~width =
+    if width < 0 || width > 62 then invalid_arg "Bitio.Writer.bits: bad width";
+    if v < 0 then invalid_arg "Bitio.Writer.bits: negative value";
+    if width < 62 && v lsr width <> 0 then invalid_arg "Bitio.Writer.bits: value too wide";
+    ensure t width;
+    for i = width - 1 downto 0 do
+      put_bit t ((v lsr i) land 1 = 1)
+    done
+
+  let bool t b =
+    ensure t 1;
+    put_bit t b
+
+  let length t = t.len_bits
+
+  let to_bytes t = Bytes.sub t.buf 0 ((t.len_bits + 7) / 8)
+end
+
+module Reader = struct
+  type t = { buf : Bytes.t; mutable pos : int; len_bits : int }
+
+  let of_bytes b = { buf = b; pos = 0; len_bits = 8 * Bytes.length b }
+
+  let of_writer w = { buf = Writer.to_bytes w; pos = 0; len_bits = Writer.length w }
+
+  let get_bit t =
+    if t.pos >= t.len_bits then invalid_arg "Bitio.Reader: out of bits";
+    let byte = t.pos / 8 and off = t.pos mod 8 in
+    t.pos <- t.pos + 1;
+    (Char.code (Bytes.get t.buf byte) lsr (7 - off)) land 1 = 1
+
+  let bits t ~width =
+    if width < 0 || width > 62 then invalid_arg "Bitio.Reader.bits: bad width";
+    let v = ref 0 in
+    for _ = 1 to width do
+      v := (!v lsl 1) lor (if get_bit t then 1 else 0)
+    done;
+    !v
+
+  let bool t = get_bit t
+  let position t = t.pos
+  let remaining t = t.len_bits - t.pos
+end

@@ -1,0 +1,39 @@
+(** Bit-level writer/reader.
+
+    The paper's storage bounds are stated in bits; this module lets the
+    labeling and routing schemes {e materialize} their labels and tables as
+    actual bitstrings, so the bit counts reported by the experiments are
+    the lengths of real encodings, not estimates. Fields are written
+    MSB-first with explicit widths. *)
+
+module Writer : sig
+  type t
+
+  val create : unit -> t
+
+  val bits : t -> int -> width:int -> unit
+  (** [bits w v ~width] appends the low [width] bits of [v] (0 <= width <=
+      62); raises [Invalid_argument] if [v] does not fit or is negative. *)
+
+  val bool : t -> bool -> unit
+
+  val length : t -> int
+  (** Bits written so far. *)
+
+  val to_bytes : t -> Bytes.t
+  (** Padded with zero bits to a whole number of bytes. *)
+end
+
+module Reader : sig
+  type t
+
+  val of_bytes : Bytes.t -> t
+  val of_writer : Writer.t -> t
+
+  val bits : t -> width:int -> int
+  (** Raises [Invalid_argument] on reading past the end. *)
+
+  val bool : t -> bool
+  val position : t -> int
+  val remaining : t -> int
+end

@@ -1,0 +1,17 @@
+let ilog2_floor k =
+  if k < 1 then invalid_arg "Bits.ilog2_floor";
+  let rec go acc k = if k <= 1 then acc else go (acc + 1) (k lsr 1) in
+  go 0 k
+
+let ilog2_ceil k =
+  if k < 1 then invalid_arg "Bits.ilog2_ceil";
+  let f = ilog2_floor k in
+  if 1 lsl f = k then f else f + 1
+
+let bits_for k = if k <= 1 then 0 else ilog2_ceil k
+
+let index_bits k = max 1 (bits_for k)
+
+let flog2 x = log x /. log 2.0
+
+let pow2 j = Float.of_int 2 ** Float.of_int j

@@ -1,0 +1,28 @@
+(** Bit-size accounting helpers.
+
+    The paper's storage bounds are counts of concrete fields: ring indices of
+    [ceil(log2 K)] bits, global identifiers of [ceil(log2 n)] bits, first-hop
+    pointers of [ceil(log2 Dout)] bits, and quantized distances. This module
+    centralizes those counts so that every scheme reports byte-accurate
+    storage. *)
+
+val bits_for : int -> int
+(** [bits_for k] is the number of bits needed to name one of [k] distinct
+    values: [ceil(log2 k)], and [0] when [k <= 1] (nothing to distinguish). *)
+
+val index_bits : int -> int
+(** [index_bits k] is [max 1 (bits_for k)]: bits for an index into a table of
+    [k] entries, at least one bit so that an index is never free. *)
+
+val ilog2_floor : int -> int
+(** [ilog2_floor k] is [floor(log2 k)]; requires [k >= 1]. *)
+
+val ilog2_ceil : int -> int
+(** [ilog2_ceil k] is [ceil(log2 k)]; requires [k >= 1]. *)
+
+val flog2 : float -> float
+(** Base-2 logarithm of a float. *)
+
+val pow2 : int -> float
+(** [pow2 j] is [2^j] as a float, exact for any [|j| <= 1023] — use this
+    (never [1 lsl j]) for scale radii: aspect ratios can exceed [2^62]. *)

@@ -1,0 +1,65 @@
+type codec = { mantissa_bits : int; max_exponent : int }
+
+let codec ~mantissa_bits ~max_exponent =
+  if mantissa_bits < 1 || max_exponent < 0 then invalid_arg "Qfloat.codec";
+  { mantissa_bits; max_exponent }
+
+let codec_for ~delta ~aspect_ratio =
+  if not (delta > 0.0) then invalid_arg "Qfloat.codec_for: delta must be positive";
+  let mantissa_bits = Bits.ilog2_ceil (int_of_float (ceil (1.0 /. delta))) + 3 in
+  let max_exponent =
+    (* Distances live in [1, Delta]; sums of two distances in [1, 2*Delta]. *)
+    max 1 (int_of_float (ceil (Bits.flog2 (max 2.0 aspect_ratio))) + 1)
+  in
+  codec ~mantissa_bits:(max 2 mantissa_bits) ~max_exponent
+
+(* Encoded as (exponent, mantissa): value = (1 + m / 2^mb) * 2^e, plus a
+   distinguished zero. *)
+type t = Zero | Enc of int * int
+
+let encode c x =
+  if not (Float.is_finite x) || x < 0.0 then invalid_arg "Qfloat.encode: bad value";
+  if x = 0.0 then Zero
+  else if x < 1.0 then Enc (0, 0) (* round anything in (0,1) up to 1 *)
+  else begin
+    let e = int_of_float (Float.floor (Bits.flog2 x)) in
+    let scale = Float.of_int (1 lsl c.mantissa_bits) in
+    let frac = (x /. Bits.pow2 e) -. 1.0 in
+    let m = int_of_float (Float.ceil (frac *. scale)) in
+    let e, m = if m >= 1 lsl c.mantissa_bits then (e + 1, 0) else (e, m) in
+    if e > c.max_exponent then invalid_arg "Qfloat.encode: value out of range";
+    Enc (e, m)
+  end
+
+let decode c t =
+  match t with
+  | Zero -> 0.0
+  | Enc (e, m) ->
+    let scale = Float.of_int (1 lsl c.mantissa_bits) in
+    (1.0 +. (Float.of_int m /. scale)) *. Bits.pow2 e
+
+let quantize c x = decode c (encode c x)
+
+let bits c = c.mantissa_bits + Bits.index_bits (c.max_exponent + 1) + 1
+(* +1: the zero flag. *)
+
+let relative_error_bound c = 1.0 /. Float.of_int (1 lsl c.mantissa_bits)
+
+let exponent_bits c = Bits.index_bits (c.max_exponent + 1)
+
+let write c w x =
+  match encode c x with
+  | Zero ->
+    Bitio.Writer.bool w false;
+    Bitio.Writer.bits w 0 ~width:(exponent_bits c);
+    Bitio.Writer.bits w 0 ~width:c.mantissa_bits
+  | Enc (e, m) ->
+    Bitio.Writer.bool w true;
+    Bitio.Writer.bits w e ~width:(exponent_bits c);
+    Bitio.Writer.bits w m ~width:c.mantissa_bits
+
+let read c r =
+  let nonzero = Bitio.Reader.bool r in
+  let e = Bitio.Reader.bits r ~width:(exponent_bits c) in
+  let m = Bitio.Reader.bits r ~width:c.mantissa_bits in
+  if nonzero then decode c (Enc (e, m)) else 0.0

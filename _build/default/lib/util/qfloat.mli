@@ -1,0 +1,44 @@
+(** Quantized distance encoding: mantissa + exponent.
+
+    Theorems 3.4 and 2.1 store distances as an [O(log 1/delta)]-bit mantissa
+    and an [O(log log Delta)]-bit exponent. This module implements that
+    encoding. Quantization always rounds {e upward}, so decoded values never
+    contract: [decode c (encode c x) >= x], and the relative error is at most
+    [2^-mantissa_bits]. Upper-bound distance estimates (the paper's [D+])
+    therefore stay valid upper bounds after quantization. *)
+
+type codec
+
+val codec : mantissa_bits:int -> max_exponent:int -> codec
+(** [codec ~mantissa_bits ~max_exponent] encodes values in
+    [{0} U [1, 2^(max_exponent+1))]. Inputs are expected to come from metrics
+    normalized to minimum distance 1. *)
+
+val codec_for : delta:float -> aspect_ratio:float -> codec
+(** The paper's parameters: mantissa of [ceil(log2 (1/delta)) + 3] bits (so
+    the relative error is at most [delta/8]) and an exponent wide enough for
+    [log2 aspect_ratio]. *)
+
+type t
+(** An encoded value. *)
+
+val encode : codec -> float -> t
+(** Encode a non-negative float. Raises [Invalid_argument] if the value is
+    negative, not finite, or beyond the codec's range. *)
+
+val decode : codec -> t -> float
+
+val quantize : codec -> float -> float
+(** [quantize c x = decode c (encode c x)]. *)
+
+val bits : codec -> int
+(** Storage cost in bits of one encoded value. *)
+
+val write : codec -> Bitio.Writer.t -> float -> unit
+(** Quantize and append exactly [bits c] bits. *)
+
+val read : codec -> Bitio.Reader.t -> float
+(** Inverse of [write]: [read c (reader (write c x)) = quantize c x]. *)
+
+val relative_error_bound : codec -> float
+(** Maximum of [quantize c x /. x - 1] over valid positive [x]. *)

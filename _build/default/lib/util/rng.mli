@@ -1,0 +1,48 @@
+(** Deterministic, splittable pseudo-random number generator.
+
+    All randomized constructions in this library take an explicit generator so
+    that experiments are reproducible. The implementation is SplitMix64
+    (Steele, Lea & Flood 2014), which has a 64-bit state, passes BigCrush, and
+    supports cheap splitting: [split t] returns an independent generator whose
+    stream does not overlap with [t]'s for any practical purpose. *)
+
+type t
+
+val create : int -> t
+(** [create seed] returns a fresh generator. Equal seeds yield equal
+    streams. *)
+
+val copy : t -> t
+(** [copy t] duplicates the current state; the copy and the original then
+    produce identical streams. *)
+
+val split : t -> t
+(** [split t] advances [t] and returns a new generator seeded from it, for
+    handing to a sub-computation without coupling its consumption to the
+    parent's. *)
+
+val bits64 : t -> int64
+(** Next raw 64-bit output. *)
+
+val int : t -> int -> int
+(** [int t bound] is uniform in [0, bound); requires [bound > 0]. *)
+
+val float : t -> float -> float
+(** [float t bound] is uniform in [0, bound). *)
+
+val bool : t -> bool
+
+val gaussian : t -> float
+(** Standard normal deviate (Box–Muller). *)
+
+val shuffle : t -> 'a array -> unit
+(** In-place Fisher–Yates shuffle. *)
+
+val pick : t -> 'a array -> 'a
+(** Uniform element of a non-empty array. *)
+
+val weighted_index : t -> float array -> int
+(** [weighted_index t cumulative] samples an index proportionally to the
+    increments of the (non-decreasing, positive-total) cumulative-sum array:
+    index [i] is chosen with probability
+    [(cumulative.(i) - cumulative.(i-1)) / total]. *)

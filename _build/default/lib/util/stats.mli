@@ -1,0 +1,33 @@
+(** Small summary-statistics toolkit used by the experiment harness. *)
+
+val mean : float array -> float
+(** Arithmetic mean; [nan] on an empty array. *)
+
+val stddev : float array -> float
+(** Population standard deviation; [nan] on an empty array. *)
+
+val minimum : float array -> float
+val maximum : float array -> float
+
+val percentile : float array -> float -> float
+(** [percentile xs p] with [p] in [0,100]: nearest-rank percentile of the
+    (internally sorted, input untouched) sample. *)
+
+val median : float array -> float
+
+val of_ints : int array -> float array
+(** Convenience conversion for integer samples. *)
+
+type summary = {
+  count : int;
+  mean : float;
+  stddev : float;
+  min : float;
+  p50 : float;
+  p90 : float;
+  p99 : float;
+  max : float;
+}
+
+val summarize : float array -> summary
+val pp_summary : Format.formatter -> summary -> unit

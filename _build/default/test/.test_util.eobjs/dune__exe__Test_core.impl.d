@@ -1,0 +1,1 @@
+test/test_core.ml: Alcotest Array Float Lazy List Printf Ron_core Ron_metric Ron_util

@@ -1,0 +1,1 @@
+test/test_graph.ml: Alcotest Array Float List Printf QCheck QCheck_alcotest Result Ron_graph Ron_metric Ron_util

@@ -1,0 +1,1 @@
+test/test_integration.ml: Alcotest Array Bytes Char Float Lazy QCheck QCheck_alcotest Ron_labeling Ron_metric Ron_routing Ron_smallworld Ron_util

@@ -1,0 +1,1 @@
+test/test_labeling.ml: Alcotest Array Float Lazy Printf Ron_labeling Ron_metric Ron_util

@@ -1,0 +1,1 @@
+test/test_meridian.ml: Alcotest Array Fun Lazy Printf Ron_metric Ron_routing Ron_smallworld Ron_util

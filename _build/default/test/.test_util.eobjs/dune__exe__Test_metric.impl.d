@@ -1,0 +1,1 @@
+test/test_metric.ml: Alcotest Array Float Fun Lazy List Printf QCheck QCheck_alcotest Result Ron_metric Ron_util

@@ -1,0 +1,1 @@
+test/test_routing.ml: Alcotest Array Float Lazy List Printf QCheck QCheck_alcotest Ron_graph Ron_metric Ron_routing Ron_util

@@ -1,0 +1,1 @@
+test/test_smallworld.ml: Alcotest Array Float Lazy List Printf Ron_graph Ron_metric Ron_smallworld Ron_util

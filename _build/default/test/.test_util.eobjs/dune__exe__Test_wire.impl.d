@@ -1,0 +1,1 @@
+test/test_wire.ml: Alcotest Array Bytes Float Lazy List Printf QCheck QCheck_alcotest Ron_graph Ron_labeling Ron_metric Ron_routing Ron_util

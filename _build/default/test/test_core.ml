@@ -1,0 +1,262 @@
+(* Tests for ron_core: rings of neighbors, enumerations, translation
+   functions, zooming sequences. *)
+
+module Rng = Ron_util.Rng
+module Indexed = Ron_metric.Indexed
+module Generators = Ron_metric.Generators
+module Net = Ron_metric.Net
+module Measure = Ron_metric.Measure
+module Enumeration = Ron_core.Enumeration
+module Translation = Ron_core.Translation
+module Rings = Ron_core.Rings
+module Zooming = Ron_core.Zooming
+
+let check_bool msg b = Alcotest.(check bool) msg true b
+let check_int = Alcotest.(check int)
+
+let grid = lazy (Indexed.create (Generators.grid2d 8 8))
+let hier = lazy (Net.Hierarchy.create (Lazy.force grid))
+
+(* ---------------------------------------------------------- Enumeration *)
+
+let test_enum_roundtrip () =
+  let e = Enumeration.of_array [| 10; 3; 7 |] in
+  check_int "size" 3 (Enumeration.size e);
+  check_int "node 0" 10 (Enumeration.node e 0);
+  check_int "index of 7" 2 (Enumeration.index_exn e 7);
+  check_bool "mem" (Enumeration.mem e 3);
+  check_bool "not mem" (not (Enumeration.mem e 4));
+  check_bool "missing index" (Enumeration.index e 99 = None)
+
+let test_enum_duplicates_rejected () =
+  Alcotest.check_raises "duplicate" (Invalid_argument "Enumeration.of_array: duplicate node")
+    (fun () -> ignore (Enumeration.of_array [| 1; 2; 1 |]))
+
+let test_enum_with_prefix () =
+  let prefix = Enumeration.of_array [| 5; 6 |] in
+  let e = Enumeration.with_prefix ~prefix [| 6; 9; 5; 2 |] in
+  check_int "prefix first" 5 (Enumeration.node e 0);
+  check_int "prefix second" 6 (Enumeration.node e 1);
+  check_int "fresh after prefix" 9 (Enumeration.node e 2);
+  check_int "size deduplicated" 4 (Enumeration.size e)
+
+let test_enum_index_bits () =
+  check_int "1 entry still costs a bit" 1 (Enumeration.index_bits (Enumeration.of_array [| 4 |]));
+  check_int "5 entries" 3 (Enumeration.index_bits (Enumeration.of_array [| 0; 1; 2; 3; 4 |]))
+
+(* ---------------------------------------------------------- Translation *)
+
+let test_translation_basic () =
+  let t = Translation.create () in
+  Translation.add t ~x:1 ~y:2 ~z:3;
+  Translation.add t ~x:1 ~y:4 ~z:5;
+  check_bool "find hit" (Translation.find t ~x:1 ~y:2 = Some 3);
+  check_bool "find miss" (Translation.find t ~x:9 ~y:9 = None);
+  check_int "entry count" 2 (Translation.entry_count t);
+  check_int "entries_with_x" 2 (List.length (Translation.entries_with_x t ~x:1));
+  check_int "entries_with_x miss" 0 (List.length (Translation.entries_with_x t ~x:2))
+
+let test_translation_conflict () =
+  let t = Translation.create () in
+  Translation.add t ~x:0 ~y:0 ~z:1;
+  (* Same binding is idempotent. *)
+  Translation.add t ~x:0 ~y:0 ~z:1;
+  check_int "idempotent" 1 (Translation.entry_count t);
+  Alcotest.check_raises "conflict" (Invalid_argument "Translation.add: conflicting entry")
+    (fun () -> Translation.add t ~x:0 ~y:0 ~z:2)
+
+let test_translation_bits () =
+  let t = Translation.create () in
+  Translation.add t ~x:0 ~y:1 ~z:2;
+  Translation.add t ~x:3 ~y:4 ~z:5;
+  check_int "sparse bits" (2 * (3 + 4 + 5)) (Translation.bits_sparse t ~x_bits:3 ~y_bits:4 ~z_bits:5);
+  check_int "dense bits" (7 * 11 * 5) (Translation.bits_dense ~x_card:7 ~y_card:11 ~z_bits:5)
+
+(* ---------------------------------------------------------------- Rings *)
+
+let test_net_rings_thm21_shape () =
+  (* The Theorem 2.1 rings: G_j is a Delta/2^j-net, r_j = 4 Delta/(delta 2^j). *)
+  let idx = Lazy.force grid and h = Lazy.force hier in
+  let delta = 0.25 in
+  let big_l = Indexed.log2_aspect_ratio idx in
+  let aspect = Indexed.diameter idx in
+  let rings =
+    Rings.net_rings idx h ~scales:(big_l + 1)
+      ~radius_of:(fun j -> 4.0 *. aspect /. (delta *. Float.of_int (1 lsl j)))
+      ~level_of:(fun j -> big_l - j)
+  in
+  check_bool "containment" (Rings.check_containment idx rings);
+  (* Ring 0 contains the single top net point for every node. *)
+  for u = 0 to Indexed.size idx - 1 do
+    let r0 = Rings.ring rings u 0 in
+    check_bool "ring 0 nonempty" (Array.length r0.Rings.members >= 1)
+  done;
+  (* Every node has itself in the last ring (level 0 net = all nodes,
+     radius >= 4/delta > 0). *)
+  for u = 0 to Indexed.size idx - 1 do
+    let last = Rings.ring rings u big_l in
+    check_bool "self in last ring" (Array.exists (( = ) u) last.Rings.members)
+  done
+
+let test_net_rings_bounded_cardinality () =
+  (* Lemma 1.4: |B_u(r_j) ∩ G_j| <= (4 r_j / 2^level)^alpha. With
+     r_j = 4 Delta/(delta 2^j) and net radius Delta/2^j the bound is
+     (16/delta)^alpha. Check a concrete cap for the grid (alpha <= 3). *)
+  let idx = Lazy.force grid and h = Lazy.force hier in
+  let delta = 0.5 in
+  let big_l = Indexed.log2_aspect_ratio idx in
+  let aspect = Indexed.diameter idx in
+  let rings =
+    Rings.net_rings idx h ~scales:(big_l + 1)
+      ~radius_of:(fun j -> 4.0 *. aspect /. (delta *. Float.of_int (1 lsl j)))
+      ~level_of:(fun j -> big_l - j)
+  in
+  let cap = int_of_float ((16.0 /. delta) ** 3.0) in
+  check_bool "K bounded by (16/delta)^alpha" (Rings.max_ring_size rings <= cap)
+
+let test_uniform_rings () =
+  let idx = Lazy.force grid in
+  let rng = Rng.create 5 in
+  let scales = Indexed.log2_size idx + 1 in
+  let rings = Rings.uniform_rings idx rng ~scales ~samples:8 in
+  check_bool "containment" (Rings.check_containment idx rings);
+  for u = 0 to Indexed.size idx - 1 do
+    check_int "all rings present" scales (Rings.scales rings u);
+    (* Deepest ring samples from the singleton ball: only u itself. *)
+    let deep = Rings.ring rings u (scales - 1) in
+    check_bool "deep ring is self" (Array.for_all (( = ) u) deep.Rings.members)
+  done
+
+let test_measure_rings () =
+  let idx = Lazy.force grid in
+  let h = Lazy.force hier in
+  let mu = Measure.create idx h in
+  let rng = Rng.create 6 in
+  let scales = Net.Hierarchy.jmax h + 1 in
+  let rings =
+    Rings.measure_rings idx mu rng ~scales ~samples:8 ~radius_of:(fun j ->
+        Float.of_int (1 lsl j))
+  in
+  check_bool "containment" (Rings.check_containment idx rings);
+  (* Scale-0 balls have radius 1: members at distance <= 1. *)
+  let r0 = Rings.ring rings 0 0 in
+  Array.iter (fun v -> check_bool "close" (Indexed.dist idx 0 v <= 1.0)) r0.Rings.members
+
+let test_rings_accounting () =
+  let idx = Lazy.force grid in
+  let rng = Rng.create 9 in
+  let rings = Rings.uniform_rings idx rng ~scales:3 ~samples:4 in
+  check_int "sizes" 64 (Rings.size rings);
+  check_bool "out degree positive" (Rings.out_degree rings 0 >= 1);
+  check_bool "max out degree sane" (Rings.max_out_degree rings <= 12);
+  check_bool "max ring size" (Rings.max_ring_size rings = 4)
+
+(* -------------------------------------------------------------- Zooming *)
+
+let test_zooming_encode_decode () =
+  (* Toy setup: three "nodes" 100, 200, 300 where the enumeration of each
+     element assigns the next element index 7, and u's translation tables
+     map everything through. *)
+  let sequence = [| 100; 200; 300 |] in
+  let enum_of_prev _j next = Some (next / 100) in
+  let enc = Zooming.encode ~sequence ~enum_of_prev ~first_index:0 in
+  check_int "first" 0 enc.Zooming.first;
+  check_bool "rest" (enc.Zooming.rest = [| 2; 3 |]);
+  (* Translation: m_{j+1} = m_j * 10 + y. *)
+  let translate _j ~x ~y = Some ((x * 10) + y) in
+  let m = Zooming.decode_walk ~translate enc in
+  check_bool "walk" (m = [| 0; 2; 23 |])
+
+let test_zooming_walk_stops_at_null () =
+  let enc = { Zooming.first = 1; rest = [| 5; 6; 7 |] } in
+  let translate j ~x ~y = if j < 2 then Some (x + y) else None in
+  let m = Zooming.decode_walk ~translate enc in
+  check_bool "stops at null" (m = [| 1; 6; 12 |])
+
+let test_zooming_encode_rejects_gap () =
+  Alcotest.check_raises "gap"
+    (Invalid_argument
+       "Zooming.encode: element 1 not enumerable at its predecessor (Claim 2.3/3.5 violated)")
+    (fun () ->
+      ignore
+        (Zooming.encode ~sequence:[| 1; 2 |] ~enum_of_prev:(fun _ _ -> None) ~first_index:0))
+
+let test_zooming_bits () =
+  let enc = { Zooming.first = 0; rest = [| 1; 2; 3 |] } in
+  check_int "bits" 20 (Zooming.bits enc ~index_bits:5)
+
+(* Integration: encode a real zooming sequence on the grid using the
+   hierarchy, mimicking Theorem 2.1 (f_tj = nearest net point of G_(L-j)),
+   and decode it from the rings through real translation tables. *)
+let test_zooming_on_grid_via_rings () =
+  let idx = Lazy.force grid and h = Lazy.force hier in
+  let delta = 0.25 in
+  let big_l = Indexed.log2_aspect_ratio idx in
+  let aspect = Indexed.diameter idx in
+  let level_of j = big_l - j in
+  let radius_of j = 4.0 *. aspect /. (delta *. Float.of_int (1 lsl j)) in
+  let rings = Rings.net_rings idx h ~scales:(big_l + 1) ~radius_of ~level_of in
+  let enum u j = Enumeration.of_array (Rings.ring rings u j).Rings.members in
+  let t = 37 in
+  let f = Array.init (big_l + 1) (fun j -> fst (Net.Hierarchy.nearest h (level_of j) t)) in
+  (* Claim 2.3 instance: f_(t,j+1) is in ring j+1 of f_tj. *)
+  let enum_of_prev j next = Enumeration.index (enum f.(j) (j + 1)) next in
+  let first_index = Enumeration.index_exn (enum t 0) f.(0) in
+  let enc = Zooming.encode ~sequence:f ~enum_of_prev ~first_index in
+  (* Decode at a far-away node u: build u's translation tables on the fly. *)
+  let u = 0 in
+  let translate j ~x ~y =
+    let fu = Enumeration.node (enum u j) x in
+    let w_opt =
+      let e = enum fu (j + 1) in
+      if y < Enumeration.size e then Some (Enumeration.node e y) else None
+    in
+    match w_opt with
+    | None -> None
+    | Some w -> Enumeration.index (enum u (j + 1)) w
+  in
+  (* Ring 0 is the same set for every node, but enumeration order may differ;
+     align the first index to u's enumeration (canonical share). *)
+  let enc = { enc with Zooming.first = Enumeration.index_exn (enum u 0) f.(0) } in
+  let m = Zooming.decode_walk ~translate enc in
+  (* The walk recovers a prefix of the zooming sequence in u's coordinates. *)
+  check_bool "prefix nonempty" (Array.length m >= 1);
+  Array.iteri
+    (fun j mj ->
+      check_int (Printf.sprintf "element %d recovered" j) f.(j)
+        (Enumeration.node (enum u j) mj))
+    m
+
+let () =
+  Alcotest.run "ron_core"
+    [
+      ( "enumeration",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_enum_roundtrip;
+          Alcotest.test_case "duplicates rejected" `Quick test_enum_duplicates_rejected;
+          Alcotest.test_case "with prefix" `Quick test_enum_with_prefix;
+          Alcotest.test_case "index bits" `Quick test_enum_index_bits;
+        ] );
+      ( "translation",
+        [
+          Alcotest.test_case "basic" `Quick test_translation_basic;
+          Alcotest.test_case "conflicts" `Quick test_translation_conflict;
+          Alcotest.test_case "bit accounting" `Quick test_translation_bits;
+        ] );
+      ( "rings",
+        [
+          Alcotest.test_case "thm 2.1 shape" `Quick test_net_rings_thm21_shape;
+          Alcotest.test_case "bounded cardinality" `Quick test_net_rings_bounded_cardinality;
+          Alcotest.test_case "uniform rings" `Quick test_uniform_rings;
+          Alcotest.test_case "measure rings" `Quick test_measure_rings;
+          Alcotest.test_case "accounting" `Quick test_rings_accounting;
+        ] );
+      ( "zooming",
+        [
+          Alcotest.test_case "encode/decode" `Quick test_zooming_encode_decode;
+          Alcotest.test_case "stops at null" `Quick test_zooming_walk_stops_at_null;
+          Alcotest.test_case "encode rejects gaps" `Quick test_zooming_encode_rejects_gap;
+          Alcotest.test_case "bit cost" `Quick test_zooming_bits;
+          Alcotest.test_case "grid integration" `Quick test_zooming_on_grid_via_rings;
+        ] );
+    ]

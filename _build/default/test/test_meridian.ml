@@ -1,0 +1,257 @@
+(* Tests for Meridian-style closest-node discovery (Section 6 / [57]) and
+   its ring maintenance under churn, plus the Labelled_m metric routing
+   scheme (Table 2 row 3). *)
+
+module Rng = Ron_util.Rng
+module Indexed = Ron_metric.Indexed
+module Generators = Ron_metric.Generators
+module Metric = Ron_metric.Metric
+module Meridian = Ron_smallworld.Meridian
+module Labelled_m = Ron_routing.Labelled_m
+module Scheme = Ron_routing.Scheme
+
+let check_bool msg b = Alcotest.(check bool) msg true b
+let check_int = Alcotest.(check int)
+
+let overlay_fixture =
+  lazy
+    (let idx = Indexed.create (Generators.random_cloud (Rng.create 4) ~n:200 ~dim:2) in
+     let members = Array.init 160 Fun.id in
+     let t = Meridian.build idx (Rng.create 5) ~ring_size:8 ~members in
+     (idx, t))
+
+(* ------------------------------------------------------------- queries *)
+
+let test_members () =
+  let (_, t) = Lazy.force overlay_fixture in
+  check_int "member count" 160 (Array.length (Meridian.members t));
+  check_bool "member" (Meridian.is_member t 0);
+  check_bool "non-member" (not (Meridian.is_member t 180))
+
+let test_ring_structure () =
+  let (idx, t) = Lazy.force overlay_fixture in
+  (* Every ring member of u at scale i sits in the annulus (2^(i-1), 2^i]
+     (scale 0: distance <= 1... <= 2^0). *)
+  Array.iter
+    (fun u ->
+      for i = 0 to Indexed.log2_aspect_ratio idx do
+        Array.iter
+          (fun v ->
+            let d = Indexed.dist idx u v in
+            check_bool "annulus upper" (d <= Ron_util.Bits.pow2 i +. 1e-9);
+            if i > 0 then check_bool "annulus lower" (d > Ron_util.Bits.pow2 (i - 1) -. 1e-9))
+          (Meridian.ring t u i)
+      done)
+    (Meridian.members t)
+
+let test_ring_size_cap () =
+  let (_, t) = Lazy.force overlay_fixture in
+  Array.iter
+    (fun u ->
+      for i = 0 to 20 do
+        check_bool "ring size cap" (Array.length (Meridian.ring t u i) <= 8)
+      done)
+    (Meridian.members t)
+
+let test_closest_finds_near_member () =
+  let (idx, t) = Lazy.force overlay_fixture in
+  let rng = Rng.create 6 in
+  let exact = ref 0 and total = ref 0 in
+  for target = 160 to 199 do
+    let start = Rng.int rng 160 in
+    let r = Meridian.closest t ~start ~target in
+    let truth = Meridian.exact_closest t target in
+    incr total;
+    if r.Meridian.found = truth then incr exact
+    else begin
+      (* Even on a miss the result must be a member within a small factor. *)
+      check_bool "found is a member" (Meridian.is_member t r.Meridian.found);
+      let a = Indexed.dist idx r.Meridian.found target in
+      let b = Indexed.dist idx truth target in
+      check_bool "miss within 4x" (a <= (4.0 *. b) +. 1e-9)
+    end
+  done;
+  check_bool
+    (Printf.sprintf "mostly exact (%d/%d)" !exact !total)
+    (float_of_int !exact >= 0.8 *. float_of_int !total)
+
+let test_closest_on_member_target () =
+  (* Searching for a target that IS a member must find it exactly (distance
+     0 beats everything). *)
+  let (_, t) = Lazy.force overlay_fixture in
+  let r = Meridian.closest t ~start:0 ~target:42 in
+  check_int "finds the member itself" 42 r.Meridian.found
+
+let test_closest_rejects_non_member_start () =
+  let (_, t) = Lazy.force overlay_fixture in
+  Alcotest.check_raises "start must be a member"
+    (Invalid_argument "Meridian.closest: start is not a member") (fun () ->
+      ignore (Meridian.closest t ~start:180 ~target:0))
+
+let test_closest_hops_logarithmic () =
+  let (idx, t) = Lazy.force overlay_fixture in
+  let cap = 2 * Indexed.log2_aspect_ratio idx in
+  for target = 160 to 199 do
+    let r = Meridian.closest t ~start:0 ~target in
+    check_bool "hops O(log Delta)" (r.Meridian.hops <= cap)
+  done
+
+(* --------------------------------------------------------- multi-range *)
+
+let test_within_precision () =
+  (* Every returned member must genuinely lie within the radius. *)
+  let (idx, t) = Lazy.force overlay_fixture in
+  let rng = Rng.create 12 in
+  for target = 160 to 199 do
+    let radius = 2.0 +. Rng.float rng 40.0 in
+    let r = Meridian.within t ~start:0 ~target ~radius in
+    Array.iter
+      (fun v ->
+        check_bool "precision" (Indexed.dist idx v target <= radius +. 1e-9);
+        check_bool "member" (Meridian.is_member t v))
+      r.Meridian.matches
+  done
+
+let test_within_recall () =
+  (* Best-effort recall, like Meridian: on this fixture with ring size 8 the
+     overwhelming majority of true matches must be found. *)
+  let (_, t) = Lazy.force overlay_fixture in
+  let rng = Rng.create 13 in
+  let found = ref 0 and truth_total = ref 0 in
+  for target = 160 to 199 do
+    let radius = 5.0 +. Rng.float rng 40.0 in
+    let r = Meridian.within t ~start:0 ~target ~radius in
+    let truth = Meridian.exact_within t target radius in
+    found := !found + Array.length r.Meridian.matches;
+    truth_total := !truth_total + Array.length truth;
+    (* Matches are a subset of the truth (precision is exact). *)
+    Array.iter
+      (fun v -> check_bool "subset of truth" (Array.exists (( = ) v) truth))
+      r.Meridian.matches
+  done;
+  check_bool
+    (Printf.sprintf "recall >= 90%% (%d/%d)" !found !truth_total)
+    (float_of_int !found >= 0.9 *. float_of_int !truth_total)
+
+let test_within_empty_ball () =
+  let (_, t) = Lazy.force overlay_fixture in
+  (* Radius so small only an exact member would match a non-member target:
+     typically empty, never an error. *)
+  let r = Meridian.within t ~start:0 ~target:170 ~radius:0.0001 in
+  check_bool "no false positives" (Array.length r.Meridian.matches <= 1)
+
+let test_within_rejects_negative_radius () =
+  let (_, t) = Lazy.force overlay_fixture in
+  Alcotest.check_raises "negative radius" (Invalid_argument "Meridian.within: negative radius")
+    (fun () -> ignore (Meridian.within t ~start:0 ~target:170 ~radius:(-1.0)))
+
+(* --------------------------------------------------------------- churn *)
+
+let test_join_leave () =
+  let idx = Indexed.create (Generators.random_cloud (Rng.create 7) ~n:120 ~dim:2) in
+  let t = Meridian.build idx (Rng.create 8) ~ring_size:6 ~members:(Array.init 100 Fun.id) in
+  (* Join the held-out nodes. *)
+  for u = 100 to 119 do
+    Meridian.join t (Rng.create u) u
+  done;
+  check_int "grown" 120 (Array.length (Meridian.members t));
+  (* A fresh member is findable. *)
+  let r = Meridian.closest t ~start:0 ~target:110 in
+  check_int "joined node found" 110 r.Meridian.found;
+  (* Leave: no ring may retain the departed node. *)
+  for u = 0 to 49 do
+    Meridian.leave t u
+  done;
+  check_int "shrunk" 70 (Array.length (Meridian.members t));
+  Array.iter
+    (fun u ->
+      for i = 0 to 12 do
+        Array.iter (fun v -> check_bool "no stale entries" (v >= 50)) (Meridian.ring t u i)
+      done)
+    (Meridian.members t);
+  (* Queries still work against the shrunken overlay. *)
+  let r = Meridian.closest t ~start:60 ~target:10 in
+  check_bool "post-churn query settles on a member" (Meridian.is_member t r.Meridian.found)
+
+let test_join_duplicate_rejected () =
+  let (_, t) = Lazy.force overlay_fixture in
+  Alcotest.check_raises "duplicate join" (Invalid_argument "Meridian.join: already a member")
+    (fun () -> Meridian.join t (Rng.create 1) 0)
+
+let test_leave_validation () =
+  let idx = Indexed.create (Generators.random_cloud (Rng.create 9) ~n:10 ~dim:2) in
+  let t = Meridian.build idx (Rng.create 10) ~ring_size:4 ~members:[| 0 |] in
+  Alcotest.check_raises "cannot empty" (Invalid_argument "Meridian.leave: cannot empty the overlay")
+    (fun () -> Meridian.leave t 0);
+  Alcotest.check_raises "not a member" (Invalid_argument "Meridian.leave: not a member")
+    (fun () -> Meridian.leave t 5)
+
+(* ------------------------------------------------------------ Labelled_m *)
+
+let test_labelled_m_all_pairs () =
+  let idx = Indexed.create (Generators.random_cloud (Rng.create 11) ~n:60 ~dim:2) in
+  let s = Labelled_m.build idx ~delta:0.25 in
+  let n = Indexed.size idx in
+  for u = 0 to n - 1 do
+    for v = 0 to n - 1 do
+      if u <> v then begin
+        let r = Labelled_m.route s ~src:u ~dst:v in
+        check_bool "delivered" r.Scheme.delivered;
+        check_bool "stretch" (Scheme.stretch r (Indexed.dist idx u v) <= 2.0)
+      end
+    done
+  done
+
+let test_labelled_m_expline () =
+  let idx = Indexed.create (Generators.exponential_line 20) in
+  let s = Labelled_m.build idx ~delta:0.25 in
+  for u = 0 to 19 do
+    for v = 0 to 19 do
+      if u <> v then check_bool "delivered" (Labelled_m.route s ~src:u ~dst:v).Scheme.delivered
+    done
+  done;
+  check_bool "degree <= n" (Labelled_m.out_degree s <= 20);
+  Array.iter (fun b -> check_bool "table bits" (b > 0)) (Labelled_m.table_bits s);
+  check_bool "header bits" (Labelled_m.header_bits s > 0)
+
+let test_labelled_m_validation () =
+  let idx = Indexed.create (Generators.grid2d 4 4) in
+  Alcotest.check_raises "delta" (Invalid_argument "Labelled_m.build: delta must be in (0, 2/3)")
+    (fun () -> ignore (Labelled_m.build idx ~delta:0.8))
+
+let () =
+  Alcotest.run "ron_meridian"
+    [
+      ( "overlay",
+        [
+          Alcotest.test_case "members" `Quick test_members;
+          Alcotest.test_case "ring annuli" `Quick test_ring_structure;
+          Alcotest.test_case "ring size cap" `Quick test_ring_size_cap;
+        ] );
+      ( "queries",
+        [
+          Alcotest.test_case "finds near member" `Quick test_closest_finds_near_member;
+          Alcotest.test_case "member target" `Quick test_closest_on_member_target;
+          Alcotest.test_case "start validation" `Quick test_closest_rejects_non_member_start;
+          Alcotest.test_case "hop bound" `Quick test_closest_hops_logarithmic;
+        ] );
+      ( "multi-range",
+        [
+          Alcotest.test_case "precision" `Quick test_within_precision;
+          Alcotest.test_case "recall" `Quick test_within_recall;
+          Alcotest.test_case "empty ball" `Quick test_within_empty_ball;
+          Alcotest.test_case "negative radius" `Quick test_within_rejects_negative_radius;
+        ] );
+      ( "churn",
+        [
+          Alcotest.test_case "join/leave" `Quick test_join_leave;
+          Alcotest.test_case "duplicate join" `Quick test_join_duplicate_rejected;
+          Alcotest.test_case "leave validation" `Quick test_leave_validation;
+        ] );
+      ( "labelled-m",
+        [
+          Alcotest.test_case "all pairs cloud" `Slow test_labelled_m_all_pairs;
+          Alcotest.test_case "exponential line" `Quick test_labelled_m_expline;
+          Alcotest.test_case "validation" `Quick test_labelled_m_validation;
+        ] );
+    ]

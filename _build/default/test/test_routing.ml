@@ -1,0 +1,391 @@
+(* Tests for ron_routing: Theorem 2.1 (Basic), Theorem 4.1 (Labelled), the
+   metric variant (On_metric, Section 4.1), and the stretch-1 baseline. *)
+
+module Rng = Ron_util.Rng
+module Indexed = Ron_metric.Indexed
+module Generators = Ron_metric.Generators
+module Graph = Ron_graph.Graph
+module Graph_gen = Ron_graph.Graph_gen
+module Sp_metric = Ron_graph.Sp_metric
+module Scheme = Ron_routing.Scheme
+module Basic = Ron_routing.Basic
+module Labelled = Ron_routing.Labelled
+module On_metric = Ron_routing.On_metric
+module Full_table = Ron_routing.Full_table
+
+let check_bool msg b = Alcotest.(check bool) msg true b
+let check_int = Alcotest.(check int)
+
+let grid = lazy (Sp_metric.create (Graph_gen.grid 7 7))
+let geo = lazy (Sp_metric.create (Graph_gen.random_geometric (Rng.create 3) ~n:70 ~radius:0.18))
+let expg = lazy (Sp_metric.create (Graph_gen.exponential_line_graph 18))
+
+let basic_grid = lazy (Basic.build (Lazy.force grid) ~delta:0.25)
+let basic_geo = lazy (Basic.build (Lazy.force geo) ~delta:0.25)
+let basic_expg = lazy (Basic.build (Lazy.force expg) ~delta:0.25)
+
+(* ------------------------------------------------------------ simulator *)
+
+let test_simulator_basics () =
+  (* A 3-node line walked by a hand-rolled scheme. *)
+  let dist a b = Float.abs (float_of_int (a - b)) in
+  let step u target = if u = target then Scheme.Deliver else Scheme.Forward (u + 1, target) in
+  let r = Scheme.simulate ~dist ~step ~header_bits:(fun _ -> 5) ~src:0 ~header:2 ~max_hops:10 in
+  check_bool "delivered" r.Scheme.delivered;
+  check_int "hops" 2 r.Scheme.hops;
+  Alcotest.(check (float 1e-9)) "length" 2.0 r.Scheme.length;
+  Alcotest.(check (list int)) "path" [ 0; 1; 2 ] r.Scheme.path;
+  check_int "header bits" 5 r.Scheme.max_header_bits
+
+let test_simulator_max_hops () =
+  let step _ target = Scheme.Forward (0, target) in
+  let r =
+    Scheme.simulate ~dist:(fun _ _ -> 1.0)
+      ~step:(fun u h -> if u = 0 then Scheme.Forward (1, h) else step u h)
+      ~header_bits:(fun _ -> 1) ~src:0 ~header:99 ~max_hops:5
+  in
+  check_bool "not delivered" (not r.Scheme.delivered);
+  check_int "capped" 5 r.Scheme.hops
+
+let test_simulator_self_forward_rejected () =
+  Alcotest.check_raises "self forward" (Failure "Scheme.simulate: scheme forwarded a packet to itself")
+    (fun () ->
+      ignore
+        (Scheme.simulate ~dist:(fun _ _ -> 1.0)
+           ~step:(fun u h -> Scheme.Forward (u, h))
+           ~header_bits:(fun _ -> 1) ~src:0 ~header:() ~max_hops:5))
+
+let test_stretch_requires_delivery () =
+  let r =
+    { Scheme.delivered = false; hops = 1; length = 1.0; path = [ 0 ]; max_header_bits = 0 }
+  in
+  Alcotest.check_raises "undelivered stretch"
+    (Invalid_argument "Scheme.stretch: packet not delivered") (fun () ->
+      ignore (Scheme.stretch r 1.0))
+
+(* ----------------------------------------------------- Basic (Thm 2.1) *)
+
+let all_pairs_basic name sp scheme delta =
+  let n = Graph.size (Sp_metric.graph sp) in
+  let bound = (1.0 +. delta) /. (1.0 -. delta) in
+  for u = 0 to n - 1 do
+    for v = 0 to n - 1 do
+      if u <> v then begin
+        let r = Basic.route scheme ~src:u ~dst:v in
+        check_bool (name ^ ": delivered") r.Scheme.delivered;
+        let s = Scheme.stretch r (Sp_metric.dist sp u v) in
+        check_bool (Printf.sprintf "%s: stretch %.3f within %.3f" name s bound) (s <= bound +. 1e-9)
+      end
+    done
+  done
+
+let test_basic_grid () = all_pairs_basic "grid" (Lazy.force grid) (Lazy.force basic_grid) 0.25
+let test_basic_geo () = all_pairs_basic "geo" (Lazy.force geo) (Lazy.force basic_geo) 0.25
+let test_basic_expg () = all_pairs_basic "expg" (Lazy.force expg) (Lazy.force basic_expg) 0.25
+
+let test_basic_path_follows_graph_edges () =
+  let sp = Lazy.force grid in
+  let g = Sp_metric.graph sp in
+  let scheme = Lazy.force basic_grid in
+  let r = Basic.route scheme ~src:0 ~dst:48 in
+  let rec pairs = function
+    | a :: (b :: _ as rest) ->
+      check_bool "edge exists"
+        (Array.exists (fun e -> e.Graph.dst = b) (Graph.out_edges g a));
+      pairs rest
+    | _ -> ()
+  in
+  pairs r.Scheme.path
+
+let test_basic_zooming_proximity () =
+  (* f_tj lies within Delta/2^j of t. *)
+  let sp = Lazy.force geo in
+  let scheme = Lazy.force basic_geo in
+  let idx = Indexed.create (Sp_metric.metric sp) in
+  let diam = Indexed.diameter idx in
+  let n = Indexed.size idx in
+  for t = 0 to n - 1 do
+    let f = Basic.zooming scheme t in
+    Array.iteri
+      (fun j fj ->
+        check_bool "zoom proximity"
+          (Indexed.dist idx t fj <= (diam /. Float.of_int (1 lsl j)) +. 1e-9))
+      f
+  done
+
+let test_basic_ring_sizes_bounded () =
+  (* K <= (16/delta)^alpha; grids have alpha <= 3. *)
+  let scheme = Lazy.force basic_grid in
+  check_bool "K bounded" (Basic.max_ring_size scheme <= int_of_float ((16.0 /. 0.25) ** 3.0))
+
+let test_basic_bits_positive () =
+  let scheme = Lazy.force basic_grid in
+  Array.iter (fun b -> check_bool "table bits > 0" (b > 0)) (Basic.table_bits scheme);
+  Array.iter (fun b -> check_bool "label bits > 0" (b > 0)) (Basic.label_bits scheme);
+  check_bool "header bits > 0" (Basic.header_bits scheme > 0);
+  (* Dense accounting dominates sparse accounting. *)
+  let sparse = Basic.table_bits scheme and dense = Basic.table_bits_dense scheme in
+  Array.iteri (fun i s -> check_bool "dense >= sparse" (dense.(i) >= s)) sparse
+
+let test_basic_delta_validation () =
+  Alcotest.check_raises "delta" (Invalid_argument "Structure.build: delta must be in (0, 1/4]")
+    (fun () -> ignore (Basic.build (Lazy.force grid) ~delta:0.3))
+
+let test_basic_labels_compact () =
+  (* Labels are O(log Delta * log K) bits — far below n for the geo graph. *)
+  let scheme = Lazy.force basic_geo in
+  let lb = Basic.label_bits scheme in
+  Array.iter (fun b -> check_bool "label compact" (b < 70 * 8)) lb
+
+(* -------------------------------------------------- Labelled (Thm 4.1) *)
+
+let labelled_grid = lazy (Labelled.build (Lazy.force grid) ~delta:0.25)
+
+let test_labelled_all_pairs () =
+  let sp = Lazy.force grid in
+  let scheme = Lazy.force labelled_grid in
+  let n = Graph.size (Sp_metric.graph sp) in
+  (* Stretch 1 + O(delta): each intermediate-target round contributes a
+     (1 + 3/2 delta) factor on a geometric series; 1 + 4*delta is safe. *)
+  let bound = 1.0 +. (4.0 *. 0.25) in
+  for u = 0 to n - 1 do
+    for v = 0 to n - 1 do
+      if u <> v then begin
+        let r = Labelled.route scheme ~src:u ~dst:v in
+        check_bool "delivered" r.Scheme.delivered;
+        check_bool "stretch" (Scheme.stretch r (Sp_metric.dist sp u v) <= bound +. 1e-9)
+      end
+    done
+  done
+
+let test_labelled_header_independent_of_target () =
+  let scheme = Lazy.force labelled_grid in
+  let r1 = Labelled.route scheme ~src:0 ~dst:48 in
+  check_bool "header bounded by published max"
+    (r1.Scheme.max_header_bits <= Labelled.header_bits scheme)
+
+let test_labelled_degree_positive () =
+  let scheme = Lazy.force labelled_grid in
+  check_bool "degree" (Labelled.out_degree scheme >= 1);
+  check_bool "neighbors of 0 nonempty" (Array.length (Labelled.neighbors scheme 0) >= 1)
+
+let test_labelled_delta_validation () =
+  Alcotest.check_raises "delta" (Invalid_argument "Labelled.build: delta must be in (0, 2/3)")
+    (fun () -> ignore (Labelled.build (Lazy.force grid) ~delta:0.7))
+
+(* ------------------------------------------------- On_metric (Sec 4.1) *)
+
+let test_on_metric_all_pairs () =
+  List.iter
+    (fun (name, m, delta) ->
+      let idx = Indexed.create m in
+      let scheme = On_metric.build idx ~delta in
+      let n = Indexed.size idx in
+      let bound = (1.0 +. delta) /. (1.0 -. delta) in
+      for u = 0 to n - 1 do
+        for v = 0 to n - 1 do
+          if u <> v then begin
+            let r = On_metric.route scheme ~src:u ~dst:v in
+            check_bool (name ^ ": delivered") r.Scheme.delivered;
+            check_bool (name ^ ": stretch")
+              (Scheme.stretch r (Indexed.dist idx u v) <= bound +. 1e-9);
+            (* Hop count is at most the number of scales: each hop zooms at
+               least one scale (in fact many). *)
+            check_bool (name ^ ": few hops") (r.Scheme.hops <= On_metric.scales scheme)
+          end
+        done
+      done)
+    [
+      ("grid", Generators.grid2d 7 7, 0.25);
+      ("expline", Generators.exponential_line 20, 0.25);
+      ("cloud", Generators.random_cloud (Rng.create 11) ~n:60 ~dim:2, 0.2);
+    ]
+
+let test_on_metric_degree_vs_table () =
+  let idx = Indexed.create (Generators.exponential_line 24) in
+  let scheme = On_metric.build idx ~delta:0.25 in
+  check_bool "degree <= n" (On_metric.out_degree scheme <= 24);
+  check_bool "mean <= max" (On_metric.mean_out_degree scheme <= float_of_int (On_metric.out_degree scheme));
+  Array.iter (fun b -> check_bool "table bits > 0" (b > 0)) (On_metric.table_bits scheme)
+
+(* ------------------------------------------------- Two_mode (Thm 4.2) *)
+
+module Two_mode = Ron_routing.Two_mode
+
+let test_two_mode_all_pairs () =
+  let idx = Indexed.create (Generators.random_cloud (Rng.create 7) ~n:70 ~dim:2) in
+  let tm = Two_mode.build idx ~delta:0.125 in
+  let n = Indexed.size idx in
+  for u = 0 to n - 1 do
+    for v = 0 to n - 1 do
+      if u <> v then begin
+        let r = Two_mode.route tm ~src:u ~dst:v in
+        check_bool "delivered" r.Scheme.delivered;
+        (* M1 progress factor is m1_threshold * 3/2 per jump; with the
+           default 1/3 the geometric series stays below 1 + 2. *)
+        check_bool "stretch bounded" (Scheme.stretch r (Indexed.dist idx u v) <= 3.0)
+      end
+    done
+  done
+
+let test_two_mode_forced_m2 () =
+  (* A strict M1 threshold forces the packing-ball directories to carry
+     packets; delivery must be maintained and M2 must actually fire. *)
+  let idx =
+    Indexed.create
+      (Generators.exponential_clusters (Rng.create 9) ~clusters:10 ~per_cluster:6 ~base:64.0)
+  in
+  let tm = Two_mode.build ~m1_threshold:0.01 idx ~delta:0.125 in
+  Two_mode.reset_counters tm;
+  let n = Indexed.size idx in
+  for u = 0 to n - 1 do
+    for v = 0 to n - 1 do
+      if u <> v then check_bool "delivered" (Two_mode.route tm ~src:u ~dst:v).Scheme.delivered
+    done
+  done;
+  check_bool "M2 exercised" (Two_mode.mode2_switches tm > 0)
+
+let test_two_mode_bits_and_degree () =
+  let idx = Indexed.create (Generators.exponential_line 20) in
+  let tm = Two_mode.build idx ~delta:0.125 in
+  Array.iter (fun b -> check_bool "m1 bits > 0" (b > 0)) (Two_mode.table_bits_m1 tm);
+  Array.iter (fun b -> check_bool "m2 bits > 0" (b > 0)) (Two_mode.table_bits_m2 tm);
+  check_bool "m2 far below m1 at high aspect ratio"
+    (Array.fold_left max 0 (Two_mode.table_bits_m2 tm)
+    < Array.fold_left max 0 (Two_mode.table_bits_m1 tm));
+  check_bool "header positive" (Two_mode.header_bits tm > 0);
+  check_bool "degree positive" (Two_mode.out_degree tm > 0)
+
+let test_two_mode_validation () =
+  let idx = Indexed.create (Generators.grid2d 4 4) in
+  Alcotest.check_raises "delta" (Invalid_argument "Two_mode.build: delta must be in (0, 1/8]")
+    (fun () -> ignore (Two_mode.build idx ~delta:0.2));
+  Alcotest.check_raises "threshold"
+    (Invalid_argument "Two_mode.build: m1_threshold must be in (0, 1/2)") (fun () ->
+      ignore (Two_mode.build ~m1_threshold:0.6 idx ~delta:0.125))
+
+(* ----------------------------------------------------------- Full_table *)
+
+let test_full_table_stretch_one () =
+  let sp = Lazy.force geo in
+  let ft = Full_table.build sp in
+  let n = Graph.size (Sp_metric.graph sp) in
+  for u = 0 to n - 1 do
+    for v = 0 to n - 1 do
+      if u <> v then begin
+        let r = Full_table.route ft ~src:u ~dst:v in
+        check_bool "delivered" r.Scheme.delivered;
+        check_bool "stretch exactly 1"
+          (Float.abs (Scheme.stretch r (Sp_metric.dist sp u v) -. 1.0) < 1e-9)
+      end
+    done
+  done
+
+let test_full_table_bits_linear () =
+  let sp = Lazy.force grid in
+  let ft = Full_table.build sp in
+  let bits = Full_table.table_bits ft in
+  check_bool "Omega(n)" (bits.(0) >= 48 (* (n-1) * >=1 bit *));
+  check_int "header is an id" 6 (Full_table.header_bits ft)
+
+(* Compact-vs-trivial contrast: on the geometric graph the Theorem 2.1
+   labels are much smaller than n log n routing-table rows. *)
+let test_compactness_contrast () =
+  let sp = Lazy.force geo in
+  let basic = Lazy.force basic_geo in
+  let ft = Full_table.build sp in
+  let b_label = Array.fold_left max 0 (Basic.label_bits basic) in
+  let ft_table = (Full_table.table_bits ft).(0) in
+  check_bool "labels are sub-table-sized" (b_label < ft_table)
+
+(* --------------------------------------------------------------- QCheck *)
+
+let prop_basic_random_geometric =
+  QCheck.Test.make ~name:"Thm 2.1 delivers with bounded stretch on random geometric graphs"
+    ~count:8
+    QCheck.(int_range 20 60)
+    (fun n ->
+      let g = Graph_gen.random_geometric (Rng.create (n * 7)) ~n ~radius:0.25 in
+      let sp = Sp_metric.create g in
+      let scheme = Basic.build sp ~delta:0.25 in
+      let rng = Rng.create n in
+      let ok = ref true in
+      for _ = 1 to 50 do
+        let u = Rng.int rng n and v = Rng.int rng n in
+        if u <> v then begin
+          let r = Basic.route scheme ~src:u ~dst:v in
+          if not r.Scheme.delivered then ok := false
+          else if Scheme.stretch r (Sp_metric.dist sp u v) > (1.25 /. 0.75) +. 1e-9 then ok := false
+        end
+      done;
+      !ok)
+
+let prop_on_metric_random_clouds =
+  QCheck.Test.make ~name:"metric scheme delivers with bounded stretch on clouds" ~count:8
+    QCheck.(pair (int_range 15 50) (int_range 1 3))
+    (fun (n, dim) ->
+      let idx = Indexed.create (Generators.random_cloud (Rng.create (n + dim)) ~n ~dim) in
+      let scheme = On_metric.build idx ~delta:0.25 in
+      let ok = ref true in
+      for u = 0 to n - 1 do
+        for v = 0 to n - 1 do
+          if u <> v then begin
+            let r = On_metric.route scheme ~src:u ~dst:v in
+            if (not r.Scheme.delivered)
+               || Scheme.stretch r (Indexed.dist idx u v) > (1.25 /. 0.75) +. 1e-9
+            then ok := false
+          end
+        done
+      done;
+      !ok)
+
+let () =
+  let qt = QCheck_alcotest.to_alcotest in
+  Alcotest.run "ron_routing"
+    [
+      ( "simulator",
+        [
+          Alcotest.test_case "basics" `Quick test_simulator_basics;
+          Alcotest.test_case "max hops" `Quick test_simulator_max_hops;
+          Alcotest.test_case "self forward rejected" `Quick test_simulator_self_forward_rejected;
+          Alcotest.test_case "stretch requires delivery" `Quick test_stretch_requires_delivery;
+        ] );
+      ( "basic-thm21",
+        [
+          Alcotest.test_case "all pairs on grid" `Quick test_basic_grid;
+          Alcotest.test_case "all pairs on geometric" `Slow test_basic_geo;
+          Alcotest.test_case "all pairs on exponential-weight graph" `Quick test_basic_expg;
+          Alcotest.test_case "path follows graph edges" `Quick test_basic_path_follows_graph_edges;
+          Alcotest.test_case "zooming proximity" `Quick test_basic_zooming_proximity;
+          Alcotest.test_case "ring sizes bounded" `Quick test_basic_ring_sizes_bounded;
+          Alcotest.test_case "bit accounting" `Quick test_basic_bits_positive;
+          Alcotest.test_case "delta validation" `Quick test_basic_delta_validation;
+          Alcotest.test_case "labels compact" `Quick test_basic_labels_compact;
+        ] );
+      ( "labelled-thm41",
+        [
+          Alcotest.test_case "all pairs" `Slow test_labelled_all_pairs;
+          Alcotest.test_case "header bounded" `Quick test_labelled_header_independent_of_target;
+          Alcotest.test_case "degree" `Quick test_labelled_degree_positive;
+          Alcotest.test_case "delta validation" `Quick test_labelled_delta_validation;
+        ] );
+      ( "on-metric",
+        [
+          Alcotest.test_case "all pairs" `Quick test_on_metric_all_pairs;
+          Alcotest.test_case "degree and table" `Quick test_on_metric_degree_vs_table;
+        ] );
+      ( "two-mode-thm42",
+        [
+          Alcotest.test_case "all pairs" `Slow test_two_mode_all_pairs;
+          Alcotest.test_case "forced M2" `Quick test_two_mode_forced_m2;
+          Alcotest.test_case "bits and degree" `Quick test_two_mode_bits_and_degree;
+          Alcotest.test_case "validation" `Quick test_two_mode_validation;
+        ] );
+      ( "full-table",
+        [
+          Alcotest.test_case "stretch 1" `Quick test_full_table_stretch_one;
+          Alcotest.test_case "bits linear" `Quick test_full_table_bits_linear;
+          Alcotest.test_case "compactness contrast" `Quick test_compactness_contrast;
+        ] );
+      ("properties", [ qt prop_basic_random_geometric; qt prop_on_metric_random_clouds ]);
+    ]

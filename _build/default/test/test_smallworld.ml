@@ -1,0 +1,342 @@
+(* Tests for ron_smallworld: Theorem 5.2(a)/(b), Theorem 5.5, STRUCTURES
+   (Section 5.2) and the Kleinberg grid baseline. *)
+
+module Rng = Ron_util.Rng
+module Metric = Ron_metric.Metric
+module Indexed = Ron_metric.Indexed
+module Generators = Ron_metric.Generators
+module Net = Ron_metric.Net
+module Measure = Ron_metric.Measure
+module Graph_gen = Ron_graph.Graph_gen
+module Sp_metric = Ron_graph.Sp_metric
+module Sw_model = Ron_smallworld.Sw_model
+module Doubling_a = Ron_smallworld.Doubling_a
+module Doubling_b = Ron_smallworld.Doubling_b
+module Single_link = Ron_smallworld.Single_link
+module Structures = Ron_smallworld.Structures
+module Kleinberg_grid = Ron_smallworld.Kleinberg_grid
+
+let check_bool msg b = Alcotest.(check bool) msg true b
+let check_int = Alcotest.(check int)
+
+let fixture m =
+  let idx = Indexed.create m in
+  (idx, Measure.create idx (Net.Hierarchy.create idx))
+
+let grid_f = lazy (fixture (Generators.grid2d 9 9))
+let expline_f = lazy (fixture (Generators.exponential_line 28))
+
+let all_queries name route n max_hops =
+  for u = 0 to n - 1 do
+    for v = 0 to n - 1 do
+      if u <> v then begin
+        let r = route u v in
+        check_bool (Printf.sprintf "%s: %d->%d delivered" name u v) r.Sw_model.delivered;
+        check_bool (name ^ ": within budget") (r.Sw_model.hops <= max_hops)
+      end
+    done
+  done
+
+(* ------------------------------------------------------------- simulator *)
+
+let test_sw_route_trivial () =
+  let idx = Indexed.create (Generators.uniform_line 5) in
+  (* Chain contacts: i -> i+1. *)
+  let contacts = Array.init 5 (fun i -> if i < 4 then [| i + 1 |] else [||]) in
+  let r = Sw_model.route idx ~contacts ~policy:Sw_model.Greedy ~src:0 ~dst:4 ~max_hops:10 in
+  check_bool "delivered" r.Sw_model.delivered;
+  check_int "hops" 4 r.Sw_model.hops;
+  Alcotest.(check (list int)) "path" [ 0; 1; 2; 3; 4 ] r.Sw_model.path
+
+let test_sw_route_no_contacts () =
+  let idx = Indexed.create (Generators.uniform_line 3) in
+  let contacts = [| [||]; [||]; [||] |] in
+  let r = Sw_model.route idx ~contacts ~policy:Sw_model.Greedy ~src:0 ~dst:2 ~max_hops:10 in
+  check_bool "fails loudly" (not r.Sw_model.delivered)
+
+let test_sw_route_hop_budget () =
+  let idx = Indexed.create (Generators.uniform_line 4) in
+  (* 0 <-> 1 oscillation cannot happen under greedy (it always moves toward
+     the target), but a budget of 0 must stop immediately. *)
+  let contacts = Array.init 4 (fun i -> if i < 3 then [| i + 1 |] else [||]) in
+  let r = Sw_model.route idx ~contacts ~policy:Sw_model.Greedy ~src:0 ~dst:3 ~max_hops:1 in
+  check_bool "budget respected" (not r.Sw_model.delivered && r.Sw_model.hops = 1)
+
+let test_sw_out_degree_stats () =
+  let contacts = [| [| 1; 1; 2; 0 |]; [| 0 |]; [||] |] in
+  let (mx, mean) = Sw_model.out_degree_stats contacts in
+  check_int "max distinct (self excluded)" 2 mx;
+  check_bool "mean" (Float.abs (mean -. 1.0) < 1e-9)
+
+let test_sidestep_policy_shape () =
+  (* Build a situation where greedy makes no good progress but a sidestep
+     contact exists: u=0 at position 0, target t at 100, contacts of 0 are
+     {1 (position 1), 2 (position 90)}; d(0,t)=100. The greedy choice (90)
+     is within d/4 = 25 of t? d(90,100)=10 <= 25, so greedy fires. Make it
+     75 instead: d(75,100)=25 <= 25 still greedy. Use 60: d=40 > 25, so
+     sidestep picks the farthest contact within distance 100: node at 60. *)
+  let xs = [| 0.0; 1.0; 60.0; 100.0 |] in
+  let m = Metric.create ~name:"line4" 4 (fun u v -> Float.abs (xs.(u) -. xs.(v))) in
+  let idx = Indexed.create m in
+  let contacts = [| [| 1; 2 |]; [||]; [| 3 |]; [||] |] in
+  let r = Sw_model.route idx ~contacts ~policy:Sw_model.Sidestep ~src:0 ~dst:3 ~max_hops:5 in
+  check_bool "delivered" r.Sw_model.delivered;
+  check_int "one nongreedy step" 1 r.Sw_model.nongreedy_hops;
+  Alcotest.(check (list int)) "sidestep path" [ 0; 2; 3 ] r.Sw_model.path
+
+(* ---------------------------------------------------------- Theorem 5.2a *)
+
+let test_a_grid_all_queries () =
+  let (idx, mu) = Lazy.force grid_f in
+  let a = Doubling_a.build idx mu (Rng.create 5) in
+  all_queries "5.2a grid" (fun u v -> Doubling_a.route a ~src:u ~dst:v ~max_hops:60)
+    (Indexed.size idx) 60
+
+let test_a_expline_all_queries () =
+  (* The headline: O(log n) hops even with Delta = 2^(n-1). *)
+  let (idx, mu) = Lazy.force expline_f in
+  let a = Doubling_a.build idx mu (Rng.create 6) in
+  let n = Indexed.size idx in
+  let budget = 4 * Indexed.log2_size idx in
+  all_queries "5.2a expline" (fun u v -> Doubling_a.route a ~src:u ~dst:v ~max_hops:budget) n budget
+
+let test_a_multiple_seeds () =
+  let (idx, mu) = Lazy.force grid_f in
+  List.iter
+    (fun seed ->
+      let a = Doubling_a.build idx mu (Rng.create seed) in
+      let rng = Rng.create (seed * 7) in
+      for _ = 1 to 50 do
+        let u = Rng.int rng (Indexed.size idx) and v = Rng.int rng (Indexed.size idx) in
+        if u <> v then
+          check_bool "delivered across seeds"
+            (Doubling_a.route a ~src:u ~dst:v ~max_hops:60).Sw_model.delivered
+      done)
+    [ 1; 2; 3; 4; 5 ]
+
+let test_a_contacts_structure () =
+  let (idx, mu) = Lazy.force grid_f in
+  let a = Doubling_a.build idx mu (Rng.create 9) in
+  let n = Indexed.size idx in
+  for u = 0 to n - 1 do
+    check_bool "x contacts nonempty" (Array.length (Doubling_a.x_contacts a u) > 0);
+    check_bool "y contacts nonempty" (Array.length (Doubling_a.y_contacts a u) > 0)
+  done;
+  let (dmax, dmean) = Doubling_a.out_degree a in
+  check_bool "degree sane" (dmax >= 1 && dmean > 0.0 && dmax < n)
+
+let test_a_requires_normalized () =
+  let m = Metric.create ~name:"tiny" 3 (fun u v -> if u = v then 0.0 else 0.5) in
+  let idx = Indexed.create m in
+  let (idx_ok, mu) = Lazy.force grid_f in
+  ignore idx_ok;
+  Alcotest.check_raises "normalized required"
+    (Invalid_argument "Doubling_a.build: metric must be normalized") (fun () ->
+      ignore (Doubling_a.build idx mu (Rng.create 1)))
+
+(* ---------------------------------------------------------- Theorem 5.2b *)
+
+let test_b_expline_all_queries () =
+  let (idx, mu) = Lazy.force expline_f in
+  let b = Doubling_b.build idx mu (Rng.create 15) in
+  let n = Indexed.size idx in
+  let budget = 6 * Indexed.log2_size idx in
+  all_queries "5.2b expline" (fun u v -> Doubling_b.route b ~src:u ~dst:v ~max_hops:budget) n budget
+
+let test_b_grid_all_queries () =
+  let (idx, mu) = Lazy.force grid_f in
+  let b = Doubling_b.build idx mu (Rng.create 16) in
+  all_queries "5.2b grid" (fun u v -> Doubling_b.route b ~src:u ~dst:v ~max_hops:60)
+    (Indexed.size idx) 60
+
+let test_b_z_contacts_cover_annuli () =
+  let (idx, mu) = Lazy.force expline_f in
+  let b = Doubling_b.build idx mu (Rng.create 17) in
+  (* On the exponential line every node must get several Z contacts (the
+     annuli up to Delta are numerous). *)
+  let n = Indexed.size idx in
+  for u = 0 to n - 1 do
+    check_bool "z contacts exist" (Array.length (Doubling_b.z_contacts b u) >= 1)
+  done
+
+let test_b_pruned_y_smaller_than_full_y () =
+  (* At a fixed large-Delta fixture the pruned-Y construction of part (b)
+     must not sample more distance scales than part (a)'s full Y per
+     cardinality scale window; weak form: both models are buildable and b's
+     y-contact multiset is nonempty. *)
+  let (idx, mu) = Lazy.force expline_f in
+  let b = Doubling_b.build idx mu (Rng.create 18) in
+  check_bool "pruned y nonempty" (Array.length (Doubling_b.y_contacts b 0) >= 1)
+
+(* ----------------------------------------------------------- Theorem 5.5 *)
+
+let test_single_link_grid () =
+  let sp = Sp_metric.create (Graph_gen.grid 9 9) in
+  let idx = Indexed.create (Metric.normalize (Sp_metric.metric sp)) in
+  let mu = Measure.create idx (Net.Hierarchy.create idx) in
+  let sl = Single_link.build sp mu (Rng.create 21) in
+  let n = Indexed.size idx in
+  (* 2^O(alpha) log^2 Delta hops; the diameter is 16 so log Delta = 4, give
+     a generous constant. *)
+  all_queries "5.5 grid" (fun u v -> Single_link.route sl ~src:u ~dst:v ~max_hops:300) n 300
+
+let test_single_link_one_contact () =
+  let sp = Sp_metric.create (Graph_gen.grid 6 6) in
+  let idx = Indexed.create (Metric.normalize (Sp_metric.metric sp)) in
+  let mu = Measure.create idx (Net.Hierarchy.create idx) in
+  let sl = Single_link.build sp mu (Rng.create 22) in
+  for u = 0 to 35 do
+    let c = Single_link.contacts sl in
+    (* local degree (<=4) + exactly one long contact *)
+    check_bool "degree <= 5" (Array.length c.(u) <= 5);
+    check_bool "long contact valid" (Single_link.long_contact sl u >= 0)
+  done
+
+(* -------------------------------------------------- STRUCTURES (Sec 5.2) *)
+
+let structures_fixture =
+  lazy
+    (let idx = Indexed.create (Metric.normalize (Generators.uniform_line 64)) in
+     (idx, Structures.build idx (Rng.create 31)))
+
+let test_structures_x_uv_properties () =
+  let (idx, s) = Lazy.force structures_fixture in
+  let n = Indexed.size idx in
+  for u = 0 to n - 1 do
+    check_int "x_uu = 1" 1 (Structures.x_uv s u u);
+    for v = 0 to n - 1 do
+      if v <> u then begin
+        let x = Structures.x_uv s u v in
+        check_bool "x >= 2" (x >= 2);
+        check_bool "x <= n" (x <= n);
+        check_bool "symmetric" (x = Structures.x_uv s v u)
+      end
+    done
+  done
+
+let test_structures_x_uv_line_value () =
+  (* On the uniform line, the smallest ball containing u and v has
+     |u - v| + 1 nodes (center mid-way, interior nodes included) except at
+     the boundary; sanity-check adjacent and far pairs. *)
+  let (_, s) = Lazy.force structures_fixture in
+  check_int "adjacent" 2 (Structures.x_uv s 10 11);
+  check_bool "far pair large" (Structures.x_uv s 0 63 >= 32)
+
+let test_structures_queries () =
+  let (idx, s) = Lazy.force structures_fixture in
+  let n = Indexed.size idx in
+  let rng = Rng.create 33 in
+  let delivered = ref 0 and total = ref 0 in
+  for _ = 1 to 300 do
+    let u = Rng.int rng n and v = Rng.int rng n in
+    if u <> v then begin
+      incr total;
+      let r = Structures.route s ~src:u ~dst:v ~max_hops:100 in
+      if r.Sw_model.delivered then incr delivered
+    end
+  done;
+  (* STRUCTURES has Theta(log^2 n) contacts: on a UL-constrained line all
+     (or almost all) queries complete. *)
+  check_bool "most queries complete" (float_of_int !delivered >= 0.95 *. float_of_int !total)
+
+let test_structures_probability_profile () =
+  (* pi_u(v) * x_uv should be flat across v (by construction). *)
+  let (idx, s) = Lazy.force structures_fixture in
+  let n = Indexed.size idx in
+  let u = 20 in
+  let base = Structures.contact_probability s u 21 *. float_of_int (Structures.x_uv s u 21) in
+  for v = 0 to n - 1 do
+    if v <> u then begin
+      let p = Structures.contact_probability s u v *. float_of_int (Structures.x_uv s u v) in
+      check_bool "flat profile" (Float.abs (p -. base) < 1e-12)
+    end
+  done
+
+(* --------------------------------------------------------- Kleinberg grid *)
+
+let test_kleinberg_torus_distance () =
+  let kg = Kleinberg_grid.build ~side:8 (Rng.create 41) in
+  check_int "wraps x" 1 (Kleinberg_grid.dist kg 0 7);
+  (* node 56 = (0,7): one wrap step in y; node 32 = (0,4): the y diameter. *)
+  check_int "wraps y" 1 (Kleinberg_grid.dist kg 0 56);
+  check_int "y diameter" 4 (Kleinberg_grid.dist kg 0 32)
+
+let test_kleinberg_queries_complete () =
+  let kg = Kleinberg_grid.build ~q:2 ~side:10 (Rng.create 42) in
+  let n = Kleinberg_grid.size kg in
+  let rng = Rng.create 43 in
+  for _ = 1 to 400 do
+    let u = Rng.int rng n and v = Rng.int rng n in
+    if u <> v then
+      check_bool "delivered"
+        (Kleinberg_grid.route kg ~src:u ~dst:v ~max_hops:200).Sw_model.delivered
+  done
+
+let test_kleinberg_local_edges_present () =
+  let kg = Kleinberg_grid.build ~side:5 (Rng.create 44) in
+  let c = Kleinberg_grid.contacts kg in
+  check_int "4 locals + 1 long" 5 (Array.length c.(0))
+
+(* Theorem 5.4(b): on a UL-constrained metric the 5.2b router never needs
+   its non-greedy step. *)
+let test_54_no_nongreedy_on_ul_metric () =
+  let idx = Indexed.create (Metric.normalize (Generators.ring 64)) in
+  let mu = Measure.create idx (Net.Hierarchy.create idx) in
+  let b = Doubling_b.build idx mu (Rng.create 51) in
+  let n = Indexed.size idx in
+  for u = 0 to n - 1 do
+    for v = 0 to n - 1 do
+      if u <> v then begin
+        let r = Doubling_b.route b ~src:u ~dst:v ~max_hops:100 in
+        check_bool "delivered" r.Sw_model.delivered;
+        check_int "greedy only (Thm 5.4b)" 0 r.Sw_model.nongreedy_hops
+      end
+    done
+  done
+
+let () =
+  Alcotest.run "ron_smallworld"
+    [
+      ( "simulator",
+        [
+          Alcotest.test_case "chain route" `Quick test_sw_route_trivial;
+          Alcotest.test_case "no contacts fails loudly" `Quick test_sw_route_no_contacts;
+          Alcotest.test_case "hop budget" `Quick test_sw_route_hop_budget;
+          Alcotest.test_case "degree stats" `Quick test_sw_out_degree_stats;
+          Alcotest.test_case "sidestep policy" `Quick test_sidestep_policy_shape;
+        ] );
+      ( "thm52a",
+        [
+          Alcotest.test_case "grid all queries" `Quick test_a_grid_all_queries;
+          Alcotest.test_case "exponential line all queries" `Quick test_a_expline_all_queries;
+          Alcotest.test_case "multiple seeds" `Quick test_a_multiple_seeds;
+          Alcotest.test_case "contact structure" `Quick test_a_contacts_structure;
+          Alcotest.test_case "normalization required" `Quick test_a_requires_normalized;
+        ] );
+      ( "thm52b",
+        [
+          Alcotest.test_case "exponential line all queries" `Quick test_b_expline_all_queries;
+          Alcotest.test_case "grid all queries" `Quick test_b_grid_all_queries;
+          Alcotest.test_case "z contacts cover annuli" `Quick test_b_z_contacts_cover_annuli;
+          Alcotest.test_case "pruned y nonempty" `Quick test_b_pruned_y_smaller_than_full_y;
+        ] );
+      ( "thm55",
+        [
+          Alcotest.test_case "grid queries" `Quick test_single_link_grid;
+          Alcotest.test_case "exactly one long contact" `Quick test_single_link_one_contact;
+        ] );
+      ( "structures",
+        [
+          Alcotest.test_case "x_uv properties" `Quick test_structures_x_uv_properties;
+          Alcotest.test_case "x_uv line values" `Quick test_structures_x_uv_line_value;
+          Alcotest.test_case "queries" `Quick test_structures_queries;
+          Alcotest.test_case "probability profile" `Quick test_structures_probability_profile;
+        ] );
+      ( "kleinberg",
+        [
+          Alcotest.test_case "torus distance" `Quick test_kleinberg_torus_distance;
+          Alcotest.test_case "queries complete" `Quick test_kleinberg_queries_complete;
+          Alcotest.test_case "contact counts" `Quick test_kleinberg_local_edges_present;
+        ] );
+      ("thm54", [ Alcotest.test_case "greedy-only on UL metrics" `Quick test_54_no_nongreedy_on_ul_metric ]);
+    ]

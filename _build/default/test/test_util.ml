@@ -1,0 +1,287 @@
+(* Tests for the ron_util library: Rng, Bits, Qfloat, Stats. *)
+
+module Rng = Ron_util.Rng
+module Bits = Ron_util.Bits
+module Qfloat = Ron_util.Qfloat
+module Stats = Ron_util.Stats
+
+let check_bool msg b = Alcotest.(check bool) msg true b
+let check_int = Alcotest.(check int)
+let check_float msg = Alcotest.(check (float 1e-9)) msg
+
+(* ------------------------------------------------------------------ Rng *)
+
+let test_rng_deterministic () =
+  let a = Rng.create 42 and b = Rng.create 42 in
+  for _ = 1 to 100 do
+    check_bool "same stream" (Rng.bits64 a = Rng.bits64 b)
+  done
+
+let test_rng_seed_sensitivity () =
+  let a = Rng.create 1 and b = Rng.create 2 in
+  check_bool "different seeds differ" (Rng.bits64 a <> Rng.bits64 b)
+
+let test_rng_int_range () =
+  let rng = Rng.create 7 in
+  for _ = 1 to 10_000 do
+    let x = Rng.int rng 17 in
+    check_bool "in range" (x >= 0 && x < 17)
+  done
+
+let test_rng_int_covers () =
+  let rng = Rng.create 11 in
+  let seen = Array.make 8 false in
+  for _ = 1 to 1000 do
+    seen.(Rng.int rng 8) <- true
+  done;
+  check_bool "all residues hit" (Array.for_all Fun.id seen)
+
+let test_rng_float_range () =
+  let rng = Rng.create 3 in
+  for _ = 1 to 10_000 do
+    let x = Rng.float rng 2.5 in
+    check_bool "in range" (x >= 0.0 && x < 2.5)
+  done
+
+let test_rng_float_mean () =
+  let rng = Rng.create 5 in
+  let n = 50_000 in
+  let acc = ref 0.0 in
+  for _ = 1 to n do
+    acc := !acc +. Rng.float rng 1.0
+  done;
+  let m = !acc /. float_of_int n in
+  check_bool "mean near 1/2" (Float.abs (m -. 0.5) < 0.01)
+
+let test_rng_split_independent () =
+  let parent = Rng.create 9 in
+  let child = Rng.split parent in
+  (* Consuming the child must not change the parent's future stream relative
+     to a parent that split and discarded the child. *)
+  let parent2 = Rng.create 9 in
+  let _ = Rng.split parent2 in
+  for _ = 1 to 50 do
+    ignore (Rng.bits64 child)
+  done;
+  check_bool "parent unaffected by child use" (Rng.bits64 parent = Rng.bits64 parent2)
+
+let test_rng_copy () =
+  let a = Rng.create 123 in
+  ignore (Rng.bits64 a);
+  let b = Rng.copy a in
+  check_bool "copy replays" (Rng.bits64 a = Rng.bits64 b)
+
+let test_rng_shuffle_permutation () =
+  let rng = Rng.create 77 in
+  let a = Array.init 100 Fun.id in
+  Rng.shuffle rng a;
+  let sorted = Array.copy a in
+  Array.sort compare sorted;
+  check_bool "is permutation" (sorted = Array.init 100 Fun.id)
+
+let test_rng_gaussian_moments () =
+  let rng = Rng.create 13 in
+  let n = 50_000 in
+  let sum = ref 0.0 and sumsq = ref 0.0 in
+  for _ = 1 to n do
+    let x = Rng.gaussian rng in
+    sum := !sum +. x;
+    sumsq := !sumsq +. (x *. x)
+  done;
+  let mean = !sum /. float_of_int n in
+  let var = (!sumsq /. float_of_int n) -. (mean *. mean) in
+  check_bool "mean ~ 0" (Float.abs mean < 0.02);
+  check_bool "var ~ 1" (Float.abs (var -. 1.0) < 0.05)
+
+let test_weighted_index () =
+  let rng = Rng.create 21 in
+  (* Weights 1, 2, 1 -> cumulative 1, 3, 4. *)
+  let cum = [| 1.0; 3.0; 4.0 |] in
+  let counts = Array.make 3 0 in
+  let n = 40_000 in
+  for _ = 1 to n do
+    let i = Rng.weighted_index rng cum in
+    counts.(i) <- counts.(i) + 1
+  done;
+  let f i = float_of_int counts.(i) /. float_of_int n in
+  check_bool "w0 ~ 1/4" (Float.abs (f 0 -. 0.25) < 0.02);
+  check_bool "w1 ~ 1/2" (Float.abs (f 1 -. 0.5) < 0.02);
+  check_bool "w2 ~ 1/4" (Float.abs (f 2 -. 0.25) < 0.02)
+
+let test_weighted_index_zero_weight () =
+  let rng = Rng.create 22 in
+  (* Middle weight zero: cumulative 1, 1, 2. Index 1 must never be drawn. *)
+  let cum = [| 1.0; 1.0; 2.0 |] in
+  for _ = 1 to 1000 do
+    check_bool "zero weight never sampled" (Rng.weighted_index rng cum <> 1)
+  done
+
+let test_rng_invalid_args () =
+  let rng = Rng.create 1 in
+  Alcotest.check_raises "int 0" (Invalid_argument "Rng.int: bound must be positive") (fun () ->
+      ignore (Rng.int rng 0));
+  Alcotest.check_raises "empty pick" (Invalid_argument "Rng.pick: empty array") (fun () ->
+      ignore (Rng.pick rng [||]))
+
+(* ----------------------------------------------------------------- Bits *)
+
+let test_bits_values () =
+  check_int "bits_for 1" 0 (Bits.bits_for 1);
+  check_int "bits_for 2" 1 (Bits.bits_for 2);
+  check_int "bits_for 3" 2 (Bits.bits_for 3);
+  check_int "bits_for 1024" 10 (Bits.bits_for 1024);
+  check_int "bits_for 1025" 11 (Bits.bits_for 1025);
+  check_int "index_bits 1" 1 (Bits.index_bits 1);
+  check_int "ilog2_floor 1" 0 (Bits.ilog2_floor 1);
+  check_int "ilog2_floor 7" 2 (Bits.ilog2_floor 7);
+  check_int "ilog2_ceil 7" 3 (Bits.ilog2_ceil 7);
+  check_int "ilog2_ceil 8" 3 (Bits.ilog2_ceil 8)
+
+let prop_bits_consistent =
+  QCheck.Test.make ~name:"bits_for names k values" ~count:500
+    QCheck.(int_range 2 1_000_000)
+    (fun k ->
+      let b = Bits.bits_for k in
+      (1 lsl b) >= k && (1 lsl (b - 1)) < k)
+
+(* --------------------------------------------------------------- Qfloat *)
+
+let test_qfloat_zero () =
+  let c = Qfloat.codec ~mantissa_bits:4 ~max_exponent:10 in
+  check_float "zero roundtrip" 0.0 (Qfloat.quantize c 0.0)
+
+let test_qfloat_exact_powers () =
+  let c = Qfloat.codec ~mantissa_bits:6 ~max_exponent:20 in
+  List.iter
+    (fun e ->
+      let x = Float.of_int (1 lsl e) in
+      check_float (Printf.sprintf "2^%d exact" e) x (Qfloat.quantize c x))
+    [ 0; 1; 5; 13; 20 ]
+
+let test_qfloat_bits_positive () =
+  let c = Qfloat.codec_for ~delta:0.25 ~aspect_ratio:1024.0 in
+  check_bool "bits positive" (Qfloat.bits c > 0)
+
+let prop_qfloat_upper_bound =
+  QCheck.Test.make ~name:"quantize never contracts" ~count:2000
+    QCheck.(float_range 1.0 1_000_000.0)
+    (fun x ->
+      let c = Qfloat.codec ~mantissa_bits:5 ~max_exponent:40 in
+      Qfloat.quantize c x >= x)
+
+let prop_qfloat_relative_error =
+  QCheck.Test.make ~name:"quantize relative error bounded" ~count:2000
+    QCheck.(float_range 1.0 1_000_000.0)
+    (fun x ->
+      let c = Qfloat.codec ~mantissa_bits:5 ~max_exponent:40 in
+      Qfloat.quantize c x <= x *. (1.0 +. Qfloat.relative_error_bound c) *. (1.0 +. 1e-12))
+
+let prop_qfloat_monotone =
+  QCheck.Test.make ~name:"quantize monotone" ~count:1000
+    QCheck.(pair (float_range 1.0 100_000.0) (float_range 1.0 100_000.0))
+    (fun (a, b) ->
+      let c = Qfloat.codec ~mantissa_bits:4 ~max_exponent:30 in
+      let lo = Float.min a b and hi = Float.max a b in
+      Qfloat.quantize c lo <= Qfloat.quantize c hi)
+
+let test_qfloat_out_of_range () =
+  let c = Qfloat.codec ~mantissa_bits:4 ~max_exponent:3 in
+  Alcotest.check_raises "overflow rejected"
+    (Invalid_argument "Qfloat.encode: value out of range") (fun () ->
+      ignore (Qfloat.encode c 100.0));
+  Alcotest.check_raises "negative rejected" (Invalid_argument "Qfloat.encode: bad value")
+    (fun () -> ignore (Qfloat.encode c (-1.0)))
+
+let test_qfloat_codec_for_range () =
+  (* codec_for must accept distances up to 2 * Delta (sums of two). *)
+  let c = Qfloat.codec_for ~delta:0.5 ~aspect_ratio:1000.0 in
+  let x = 1999.0 in
+  check_bool "2*Delta encodable" (Qfloat.quantize c x >= x)
+
+(* ---------------------------------------------------------------- Stats *)
+
+let test_qfloat_sub_one_rounds_up () =
+  (* Normalized metrics never store distances in (0,1); the codec still must
+     handle them safely by rounding up to 1 (non-contracting). *)
+  let c = Qfloat.codec ~mantissa_bits:4 ~max_exponent:8 in
+  Alcotest.(check (float 1e-9)) "rounds to 1" 1.0 (Qfloat.quantize c 0.3)
+
+let test_weighted_index_single () =
+  let rng = Rng.create 42 in
+  for _ = 1 to 100 do
+    Alcotest.(check int) "single bucket" 0 (Rng.weighted_index rng [| 2.5 |])
+  done
+
+let test_stats_of_ints () =
+  Alcotest.(check (float 1e-9)) "of_ints mean" 2.0 (Stats.mean (Stats.of_ints [| 1; 2; 3 |]))
+
+let test_stats_empty () =
+  check_bool "empty mean is nan" (Float.is_nan (Stats.mean [||]));
+  check_bool "empty percentile is nan" (Float.is_nan (Stats.percentile [||] 50.0))
+
+let test_stats_basic () =
+  let xs = [| 1.0; 2.0; 3.0; 4.0 |] in
+  check_float "mean" 2.5 (Stats.mean xs);
+  check_float "min" 1.0 (Stats.minimum xs);
+  check_float "max" 4.0 (Stats.maximum xs);
+  check_float "median" 2.0 (Stats.median xs);
+  check_float "p100" 4.0 (Stats.percentile xs 100.0)
+
+let test_stats_stddev () =
+  let xs = [| 2.0; 4.0; 4.0; 4.0; 5.0; 5.0; 7.0; 9.0 |] in
+  check_float "stddev" 2.0 (Stats.stddev xs)
+
+let test_stats_summary () =
+  let s = Stats.summarize (Array.init 100 (fun i -> float_of_int (i + 1))) in
+  check_int "count" 100 s.Stats.count;
+  check_float "p50" 50.0 s.Stats.p50;
+  check_float "p90" 90.0 s.Stats.p90;
+  check_float "p99" 99.0 s.Stats.p99
+
+let () =
+  let qt = QCheck_alcotest.to_alcotest in
+  Alcotest.run "ron_util"
+    [
+      ( "rng",
+        [
+          Alcotest.test_case "deterministic" `Quick test_rng_deterministic;
+          Alcotest.test_case "seed sensitivity" `Quick test_rng_seed_sensitivity;
+          Alcotest.test_case "int range" `Quick test_rng_int_range;
+          Alcotest.test_case "int covers residues" `Quick test_rng_int_covers;
+          Alcotest.test_case "float range" `Quick test_rng_float_range;
+          Alcotest.test_case "float mean" `Quick test_rng_float_mean;
+          Alcotest.test_case "split independence" `Quick test_rng_split_independent;
+          Alcotest.test_case "copy replays" `Quick test_rng_copy;
+          Alcotest.test_case "shuffle is a permutation" `Quick test_rng_shuffle_permutation;
+          Alcotest.test_case "gaussian moments" `Slow test_rng_gaussian_moments;
+          Alcotest.test_case "weighted index frequencies" `Quick test_weighted_index;
+          Alcotest.test_case "weighted index zero weight" `Quick test_weighted_index_zero_weight;
+          Alcotest.test_case "invalid arguments" `Quick test_rng_invalid_args;
+        ] );
+      ( "bits",
+        [
+          Alcotest.test_case "known values" `Quick test_bits_values;
+          qt prop_bits_consistent;
+        ] );
+      ( "qfloat",
+        [
+          Alcotest.test_case "zero" `Quick test_qfloat_zero;
+          Alcotest.test_case "powers of two exact" `Quick test_qfloat_exact_powers;
+          Alcotest.test_case "bit cost positive" `Quick test_qfloat_bits_positive;
+          Alcotest.test_case "out-of-range rejected" `Quick test_qfloat_out_of_range;
+          Alcotest.test_case "codec_for covers 2*Delta" `Quick test_qfloat_codec_for_range;
+          qt prop_qfloat_upper_bound;
+          qt prop_qfloat_relative_error;
+          qt prop_qfloat_monotone;
+        ] );
+      ( "stats",
+        [
+          Alcotest.test_case "sub-one rounds up" `Quick test_qfloat_sub_one_rounds_up;
+          Alcotest.test_case "weighted index single bucket" `Quick test_weighted_index_single;
+          Alcotest.test_case "of_ints" `Quick test_stats_of_ints;
+          Alcotest.test_case "empty samples" `Quick test_stats_empty;
+          Alcotest.test_case "basic" `Quick test_stats_basic;
+          Alcotest.test_case "stddev" `Quick test_stats_stddev;
+          Alcotest.test_case "summary" `Quick test_stats_summary;
+        ] );
+    ]
