@@ -1,0 +1,23 @@
+.PHONY: all build test check bench bench-json clean
+
+all: build
+
+build:
+	dune build
+
+test:
+	dune runtest
+
+# Tier-1 gate plus a smoke run of the JSON perf pipeline (tiny sizes so it
+# stays fast; the committed BENCH_*.json files use the default 500,1000,2000).
+check: build test
+	dune exec bench/main.exe -- esub --json /tmp/ron_bench_smoke.json --sizes 100,200
+
+bench:
+	dune exec bench/main.exe
+
+bench-json:
+	dune exec bench/main.exe -- --json BENCH_$$(date +%Y-%m-%d).json
+
+clean:
+	dune clean

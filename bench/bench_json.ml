@@ -1,0 +1,248 @@
+(* Machine-readable performance report: construction/query timings for the
+   metric-index hot path (seed baseline vs optimized, sequential vs
+   parallel) plus the headline Table 1-3 quantities, emitted as JSON so
+   successive PRs accumulate a perf trajectory (see EXPERIMENTS.md,
+   "Performance"). Hand-rolled printer: no JSON dependency. *)
+
+module Rng = Ron_util.Rng
+module Pool = Ron_util.Pool
+module Exp_common = Ron_experiments.Exp_common
+module Indexed = Ron_metric.Indexed
+module Generators = Ron_metric.Generators
+module Net = Ron_metric.Net
+module Measure = Ron_metric.Measure
+
+(* ------------------------------------------------------------------ JSON *)
+
+type json =
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of json list
+  | Obj of (string * json) list
+
+let escape s =
+  let b = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\t' -> Buffer.add_string b "\\t"
+      | c when Char.code c < 0x20 -> Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let rec emit b indent = function
+  | Bool v -> Buffer.add_string b (if v then "true" else "false")
+  | Int i -> Buffer.add_string b (string_of_int i)
+  | Float f ->
+    if Float.is_finite f then Buffer.add_string b (Printf.sprintf "%.9g" f)
+    else Buffer.add_string b "null"
+  | String s ->
+    Buffer.add_char b '"';
+    Buffer.add_string b (escape s);
+    Buffer.add_char b '"'
+  | List [] -> Buffer.add_string b "[]"
+  | List items ->
+    Buffer.add_string b "[";
+    List.iteri
+      (fun i item ->
+        if i > 0 then Buffer.add_string b ",";
+        Buffer.add_string b ("\n" ^ String.make (indent + 2) ' ');
+        emit b (indent + 2) item)
+      items;
+    Buffer.add_string b ("\n" ^ String.make indent ' ' ^ "]")
+  | Obj [] -> Buffer.add_string b "{}"
+  | Obj fields ->
+    Buffer.add_string b "{";
+    List.iteri
+      (fun i (k, v) ->
+        if i > 0 then Buffer.add_string b ",";
+        Buffer.add_string b ("\n" ^ String.make (indent + 2) ' ');
+        Buffer.add_string b (Printf.sprintf "%S: " k);
+        emit b (indent + 2) v)
+      fields;
+    Buffer.add_string b ("\n" ^ String.make indent ' ' ^ "}")
+
+let to_string j =
+  let b = Buffer.create 4096 in
+  emit b 0 j;
+  Buffer.add_char b '\n';
+  Buffer.contents b
+
+(* ---------------------------------------------------------------- timing *)
+
+let time f =
+  let t0 = Unix.gettimeofday () in
+  let r = f () in
+  (r, Unix.gettimeofday () -. t0)
+
+let time_unit f = snd (time f)
+
+(* ----------------------------------------------------- index hot path *)
+
+let index_same a b =
+  let n = Indexed.size a in
+  let ok = ref (n = Indexed.size b) in
+  for u = 0 to n - 1 do
+    for k = 0 to n - 1 do
+      let (va, da) = Indexed.nth_neighbor a u k and (vb, db) = Indexed.nth_neighbor b u k in
+      if va <> vb || da <> db then ok := false
+    done
+  done;
+  !ok
+
+let index_section n =
+  let m = Generators.random_cloud (Rng.create 7) ~n ~dim:2 in
+  let (reference, t_ref) = time (fun () -> Indexed.create_reference m) in
+  let (seq, t_seq) = time (fun () -> Indexed.create ~jobs:1 m) in
+  let (par, t_par) = time (fun () -> Indexed.create m) in
+  let equal = index_same reference seq && index_same seq par in
+  (* Query costs over the optimized index. *)
+  let qrng = Rng.create 77 in
+  let queries = 200_000 in
+  let diam = Indexed.diameter par in
+  let t_ball_count =
+    time_unit (fun () ->
+        for _ = 1 to queries do
+          ignore (Indexed.ball_count par (Rng.int qrng n) (Rng.float qrng diam))
+        done)
+  in
+  let t_radius =
+    time_unit (fun () ->
+        for _ = 1 to queries do
+          ignore (Indexed.radius_for_count par (Rng.int qrng n) (1 + Rng.int qrng n))
+        done)
+  in
+  let hier, t_hier = time (fun () -> Net.Hierarchy.create par) in
+  let t_measure = time_unit (fun () -> ignore (Measure.create par hier)) in
+  Obj
+    [
+      ("n", Int n);
+      ("indexed_create_reference_s", Float t_ref);
+      ("indexed_create_jobs1_s", Float t_seq);
+      ("indexed_create_parallel_s", Float t_par);
+      ("speedup_jobs1_vs_reference", Float (t_ref /. t_seq));
+      ("speedup_parallel_vs_reference", Float (t_ref /. t_par));
+      ("parallel_equals_sequential_equals_reference", Bool equal);
+      ("ball_count_ns_per_query", Float (t_ball_count *. 1e9 /. float_of_int queries));
+      ("radius_for_count_ns_per_query", Float (t_radius *. 1e9 /. float_of_int queries));
+      ("net_hierarchy_create_s", Float t_hier);
+      ("measure_create_s", Float t_measure);
+    ]
+
+(* -------------------------------------------- Table 1-3 headline numbers *)
+
+let max_arr = Array.fold_left max 0
+
+let quality_obj (q : Exp_common.route_quality) =
+  [
+    ("stretch_max", Float q.Exp_common.stretch_max);
+    ("stretch_mean", Float q.Exp_common.stretch_mean);
+    ("hops_max", Int q.Exp_common.hops_max);
+    ("failures", Int q.Exp_common.failures);
+    ("queries", Int q.Exp_common.queries);
+  ]
+
+let table1 () =
+  let sp = Ron_graph.Sp_metric.create (Ron_graph.Graph_gen.grid 8 8) in
+  let b = Ron_routing.Basic.build sp ~delta:0.25 in
+  let n = Ron_graph.Graph.size (Ron_graph.Sp_metric.graph sp) in
+  let pairs = Exp_common.sample_pairs (Rng.create 101) ~n ~count:800 in
+  let q =
+    Exp_common.collect_routes
+      ~route:(fun u v -> Ron_routing.Basic.route b ~src:u ~dst:v)
+      ~dist:(fun u v -> Ron_graph.Sp_metric.dist sp u v)
+      pairs
+  in
+  Obj
+    (( "graph", String "grid8x8")
+     :: ("scheme", String "thm2.1")
+     :: ("table_bits_max", Int (max_arr (Ron_routing.Basic.table_bits b)))
+     :: ("header_bits", Int (Ron_routing.Basic.header_bits b))
+     :: quality_obj q)
+
+let table2 () =
+  let idx = Indexed.create (Generators.random_cloud (Rng.create 202) ~n:200 ~dim:2) in
+  let s = Ron_routing.On_metric.build idx ~delta:0.25 in
+  let n = Indexed.size idx in
+  let pairs = Exp_common.sample_pairs (Rng.create 203) ~n ~count:800 in
+  let q =
+    Exp_common.collect_routes
+      ~route:(fun u v -> Ron_routing.On_metric.route s ~src:u ~dst:v)
+      ~dist:(fun u v -> Indexed.dist idx u v)
+      pairs
+  in
+  Obj
+    (("metric", String "cloud200")
+     :: ("scheme", String "thm2.1-metric")
+     :: ("out_degree_max", Int (Ron_routing.On_metric.out_degree s))
+     :: ("out_degree_mean", Float (Ron_routing.On_metric.mean_out_degree s))
+     :: ("table_bits_max", Int (max_arr (Ron_routing.On_metric.table_bits s)))
+     :: ("header_bits", Int (Ron_routing.On_metric.header_bits s))
+     :: quality_obj q)
+
+let table3 () =
+  let idx = Indexed.create (Generators.grid2d 8 8) in
+  let tm = Ron_routing.Two_mode.build idx ~delta:0.125 in
+  Ron_routing.Two_mode.reset_counters tm;
+  let n = Indexed.size idx in
+  let pairs = Exp_common.sample_pairs (Rng.create 303) ~n ~count:600 in
+  let q =
+    (* Two_mode.route counts mode switches in shared state: sequential. *)
+    Exp_common.collect_routes ~parallel:false
+      ~route:(fun u v -> Ron_routing.Two_mode.route tm ~src:u ~dst:v)
+      ~dist:(fun u v -> Indexed.dist idx u v)
+      pairs
+  in
+  Obj
+    (("metric", String "grid8x8")
+     :: ("scheme", String "thm4.2-two-mode")
+     :: ("m1_bits_max", Int (max_arr (Ron_routing.Two_mode.table_bits_m1 tm)))
+     :: ("m2_bits_max", Int (max_arr (Ron_routing.Two_mode.table_bits_m2 tm)))
+     :: ("header_bits", Int (Ron_routing.Two_mode.header_bits tm))
+     :: ("mode2_switches", Int (Ron_routing.Two_mode.mode2_switches tm))
+     :: quality_obj q)
+
+(* ------------------------------------------------------------------ main *)
+
+let timestamp () =
+  let tm = Unix.localtime (Unix.gettimeofday ()) in
+  Printf.sprintf "%04d-%02d-%02dT%02d:%02d:%02d" (tm.Unix.tm_year + 1900) (tm.Unix.tm_mon + 1)
+    tm.Unix.tm_mday tm.Unix.tm_hour tm.Unix.tm_min tm.Unix.tm_sec
+
+let run ~file ~sizes =
+  (* Open the output first so a bad path fails before minutes of measuring. *)
+  let oc =
+    try open_out file
+    with Sys_error e ->
+      Printf.eprintf "cannot write --json output: %s\n" e;
+      exit 1
+  in
+  Printf.printf "\n[JSON] measuring index hot path at n in {%s} (RON_JOBS=%d)...\n%!"
+    (String.concat ", " (List.map string_of_int sizes))
+    (Pool.jobs ());
+  let index = List.map index_section sizes in
+  Printf.printf "[JSON] measuring Table 1-3 quantities...\n%!";
+  let report =
+    Obj
+      [
+        ("schema", String "ron-bench/1");
+        ("timestamp", String (timestamp ()));
+        ("ocaml_version", String Sys.ocaml_version);
+        ("ron_jobs", Int (Pool.jobs ()));
+        ("recommended_domains", Int (Domain.recommended_domain_count ()));
+        ("word_size", Int Sys.word_size);
+        ("index", List index);
+        ("table1", table1 ());
+        ("table2", table2 ());
+        ("table3", table3 ());
+      ]
+  in
+  output_string oc (to_string report);
+  close_out oc;
+  Printf.printf "[JSON] wrote %s\n%!" file

@@ -4,6 +4,9 @@
      dune exec bench/main.exe            -- run every experiment + micro-benchmarks
      dune exec bench/main.exe t1 e32     -- run selected experiment ids
      dune exec bench/main.exe list       -- list experiment ids
+     dune exec bench/main.exe -- --json BENCH.json [--sizes 500,1000,2000]
+                                         -- machine-readable perf report
+                                            (combinable with experiment ids)
 
    One section is printed per paper artifact (table / figure / theorem); see
    DESIGN.md section 3 for the index and EXPERIMENTS.md for the recorded
@@ -110,24 +113,56 @@ let micro () =
       Printf.printf "%-48s %s\n" name est)
     rows
 
+let parse_sizes s =
+  try
+    String.split_on_char ',' s
+    |> List.map String.trim
+    |> List.filter (fun x -> x <> "")
+    |> List.map int_of_string
+  with Failure _ ->
+    Printf.eprintf "bad --sizes %S (expected e.g. 500,1000,2000)\n" s;
+    exit 1
+
 let () =
   let args = List.tl (Array.to_list Sys.argv) in
-  match args with
-  | [ "list" ] ->
-    List.iter (fun (id, title, _) -> Printf.printf "%-6s %s\n" id title) experiments;
-    Printf.printf "%-6s %s\n" "micro" "Bechamel micro-benchmarks"
-  | [] ->
-    List.iter (fun (_, _, run) -> run ()) experiments;
-    micro ()
-  | ids ->
-    List.iter
-      (fun id ->
-        if id = "micro" then micro ()
-        else begin
-          match List.find_opt (fun (i, _, _) -> i = id) experiments with
-          | Some (_, _, run) -> run ()
-          | None ->
-            Printf.eprintf "unknown experiment id %S (try: dune exec bench/main.exe list)\n" id;
-            exit 1
-        end)
-      ids
+  let json_file = ref None and sizes = ref [ 500; 1000; 2000 ] in
+  let rec strip_flags = function
+    | [] -> []
+    | "--json" :: file :: rest ->
+      json_file := Some file;
+      strip_flags rest
+    | [ "--json" ] ->
+      Printf.eprintf "--json requires a file argument\n";
+      exit 1
+    | "--sizes" :: spec :: rest ->
+      sizes := parse_sizes spec;
+      strip_flags rest
+    | [ "--sizes" ] ->
+      Printf.eprintf "--sizes requires a comma-separated list (e.g. 500,1000,2000)\n";
+      exit 1
+    | arg :: rest -> arg :: strip_flags rest
+  in
+  let ids = strip_flags args in
+  (match (ids, !json_file) with
+   | ([ "list" ], None) ->
+     List.iter (fun (id, title, _) -> Printf.printf "%-6s %s\n" id title) experiments;
+     Printf.printf "%-6s %s\n" "micro" "Bechamel micro-benchmarks"
+   | ([], None) ->
+     List.iter (fun (_, _, run) -> run ()) experiments;
+     micro ()
+   | ([], Some _) -> () (* JSON report only *)
+   | (ids, _) ->
+     List.iter
+       (fun id ->
+         if id = "micro" then micro ()
+         else begin
+           match List.find_opt (fun (i, _, _) -> i = id) experiments with
+           | Some (_, _, run) -> run ()
+           | None ->
+             Printf.eprintf "unknown experiment id %S (try: dune exec bench/main.exe list)\n" id;
+             exit 1
+         end)
+       ids);
+  match !json_file with
+  | Some file -> Bench_json.run ~file ~sizes:!sizes
+  | None -> ()

@@ -96,9 +96,9 @@ let scheme_arg =
 
 let run_route family n seed delta pairs scheme =
   let rng = Rng.create seed in
-  let report name route dist max_table header n =
+  let report ?parallel name route dist max_table header n =
     let prs = Ron_experiments.Exp_common.sample_pairs (Rng.create (seed + 2)) ~n ~count:pairs in
-    let q = Ron_experiments.Exp_common.collect_routes ~route ~dist prs in
+    let q = Ron_experiments.Exp_common.collect_routes ?parallel ~route ~dist prs in
     Printf.printf "%s: table<=%d bits, header<=%d bits\n  %s\n" name max_table header
       (Ron_experiments.Exp_common.pp_quality q)
   in
@@ -117,7 +117,8 @@ let run_route family n seed delta pairs scheme =
       end
       else begin
         let s = Ron_routing.Two_mode.build idx ~delta:(Float.min delta 0.125) in
-        report "Thm 4.2 two-mode"
+        (* Two_mode.route counts mode switches in shared state: sequential. *)
+        report ~parallel:false "Thm 4.2 two-mode"
           (fun u v -> Ron_routing.Two_mode.route s ~src:u ~dst:v)
           (fun u v -> Indexed.dist idx u v)
           (Array.fold_left max 0 (Ron_routing.Two_mode.table_bits_m1 s))

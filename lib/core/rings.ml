@@ -2,26 +2,45 @@ module Indexed = Ron_metric.Indexed
 module Net = Ron_metric.Net
 module Measure = Ron_metric.Measure
 module Rng = Ron_util.Rng
+module Pool = Ron_util.Pool
+module Fsort = Ron_util.Fsort
 
 type ring = { scale : int; radius : float; members : int array }
 
-type t = ring array array
+type t = {
+  rings : ring array array;
+  (* Distinct-neighbor sets are needed once per node but queried many times
+     (out_degree, max_out_degree, link enumeration), so the dedup is
+     computed lazily and cached. *)
+  neighbors_cache : int array option array;
+}
 
-let of_rings r = r
+let of_rings rings = { rings; neighbors_cache = Array.make (Array.length rings) None }
 
-let ring t u i = t.(u).(i)
-let rings_of t u = t.(u)
-let scales t u = Array.length t.(u)
-let size t = Array.length t
+let ring t u i = t.rings.(u).(i)
+let rings_of t u = t.rings.(u)
+let scales t u = Array.length t.rings.(u)
+let size t = Array.length t.rings
 
-let neighbors t u =
+let compute_neighbors t u =
   let tbl = Hashtbl.create 64 in
-  Array.iter (fun r -> Array.iter (fun v -> Hashtbl.replace tbl v ()) r.members) t.(u);
+  Array.iter (fun r -> Array.iter (fun v -> Hashtbl.replace tbl v ()) r.members) t.rings.(u);
   let out = Array.of_list (Hashtbl.fold (fun v () acc -> v :: acc) tbl []) in
-  Array.sort compare out;
+  Fsort.sort_ints out;
   out
 
-let out_degree t u = Array.length (neighbors t u)
+let cached_neighbors t u =
+  match t.neighbors_cache.(u) with
+  | Some a -> a
+  | None ->
+    let a = compute_neighbors t u in
+    t.neighbors_cache.(u) <- Some a;
+    a
+
+(* A copy, so callers may mutate the result without corrupting the cache. *)
+let neighbors t u = Array.copy (cached_neighbors t u)
+
+let out_degree t u = Array.length (cached_neighbors t u)
 
 let max_out_degree t =
   let best = ref 0 in
@@ -33,59 +52,60 @@ let max_out_degree t =
 let max_ring_size t =
   Array.fold_left
     (fun acc rs -> Array.fold_left (fun a r -> max a (Array.length r.members)) acc rs)
-    0 t
+    0 t.rings
 
 let of_membership idx ~scales ~radius_of ~member_of =
   let n = Indexed.size idx in
-  Array.init n (fun u ->
-      Array.init scales (fun i ->
-          let radius = radius_of i in
-          let members =
-            Array.of_list
-              (List.filter (member_of i) (Array.to_list (Indexed.ball idx u radius)))
-          in
-          Array.sort compare members;
-          { scale = i; radius; members }))
+  of_rings
+    (Pool.init n (fun u ->
+         Array.init scales (fun i ->
+             let radius = radius_of i in
+             let members = Indexed.ball_filter idx u radius (member_of i) in
+             Fsort.sort_ints members;
+             { scale = i; radius; members })))
 
 let net_rings idx hier ~scales ~radius_of ~level_of =
   let n = Indexed.size idx in
-  Array.init n (fun u ->
-      Array.init scales (fun i ->
-          let radius = radius_of i in
-          let level = level_of i in
-          let members =
-            Array.of_list
-              (List.filter
-                 (fun v -> Net.Hierarchy.mem hier level v)
-                 (Array.to_list (Indexed.ball idx u radius)))
-          in
-          { scale = i; radius; members }))
+  of_rings
+    (Pool.init n (fun u ->
+         Array.init scales (fun i ->
+             let radius = radius_of i in
+             let level = level_of i in
+             let members =
+               Indexed.ball_filter idx u radius (fun v -> Net.Hierarchy.mem hier level v)
+             in
+             { scale = i; radius; members })))
 
 let uniform_rings idx rng ~scales ~samples =
   let n = Indexed.size idx in
-  Array.init n (fun u ->
-      Array.init scales (fun i ->
-          let p = if i >= 62 then max_int else 1 lsl i in
-          let k = if p >= n then 1 else (n + p - 1) / p in
-          let radius = Indexed.radius_for_count idx u k in
-          let ball = Indexed.ball idx u radius in
-          let members = Array.init samples (fun _ -> Rng.pick rng ball) in
-          { scale = i; radius; members }))
+  (* Sequential on purpose: the draws consume one shared RNG stream, and the
+     per-node work after the index is built is O(samples). *)
+  of_rings
+    (Array.init n (fun u ->
+         Array.init scales (fun i ->
+             let p = if i >= 62 then max_int else 1 lsl i in
+             let k = if p >= n then 1 else (n + p - 1) / p in
+             let radius = Indexed.radius_for_count idx u k in
+             let ball = Indexed.ball idx u radius in
+             let members = Array.init samples (fun _ -> Rng.pick rng ball) in
+             { scale = i; radius; members })))
 
 let measure_rings idx mu rng ~scales ~samples ~radius_of =
   let n = Indexed.size idx in
-  Array.init n (fun u ->
-      let cum = Measure.cumulative_by_distance mu idx u in
-      Array.init scales (fun j ->
-          let radius = radius_of j in
-          let count = Indexed.ball_count idx u radius in
-          let prefix = Array.sub cum 0 (max 1 count) in
-          let members =
-            Array.init samples (fun _ ->
-                let k = Rng.weighted_index rng prefix in
-                fst (Indexed.nth_neighbor idx u k))
-          in
-          { scale = j; radius; members }))
+  (* Sequential for the same reason as [uniform_rings]. *)
+  of_rings
+    (Array.init n (fun u ->
+         let cum = Measure.cumulative_by_distance mu idx u in
+         Array.init scales (fun j ->
+             let radius = radius_of j in
+             let count = Indexed.ball_count idx u radius in
+             let prefix = Array.sub cum 0 (max 1 count) in
+             let members =
+               Array.init samples (fun _ ->
+                   let k = Rng.weighted_index rng prefix in
+                   fst (Indexed.nth_neighbor idx u k))
+             in
+             { scale = j; radius; members })))
 
 let check_containment idx t =
   let ok = ref true in
@@ -97,5 +117,5 @@ let check_containment idx t =
             (fun v -> if Indexed.dist idx u v > r.radius +. 1e-9 then ok := false)
             r.members)
         rs)
-    t;
+    t.rings;
   !ok

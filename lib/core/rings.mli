@@ -43,10 +43,17 @@ val size : t -> int
 (** Number of nodes. *)
 
 val neighbors : t -> int -> int array
-(** Distinct neighbors of [u] across all rings, sorted. *)
+(** Distinct neighbors of [u] across all rings, sorted ascending. The dedup
+    is computed once per node and cached; the returned array is a fresh
+    copy. *)
 
 val out_degree : t -> int -> int
+(** [Array.length (neighbors t u)], served from the per-node cache. *)
+
 val max_out_degree : t -> int
+(** Maximum [out_degree] over all nodes; after the first call every
+    node's dedup is cached, so repeated accounting queries are O(n). *)
+
 val max_ring_size : t -> int
 
 val of_membership :
@@ -58,7 +65,10 @@ val of_membership :
 (** Generic deterministic rings: ring [i] of [u] is [B_u(radius_of i)]
     filtered by [member_of i], with members listed in ascending node id (so
     rings that coincide as sets get identical enumeration orders across
-    nodes — the canonical-sharing requirement of host enumerations). *)
+    nodes — the canonical-sharing requirement of host enumerations).
+    Nodes are built in parallel ({!Ron_util.Pool}): [radius_of] and
+    [member_of] must be pure, and the result is identical at any job
+    count. *)
 
 val net_rings :
   Ron_metric.Indexed.t ->

@@ -44,14 +44,24 @@ type route_quality = {
   hops_mean : float;
 }
 
-let collect_routes ~route ~dist pairs =
+let collect_routes ?(parallel = true) ~route ~dist pairs =
+  (* The route evaluations are independent, so they run in parallel; the
+     aggregation below folds the per-pair results in list order, making the
+     output bit-identical to a sequential run (float sums are not
+     reassociated). Pass ~parallel:false for schemes whose [route] mutates
+     shared state (e.g. Two_mode's mode-switch counters). *)
+  let pairs_a = Array.of_list pairs in
+  let results =
+    if parallel then Ron_util.Pool.map (fun (u, v) -> route u v) pairs_a
+    else Array.map (fun (u, v) -> route u v) pairs_a
+  in
   let queries = ref 0 and failures = ref 0 in
   let smax = ref 0.0 and ssum = ref 0.0 in
   let hmax = ref 0 and hsum = ref 0 in
-  List.iter
-    (fun (u, v) ->
+  Array.iteri
+    (fun i r ->
+      let (u, v) = pairs_a.(i) in
       incr queries;
-      let r = route u v in
       if not r.Scheme.delivered then incr failures
       else begin
         let s = Scheme.stretch r (dist u v) in
@@ -60,7 +70,7 @@ let collect_routes ~route ~dist pairs =
         hmax := max !hmax r.Scheme.hops;
         hsum := !hsum + r.Scheme.hops
       end)
-    pairs;
+    results;
   let ok = max 1 (!queries - !failures) in
   {
     queries = !queries;

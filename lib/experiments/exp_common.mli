@@ -35,9 +35,15 @@ type route_quality = {
 }
 
 val collect_routes :
+  ?parallel:bool ->
   route:(int -> int -> Ron_routing.Scheme.result) ->
   dist:(int -> int -> float) ->
   (int * int) list ->
   route_quality
+(** Evaluate each pair's route and aggregate. With [parallel] (the default)
+    the route calls are spread over domains and the aggregation folds in
+    list order, so the result is bit-identical to a sequential run; [route]
+    must then be pure. Pass [~parallel:false] for schemes whose route
+    mutates shared state. *)
 
 val pp_quality : route_quality -> string

@@ -15,20 +15,35 @@ let fixture m =
 type sw_quality = { hops_max : int; hops_mean : float; fails : int; nongreedy : int }
 
 let collect route n rng queries max_hops =
-  let hmax = ref 0 and hsum = ref 0 and fails = ref 0 and ok = ref 0 and ng = ref 0 in
-  for _ = 1 to queries do
+  (* Draw every query endpoint first, consuming the RNG stream exactly as
+     the sequential loop did; the (pure) route evaluations then run in
+     parallel, and the reduction below is over ints only, so the reported
+     numbers are identical at any job count. *)
+  let qs = Array.make queries (0, 0) in
+  for i = 0 to queries - 1 do
+    (* Same [let ... and ...] form as the seed loop, so the two draws hit
+       the stream in the same order. *)
     let u = Rng.int rng n and v = Rng.int rng n in
-    if u <> v then begin
-      let r = route u v ~max_hops in
-      if r.Sw_model.delivered then begin
-        incr ok;
-        hmax := max !hmax r.Sw_model.hops;
-        hsum := !hsum + r.Sw_model.hops;
-        ng := !ng + r.Sw_model.nongreedy_hops
-      end
-      else incr fails
-    end
+    qs.(i) <- (u, v)
   done;
+  let results =
+    Ron_util.Pool.map
+      (fun (u, v) -> if u <> v then Some (route u v ~max_hops) else None)
+      qs
+  in
+  let hmax = ref 0 and hsum = ref 0 and fails = ref 0 and ok = ref 0 and ng = ref 0 in
+  Array.iter
+    (function
+      | None -> ()
+      | Some r ->
+        if r.Sw_model.delivered then begin
+          incr ok;
+          hmax := max !hmax r.Sw_model.hops;
+          hsum := !hsum + r.Sw_model.hops;
+          ng := !ng + r.Sw_model.nongreedy_hops
+        end
+        else incr fails)
+    results;
   {
     hops_max = !hmax;
     hops_mean = float_of_int !hsum /. float_of_int (max 1 !ok);

@@ -11,7 +11,7 @@ let build idx rng ~k =
   let perm = Array.init n Fun.id in
   Rng.shuffle rng perm;
   let beacons = Array.sub perm 0 k in
-  Array.sort compare beacons;
+  Ron_util.Fsort.sort_ints beacons;
   { idx; beacons }
 
 let beacons t = Array.copy t.beacons

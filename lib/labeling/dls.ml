@@ -46,7 +46,7 @@ let sorted_distinct lst =
   let tbl = Hashtbl.create 64 in
   List.iter (fun v -> Hashtbl.replace tbl v ()) lst;
   let a = Array.of_list (Hashtbl.fold (fun v () acc -> v :: acc) tbl []) in
-  Array.sort compare a;
+  Ron_util.Fsort.sort_ints a;
   a
 
 let build ?(z_divisor = 64.0) tri =
@@ -280,7 +280,12 @@ let serialize wc l =
           host x;
           virt y;
           host z)
-        (List.sort compare entries))
+        (List.sort
+           (fun ((a1 : int), (b1 : int), (c1 : int)) (a2, b2, c2) ->
+             if a1 <> a2 then Stdlib.compare a1 a2
+             else if b1 <> b2 then Stdlib.compare b1 b2
+             else Stdlib.compare c1 c2)
+           entries))
     l.zetas;
   host l.zoom_first;
   Array.iter virt l.zoom_rest;

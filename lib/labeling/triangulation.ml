@@ -64,7 +64,7 @@ let build ?(radius_factor = 12.0) ?(net_divisor = 4.0) idx_ ~delta =
     max 0 (int_of_float (Float.floor (Bits.flog2 (delta *. aspect /. (2.0 *. net_divisor)))))
   in
   let y0 = Array.copy (Net.Hierarchy.level hierarchy y0_level) in
-  Array.sort compare y0;
+  Ron_util.Fsort.sort_ints y0;
   let yn =
     Array.init n (fun u ->
         Array.init levels (fun i ->
@@ -73,10 +73,8 @@ let build ?(radius_factor = 12.0) ?(net_divisor = 4.0) idx_ ~delta =
               let r_ui = Indexed.r_level idx_ u i in
               let level = y_net_level r_ui delta ~net_divisor in
               let radius = radius_factor *. r_ui /. delta in
-              let ball = Indexed.ball idx_ u radius in
-              Array.of_list
-                (List.filter (fun v -> Net.Hierarchy.mem hierarchy level v)
-                   (Array.to_list ball))
+              Indexed.ball_filter idx_ u radius (fun v ->
+                  Net.Hierarchy.mem hierarchy level v)
             end))
   in
   let beacon_dist =
@@ -95,7 +93,7 @@ let build ?(radius_factor = 12.0) ?(net_divisor = 4.0) idx_ ~delta =
 let beacons t u =
   let out = Hashtbl.fold (fun b _ acc -> b :: acc) t.beacon_dist.(u) [] in
   let a = Array.of_list out in
-  Array.sort compare a;
+  Ron_util.Fsort.sort_ints a;
   a
 
 let order t =

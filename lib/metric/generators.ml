@@ -74,7 +74,7 @@ let exponential_clusters rng ~clusters ~per_cluster ~base =
         scale *. (1.0 +. Rng.float rng 0.5))
   in
   (* Enforce distinct positions with a relative bump. *)
-  Array.sort compare xs;
+  Ron_util.Fsort.sort_floats xs;
   for i = 1 to n - 1 do
     if xs.(i) <= xs.(i - 1) then xs.(i) <- xs.(i - 1) *. (1.0 +. 1e-9)
   done;

@@ -1,33 +1,79 @@
 (* Distances and node ids are kept in parallel unboxed arrays (rather than
    tuple arrays) so that an index over n nodes costs ~16 n^2 bytes; this is
-   what allows the experiments to run at n in the thousands. *)
+   what allows the experiments to run at n in the thousands. Rows are built
+   with no per-entry boxing and sorted by a monomorphic float-keyed merge
+   sort (Ron_util.Fsort); rows are independent, so construction is
+   parallelized over domains (Ron_util.Pool, RON_JOBS). *)
 type t = {
   metric : Metric.t;
   (* sorted_d.(u).(k) / sorted_v.(u).(k): distance and id of the k-th
-     closest node to u (k = 0 is u itself). Ties are broken by node id. *)
+     closest node to u (k = 0 is u itself). Equal distances are tie-broken
+     by ascending node id: ids start in increasing order and the sort is
+     stable. *)
   sorted_d : float array array;
   sorted_v : int array array;
   diameter : float;
   min_distance : float;
 }
 
-let create m =
+let finish m sorted_d sorted_v =
   let n = Metric.size m in
   let diameter = ref 0.0 and dmin = ref infinity in
+  for u = 0 to n - 1 do
+    let far = sorted_d.(u).(n - 1) in
+    if far > !diameter then diameter := far;
+    if n > 1 then begin
+      let near = sorted_d.(u).(1) in
+      if near < !dmin then dmin := near
+    end
+  done;
+  { metric = m; sorted_d; sorted_v; diameter = !diameter; min_distance = !dmin }
+
+(* Per-domain merge-sort scratch, reused across rows (and across calls);
+   grown on demand. Each domain sees its own pair, so parallel row builds
+   never share a buffer. *)
+let scratch : (float array * int array) ref Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> ref ([||], [||]))
+
+let with_scratch n =
+  let r = Domain.DLS.get scratch in
+  let (d, _) = !r in
+  if Array.length d >= n then !r
+  else begin
+    let s = (Array.make n 0.0, Array.make n 0) in
+    r := s;
+    s
+  end
+
+let create ?jobs m =
+  let n = Metric.size m in
+  let sorted_d = Array.make n [||] and sorted_v = Array.make n [||] in
+  Ron_util.Pool.parallel_for ?jobs n (fun u ->
+      let d = Array.make n 0.0 and v = Array.make n 0 in
+      for w = 0 to n - 1 do
+        Array.unsafe_set d w (Metric.dist m u w);
+        Array.unsafe_set v w w
+      done;
+      let (scratch_d, scratch_v) = with_scratch n in
+      Ron_util.Fsort.dual_sort ~scratch_d ~scratch_v d v;
+      sorted_d.(u) <- d;
+      sorted_v.(u) <- v);
+  finish m sorted_d sorted_v
+
+(* The pre-optimization construction (boxed (float, int) tuples sorted with
+   the polymorphic comparator), kept verbatim as the baseline that
+   bench/main.exe --json and the equivalence tests measure against. Tuple
+   order (distance, id) ties by id, matching [create]. *)
+let create_reference m =
+  let n = Metric.size m in
   let sorted_d = Array.make n [||] and sorted_v = Array.make n [||] in
   for u = 0 to n - 1 do
     let row = Array.init n (fun v -> (Metric.dist m u v, v)) in
     Array.sort compare row;
-    let far = fst row.(n - 1) in
-    if far > !diameter then diameter := far;
-    if n > 1 then begin
-      let near = fst row.(1) in
-      if near < !dmin then dmin := near
-    end;
     sorted_d.(u) <- Array.map fst row;
     sorted_v.(u) <- Array.map snd row
   done;
-  { metric = m; sorted_d; sorted_v; diameter = !diameter; min_distance = !dmin }
+  finish m sorted_d sorted_v
 
 let metric t = t.metric
 let size t = Metric.size t.metric
@@ -73,6 +119,20 @@ let ball_iter t u r f =
   for i = 0 to k - 1 do
     f t.sorted_v.(u).(i) t.sorted_d.(u).(i)
   done
+
+let ball_filter t u r keep =
+  let k = count_le t u r in
+  let row = t.sorted_v.(u) in
+  let out = Array.make k 0 in
+  let m = ref 0 in
+  for i = 0 to k - 1 do
+    let v = Array.unsafe_get row i in
+    if keep v then begin
+      Array.unsafe_set out !m v;
+      incr m
+    end
+  done;
+  if !m = k then out else Array.sub out 0 !m
 
 let annulus t u r_in r_out =
   let k_in = count_le t u r_in and k_out = count_le t u r_out in

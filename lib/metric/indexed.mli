@@ -7,8 +7,17 @@
 
 type t
 
-val create : Metric.t -> t
-(** O(n^2 log n) preprocessing. *)
+val create : ?jobs:int -> Metric.t -> t
+(** O(n^2 log n) preprocessing. Rows are unboxed [float array]/[int array]
+    pairs sorted by a monomorphic float-keyed sort; equal distances are
+    tie-broken by ascending node id. Construction is parallelized over
+    domains ([?jobs], else [RON_JOBS], else the hardware recommendation —
+    see {!Ron_util.Pool}); the result is identical at every job count. *)
+
+val create_reference : Metric.t -> t
+(** The pre-optimization construction (boxed tuples, polymorphic compare,
+    sequential), kept as the measured baseline for [bench/main.exe --json]
+    and for equivalence tests. Produces a result identical to {!create}. *)
 
 val metric : t -> Metric.t
 val size : t -> int
@@ -32,13 +41,20 @@ val nth_neighbor : t -> int -> int -> int * float
 
 val ball : t -> int -> float -> int array
 (** [ball t u r]: nodes of the closed ball [B_u(r)], in non-decreasing order
-    of distance from [u] (so [u] first). Negative radius yields [[||]]. *)
+    of distance from [u] (so [u] first), equal distances in ascending node
+    id. Negative radius yields [[||]]. *)
 
 val ball_count : t -> int -> float -> int
 (** Cardinality of the closed ball, computed without materializing it. *)
 
 val ball_iter : t -> int -> float -> (int -> float -> unit) -> unit
 (** Iterate [(node, distance)] over the closed ball without allocation. *)
+
+val ball_filter : t -> int -> float -> (int -> bool) -> int array
+(** [ball_filter t u r keep]: the members of the closed ball [B_u(r)]
+    satisfying [keep], in non-decreasing order of distance from [u] —
+    [ball] composed with a filter, without the intermediate array/list
+    round-trip. *)
 
 val annulus : t -> int -> float -> float -> int array
 (** [annulus t u r_in r_out]: nodes [v] with [r_in < d(u,v) <= r_out]. *)

@@ -10,21 +10,22 @@ let create idx hier =
   Array.iter (fun u -> mass_at.(u) <- 1.0 /. float_of_int (Array.length (Net.Hierarchy.level hier jmax)))
     (Net.Hierarchy.level hier jmax);
   for j = jmax - 1 downto 0 do
-    let children = Hashtbl.create 64 in
-    (* Assign each level-j point to its nearest level-(j+1) parent. A point
-       that is itself in G_(j+1) is its own parent (distance 0). *)
-    Array.iter
-      (fun q ->
-        let (p, _) = Net.Hierarchy.nearest hier (j + 1) q in
-        let cur = try Hashtbl.find children p with Not_found -> [] in
-        Hashtbl.replace children p (q :: cur))
-      (Net.Hierarchy.level hier j);
+    (* Assign each level-j point to its nearest level-(j+1) parent (a point
+       that is itself in G_(j+1) is its own parent, distance 0). The
+       nearest-parent searches are independent, hence parallel; every node
+       has exactly one parent, so the mass split below is order-free. *)
+    let pts = Net.Hierarchy.level hier j in
+    let parent =
+      Ron_util.Pool.map (fun q -> fst (Net.Hierarchy.nearest hier (j + 1) q)) pts
+    in
+    let kid_count = Array.make n 0 in
+    Array.iter (fun p -> kid_count.(p) <- kid_count.(p) + 1) parent;
     let next = Array.make n 0.0 in
-    Hashtbl.iter
-      (fun p kids ->
-        let share = mass_at.(p) /. float_of_int (List.length kids) in
-        List.iter (fun q -> next.(q) <- next.(q) +. share) kids)
-      children;
+    Array.iteri
+      (fun i q ->
+        let p = parent.(i) in
+        next.(q) <- mass_at.(p) /. float_of_int kid_count.(p))
+      pts;
     Array.blit next 0 mass_at 0 n
   done;
   (* G_0 is the whole node set on a normalized metric, so every node now has

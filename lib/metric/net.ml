@@ -1,11 +1,29 @@
+exception Covered
+
+(* u is within (strict) distance r of a marked point iff the prefix of its
+   sorted row below r contains one; scanning the ball beats scanning the
+   point set, and the binary search makes the empty case O(log n). *)
+let near_marked idx marked u r =
+  match
+    Indexed.ball_iter idx u r (fun v d -> if d < r && marked.(v) then raise Covered)
+  with
+  | () -> false
+  | exception Covered -> true
+
 let r_net idx ?(seeds = [||]) ~r () =
   let n = Indexed.size idx in
-  let pts = ref (Array.to_list seeds) in
-  let far u = List.for_all (fun p -> Indexed.dist idx u p >= r) !pts in
+  let in_seed = Array.make n false in
+  Array.iter (fun p -> in_seed.(p) <- true) seeds;
+  (* Phase 1 (parallel, deterministic): which nodes survive the seeds. *)
+  let ok = Array.make n false in
+  Ron_util.Pool.parallel_for n (fun u -> ok.(u) <- not (near_marked idx in_seed u r));
+  (* Phase 2 (sequential greedy, as in the paper): add survivors in id
+     order, skipping nodes covered by an earlier addition. *)
+  let in_new = Array.make n false in
   let added = ref [] in
   for u = 0 to n - 1 do
-    if far u then begin
-      pts := u :: !pts;
+    if ok.(u) && not (near_marked idx in_new u r) then begin
+      in_new.(u) <- true;
       added := u :: !added
     end
   done;

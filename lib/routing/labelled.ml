@@ -42,7 +42,7 @@ let build sp ~delta =
               if Net.Hierarchy.mem hier j v then Hashtbl.replace tbl v ())
         done;
         let a = Array.of_list (Hashtbl.fold (fun v () acc -> v :: acc) tbl []) in
-        Array.sort compare a;
+        Ron_util.Fsort.sort_ints a;
         a)
   in
   let first_hop =

@@ -31,7 +31,7 @@ let build idx ~delta =
               if Net.Hierarchy.mem hier j v then Hashtbl.replace tbl v ())
         done;
         let a = Array.of_list (Hashtbl.fold (fun v () acc -> v :: acc) tbl []) in
-        Array.sort compare a;
+        Ron_util.Fsort.sort_ints a;
         a)
   in
   { idx; delta; dls; nbrs; dls_bits = Dls.label_bits dls }

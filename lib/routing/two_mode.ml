@@ -49,10 +49,10 @@ let build ?(m1_threshold = 1.0 /. 3.0) idx ~delta =
     let make_directory b =
       let hub = b.Packing.center in
       let members = Array.copy b.Packing.members in
-      Array.sort compare members;
+      Ron_util.Fsort.sort_ints members;
       let big_radius = Indexed.r_level idx hub (i - 1) in
       let big = Indexed.ball idx hub big_radius in
-      Array.sort compare big;
+      Ron_util.Fsort.sort_ints big;
       let k = Array.length members in
       let total = Array.length big in
       let chunk = max 1 ((total + k - 1) / k) in

@@ -192,7 +192,7 @@ let within t ~start ~target ~radius =
     done
   done;
   let out = Array.of_list (Hashtbl.fold (fun v () acc -> v :: acc) matches []) in
-  Array.sort compare out;
+  Ron_util.Fsort.sort_ints out;
   { matches = out; range_hops = !hops; range_measurements = !measurements }
 
 let exact_within t target radius =
@@ -201,5 +201,5 @@ let exact_within t target radius =
     (fun u m -> if m && Indexed.dist t.idx u target <= radius then out := u :: !out)
     t.member;
   let a = Array.of_list !out in
-  Array.sort compare a;
+  Ron_util.Fsort.sort_ints a;
   a

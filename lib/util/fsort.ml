@@ -1,0 +1,86 @@
+(* Monomorphic sorts for the hot paths. The generic [Array.sort compare]
+   dispatches to the polymorphic comparator on every element pair — a C call
+   that walks the representation — and the tuple variants additionally box a
+   (float, int) pair per entry. The index layer sorts n rows of n entries, so
+   both costs are O(n^2 log n); keeping the keys in a flat [float array] and
+   comparing them with native float compares removes all of it. *)
+
+let run = 24
+(* Runs shorter than this are insertion-sorted before merging; 16-32 is the
+   usual sweet spot and the exact value does not affect the result. *)
+
+(* Stable insertion sort of d.[lo..hi] keyed on d, carrying v alongside.
+   Strict [>] in the shift keeps equal keys in input order. *)
+let insertion_dual (d : float array) (v : int array) lo hi =
+  for i = lo + 1 to hi do
+    let kd = Array.unsafe_get d i and kv = Array.unsafe_get v i in
+    let j = ref (i - 1) in
+    while !j >= lo && Array.unsafe_get d !j > kd do
+      Array.unsafe_set d (!j + 1) (Array.unsafe_get d !j);
+      Array.unsafe_set v (!j + 1) (Array.unsafe_get v !j);
+      decr j
+    done;
+    Array.unsafe_set d (!j + 1) kd;
+    Array.unsafe_set v (!j + 1) kv
+  done
+
+(* Stable merge of d.[lo..mid-1] and d.[mid..hi] via the scratch arrays. *)
+let merge_dual (d : float array) (v : int array) (td : float array)
+    (tv : int array) lo mid hi =
+  Array.blit d lo td lo (hi - lo + 1);
+  Array.blit v lo tv lo (hi - lo + 1);
+  let i = ref lo and j = ref mid in
+  for k = lo to hi do
+    if
+      !i < mid
+      && (!j > hi || Array.unsafe_get td !i <= Array.unsafe_get td !j)
+    then begin
+      Array.unsafe_set d k (Array.unsafe_get td !i);
+      Array.unsafe_set v k (Array.unsafe_get tv !i);
+      incr i
+    end
+    else begin
+      Array.unsafe_set d k (Array.unsafe_get td !j);
+      Array.unsafe_set v k (Array.unsafe_get tv !j);
+      incr j
+    end
+  done
+
+let dual_sort ?scratch_d ?scratch_v (d : float array) (v : int array) =
+  let n = Array.length d in
+  if Array.length v <> n then invalid_arg "Fsort.dual_sort: length mismatch";
+  if n > 1 then begin
+    let lo = ref 0 in
+    while !lo < n do
+      insertion_dual d v !lo (min (!lo + run - 1) (n - 1));
+      lo := !lo + run
+    done;
+    if n > run then begin
+      let td =
+        match scratch_d with
+        | Some s when Array.length s >= n -> s
+        | _ -> Array.make n 0.0
+      and tv =
+        match scratch_v with
+        | Some s when Array.length s >= n -> s
+        | _ -> Array.make n 0
+      in
+      let width = ref run in
+      while !width < n do
+        let lo = ref 0 in
+        while !lo + !width < n do
+          merge_dual d v td tv !lo (!lo + !width)
+            (min (!lo + (2 * !width) - 1) (n - 1));
+          lo := !lo + (2 * !width)
+        done;
+        width := 2 * !width
+      done
+    end
+  end
+
+let sort_floats (a : float array) =
+  (* Piggyback on the dual sort; the carried ids are ignored. *)
+  let n = Array.length a in
+  if n > 1 then dual_sort a (Array.make n 0)
+
+let sort_ints (a : int array) = Array.sort (fun (x : int) y -> Stdlib.compare x y) a

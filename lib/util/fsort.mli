@@ -1,0 +1,21 @@
+(** Monomorphic, allocation-lean sorts for hot paths.
+
+    The repo's inner loops sort [O(n^2)] entries per index build; these
+    replace [Array.sort compare] (polymorphic compare, boxed tuples) with
+    flat float/int array operations. *)
+
+val dual_sort :
+  ?scratch_d:float array -> ?scratch_v:int array -> float array -> int array -> unit
+(** [dual_sort d v] sorts the parallel arrays [d] (keys) and [v] (payload)
+    in place by non-decreasing key. The sort is {b stable}: entries with
+    equal keys keep their input order — so when [v] starts as [0..n-1],
+    equal keys end up tie-broken by ascending payload. Scratch buffers of
+    length [>= Array.length d] may be supplied to avoid re-allocating
+    across repeated sorts; their final contents are unspecified.
+    @raise Invalid_argument if the arrays differ in length. *)
+
+val sort_floats : float array -> unit
+(** In-place, non-decreasing, monomorphic. *)
+
+val sort_ints : int array -> unit
+(** In-place, non-decreasing, monomorphic. *)

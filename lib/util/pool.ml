@@ -1,0 +1,74 @@
+(* Chunked parallel-for over OCaml 5 domains — no external dependency, no
+   work stealing. Iterations are split into [jobs] contiguous chunks, one
+   domain per chunk; this keeps every worker on a cache-friendly contiguous
+   index range and makes the work assignment independent of scheduling, so a
+   deterministic body produces identical results at any job count.
+
+   Job count: the [?jobs] argument wins, then the [RON_JOBS] environment
+   variable, then [Domain.recommended_domain_count ()]. With one job (or
+   from inside another pool region — domains must not be nested) the loop
+   degrades to a plain sequential [for], so RON_JOBS=1 reproduces the
+   pre-parallel behaviour exactly. *)
+
+let env_jobs =
+  lazy
+    (match Sys.getenv_opt "RON_JOBS" with
+    | Some s -> (
+      match int_of_string_opt (String.trim s) with
+      | Some j when j >= 1 -> Some j
+      | _ -> None)
+    | None -> None)
+
+let jobs () =
+  match Lazy.force env_jobs with
+  | Some j -> j
+  | None -> Domain.recommended_domain_count ()
+
+(* True while the current domain is executing a pool chunk; nested calls
+   then run sequentially instead of spawning domains from domains. *)
+let inside : bool Domain.DLS.key = Domain.DLS.new_key (fun () -> false)
+
+let sequential_for lo hi f =
+  for i = lo to hi - 1 do
+    f i
+  done
+
+let parallel_for ?jobs:j n f =
+  if n > 0 then begin
+    let j = match j with Some j -> max 1 j | None -> jobs () in
+    let j = min j n in
+    if j <= 1 || Domain.DLS.get inside then sequential_for 0 n f
+    else begin
+      (* Chunk c covers [c*base + min c rem, ...): sizes differ by <= 1. *)
+      let base = n / j and rem = n mod j in
+      let chunk_lo c = (c * base) + min c rem in
+      let run c =
+        Domain.DLS.set inside true;
+        Fun.protect
+          ~finally:(fun () -> Domain.DLS.set inside false)
+          (fun () ->
+            match sequential_for (chunk_lo c) (chunk_lo (c + 1)) f with
+            | () -> None
+            | exception e -> Some e)
+      in
+      let workers = Array.init (j - 1) (fun i -> Domain.spawn (fun () -> run (i + 1))) in
+      let first = run 0 in
+      let rest = Array.map Domain.join workers in
+      (* Re-raise the first failure in chunk order, after every domain has
+         been joined. *)
+      let exn = Array.fold_left (fun acc e -> match acc with Some _ -> acc | None -> e) first rest in
+      match exn with Some e -> raise e | None -> ()
+    end
+  end
+
+let init ?jobs n f =
+  if n <= 0 then [||]
+  else begin
+    (* Seed the array with f 0 computed on the calling domain, then fill the
+       rest in parallel. *)
+    let a = Array.make n (f 0) in
+    parallel_for ?jobs (n - 1) (fun i -> a.(i + 1) <- f (i + 1));
+    a
+  end
+
+let map ?jobs f a = init ?jobs (Array.length a) (fun i -> f a.(i))

@@ -1,0 +1,29 @@
+(** Chunked parallel-for over OCaml 5 domains.
+
+    Iterations [0..n-1] are split into [jobs] contiguous chunks, one domain
+    per chunk. The chunk boundaries depend only on [n] and [jobs], never on
+    scheduling, so a body whose iterations are independent and deterministic
+    produces {e identical} results at every job count — the repo's builds
+    rely on this for reproducible experiment output.
+
+    Job count resolution: the [?jobs] argument, else the [RON_JOBS]
+    environment variable, else [Domain.recommended_domain_count ()].
+    [jobs = 1] runs inline with no domain spawned; nested calls (from inside
+    a pool worker) also degrade to sequential, so callers may parallelize
+    freely at any layer. *)
+
+val jobs : unit -> int
+(** The default job count ([RON_JOBS] or the hardware recommendation). *)
+
+val parallel_for : ?jobs:int -> int -> (int -> unit) -> unit
+(** [parallel_for n f] runs [f 0 .. f (n-1)], in parallel chunks when
+    [jobs > 1]. If any iteration raises, every domain is still joined and
+    the first exception (in chunk order) is re-raised. *)
+
+val init : ?jobs:int -> int -> (int -> 'a) -> 'a array
+(** [Array.init], parallel over chunks. [f 0] runs first on the calling
+    domain (it seeds the result array); the remaining indices run in
+    parallel. *)
+
+val map : ?jobs:int -> ('a -> 'b) -> 'a array -> 'b array
+(** [Array.map], parallel over chunks. *)

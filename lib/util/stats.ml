@@ -18,7 +18,7 @@ let percentile xs p =
   if n = 0 then nan
   else begin
     let sorted = Array.copy xs in
-    Array.sort compare sorted;
+    Fsort.sort_floats sorted;
     let rank = int_of_float (ceil (p /. 100.0 *. float_of_int n)) in
     sorted.(max 0 (min (n - 1) (rank - 1)))
   end

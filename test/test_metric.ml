@@ -167,6 +167,78 @@ let test_nearest_of () =
   check_int "nearest candidate" 7 v;
   check_float "its distance" 7.0 d
 
+let test_indexed_rows_sorted_with_id_tiebreak () =
+  (* The grid has many equal distances, so this exercises the documented
+     tie-break: equal distances in ascending node id. *)
+  List.iter
+    (fun idx ->
+      let n = Indexed.size idx in
+      for u = 0 to n - 1 do
+        for k = 0 to n - 2 do
+          let (v1, d1) = Indexed.nth_neighbor idx u k in
+          let (v2, d2) = Indexed.nth_neighbor idx u (k + 1) in
+          check_bool "row non-decreasing" (d1 <= d2);
+          if d1 = d2 then check_bool "ties by ascending id" (v1 < v2)
+        done
+      done)
+    [ Lazy.force grid8; Lazy.force expline ]
+
+let test_indexed_create_matches_reference () =
+  (* The optimized construction must agree pairwise (order included) with the
+     seed implementation, at jobs=1 and at jobs>1. *)
+  let m = Generators.random_cloud (Rng.create 4242) ~n:80 ~dim:2 in
+  let reference = Indexed.create_reference m in
+  List.iter
+    (fun jobs ->
+      let idx = Indexed.create ~jobs m in
+      let n = Indexed.size idx in
+      for u = 0 to n - 1 do
+        for k = 0 to n - 1 do
+          let (v1, d1) = Indexed.nth_neighbor reference u k in
+          let (v2, d2) = Indexed.nth_neighbor idx u k in
+          check_int (Printf.sprintf "jobs=%d node u=%d k=%d" jobs u k) v1 v2;
+          check_float "distance" d1 d2
+        done
+      done;
+      check_float "diameter" (Indexed.diameter reference) (Indexed.diameter idx);
+      check_float "min_distance" (Indexed.min_distance reference) (Indexed.min_distance idx))
+    [ 1; 4 ]
+
+let test_indexed_ball_count_boundaries () =
+  let idx = Lazy.force grid8 in
+  let n = Indexed.size idx in
+  check_int "negative radius" 0 (Indexed.ball_count idx 0 (-1.0));
+  check_int "zero radius counts self" 1 (Indexed.ball_count idx 0 0.0);
+  check_int "diameter radius counts all" n (Indexed.ball_count idx 0 (Indexed.diameter idx));
+  check_int "beyond diameter" n (Indexed.ball_count idx 0 (Indexed.diameter idx +. 1.0));
+  (* Duplicate distances (the grid has many): at every attained radius d the
+     closed ball holds the whole tie class; at [Float.pred d] it holds
+     exactly the strictly-closer nodes. *)
+  for k = 1 to n - 1 do
+    let (_, d) = Indexed.nth_neighbor idx 0 k in
+    let strictly_closer = ref 0 and tie_class_end = ref 0 in
+    for j = 0 to n - 1 do
+      let (_, dj) = Indexed.nth_neighbor idx 0 j in
+      if dj < d then incr strictly_closer;
+      if dj <= d then incr tie_class_end
+    done;
+    check_int "closed ball = full tie class" !tie_class_end (Indexed.ball_count idx 0 d);
+    check_int "just below excludes the tie class" !strictly_closer
+      (Indexed.ball_count idx 0 (Float.pred d))
+  done
+
+let test_indexed_ball_filter_matches_filter () =
+  let idx = Lazy.force cloud in
+  let n = Indexed.size idx in
+  let r = Rng.create 31 in
+  for _ = 1 to 30 do
+    let u = Rng.int r n in
+    let radius = Rng.float r (Indexed.diameter idx) in
+    let keep v = v mod 3 = 0 in
+    let expect = Array.of_list (List.filter keep (Array.to_list (Indexed.ball idx u radius))) in
+    check_bool "ball_filter = filter o ball" (Indexed.ball_filter idx u radius keep = expect)
+  done
+
 (* ------------------------------------------------------------- Doubling *)
 
 let test_greedy_cover_properties () =
@@ -454,6 +526,35 @@ let prop_hierarchy_nested =
       done;
       !ok)
 
+let prop_indexed_rows_sorted =
+  QCheck.Test.make ~name:"indexed rows sorted, ties by ascending id" ~count:15
+    QCheck.(int_range 5 60)
+    (fun n ->
+      let idx = Indexed.create (Generators.random_cloud (Rng.create (n * 11)) ~n ~dim:2) in
+      let ok = ref true in
+      for u = 0 to n - 1 do
+        for k = 0 to n - 2 do
+          let (v1, d1) = Indexed.nth_neighbor idx u k in
+          let (v2, d2) = Indexed.nth_neighbor idx u (k + 1) in
+          if d1 > d2 || (d1 = d2 && v1 >= v2) then ok := false
+        done
+      done;
+      !ok)
+
+let prop_indexed_parallel_equals_sequential =
+  QCheck.Test.make ~name:"Indexed.create identical at jobs=1 and jobs=4" ~count:10
+    QCheck.(int_range 5 50)
+    (fun n ->
+      let m = Generators.random_cloud (Rng.create (n * 19)) ~n ~dim:2 in
+      let a = Indexed.create ~jobs:1 m and b = Indexed.create ~jobs:4 m in
+      let ok = ref true in
+      for u = 0 to n - 1 do
+        for k = 0 to n - 1 do
+          if Indexed.nth_neighbor a u k <> Indexed.nth_neighbor b u k then ok := false
+        done
+      done;
+      !ok)
+
 let prop_packing_guarantee =
   QCheck.Test.make ~name:"packing 6r_u(eps) guarantee on random clouds" ~count:10
     QCheck.(pair (int_range 10 60) (int_range 0 3))
@@ -493,6 +594,11 @@ let () =
           Alcotest.test_case "annulus" `Quick test_indexed_annulus;
           Alcotest.test_case "exponential line aspect" `Quick test_indexed_aspect_expline;
           Alcotest.test_case "nearest_of" `Quick test_nearest_of;
+          Alcotest.test_case "rows sorted, ties by id" `Quick test_indexed_rows_sorted_with_id_tiebreak;
+          Alcotest.test_case "create = create_reference (jobs 1 and 4)" `Quick
+            test_indexed_create_matches_reference;
+          Alcotest.test_case "ball_count boundaries" `Quick test_indexed_ball_count_boundaries;
+          Alcotest.test_case "ball_filter = filter o ball" `Quick test_indexed_ball_filter_matches_filter;
         ] );
       ( "doubling",
         [
@@ -534,5 +640,7 @@ let () =
           qt prop_net_invariants;
           qt prop_hierarchy_nested;
           qt prop_packing_guarantee;
+          qt prop_indexed_rows_sorted;
+          qt prop_indexed_parallel_equals_sequential;
         ] );
     ]
