@@ -1,4 +1,4 @@
-.PHONY: all build test check bench bench-json clean
+.PHONY: all build test check bench bench-json trace-smoke clean
 
 all: build
 
@@ -18,6 +18,12 @@ bench:
 
 bench-json:
 	dune exec bench/main.exe -- --json BENCH_$$(date +%Y-%m-%d).json
+
+# Observability smoke: trace a routing run, then validate every JSONL event.
+trace-smoke: build
+	dune exec bin/ron_cli.exe -- route -m grid -n 64 -p 200 \
+	  --trace /tmp/ron_trace_smoke.jsonl --metrics-out /tmp/ron_metrics_smoke.json
+	dune exec bin/trace_check.exe /tmp/ron_trace_smoke.jsonl
 
 clean:
 	dune clean

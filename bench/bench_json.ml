@@ -2,7 +2,8 @@
    metric-index hot path (seed baseline vs optimized, sequential vs
    parallel) plus the headline Table 1-3 quantities, emitted as JSON so
    successive PRs accumulate a perf trajectory (see EXPERIMENTS.md,
-   "Performance"). Hand-rolled printer: no JSON dependency. *)
+   "Performance"). The encoder is Ron_obs.Json, shared with the CLI's
+   --metrics-out; no external JSON dependency. *)
 
 module Rng = Ron_util.Rng
 module Pool = Ron_util.Pool
@@ -11,68 +12,9 @@ module Indexed = Ron_metric.Indexed
 module Generators = Ron_metric.Generators
 module Net = Ron_metric.Net
 module Measure = Ron_metric.Measure
+open Ron_obs.Json
 
-(* ------------------------------------------------------------------ JSON *)
-
-type json =
-  | Bool of bool
-  | Int of int
-  | Float of float
-  | String of string
-  | List of json list
-  | Obj of (string * json) list
-
-let escape s =
-  let b = Buffer.create (String.length s + 8) in
-  String.iter
-    (fun c ->
-      match c with
-      | '"' -> Buffer.add_string b "\\\""
-      | '\\' -> Buffer.add_string b "\\\\"
-      | '\n' -> Buffer.add_string b "\\n"
-      | '\t' -> Buffer.add_string b "\\t"
-      | c when Char.code c < 0x20 -> Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
-      | c -> Buffer.add_char b c)
-    s;
-  Buffer.contents b
-
-let rec emit b indent = function
-  | Bool v -> Buffer.add_string b (if v then "true" else "false")
-  | Int i -> Buffer.add_string b (string_of_int i)
-  | Float f ->
-    if Float.is_finite f then Buffer.add_string b (Printf.sprintf "%.9g" f)
-    else Buffer.add_string b "null"
-  | String s ->
-    Buffer.add_char b '"';
-    Buffer.add_string b (escape s);
-    Buffer.add_char b '"'
-  | List [] -> Buffer.add_string b "[]"
-  | List items ->
-    Buffer.add_string b "[";
-    List.iteri
-      (fun i item ->
-        if i > 0 then Buffer.add_string b ",";
-        Buffer.add_string b ("\n" ^ String.make (indent + 2) ' ');
-        emit b (indent + 2) item)
-      items;
-    Buffer.add_string b ("\n" ^ String.make indent ' ' ^ "]")
-  | Obj [] -> Buffer.add_string b "{}"
-  | Obj fields ->
-    Buffer.add_string b "{";
-    List.iteri
-      (fun i (k, v) ->
-        if i > 0 then Buffer.add_string b ",";
-        Buffer.add_string b ("\n" ^ String.make (indent + 2) ' ');
-        Buffer.add_string b (Printf.sprintf "%S: " k);
-        emit b (indent + 2) v)
-      fields;
-    Buffer.add_string b ("\n" ^ String.make indent ' ' ^ "}")
-
-let to_string j =
-  let b = Buffer.create 4096 in
-  emit b 0 j;
-  Buffer.add_char b '\n';
-  Buffer.contents b
+let to_string = Ron_obs.Json.to_string
 
 (* ---------------------------------------------------------------- timing *)
 
@@ -144,8 +86,16 @@ let quality_obj (q : Exp_common.route_quality) =
     ("stretch_max", Float q.Exp_common.stretch_max);
     ("stretch_mean", Float q.Exp_common.stretch_mean);
     ("hops_max", Int q.Exp_common.hops_max);
+    ("hops_mean", Float q.Exp_common.hops_mean);
     ("failures", Int q.Exp_common.failures);
+    ("truncated", Int q.Exp_common.truncated);
+    ("self_forwards", Int q.Exp_common.self_forwards);
     ("queries", Int q.Exp_common.queries);
+    (* Observed per-query costs, straight from the ledger. *)
+    ("ring_lookups_mean", Float q.Exp_common.ring_lookups_mean);
+    ("ring_lookups_max", Int q.Exp_common.ring_lookups_max);
+    ("dist_evals_mean", Float q.Exp_common.dist_evals_mean);
+    ("zoom_steps_mean", Float q.Exp_common.zoom_steps_mean);
   ]
 
 let table1 () =
@@ -226,8 +176,13 @@ let run ~file ~sizes =
   Printf.printf "\n[JSON] measuring index hot path at n in {%s} (RON_JOBS=%d)...\n%!"
     (String.concat ", " (List.map string_of_int sizes))
     (Pool.jobs ());
-  let index = List.map index_section sizes in
+  let index = Stdlib.List.map index_section sizes in
   Printf.printf "[JSON] measuring Table 1-3 quantities...\n%!";
+  (* The timed index sections above ran with observability off; reset so the
+     obs section below reflects exactly the Table 1-3 query workloads
+     (collect_routes force-enables the probes while routing). *)
+  Ron_obs.reset ();
+  let t1 = table1 () and t2 = table2 () and t3 = table3 () in
   let report =
     Obj
       [
@@ -238,9 +193,10 @@ let run ~file ~sizes =
         ("recommended_domains", Int (Domain.recommended_domain_count ()));
         ("word_size", Int Sys.word_size);
         ("index", List index);
-        ("table1", table1 ());
-        ("table2", table2 ());
-        ("table3", table3 ());
+        ("table1", t1);
+        ("table2", t2);
+        ("table3", t3);
+        ("obs", Ron_obs.snapshot ());
       ]
   in
   output_string oc (to_string report);

@@ -55,9 +55,44 @@ let delta_arg =
 let pairs_arg =
   Arg.(value & opt int 500 & info [ "p"; "pairs" ] ~docv:"PAIRS" ~doc:"Number of sampled pairs.")
 
+(* --------------------------------------------------------- observability *)
+
+let trace_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace" ] ~docv:"FILE" ~doc:"Write JSONL trace events to $(docv).")
+
+let metrics_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "metrics-out" ] ~docv:"FILE"
+        ~doc:
+          "Write an observability snapshot (counters, histograms, per-query costs) to $(docv) \
+           as JSON.")
+
+let ns_clock () = Int64.of_float (Unix.gettimeofday () *. 1e9)
+
+(* Shared by every subcommand: configure the trace sink and/or enable the
+   probes, run, then write the snapshot and close the sink (also on error,
+   so a crashed run still leaves its trace on disk). *)
+let with_obs trace metrics f =
+  (match trace with
+  | Some file ->
+    Ron_obs.Trace.configure ~clock:ns_clock (Ron_obs.Trace.channel_sink (open_out file))
+  | None -> ());
+  if trace <> None || metrics <> None then Ron_obs.enable ();
+  Fun.protect
+    ~finally:(fun () ->
+      (match metrics with Some file -> Ron_obs.write_snapshot file | None -> ());
+      Ron_obs.Trace.stop ())
+    f
+
 (* -------------------------------------------------------------- estimate *)
 
-let run_estimate family n seed delta pairs =
+let run_estimate trace metrics family n seed delta pairs =
+  with_obs trace metrics @@ fun () ->
   let idx = Indexed.create (make_metric family n seed) in
   let n = Indexed.size idx in
   Printf.printf "metric=%s n=%d log2(aspect)=%d\n" family n (Indexed.log2_aspect_ratio idx);
@@ -86,7 +121,9 @@ let run_estimate family n seed delta pairs =
 let estimate_cmd =
   let doc = "Distance estimation: Theorem 3.2 triangulation + Theorem 3.4 labels." in
   Cmd.v (Cmd.info "estimate" ~doc)
-    Term.(const run_estimate $ metric_arg $ n_arg $ seed_arg $ delta_arg $ pairs_arg)
+    Term.(
+      const run_estimate $ trace_arg $ metrics_arg $ metric_arg $ n_arg $ seed_arg $ delta_arg
+      $ pairs_arg)
 
 (* ----------------------------------------------------------------- route *)
 
@@ -94,13 +131,15 @@ let scheme_arg =
   let doc = "Routing scheme: thm21 (graphs), thm41 (graphs), metric (Sec 4.1), thm42 (metric two-mode), trivial." in
   Arg.(value & opt string "thm21" & info [ "scheme" ] ~docv:"SCHEME" ~doc)
 
-let run_route family n seed delta pairs scheme =
+let run_route trace metrics family n seed delta pairs scheme =
+  with_obs trace metrics @@ fun () ->
   let rng = Rng.create seed in
   let report ?parallel name route dist max_table header n =
     let prs = Ron_experiments.Exp_common.sample_pairs (Rng.create (seed + 2)) ~n ~count:pairs in
     let q = Ron_experiments.Exp_common.collect_routes ?parallel ~route ~dist prs in
-    Printf.printf "%s: table<=%d bits, header<=%d bits\n  %s\n" name max_table header
+    Printf.printf "%s: table<=%d bits, header<=%d bits\n  %s\n  %s\n" name max_table header
       (Ron_experiments.Exp_common.pp_quality q)
+      (Ron_experiments.Exp_common.pp_observed q)
   in
   begin
     match scheme with
@@ -160,7 +199,9 @@ let run_route family n seed delta pairs scheme =
 let route_cmd =
   let doc = "Compact (1+delta)-stretch routing (Theorems 2.1, 4.1, 4.2; Section 4.1)." in
   Cmd.v (Cmd.info "route" ~doc)
-    Term.(const run_route $ metric_arg $ n_arg $ seed_arg $ delta_arg $ pairs_arg $ scheme_arg)
+    Term.(
+      const run_route $ trace_arg $ metrics_arg $ metric_arg $ n_arg $ seed_arg $ delta_arg
+      $ pairs_arg $ scheme_arg)
 
 (* ------------------------------------------------------------ smallworld *)
 
@@ -168,7 +209,8 @@ let model_arg =
   let doc = "Small-world model: a (Thm 5.2a), b (Thm 5.2b), structures, single (Thm 5.5 needs grid)." in
   Arg.(value & opt string "a" & info [ "model" ] ~docv:"MODEL" ~doc)
 
-let run_smallworld family n seed pairs model =
+let run_smallworld trace metrics family n seed pairs model =
+  with_obs trace metrics @@ fun () ->
   let idx = Indexed.create (make_metric family n seed) in
   let nn = Indexed.size idx in
   let mu = Measure.create idx (Net.Hierarchy.create idx) in
@@ -212,11 +254,14 @@ let run_smallworld family n seed pairs model =
 let smallworld_cmd =
   let doc = "Searchable small worlds on doubling metrics (Theorem 5.2, Section 5.2)." in
   Cmd.v (Cmd.info "smallworld" ~doc)
-    Term.(const run_smallworld $ metric_arg $ n_arg $ seed_arg $ pairs_arg $ model_arg)
+    Term.(
+      const run_smallworld $ trace_arg $ metrics_arg $ metric_arg $ n_arg $ seed_arg $ pairs_arg
+      $ model_arg)
 
 (* --------------------------------------------------------------- inspect *)
 
-let run_inspect family n seed =
+let run_inspect trace metrics family n seed =
+  with_obs trace metrics @@ fun () ->
   let m = make_metric family n seed in
   (match Metric.check m with
   | Ok () -> ()
@@ -242,14 +287,16 @@ let run_inspect family n seed =
 
 let inspect_cmd =
   let doc = "Print substrate facts (dimension, nets, doubling measure) about a metric." in
-  Cmd.v (Cmd.info "inspect" ~doc) Term.(const run_inspect $ metric_arg $ n_arg $ seed_arg)
+  Cmd.v (Cmd.info "inspect" ~doc)
+    Term.(const run_inspect $ trace_arg $ metrics_arg $ metric_arg $ n_arg $ seed_arg)
 
 (* ------------------------------------------------------------ experiment *)
 
 let experiment_ids =
   [ "t1"; "t2"; "t3"; "e21"; "e32"; "e34"; "e41"; "e52a"; "e52b"; "e54"; "e55"; "esub"; "fig1"; "mer" ]
 
-let run_experiment id =
+let run_experiment trace metrics id =
+  with_obs trace metrics @@ fun () ->
   let module E = Ron_experiments in
   let table =
     [
@@ -271,7 +318,7 @@ let run_experiment id =
 let experiment_cmd =
   let id = Arg.(required & pos 0 (some string) None & info [] ~docv:"ID") in
   let doc = "Run one reproduction experiment (same ids as bench/main.exe)." in
-  Cmd.v (Cmd.info "experiment" ~doc) Term.(const run_experiment $ id)
+  Cmd.v (Cmd.info "experiment" ~doc) Term.(const run_experiment $ trace_arg $ metrics_arg $ id)
 
 let () =
   let doc = "rings of neighbors: distance estimation and object location (Slivkins, PODC 2005)" in

@@ -1,0 +1,36 @@
+(* Validate a JSONL trace file produced by --trace: every line must parse
+   as a JSON object carrying at least "ts" and "name", and the file must
+   not be empty. Exit 0 on success, 1 otherwise — used by `make
+   trace-smoke` and CI. *)
+
+module Json = Ron_obs.Json
+
+let fail fmt = Printf.ksprintf (fun s -> prerr_endline s; exit 1) fmt
+
+let () =
+  let file =
+    match Sys.argv with
+    | [| _; file |] -> file
+    | _ ->
+      prerr_endline "usage: trace_check FILE.jsonl";
+      exit 2
+  in
+  let ic = try open_in file with Sys_error e -> fail "trace_check: %s" e in
+  let lines = ref 0 in
+  (try
+     while true do
+       let line = input_line ic in
+       if String.trim line <> "" then begin
+         incr lines;
+         match Json.of_string line with
+         | Error e -> fail "trace_check: %s line %d: %s" file !lines e
+         | Ok j ->
+           if Json.member "ts" j = None then
+             fail "trace_check: %s line %d: missing \"ts\"" file !lines;
+           if Json.member "name" j = None then
+             fail "trace_check: %s line %d: missing \"name\"" file !lines
+       end
+     done
+   with End_of_file -> close_in ic);
+  if !lines = 0 then fail "trace_check: %s: no trace events" file;
+  Printf.printf "trace_check: %s: %d well-formed events\n" file !lines

@@ -17,7 +17,11 @@ type t = {
 
 let of_rings rings = { rings; neighbors_cache = Array.make (Array.length rings) None }
 
-let ring t u i = t.rings.(u).(i)
+let ring t u i =
+  let r = t.rings.(u).(i) in
+  if !Ron_obs.Probe.on then
+    Ron_obs.Probe.ring_probe ~members:(Array.length r.members);
+  r
 let rings_of t u = t.rings.(u)
 let scales t u = Array.length t.rings.(u)
 let size t = Array.length t.rings

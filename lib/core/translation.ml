@@ -21,7 +21,9 @@ let add t ~x ~y ~z =
     in
     bucket := (y, z) :: !bucket
 
-let find t ~x ~y = Hashtbl.find_opt t.table (x, y)
+let find t ~x ~y =
+  if !Ron_obs.Probe.on then Ron_obs.Probe.translation_lookup ();
+  Hashtbl.find_opt t.table (x, y)
 
 let entries t = Hashtbl.fold (fun (x, y) z acc -> (x, y, z) :: acc) t.table []
 

@@ -5,6 +5,7 @@ let encode ~sequence ~enum_of_prev ~first_index =
   if k = 0 then invalid_arg "Zooming.encode: empty sequence";
   let rest =
     Array.init (k - 1) (fun j ->
+        if !Ron_obs.Probe.on then Ron_obs.Probe.zoom_encode_step ();
         match enum_of_prev j sequence.(j + 1) with
         | Some i -> i
         | None ->
@@ -21,6 +22,7 @@ let decode_walk ~translate enc =
   let continue = ref true in
   let j = ref 0 in
   while !continue && !j < Array.length enc.rest do
+    if !Ron_obs.Probe.on then Ron_obs.Probe.zoom_decode_step ();
     match translate !j ~x:!m ~y:enc.rest.(!j) with
     | None -> continue := false
     | Some next ->

@@ -38,49 +38,92 @@ let sample_pairs rng ~n ~count =
 type route_quality = {
   queries : int;
   failures : int;
+  truncated : int;
+  self_forwards : int;
   stretch_max : float;
   stretch_mean : float;
   hops_max : int;
   hops_mean : float;
+  ring_lookups_mean : float;
+  ring_lookups_max : int;
+  dist_evals_mean : float;
+  zoom_steps_mean : float;
 }
 
 let collect_routes ?(parallel = true) ~route ~dist pairs =
   (* The route evaluations are independent, so they run in parallel; the
-     aggregation below folds the per-pair results in list order, making the
+     aggregation below folds the per-pair results in index order, making the
      output bit-identical to a sequential run (float sums are not
      reassociated). Pass ~parallel:false for schemes whose [route] mutates
-     shared state (e.g. Two_mode's mode-switch counters). *)
+     shared state (e.g. Two_mode's mode-switch counters).
+
+     Observability is forced on for the duration so the cost columns report
+     what the queries actually did (ring lookups, distance evaluations,
+     zoom steps) rather than re-deriving them from scheme parameters. Each
+     pair is charged to a ledger entry keyed by its index, which keeps the
+     ledger — and hence any snapshot taken afterwards — identical at every
+     RON_JOBS. *)
   let pairs_a = Array.of_list pairs in
-  let results =
-    if parallel then Ron_util.Pool.map (fun (u, v) -> route u v) pairs_a
-    else Array.map (fun (u, v) -> route u v) pairs_a
+  let np = Array.length pairs_a in
+  let eval i =
+    let (u, v) = pairs_a.(i) in
+    Ron_obs.Ledger.with_query ~kind:"route" ~id:i (fun () -> route u v)
   in
-  let queries = ref 0 and failures = ref 0 in
+  let was_on = !Ron_obs.Probe.on in
+  Ron_obs.Probe.on := true;
+  let results =
+    Fun.protect
+      ~finally:(fun () -> Ron_obs.Probe.on := was_on)
+      (fun () -> if parallel then Ron_util.Pool.init np eval else Array.init np eval)
+  in
+  let queries = ref 0 and truncated = ref 0 and self_forwards = ref 0 in
   let smax = ref 0.0 and ssum = ref 0.0 in
   let hmax = ref 0 and hsum = ref 0 in
+  let rsum = ref 0 and rmax = ref 0 and dsum = ref 0 and zsum = ref 0 in
   Array.iteri
-    (fun i r ->
+    (fun i (r, (e : Ron_obs.Ledger.entry)) ->
       let (u, v) = pairs_a.(i) in
       incr queries;
-      if not r.Scheme.delivered then incr failures
-      else begin
+      rsum := !rsum + e.ring_lookups;
+      rmax := max !rmax e.ring_lookups;
+      dsum := !dsum + e.dist_evals;
+      zsum := !zsum + e.zoom_steps;
+      (match r.Scheme.outcome with
+      | Scheme.Delivered ->
         let s = Scheme.stretch r (dist u v) in
         smax := Float.max !smax s;
         ssum := !ssum +. s;
-        hmax := max !hmax r.Scheme.hops;
-        hsum := !hsum + r.Scheme.hops
-      end)
+        hmax := max !hmax e.hops;
+        hsum := !hsum + e.hops
+      | Scheme.Truncated -> incr truncated
+      | Scheme.Self_forward -> incr self_forwards))
     results;
-  let ok = max 1 (!queries - !failures) in
+  let failures = !truncated + !self_forwards in
+  let ok = max 1 (!queries - failures) in
+  let nq = max 1 !queries in
   {
     queries = !queries;
-    failures = !failures;
+    failures;
+    truncated = !truncated;
+    self_forwards = !self_forwards;
     stretch_max = !smax;
     stretch_mean = !ssum /. float_of_int ok;
     hops_max = !hmax;
     hops_mean = float_of_int !hsum /. float_of_int ok;
+    ring_lookups_mean = float_of_int !rsum /. float_of_int nq;
+    ring_lookups_max = !rmax;
+    dist_evals_mean = float_of_int !dsum /. float_of_int nq;
+    zoom_steps_mean = float_of_int !zsum /. float_of_int nq;
   }
 
 let pp_quality q =
   Printf.sprintf "stretch max %.3f mean %.3f | hops max %d mean %.1f | fails %d/%d" q.stretch_max
     q.stretch_mean q.hops_max q.hops_mean q.failures q.queries
+
+let pp_observed q =
+  Printf.sprintf
+    "observed: ring lookups mean %.1f max %d | dist evals mean %.1f | zoom steps mean %.1f%s"
+    q.ring_lookups_mean q.ring_lookups_max q.dist_evals_mean q.zoom_steps_mean
+    (if q.truncated > 0 || q.self_forwards > 0 then
+       Printf.sprintf " | truncated %d self-forward %d" q.truncated q.self_forwards
+     else "")

@@ -27,11 +27,17 @@ val sample_pairs : Ron_util.Rng.t -> n:int -> count:int -> (int * int) list
 
 type route_quality = {
   queries : int;
-  failures : int;
+  failures : int;  (** [truncated + self_forwards] *)
+  truncated : int;  (** hop budget exhausted *)
+  self_forwards : int;  (** scheme forwarded a packet to itself *)
   stretch_max : float;
   stretch_mean : float;
   hops_max : int;
   hops_mean : float;
+  ring_lookups_mean : float;  (** observed per query, from the cost ledger *)
+  ring_lookups_max : int;
+  dist_evals_mean : float;
+  zoom_steps_mean : float;
 }
 
 val collect_routes :
@@ -44,6 +50,15 @@ val collect_routes :
     the route calls are spread over domains and the aggregation folds in
     list order, so the result is bit-identical to a sequential run; [route]
     must then be pure. Pass [~parallel:false] for schemes whose route
-    mutates shared state. *)
+    mutates shared state.
+
+    Observability ({!Ron_obs.Probe.on}) is forced on while the routes run
+    (and restored after): each pair is charged to a ledger entry keyed by
+    its index, and the cost columns ([ring_lookups_*], [dist_evals_mean],
+    [zoom_steps_mean], [hops_*]) come from those observed entries. *)
 
 val pp_quality : route_quality -> string
+
+val pp_observed : route_quality -> string
+(** One-line summary of the observed per-query costs (and the failure
+    breakdown when any query failed). *)

@@ -8,20 +8,31 @@ type quality = { exact : int; total : int; worst_ratio : float; hops_max : int; 
 
 let query_quality t idx targets members rng =
   let exact = ref 0 and total = ref 0 and ratio = ref 1.0 and hops = ref 0 and probes = ref 0 in
-  Array.iter
-    (fun tgt ->
-      let start = members.(Rng.int rng (Array.length members)) in
-      let r = Meridian.closest t ~start ~target:tgt in
-      let truth = Meridian.exact_closest t tgt in
-      incr total;
-      if r.Meridian.found = truth then incr exact
-      else begin
-        let a = Indexed.dist idx r.Meridian.found tgt and b = Indexed.dist idx truth tgt in
-        ratio := Float.max !ratio (a /. Float.max b 1e-12)
-      end;
-      hops := max !hops r.Meridian.hops;
-      probes := max !probes r.Meridian.measurements)
-    targets;
+  (* Hops and probes are read from the observed cost ledger (each query is
+     charged to an entry keyed by its target index), not from the walk's
+     self-reported counters. *)
+  let was_on = !Ron_obs.Probe.on in
+  Ron_obs.Probe.on := true;
+  Fun.protect
+    ~finally:(fun () -> Ron_obs.Probe.on := was_on)
+    (fun () ->
+      Array.iteri
+        (fun i tgt ->
+          let start = members.(Rng.int rng (Array.length members)) in
+          let (r, e) =
+            Ron_obs.Ledger.with_query ~kind:"meridian" ~id:i (fun () ->
+                Meridian.closest t ~start ~target:tgt)
+          in
+          let truth = Meridian.exact_closest t tgt in
+          incr total;
+          if r.Meridian.found = truth then incr exact
+          else begin
+            let a = Indexed.dist idx r.Meridian.found tgt and b = Indexed.dist idx truth tgt in
+            ratio := Float.max !ratio (a /. Float.max b 1e-12)
+          end;
+          hops := max !hops e.Ron_obs.Ledger.hops;
+          probes := max !probes e.Ron_obs.Ledger.dist_evals)
+        targets);
   { exact = !exact; total = !total; worst_ratio = !ratio; hops_max = !hops; probes_max = !probes }
 
 let run () =

@@ -34,6 +34,7 @@ let graph_row name sp ~delta ~with_labelled rng =
       C.cell_int ~w:10 (Basic.header_bits b);
       C.cell_float ~w:8 q1.C.stretch_max; C.cell_int ~w:6 q1.C.failures;
     ];
+  C.note (C.pp_observed q1);
   (* Theorem 4.1 (expensive at larger n: the black-box DLS construction). *)
   if with_labelled then begin
     let l = Labelled.build sp ~delta in

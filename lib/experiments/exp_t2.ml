@@ -29,7 +29,8 @@ let metric_row name m rng =
       C.cell_float ~w:8 q.C.stretch_max;
       C.cell_int ~w:6 q.C.hops_max;
       C.cell_int ~w:6 q.C.failures;
-    ]
+    ];
+  C.note (C.pp_observed q)
 
 let run () =
   C.section "T2" "Table 2: (1+delta)-stretch routing schemes on doubling metrics";

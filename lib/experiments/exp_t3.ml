@@ -42,7 +42,8 @@ let run () =
           C.cell_float ~w:8 q.C.stretch_max;
           C.cell_int ~w:9 (Two_mode.mode2_switches tm);
           C.cell_int ~w:6 q.C.failures;
-        ])
+        ];
+      C.note (C.pp_observed q))
     [
       ("grid8x8", Generators.grid2d 8 8);
       ("cloud120", Generators.random_cloud (Rng.split rng) ~n:120 ~dim:2);

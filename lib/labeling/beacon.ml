@@ -22,6 +22,7 @@ let estimate t u v =
   else
     Array.fold_left
       (fun (lo, hi) b ->
+        if !Ron_obs.Probe.on then Ron_obs.Probe.table_touch ();
         let da = Indexed.dist t.idx u b and db = Indexed.dist t.idx v b in
         (Float.max lo (Float.abs (da -. db)), Float.min hi (da +. db)))
       (0.0, infinity) t.beacons

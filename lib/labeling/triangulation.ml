@@ -110,6 +110,7 @@ let fold_common t u v f init =
   in
   Hashtbl.fold
     (fun beacon da acc ->
+      if !Ron_obs.Probe.on then Ron_obs.Probe.table_touch ();
       match Hashtbl.find_opt b beacon with
       | Some db -> f acc beacon da db
       | None -> acc)

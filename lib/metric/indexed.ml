@@ -77,7 +77,9 @@ let create_reference m =
 
 let metric t = t.metric
 let size t = Metric.size t.metric
-let dist t u v = Metric.dist t.metric u v
+let dist t u v =
+  if !Ron_obs.Probe.on then Ron_obs.Probe.dist_eval ();
+  Metric.dist t.metric u v
 let diameter t = t.diameter
 let min_distance t = t.min_distance
 
@@ -94,6 +96,7 @@ let nth_neighbor t u k = (t.sorted_v.(u).(k), t.sorted_d.(u).(k))
 (* Number of nodes at distance <= r from u: binary search for the last index
    with distance <= r. *)
 let count_le t u r =
+  if !Ron_obs.Probe.on then Ron_obs.Probe.ball_query ();
   if r < 0.0 then 0
   else begin
     let row = t.sorted_d.(u) in
@@ -139,6 +142,7 @@ let annulus t u r_in r_out =
   Array.sub t.sorted_v.(u) k_in (max 0 (k_out - k_in))
 
 let radius_for_count t u k =
+  if !Ron_obs.Probe.on then Ron_obs.Probe.ball_query ();
   let n = size t in
   if k < 1 || k > n then invalid_arg "Indexed.radius_for_count";
   t.sorted_d.(u).(k - 1)

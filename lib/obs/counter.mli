@@ -1,0 +1,32 @@
+(** Process-wide event counters, sharded per domain.
+
+    Bumps touch only the calling domain's shard (no locks, no contention);
+    [value] merges the shards by integer addition, so totals are identical
+    at every [RON_JOBS] for a deterministic workload. Counters live in a
+    global registry from creation (intended pattern: create once at module
+    initialization, as [Probe] does) and are never unregistered. *)
+
+type t
+
+val make : string -> t
+(** Create and register a counter. Names should be unique — snapshots key
+    counters by name. *)
+
+val name : t -> string
+
+val incr : t -> unit
+(** Add 1 to the calling domain's shard. *)
+
+val add : t -> int -> unit
+(** Add an arbitrary amount. *)
+
+val value : t -> int
+(** Sum over all shards (including those of finished domains). *)
+
+val reset : t -> unit
+(** Zero every shard. Do not race with concurrent bumps. *)
+
+val all : unit -> t list
+(** Every registered counter, sorted by name. *)
+
+val reset_all : unit -> unit

@@ -1,0 +1,79 @@
+(* Value histograms, sharded per domain like Counter. Each shard is a
+   growable flat float buffer; [values] concatenates every shard and sorts
+   (monomorphic Fsort), so the result depends only on the multiset of
+   observations — not on which domain recorded which — and downstream
+   summaries (Ron_util.Stats over the sorted array) are bit-identical at
+   every RON_JOBS.
+
+   Observations are stored raw, not bucketed: the repo's histograms hold
+   thousands of per-query values, and exact percentiles beat approximate
+   buckets at that scale. Record values (hops, bits, lengths), not wall
+   times, anywhere a deterministic snapshot is required. *)
+
+type shard = { mutable data : float array; mutable len : int }
+
+type t = {
+  name : string;
+  mu : Mutex.t;
+  shards : shard list ref;
+  key : shard Domain.DLS.key;
+}
+
+let registry_mu = Mutex.create ()
+let registry : t list ref = ref []
+
+(* Idempotent per name, like Counter.make. *)
+let make name =
+  Mutex.protect registry_mu (fun () ->
+      match List.find_opt (fun t -> String.equal t.name name) !registry with
+      | Some t -> t
+      | None ->
+        let mu = Mutex.create () in
+        let shards = ref [] in
+        let key =
+          Domain.DLS.new_key (fun () ->
+              let s = { data = [||]; len = 0 } in
+              Mutex.protect mu (fun () -> shards := s :: !shards);
+              s)
+        in
+        let t = { name; mu; shards; key } in
+        registry := t :: !registry;
+        t)
+
+let name t = t.name
+
+let observe t x =
+  let s = Domain.DLS.get t.key in
+  if s.len = Array.length s.data then begin
+    let grown = Array.make (max 16 (2 * s.len)) 0.0 in
+    Array.blit s.data 0 grown 0 s.len;
+    s.data <- grown
+  end;
+  s.data.(s.len) <- x;
+  s.len <- s.len + 1
+
+let observe_int t i = observe t (float_of_int i)
+
+let count t = Mutex.protect t.mu (fun () -> List.fold_left (fun a s -> a + s.len) 0 !(t.shards))
+
+let values t =
+  let shards = Mutex.protect t.mu (fun () -> !(t.shards)) in
+  let total = List.fold_left (fun a s -> a + s.len) 0 shards in
+  let out = Array.make (max 1 total) 0.0 in
+  let off = ref 0 in
+  List.iter
+    (fun s ->
+      Array.blit s.data 0 out !off s.len;
+      off := !off + s.len)
+    shards;
+  let out = if total = Array.length out then out else Array.sub out 0 total in
+  Ron_util.Fsort.sort_floats out;
+  out
+
+let reset t = Mutex.protect t.mu (fun () -> List.iter (fun s -> s.len <- 0) !(t.shards))
+
+let all () =
+  let l = Mutex.protect registry_mu (fun () -> !registry) in
+  List.sort (fun a b -> String.compare a.name b.name) l
+
+let reset_all () = List.iter reset (all ())

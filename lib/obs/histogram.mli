@@ -1,0 +1,29 @@
+(** Value histograms, sharded per domain (see {!Counter} for the sharding
+    contract). Observations are stored raw; [values] returns the merged,
+    sorted sample, which depends only on the multiset observed — so
+    summaries are bit-identical at every [RON_JOBS]. For deterministic
+    snapshots record values (hops, bits, lengths), not wall-clock times. *)
+
+type t
+
+val make : string -> t
+(** Create and register. Names should be unique. *)
+
+val name : t -> string
+
+val observe : t -> float -> unit
+val observe_int : t -> int -> unit
+
+val count : t -> int
+(** Total observations across shards. *)
+
+val values : t -> float array
+(** All observations, merged and sorted ascending. *)
+
+val reset : t -> unit
+(** Drop every observation. Do not race with concurrent observes. *)
+
+val all : unit -> t list
+(** Every registered histogram, sorted by name. *)
+
+val reset_all : unit -> unit

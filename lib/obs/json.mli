@@ -1,0 +1,30 @@
+(** The one JSON encoder/parser shared by the bench report, the CLI metrics
+    snapshot, and the trace sink — hand-rolled, no external dependency.
+
+    Strings are escaped correctly for arbitrary bytes (quotes, backslashes,
+    and all control characters); non-finite floats print as [null]. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+val escape : string -> string
+(** JSON string-body escaping (no surrounding quotes). *)
+
+val to_string : t -> string
+(** Pretty-printed (2-space indent), newline-terminated. *)
+
+val to_line : t -> string
+(** Compact single-line form, no trailing newline — one JSONL record. *)
+
+val of_string : string -> (t, string) result
+(** Parse one complete JSON value (plus surrounding whitespace). Numbers
+    without [./e/E] parse as [Int]; others as [Float]. *)
+
+val member : string -> t -> t option
+(** [member k (Obj fields)] looks up [k]; [None] on non-objects. *)

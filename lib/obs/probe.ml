@@ -1,0 +1,93 @@
+(* The instrumentation surface the rest of the repo talks to.
+
+   Every call site is written as
+
+     if !Ron_obs.Probe.on then Ron_obs.Probe.dist_eval ()
+
+   so the disabled cost is one global load and a fall-through branch — the
+   bench --json query loops run at full speed with observability off. The
+   helpers themselves assume the guard already happened and do the real
+   work: bump the process-wide counter and charge the current ledger entry
+   (if a query is active on this domain). *)
+
+let on = ref false
+
+(* -- counters, one per instrumented event kind -------------------------- *)
+
+let dist_evals = Counter.make "metric.dist_evals"
+let ball_queries = Counter.make "metric.ball_queries"
+let ring_probes = Counter.make "rings.probes"
+let ring_members_scanned = Counter.make "rings.members_scanned"
+let zoom_decode_steps = Counter.make "zoom.decode_steps"
+let zoom_encode_steps = Counter.make "zoom.encode_steps"
+let translation_lookups = Counter.make "core.translation_lookups"
+let route_hops = Counter.make "route.hops"
+let route_header_rewrites = Counter.make "route.header_rewrites"
+let route_delivered = Counter.make "route.outcome.delivered"
+let route_truncated = Counter.make "route.outcome.truncated"
+let route_self_forward = Counter.make "route.outcome.self_forward"
+let table_touches = Counter.make "labeling.table_touches"
+let meridian_probes = Counter.make "meridian.probes"
+let meridian_hops = Counter.make "meridian.hops"
+
+(* -- histograms --------------------------------------------------------- *)
+
+let route_hops_hist = Histogram.make "route.hops_per_query"
+let route_header_bits_hist = Histogram.make "route.header_bits_per_query"
+let meridian_probes_hist = Histogram.make "meridian.probes_per_query"
+
+(* -- helpers (call only under [if !on]) --------------------------------- *)
+
+let dist_eval () =
+  Counter.incr dist_evals;
+  Ledger.bump_dist ()
+
+let ball_query () =
+  Counter.incr ball_queries;
+  Ledger.bump_ball ()
+
+let ring_probe ~members =
+  Counter.incr ring_probes;
+  Counter.add ring_members_scanned members;
+  Ledger.bump_ring ~members
+
+let zoom_decode_step () =
+  Counter.incr zoom_decode_steps;
+  Ledger.bump_zoom ()
+
+let zoom_encode_step () = Counter.incr zoom_encode_steps
+
+let translation_lookup () =
+  Counter.incr translation_lookups;
+  Ledger.bump_table ()
+
+let hop () =
+  Counter.incr route_hops;
+  Ledger.bump_hop ()
+
+let header_rewrite () =
+  Counter.incr route_header_rewrites;
+  Ledger.bump_header_rewrite ()
+
+let header_bits bits = Ledger.note_header_bits bits
+
+let route_done ~hops ~header_bits_max ~delivered ~truncated =
+  Counter.incr
+    (if delivered then route_delivered
+     else if truncated then route_truncated
+     else route_self_forward);
+  Histogram.observe_int route_hops_hist hops;
+  Histogram.observe_int route_header_bits_hist header_bits_max;
+  Ledger.note_header_bits header_bits_max
+
+let table_touch () =
+  Counter.incr table_touches;
+  Ledger.bump_table ()
+
+(* The distance evaluation itself goes through Indexed.dist, which already
+   charges the ledger; this counter only tags it as a Meridian probe. *)
+let meridian_probe () = Counter.incr meridian_probes
+
+let meridian_hop () =
+  Counter.incr meridian_hops;
+  Ledger.bump_hop ()

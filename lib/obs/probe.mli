@@ -1,0 +1,52 @@
+(** Instrumentation points for the repo's hot surfaces.
+
+    Contract: call sites guard with [if !Probe.on then Probe.<helper> ()],
+    so the disabled cost is one global load plus a branch; the helpers
+    assume the guard already happened. Each helper bumps its process-wide
+    {!Counter} and charges the current {!Ledger} entry, if any. *)
+
+val on : bool ref
+(** The master switch. Set it before spawning Pool domains (they inherit
+    the store visibly through [Domain.spawn]). *)
+
+(** Counters, exposed so reports can read totals directly. *)
+
+val dist_evals : Counter.t
+val ball_queries : Counter.t
+val ring_probes : Counter.t
+val ring_members_scanned : Counter.t
+val zoom_decode_steps : Counter.t
+val zoom_encode_steps : Counter.t
+val translation_lookups : Counter.t
+val route_hops : Counter.t
+val route_header_rewrites : Counter.t
+val route_delivered : Counter.t
+val route_truncated : Counter.t
+val route_self_forward : Counter.t
+val table_touches : Counter.t
+val meridian_probes : Counter.t
+val meridian_hops : Counter.t
+
+val route_hops_hist : Histogram.t
+val route_header_bits_hist : Histogram.t
+val meridian_probes_hist : Histogram.t
+
+(** Helpers (call only under [if !on]). *)
+
+val dist_eval : unit -> unit
+val ball_query : unit -> unit
+val ring_probe : members:int -> unit
+val zoom_decode_step : unit -> unit
+val zoom_encode_step : unit -> unit
+val translation_lookup : unit -> unit
+val hop : unit -> unit
+val header_rewrite : unit -> unit
+val header_bits : int -> unit
+
+val route_done : hops:int -> header_bits_max:int -> delivered:bool -> truncated:bool -> unit
+(** Called once per simulated route: outcome counter, per-query histograms,
+    and the ledger's header high-water mark. *)
+
+val table_touch : unit -> unit
+val meridian_probe : unit -> unit
+val meridian_hop : unit -> unit

@@ -1,0 +1,33 @@
+(** Observability for the rings-of-neighbors stack: process-wide counters
+    and histograms (per-domain shards, deterministic merge), JSONL trace
+    events with an injected clock, and a per-query cost ledger.
+
+    The snapshot is byte-identical across [RON_JOBS] settings: counters are
+    commutative sums, histogram values are sorted before summarizing, and
+    ledger entries sort by caller-assigned [(kind, id)]. It contains no
+    wall-clock data. *)
+
+module Json = Json
+module Counter = Counter
+module Histogram = Histogram
+module Ledger = Ledger
+module Trace = Trace
+module Probe = Probe
+
+val enable : unit -> unit
+(** Turn the probes on ([Probe.on := true]). *)
+
+val disable : unit -> unit
+val enabled : unit -> bool
+
+val reset : unit -> unit
+(** Zero all counters, histograms, and ledger entries. *)
+
+val snapshot : unit -> Json.t
+(** Deterministic summary: [{"schema":"ron-obs/1","counters":{...},
+    "histograms":{...},"queries":{...}}]. Counters sort by name; each
+    histogram reports a {!Ron_util.Stats.summary}; ledger entries group by
+    kind with per-field summaries. *)
+
+val write_snapshot : string -> unit
+(** Write [snapshot ()] as pretty JSON to a file. *)

@@ -1,0 +1,88 @@
+(* Structured trace events as JSONL through a pluggable sink.
+
+   The clock is injected state, not a Date-style global: callers configure
+   [clock : unit -> int64] (nanoseconds, expected monotonic). The default
+   is a logical atomic tick — deterministic and allocation-free — so tests
+   and reproducible runs need no wall clock; the CLI injects a real one.
+
+   When no sink is configured every [event]/[span] call is one load and a
+   branch ([active] is false), so instrumented code pays ~nothing with
+   tracing off. *)
+
+type sink = { write : string -> unit; close : unit -> unit }
+
+let null_sink = { write = (fun _ -> ()); close = (fun () -> ()) }
+
+let channel_sink oc =
+  let mu = Mutex.create () in
+  {
+    write =
+      (fun line ->
+        Mutex.protect mu (fun () ->
+            output_string oc line;
+            output_char oc '\n'));
+    close = (fun () -> Mutex.protect mu (fun () -> close_out oc));
+  }
+
+let memory_sink () =
+  let mu = Mutex.create () in
+  let lines = ref [] in
+  let sink =
+    {
+      write = (fun line -> Mutex.protect mu (fun () -> lines := line :: !lines));
+      close = (fun () -> ());
+    }
+  in
+  (sink, fun () -> Mutex.protect mu (fun () -> List.rev !lines))
+
+let logical = Atomic.make 0
+let logical_clock () = Int64.of_int (Atomic.fetch_and_add logical 1)
+
+type state = {
+  mutable sink : sink;
+  mutable clock : unit -> int64;
+  mutable is_active : bool;
+}
+
+let state = { sink = null_sink; clock = logical_clock; is_active = false }
+
+let active () = state.is_active
+
+let configure ?clock sink =
+  (match clock with Some c -> state.clock <- c | None -> ());
+  state.sink <- sink;
+  state.is_active <- true
+
+let stop () =
+  let s = state.sink in
+  state.sink <- null_sink;
+  state.is_active <- false;
+  s.close ()
+
+let emit ph name args =
+  let ts = state.clock () in
+  let base =
+    [
+      ("ts", Json.Int (Int64.to_int ts));
+      ("dom", Json.Int (Domain.self () :> int));
+      ("ph", Json.String ph);
+      ("name", Json.String name);
+    ]
+  in
+  let fields = match args with [] -> base | args -> base @ [ ("args", Json.Obj args) ] in
+  state.sink.write (Json.to_line (Json.Obj fields))
+
+let event ?(args = []) name = if state.is_active then emit "i" name args
+
+let span ?(args = []) name f =
+  if not state.is_active then f ()
+  else begin
+    emit "B" name args;
+    match f () with
+    | r ->
+      emit "E" name [];
+      r
+    | exception ex ->
+      emit "E" name [ ("error", Json.String (Printexc.to_string ex)) ];
+      raise ex
+  end

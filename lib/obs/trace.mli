@@ -1,0 +1,39 @@
+(** Trace events (spans and instants) written as JSONL through a pluggable
+    sink.
+
+    Each record is one line: [{"ts":<int>,"dom":<domain>,"ph":"B"|"E"|"i",
+    "name":<string>,"args":{...}?}]. The timestamp comes from an {e
+    injected} clock ([unit -> int64] nanoseconds); the default is a logical
+    atomic tick (deterministic, no wall-clock dependency) and the CLI
+    injects a real monotonic-ish clock. With no sink configured, [event]
+    and [span] cost one load and a branch. *)
+
+type sink = { write : string -> unit; close : unit -> unit }
+
+val null_sink : sink
+
+val channel_sink : out_channel -> sink
+(** Line-at-a-time writes under a mutex (safe from multiple domains);
+    [close] closes the channel. *)
+
+val memory_sink : unit -> sink * (unit -> string list)
+(** In-memory sink for tests; the thunk returns the lines written so far in
+    order. *)
+
+val logical_clock : unit -> int64
+(** The default deterministic clock: a process-wide atomic tick. *)
+
+val configure : ?clock:(unit -> int64) -> sink -> unit
+(** Install a sink (and optionally a clock) and activate tracing. *)
+
+val stop : unit -> unit
+(** Deactivate tracing and close the previous sink. *)
+
+val active : unit -> bool
+
+val event : ?args:(string * Json.t) list -> string -> unit
+(** Emit one instant event (no-op when inactive). *)
+
+val span : ?args:(string * Json.t) list -> string -> (unit -> 'a) -> 'a
+(** Wrap [f] in begin/end events; exceptions are recorded on the end event
+    and re-raised. *)

@@ -1,9 +1,15 @@
+module Probe = Ron_obs.Probe
+module Trace = Ron_obs.Trace
+
 type 'h step = int -> 'h -> 'h action
 
 and 'h action = Deliver | Forward of int * 'h
 
+type outcome = Delivered | Truncated | Self_forward
+
 type result = {
   delivered : bool;
+  outcome : outcome;
   hops : int;
   length : float;
   path : int list;
@@ -11,22 +17,60 @@ type result = {
 }
 
 let simulate ~dist ~step ~header_bits ~src ~header ~max_hops =
+  let finish outcome path acc_len hops max_hb =
+    if !Probe.on then
+      Probe.route_done ~hops ~header_bits_max:max_hb
+        ~delivered:(outcome = Delivered) ~truncated:(outcome = Truncated);
+    if Trace.active () then
+      Trace.event "route.done"
+        ~args:
+          [
+            ( "outcome",
+              Ron_obs.Json.String
+                (match outcome with
+                | Delivered -> "delivered"
+                | Truncated -> "truncated"
+                | Self_forward -> "self_forward") );
+            ("hops", Ron_obs.Json.Int hops);
+            ("header_bits_max", Ron_obs.Json.Int max_hb);
+          ];
+    {
+      delivered = outcome = Delivered;
+      outcome;
+      hops;
+      length = acc_len;
+      path = List.rev path;
+      max_header_bits = max_hb;
+    }
+  in
   let rec go node header acc_path acc_len hops max_hb =
-    let max_hb = max max_hb (header_bits header) in
+    let hb = header_bits header in
+    if !Probe.on then Probe.header_bits hb;
+    let max_hb = max max_hb hb in
     match step node header with
-    | Deliver ->
-      { delivered = true; hops; length = acc_len; path = List.rev acc_path; max_header_bits = max_hb }
+    | Deliver -> finish Delivered acc_path acc_len hops max_hb
     | Forward (next, header') ->
-      if next = node then failwith "Scheme.simulate: scheme forwarded a packet to itself";
-      if hops >= max_hops then
-        {
-          delivered = false;
-          hops;
-          length = acc_len;
-          path = List.rev acc_path;
-          max_header_bits = max_hb;
-        }
-      else go next header' (next :: acc_path) (acc_len +. dist node next) (hops + 1) max_hb
+      (* A scheme forwarding to itself would spin forever; record it as a
+         distinct failure outcome rather than crashing the whole run. *)
+      if next = node then finish Self_forward acc_path acc_len hops max_hb
+      else if hops >= max_hops then finish Truncated acc_path acc_len hops max_hb
+      else begin
+        if !Probe.on then begin
+          Probe.hop ();
+          (* Physical inequality: an untouched header is passed through as
+             the same value, so [!=] detects genuine rewrites. *)
+          if header' != header then Probe.header_rewrite ()
+        end;
+        if Trace.active () then
+          Trace.event "route.hop"
+            ~args:
+              [
+                ("from", Ron_obs.Json.Int node);
+                ("to", Ron_obs.Json.Int next);
+                ("hop", Ron_obs.Json.Int (hops + 1));
+              ];
+        go next header' (next :: acc_path) (acc_len +. dist node next) (hops + 1) max_hb
+      end
   in
   go src header [ src ] 0.0 0 0
 

@@ -15,8 +15,14 @@ and 'h action =
   | Deliver  (** the current node is the target *)
   | Forward of int * 'h  (** next physical hop and the (possibly rewritten) header *)
 
+type outcome =
+  | Delivered  (** the step function returned [Deliver] *)
+  | Truncated  (** the hop budget ran out before delivery *)
+  | Self_forward  (** the scheme forwarded a packet to the node it was at *)
+
 type result = {
-  delivered : bool;
+  delivered : bool;  (** [outcome = Delivered], kept for convenience *)
+  outcome : outcome;
   hops : int;
   length : float;  (** total metric length of the traversed hops *)
   path : int list;  (** nodes visited, source first; includes the target *)
@@ -31,9 +37,13 @@ val simulate :
   header:'h ->
   max_hops:int ->
   result
-(** Runs the packet until [Deliver] or [max_hops]. [dist] is charged on
-    every [Forward] edge. A step that forwards to the current node itself
-    raises [Failure] (a broken scheme must be loud, not spin). *)
+(** Runs the packet until [Deliver], the hop budget, or a self-forward (a
+    broken scheme that would spin forever); the three cases are distinct
+    [outcome]s, never exceptions. [dist] is charged on every [Forward]
+    edge. When observability is on ({!Ron_obs.Probe.on}), each hop bumps
+    the route counters and charges the current query ledger entry, and
+    each simulation emits [route.hop]/[route.done] trace events when a
+    trace sink is active. *)
 
 type table_stats = {
   max_table_bits : int;

@@ -94,7 +94,14 @@ let closest t ~start ~target =
   let measurements = ref 0 in
   let measure v =
     incr measurements;
+    if !Ron_obs.Probe.on then Ron_obs.Probe.meridian_probe ();
     Indexed.dist t.idx v target
+  in
+  let advance u best =
+    if !Ron_obs.Probe.on then Ron_obs.Probe.meridian_hop ();
+    if Ron_obs.Trace.active () then
+      Ron_obs.Trace.event "meridian.hop"
+        ~args:[ ("from", Ron_obs.Json.Int u); ("to", Ron_obs.Json.Int best) ]
   in
   let rec go u d hops acc =
     (* Poll ring members at scales up to ~2d: anything farther from u than
@@ -103,6 +110,9 @@ let closest t ~start ~target =
     let limit = scale_of t (2.0 *. d) in
     let best = ref u and best_d = ref d in
     for i = 0 to min limit (t.scales - 1) do
+      let members = t.rings.(u).(i) in
+      if !Ron_obs.Probe.on then
+        Ron_obs.Probe.ring_probe ~members:(List.length members);
       List.iter
         (fun v ->
           let dv = measure v in
@@ -110,15 +120,20 @@ let closest t ~start ~target =
             best := v;
             best_d := dv
           end)
-        t.rings.(u).(i)
+        members
     done;
     (* Forward only on geometric progress (factor 1/2 as in Meridian),
        otherwise settle here. *)
-    if !best <> u && !best_d <= d /. 2.0 then go !best !best_d (hops + 1) (!best :: acc)
-    else if !best <> u && !best_d < d then
+    if !best <> u && !best_d <= d /. 2.0 then begin
+      advance u !best;
+      go !best !best_d (hops + 1) (!best :: acc)
+    end
+    else if !best <> u && !best_d < d then begin
       (* Sub-geometric improvement: take it once, then the next poll decides;
          progress is still strict so the walk terminates. *)
+      advance u !best;
       go !best !best_d (hops + 1) (!best :: acc)
+    end
     else { found = u; hops; measurements = !measurements; path = List.rev acc }
   in
   let d0 = measure start in
@@ -172,6 +187,7 @@ let within t ~start ~target ~radius =
     if not (Hashtbl.mem consulted v) then begin
       Hashtbl.replace consulted v ();
       incr measurements;
+      if !Ron_obs.Probe.on then Ron_obs.Probe.meridian_probe ();
       if Indexed.dist t.idx v target <= radius then begin
         Hashtbl.replace matches v ();
         Queue.add v queue
@@ -188,7 +204,10 @@ let within t ~start ~target ~radius =
     let du = Indexed.dist t.idx u target in
     let limit = scale_of t (du +. radius) in
     for i = 0 to min limit (t.scales - 1) do
-      List.iter consider t.rings.(u).(i)
+      let members = t.rings.(u).(i) in
+      if !Ron_obs.Probe.on then
+        Ron_obs.Probe.ring_probe ~members:(List.length members);
+      List.iter consider members
     done
   done;
   let out = Array.of_list (Hashtbl.fold (fun v () acc -> v :: acc) matches []) in

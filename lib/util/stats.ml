@@ -10,8 +10,10 @@ let stddev xs =
     let acc = Array.fold_left (fun a x -> a +. ((x -. m) *. (x -. m))) 0.0 xs in
     sqrt (acc /. float_of_int n)
 
-let minimum xs = Array.fold_left min infinity xs
-let maximum xs = Array.fold_left max neg_infinity xs
+(* nan on empty, like [mean]: folding from +/-infinity would report an
+   infinite extremum for a sample that has no elements at all. *)
+let minimum xs = if Array.length xs = 0 then nan else Array.fold_left min infinity xs
+let maximum xs = if Array.length xs = 0 then nan else Array.fold_left max neg_infinity xs
 
 let percentile xs p =
   let n = Array.length xs in

@@ -7,7 +7,10 @@ val stddev : float array -> float
 (** Population standard deviation; [nan] on an empty array. *)
 
 val minimum : float array -> float
+(** Smallest element; [nan] on an empty array (not [infinity]). *)
+
 val maximum : float array -> float
+(** Largest element; [nan] on an empty array (not [neg_infinity]). *)
 
 val percentile : float array -> float -> float
 (** [percentile xs p] with [p] in [0,100]: nearest-rank percentile of the
@@ -29,5 +32,7 @@ type summary = {
   max : float;
 }
 
+(** On an empty array, [summarize] yields [count = 0] and [nan] in every
+    float field. *)
 val summarize : float array -> summary
 val pp_summary : Format.formatter -> summary -> unit

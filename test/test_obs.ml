@@ -1,0 +1,232 @@
+(* Tests for ron_obs: JSON round-trips, trace sinks, shard-merge
+   determinism across domain counts, and the ledger agreeing with the
+   routing simulator. *)
+
+module Json = Ron_obs.Json
+module Counter = Ron_obs.Counter
+module Histogram = Ron_obs.Histogram
+module Ledger = Ron_obs.Ledger
+module Trace = Ron_obs.Trace
+module Probe = Ron_obs.Probe
+module Scheme = Ron_routing.Scheme
+
+let check_bool msg b = Alcotest.(check bool) msg true b
+let check_int = Alcotest.(check int)
+let check_string = Alcotest.(check string)
+
+(* Every test runs in one process and the obs state is global, so each test
+   starts from a clean slate. *)
+let fresh () =
+  Ron_obs.disable ();
+  Ron_obs.reset ()
+
+(* ------------------------------------------------------------------ JSON *)
+
+let test_json_roundtrip () =
+  let v =
+    Json.Obj
+      [
+        ("int", Json.Int 42);
+        ("neg", Json.Int (-7));
+        ("float", Json.Float 1.5);
+        ("string", Json.String "line\nbreak \"quoted\" back\\slash \t tab");
+        ("null", Json.Null);
+        ("bools", Json.List [ Json.Bool true; Json.Bool false ]);
+        ("nested", Json.Obj [ ("empty_list", Json.List []); ("empty_obj", Json.Obj []) ]);
+      ]
+  in
+  (match Json.of_string (Json.to_line v) with
+  | Ok v' -> check_bool "compact round-trip" (v = v')
+  | Error e -> Alcotest.failf "compact parse failed: %s" e);
+  (match Json.of_string (Json.to_string v) with
+  | Ok v' -> check_bool "pretty round-trip" (v = v')
+  | Error e -> Alcotest.failf "pretty parse failed: %s" e)
+
+let test_json_escaping () =
+  (* Keys and values with every escape class survive a round-trip — the
+     bug class the bench emitter had (unescaped keys) stays fixed. *)
+  let nasty = "a\"b\\c\nd\re\tf\bg\012h\001i" in
+  let v = Json.Obj [ (nasty, Json.String nasty) ] in
+  match Json.of_string (Json.to_line v) with
+  | Ok v' -> check_bool "nasty key/value round-trip" (v = v')
+  | Error e -> Alcotest.failf "parse failed: %s" e
+
+let test_json_nonfinite () =
+  check_string "nan is null" "null" (Json.to_line (Json.Float nan));
+  check_string "inf is null" "null" (Json.to_line (Json.Float infinity))
+
+let test_json_rejects_garbage () =
+  let bad s =
+    match Json.of_string s with
+    | Ok _ -> Alcotest.failf "accepted %S" s
+    | Error _ -> ()
+  in
+  bad "";
+  bad "{";
+  bad "{\"a\":1,}";
+  bad "[1 2]";
+  bad "{\"a\":1} trailing"
+
+(* ----------------------------------------------------------------- trace *)
+
+let test_noop_sink_emits_nothing () =
+  fresh ();
+  (* Inactive tracing: events vanish and cost nothing observable. *)
+  check_bool "inactive" (not (Trace.active ()));
+  Trace.event "ignored";
+  let sink, lines = Trace.memory_sink () in
+  Trace.configure ~clock:Trace.logical_clock sink;
+  Trace.stop ();
+  Trace.event "after-stop" ~args:[ ("x", Json.Int 1) ];
+  check_int "nothing written" 0 (List.length (lines ()))
+
+let test_memory_sink_captures_events () =
+  fresh ();
+  let sink, lines = Trace.memory_sink () in
+  Trace.configure ~clock:Trace.logical_clock sink;
+  Trace.event "one";
+  Trace.span "outer" (fun () -> Trace.event "two" ~args:[ ("k", Json.String "v") ]);
+  Trace.stop ();
+  let parsed =
+    List.map
+      (fun line ->
+        match Json.of_string line with
+        | Ok j -> j
+        | Error e -> Alcotest.failf "bad JSONL line %S: %s" line e)
+      (lines ())
+  in
+  check_int "B + E + 2 instants" 4 (List.length parsed);
+  List.iter
+    (fun j ->
+      check_bool "has ts" (Json.member "ts" j <> None);
+      check_bool "has name" (Json.member "name" j <> None))
+    parsed;
+  let phases =
+    List.map
+      (fun j -> match Json.member "ph" j with Some (Json.String p) -> p | _ -> "?")
+      parsed
+  in
+  Alcotest.(check (list string)) "phases in order" [ "i"; "B"; "i"; "E" ] phases
+
+(* ---------------------------------------------- shard-merge determinism *)
+
+let workload ~jobs =
+  fresh ();
+  Ron_obs.enable ();
+  let c = Counter.make "test.det.counter" in
+  let h = Histogram.make "test.det.hist" in
+  Ron_util.Pool.parallel_for ~jobs 500 (fun i ->
+      Counter.add c (i mod 7);
+      Histogram.observe h (float_of_int (i mod 13) /. 4.0));
+  (* Per-query ledger entries with deterministic ids, filled in parallel. *)
+  ignore
+    (Ron_util.Pool.init ~jobs 64 (fun i ->
+         Ledger.with_query ~kind:"det" ~id:i (fun () ->
+             for _ = 1 to (i mod 5) + 1 do
+               Probe.dist_eval ()
+             done)));
+  let s = Json.to_string (Ron_obs.snapshot ()) in
+  Ron_obs.disable ();
+  s
+
+let test_snapshot_deterministic_across_jobs () =
+  let s1 = workload ~jobs:1 in
+  let s4 = workload ~jobs:4 in
+  check_string "RON_JOBS=1 and =4 snapshots byte-identical" s1 s4
+
+(* ------------------------------------------- simulator <-> obs agreement *)
+
+let test_simulate_hops_match_trace_and_ledger () =
+  fresh ();
+  let sink, lines = Trace.memory_sink () in
+  Trace.configure ~clock:Trace.logical_clock sink;
+  Ron_obs.enable ();
+  let dist a b = Float.abs (float_of_int (a - b)) in
+  let step u target = if u = target then Scheme.Deliver else Scheme.Forward (u + 1, target) in
+  let (r, e) =
+    Ledger.with_query ~kind:"route" ~id:0 (fun () ->
+        Scheme.simulate ~dist ~step ~header_bits:(fun _ -> 3) ~src:0 ~header:4 ~max_hops:10)
+  in
+  Ron_obs.disable ();
+  Trace.stop ();
+  check_bool "delivered" (r.Scheme.outcome = Scheme.Delivered);
+  check_int "ledger hops = result hops" r.Scheme.hops e.Ledger.hops;
+  check_int "ledger header bits" r.Scheme.max_header_bits e.Ledger.header_bits_max;
+  let events =
+    List.filter_map
+      (fun line ->
+        match Json.of_string line with
+        | Ok j -> Some j
+        | Error e -> Alcotest.failf "bad line: %s" e)
+      (lines ())
+  in
+  let hops =
+    List.filter (fun j -> Json.member "name" j = Some (Json.String "route.hop")) events
+  in
+  check_int "one route.hop event per hop" r.Scheme.hops (List.length hops);
+  (* The from/to chain of the hop events is exactly the result path. *)
+  let edge j field =
+    match Json.member "args" j with
+    | Some args -> (
+      match Json.member field args with
+      | Some (Json.Int v) -> v
+      | _ -> Alcotest.failf "missing %s" field)
+    | None -> Alcotest.fail "missing args"
+  in
+  let traced = List.concat_map (fun j -> [ edge j "from"; edge j "to" ]) hops in
+  let rec path_edges = function
+    | a :: (b :: _ as rest) -> a :: b :: path_edges rest
+    | _ -> []
+  in
+  Alcotest.(check (list int)) "hop events follow the path" (path_edges r.Scheme.path) traced;
+  match List.rev events with
+  | last :: _ ->
+    check_bool "final event is route.done"
+      (Json.member "name" last = Some (Json.String "route.done"))
+  | [] -> Alcotest.fail "no events"
+
+let test_probe_off_records_nothing () =
+  fresh ();
+  (* Probes off: the instrumented simulator leaves no footprint. *)
+  let dist a b = Float.abs (float_of_int (a - b)) in
+  let step u target = if u = target then Scheme.Deliver else Scheme.Forward (u + 1, target) in
+  ignore (Scheme.simulate ~dist ~step ~header_bits:(fun _ -> 3) ~src:0 ~header:4 ~max_hops:10);
+  let counters =
+    match Ron_obs.snapshot () with
+    | Json.Obj fields -> (
+      match List.assoc "counters" fields with
+      | Json.Obj cs -> cs
+      | _ -> Alcotest.fail "counters not an object")
+    | _ -> Alcotest.fail "snapshot not an object"
+  in
+  List.iter
+    (fun (name, v) -> check_bool (name ^ " stays 0") (v = Json.Int 0))
+    counters
+
+let () =
+  Alcotest.run "ron_obs"
+    [
+      ( "json",
+        [
+          Alcotest.test_case "round-trip" `Quick test_json_roundtrip;
+          Alcotest.test_case "escaping" `Quick test_json_escaping;
+          Alcotest.test_case "non-finite floats" `Quick test_json_nonfinite;
+          Alcotest.test_case "rejects garbage" `Quick test_json_rejects_garbage;
+        ] );
+      ( "trace",
+        [
+          Alcotest.test_case "no-op sink emits nothing" `Quick test_noop_sink_emits_nothing;
+          Alcotest.test_case "memory sink captures JSONL" `Quick test_memory_sink_captures_events;
+        ] );
+      ( "determinism",
+        [
+          Alcotest.test_case "snapshot identical at jobs 1 and 4" `Quick
+            test_snapshot_deterministic_across_jobs;
+        ] );
+      ( "simulator",
+        [
+          Alcotest.test_case "hop events match result" `Quick
+            test_simulate_hops_match_trace_and_ledger;
+          Alcotest.test_case "probes off record nothing" `Quick test_probe_off_records_nothing;
+        ] );
+    ]

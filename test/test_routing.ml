@@ -45,19 +45,30 @@ let test_simulator_max_hops () =
       ~header_bits:(fun _ -> 1) ~src:0 ~header:99 ~max_hops:5
   in
   check_bool "not delivered" (not r.Scheme.delivered);
+  check_bool "truncated outcome" (r.Scheme.outcome = Scheme.Truncated);
   check_int "capped" 5 r.Scheme.hops
 
-let test_simulator_self_forward_rejected () =
-  Alcotest.check_raises "self forward" (Failure "Scheme.simulate: scheme forwarded a packet to itself")
-    (fun () ->
-      ignore
-        (Scheme.simulate ~dist:(fun _ _ -> 1.0)
-           ~step:(fun u h -> Scheme.Forward (u, h))
-           ~header_bits:(fun _ -> 1) ~src:0 ~header:() ~max_hops:5))
+let test_simulator_self_forward_outcome () =
+  let r =
+    Scheme.simulate ~dist:(fun _ _ -> 1.0)
+      ~step:(fun u h -> Scheme.Forward (u, h))
+      ~header_bits:(fun _ -> 1) ~src:0 ~header:() ~max_hops:5
+  in
+  check_bool "not delivered" (not r.Scheme.delivered);
+  check_bool "self-forward outcome" (r.Scheme.outcome = Scheme.Self_forward);
+  check_int "no hops taken" 0 r.Scheme.hops;
+  Alcotest.(check (list int)) "path is just the source" [ 0 ] r.Scheme.path
 
 let test_stretch_requires_delivery () =
   let r =
-    { Scheme.delivered = false; hops = 1; length = 1.0; path = [ 0 ]; max_header_bits = 0 }
+    {
+      Scheme.delivered = false;
+      outcome = Scheme.Truncated;
+      hops = 1;
+      length = 1.0;
+      path = [ 0 ];
+      max_header_bits = 0;
+    }
   in
   Alcotest.check_raises "undelivered stretch"
     (Invalid_argument "Scheme.stretch: packet not delivered") (fun () ->
@@ -347,7 +358,7 @@ let () =
         [
           Alcotest.test_case "basics" `Quick test_simulator_basics;
           Alcotest.test_case "max hops" `Quick test_simulator_max_hops;
-          Alcotest.test_case "self forward rejected" `Quick test_simulator_self_forward_rejected;
+          Alcotest.test_case "self forward outcome" `Quick test_simulator_self_forward_outcome;
           Alcotest.test_case "stretch requires delivery" `Quick test_stretch_requires_delivery;
         ] );
       ( "basic-thm21",

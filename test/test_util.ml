@@ -217,7 +217,20 @@ let test_stats_of_ints () =
 
 let test_stats_empty () =
   check_bool "empty mean is nan" (Float.is_nan (Stats.mean [||]));
-  check_bool "empty percentile is nan" (Float.is_nan (Stats.percentile [||] 50.0))
+  check_bool "empty percentile is nan" (Float.is_nan (Stats.percentile [||] 50.0));
+  check_bool "empty minimum is nan" (Float.is_nan (Stats.minimum [||]));
+  check_bool "empty maximum is nan" (Float.is_nan (Stats.maximum [||]))
+
+let test_stats_empty_summary () =
+  let s = Stats.summarize [||] in
+  check_int "count" 0 s.Stats.count;
+  check_bool "mean nan" (Float.is_nan s.Stats.mean);
+  check_bool "stddev nan" (Float.is_nan s.Stats.stddev);
+  check_bool "min nan" (Float.is_nan s.Stats.min);
+  check_bool "p50 nan" (Float.is_nan s.Stats.p50);
+  check_bool "p90 nan" (Float.is_nan s.Stats.p90);
+  check_bool "p99 nan" (Float.is_nan s.Stats.p99);
+  check_bool "max nan" (Float.is_nan s.Stats.max)
 
 let test_stats_basic () =
   let xs = [| 1.0; 2.0; 3.0; 4.0 |] in
@@ -280,6 +293,7 @@ let () =
           Alcotest.test_case "weighted index single bucket" `Quick test_weighted_index_single;
           Alcotest.test_case "of_ints" `Quick test_stats_of_ints;
           Alcotest.test_case "empty samples" `Quick test_stats_empty;
+          Alcotest.test_case "empty summary" `Quick test_stats_empty_summary;
           Alcotest.test_case "basic" `Quick test_stats_basic;
           Alcotest.test_case "stddev" `Quick test_stats_stddev;
           Alcotest.test_case "summary" `Quick test_stats_summary;
