@@ -77,6 +77,141 @@ let index_section n =
       ("measure_create_s", Float t_measure);
     ]
 
+(* ------------------------------------------------- graph-side hot path *)
+
+module Dijkstra = Ron_graph.Dijkstra
+
+(* Flat apsp vs the boxed reference, by exact float equality. *)
+let apsp_matches_reference ap ref_ap =
+  let n = Dijkstra.size ap in
+  let ok = ref (n = Array.length ref_ap) in
+  for u = 0 to n - 1 do
+    let s = ref_ap.(u) in
+    for v = 0 to n - 1 do
+      if
+        (not (Float.equal (Dijkstra.distance ap u v) s.Dijkstra.dist.(v)))
+        || Dijkstra.first_hop ap u v <> s.Dijkstra.first_hop.(v)
+      then ok := false
+    done
+  done;
+  !ok
+
+let apsp_same a b =
+  let n = Dijkstra.size a in
+  let ok = ref (n = Dijkstra.size b) in
+  for u = 0 to n - 1 do
+    for v = 0 to n - 1 do
+      if
+        (not (Float.equal (Dijkstra.distance a u v) (Dijkstra.distance b u v)))
+        || Dijkstra.first_hop a u v <> Dijkstra.first_hop b u v
+      then ok := false
+    done
+  done;
+  !ok
+
+(* Peak resident set size in kB from the kernel's high-water mark; None
+   when /proc is unavailable (non-Linux). *)
+let peak_rss_kb () =
+  match open_in "/proc/self/status" with
+  | exception Sys_error _ -> None
+  | ic ->
+    let rec scan () =
+      match input_line ic with
+      | exception End_of_file -> None
+      | line ->
+        if String.length line > 6 && String.sub line 0 6 = "VmHWM:" then begin
+          let digits =
+            String.to_seq line |> Seq.filter (fun c -> c >= '0' && c <= '9') |> String.of_seq
+          in
+          int_of_string_opt digits
+        end
+        else scan ()
+    in
+    let r = scan () in
+    close_in ic;
+    r
+
+let graph_apsp_section n =
+  (* Square grid with about n nodes: the experiments' canonical graph. *)
+  let side = max 2 (int_of_float (Float.round (sqrt (float_of_int n)))) in
+  let g = Ron_graph.Graph_gen.grid side side in
+  (* Compact first: the index sections leave a large, fragmented major heap,
+     and multi-domain minor collections pay for it in stop-the-world time —
+     which would bill earlier sections' garbage to the jobs=4 rows. *)
+  Gc.compact ();
+  (* Five timing rounds, the four variants interleaved round-robin within
+     each round, minimum per variant kept. One all-pairs allocates tens of
+     MB, so single-shot timings are dominated by GC/paging state, and on a
+     shared host a contention burst can span several consecutive runs —
+     interleaving gives every variant a sample in each burst-free window,
+     keeping the per-variant minima comparable. *)
+  let rounds = 5 in
+  let (ref_ap, t0_ref) = time (fun () -> Dijkstra.all_pairs_reference g) in
+  let (a1, t0_j1) = time (fun () -> Dijkstra.all_pairs ~jobs:1 g) in
+  let (a4, t0_j4) = time (fun () -> Dijkstra.all_pairs ~jobs:4 g) in
+  let (ap, t0_par) = time (fun () -> Dijkstra.all_pairs g) in
+  let t_ref = ref t0_ref and t_j1 = ref t0_j1 in
+  let t_j4 = ref t0_j4 and t_par = ref t0_par in
+  for _ = 2 to rounds do
+    t_ref := Float.min !t_ref (time_unit (fun () -> ignore (Dijkstra.all_pairs_reference g)));
+    t_j1 := Float.min !t_j1 (time_unit (fun () -> ignore (Dijkstra.all_pairs ~jobs:1 g)));
+    t_j4 := Float.min !t_j4 (time_unit (fun () -> ignore (Dijkstra.all_pairs ~jobs:4 g)));
+    t_par := Float.min !t_par (time_unit (fun () -> ignore (Dijkstra.all_pairs g)))
+  done;
+  let t_ref = !t_ref and t_j1 = !t_j1 and t_j4 = !t_j4 and t_par = !t_par in
+  let equal = apsp_matches_reference a1 ref_ap && apsp_same a1 a4 && apsp_same a1 ap in
+  Obj
+    [
+      ("nodes", Int (side * side));
+      ("all_pairs_reference_s", Float t_ref);
+      ("all_pairs_jobs1_s", Float t_j1);
+      ("all_pairs_jobs4_s", Float t_j4);
+      ("all_pairs_parallel_s", Float t_par);
+      ("speedup_jobs1_vs_reference", Float (t_ref /. t_j1));
+      ("speedup_jobs4_vs_reference", Float (t_ref /. t_j4));
+      ("speedup_parallel_vs_reference", Float (t_ref /. t_par));
+      ("jobs_bit_identical_and_matches_reference", Bool equal);
+    ]
+
+(* Construction timings for the graph-side schemes at a fixed size: the
+   per-node table/label/ring builds this PR moved behind the pool. *)
+let graph_construction_section () =
+  let g = Ron_graph.Graph_gen.grid 12 12 in
+  let (sp, t_sp) = time (fun () -> Ron_graph.Sp_metric.create g) in
+  let t_basic = time_unit (fun () -> ignore (Ron_routing.Basic.build sp ~delta:0.25)) in
+  let t_labelled = time_unit (fun () -> ignore (Ron_routing.Labelled.build sp ~delta:0.5)) in
+  let idx = Indexed.create (Generators.grid2d 12 12) in
+  let (tri, t_tri) = time (fun () -> Ron_labeling.Triangulation.build idx ~delta:0.22) in
+  let t_dls = time_unit (fun () -> ignore (Ron_labeling.Dls.build tri)) in
+  let t_meridian =
+    time_unit (fun () ->
+        ignore
+          (Ron_smallworld.Meridian.build idx (Rng.create 9) ~ring_size:4
+             ~members:(Array.init (Indexed.size idx) Fun.id)))
+  in
+  let fields =
+    [
+      ("nodes", Int (Ron_graph.Graph.size g));
+      ("sp_metric_create_s", Float t_sp);
+      ("basic_build_s", Float t_basic);
+      ("labelled_build_s", Float t_labelled);
+      ("triangulation_build_s", Float t_tri);
+      ("dls_build_s", Float t_dls);
+      ("meridian_build_s", Float t_meridian);
+    ]
+  in
+  Obj
+    (match peak_rss_kb () with
+    | Some kb -> fields @ [ ("peak_rss_kb", Int kb) ]
+    | None -> fields)
+
+let graph_section sizes =
+  Obj
+    [
+      ("apsp", List (Stdlib.List.map graph_apsp_section sizes));
+      ("construction", graph_construction_section ());
+    ]
+
 (* -------------------------------------------- Table 1-3 headline numbers *)
 
 let max_arr = Array.fold_left max 0
@@ -177,6 +312,9 @@ let run ~file ~sizes =
     (String.concat ", " (List.map string_of_int sizes))
     (Pool.jobs ());
   let index = Stdlib.List.map index_section sizes in
+  Printf.printf "[JSON] measuring graph all-pairs + construction at n in {%s}...\n%!"
+    (String.concat ", " (List.map string_of_int sizes));
+  let graph = graph_section sizes in
   Printf.printf "[JSON] measuring Table 1-3 quantities...\n%!";
   (* The timed index sections above ran with observability off; reset so the
      obs section below reflects exactly the Table 1-3 query workloads
@@ -193,6 +331,7 @@ let run ~file ~sizes =
         ("recommended_domains", Int (Domain.recommended_domain_count ()));
         ("word_size", Int Sys.word_size);
         ("index", List index);
+        ("graph", graph);
         ("table1", t1);
         ("table2", t2);
         ("table3", t3);

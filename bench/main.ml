@@ -100,7 +100,7 @@ let micro () =
   in
   let results = analyze (benchmark ()) in
   let rows = Hashtbl.fold (fun name ols acc -> (name, ols) :: acc) results [] in
-  let rows = List.sort (fun (a, _) (b, _) -> compare a b) rows in
+  let rows = List.sort (fun (a, _) (b, _) -> String.compare a b) rows in
   Printf.printf "%-48s %s\n" "benchmark" "ns/run";
   Printf.printf "%s\n" (String.make 70 '-');
   List.iter

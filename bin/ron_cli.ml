@@ -72,6 +72,20 @@ let metrics_arg =
           "Write an observability snapshot (counters, histograms, per-query costs) to $(docv) \
            as JSON.")
 
+let jobs_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "j"; "jobs" ] ~docv:"N"
+        ~doc:
+          "Worker domains for parallel construction (overrides RON_JOBS). Results are \
+           bit-identical at every job count.")
+
+let set_jobs jobs =
+  match jobs with
+  | Some j when j < 1 -> failwith "--jobs must be >= 1"
+  | _ -> Ron_util.Pool.set_default_jobs jobs
+
 let ns_clock () = Int64.of_float (Unix.gettimeofday () *. 1e9)
 
 (* Shared by every subcommand: configure the trace sink and/or enable the
@@ -91,7 +105,8 @@ let with_obs trace metrics f =
 
 (* -------------------------------------------------------------- estimate *)
 
-let run_estimate trace metrics family n seed delta pairs =
+let run_estimate trace metrics jobs family n seed delta pairs =
+  set_jobs jobs;
   with_obs trace metrics @@ fun () ->
   let idx = Indexed.create (make_metric family n seed) in
   let n = Indexed.size idx in
@@ -122,8 +137,8 @@ let estimate_cmd =
   let doc = "Distance estimation: Theorem 3.2 triangulation + Theorem 3.4 labels." in
   Cmd.v (Cmd.info "estimate" ~doc)
     Term.(
-      const run_estimate $ trace_arg $ metrics_arg $ metric_arg $ n_arg $ seed_arg $ delta_arg
-      $ pairs_arg)
+      const run_estimate $ trace_arg $ metrics_arg $ jobs_arg $ metric_arg $ n_arg $ seed_arg
+      $ delta_arg $ pairs_arg)
 
 (* ----------------------------------------------------------------- route *)
 
@@ -131,7 +146,8 @@ let scheme_arg =
   let doc = "Routing scheme: thm21 (graphs), thm41 (graphs), metric (Sec 4.1), thm42 (metric two-mode), trivial." in
   Arg.(value & opt string "thm21" & info [ "scheme" ] ~docv:"SCHEME" ~doc)
 
-let run_route trace metrics family n seed delta pairs scheme =
+let run_route trace metrics jobs family n seed delta pairs scheme =
+  set_jobs jobs;
   with_obs trace metrics @@ fun () ->
   let rng = Rng.create seed in
   let report ?parallel name route dist max_table header n =
@@ -200,8 +216,8 @@ let route_cmd =
   let doc = "Compact (1+delta)-stretch routing (Theorems 2.1, 4.1, 4.2; Section 4.1)." in
   Cmd.v (Cmd.info "route" ~doc)
     Term.(
-      const run_route $ trace_arg $ metrics_arg $ metric_arg $ n_arg $ seed_arg $ delta_arg
-      $ pairs_arg $ scheme_arg)
+      const run_route $ trace_arg $ metrics_arg $ jobs_arg $ metric_arg $ n_arg $ seed_arg
+      $ delta_arg $ pairs_arg $ scheme_arg)
 
 (* ------------------------------------------------------------ smallworld *)
 
@@ -209,7 +225,8 @@ let model_arg =
   let doc = "Small-world model: a (Thm 5.2a), b (Thm 5.2b), structures, single (Thm 5.5 needs grid)." in
   Arg.(value & opt string "a" & info [ "model" ] ~docv:"MODEL" ~doc)
 
-let run_smallworld trace metrics family n seed pairs model =
+let run_smallworld trace metrics jobs family n seed pairs model =
+  set_jobs jobs;
   with_obs trace metrics @@ fun () ->
   let idx = Indexed.create (make_metric family n seed) in
   let nn = Indexed.size idx in
@@ -255,12 +272,13 @@ let smallworld_cmd =
   let doc = "Searchable small worlds on doubling metrics (Theorem 5.2, Section 5.2)." in
   Cmd.v (Cmd.info "smallworld" ~doc)
     Term.(
-      const run_smallworld $ trace_arg $ metrics_arg $ metric_arg $ n_arg $ seed_arg $ pairs_arg
-      $ model_arg)
+      const run_smallworld $ trace_arg $ metrics_arg $ jobs_arg $ metric_arg $ n_arg $ seed_arg
+      $ pairs_arg $ model_arg)
 
 (* --------------------------------------------------------------- inspect *)
 
-let run_inspect trace metrics family n seed =
+let run_inspect trace metrics jobs family n seed =
+  set_jobs jobs;
   with_obs trace metrics @@ fun () ->
   let m = make_metric family n seed in
   (match Metric.check m with
@@ -288,14 +306,15 @@ let run_inspect trace metrics family n seed =
 let inspect_cmd =
   let doc = "Print substrate facts (dimension, nets, doubling measure) about a metric." in
   Cmd.v (Cmd.info "inspect" ~doc)
-    Term.(const run_inspect $ trace_arg $ metrics_arg $ metric_arg $ n_arg $ seed_arg)
+    Term.(const run_inspect $ trace_arg $ metrics_arg $ jobs_arg $ metric_arg $ n_arg $ seed_arg)
 
 (* ------------------------------------------------------------ experiment *)
 
 let experiment_ids =
   [ "t1"; "t2"; "t3"; "e21"; "e32"; "e34"; "e41"; "e52a"; "e52b"; "e54"; "e55"; "esub"; "fig1"; "mer" ]
 
-let run_experiment trace metrics id =
+let run_experiment trace metrics jobs id =
+  set_jobs jobs;
   with_obs trace metrics @@ fun () ->
   let module E = Ron_experiments in
   let table =
@@ -318,7 +337,8 @@ let run_experiment trace metrics id =
 let experiment_cmd =
   let id = Arg.(required & pos 0 (some string) None & info [] ~docv:"ID") in
   let doc = "Run one reproduction experiment (same ids as bench/main.exe)." in
-  Cmd.v (Cmd.info "experiment" ~doc) Term.(const run_experiment $ trace_arg $ metrics_arg $ id)
+  Cmd.v (Cmd.info "experiment" ~doc)
+    Term.(const run_experiment $ trace_arg $ metrics_arg $ jobs_arg $ id)
 
 let () =
   let doc = "rings of neighbors: distance estimation and object location (Slivkins, PODC 2005)" in

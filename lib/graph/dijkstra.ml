@@ -1,8 +1,260 @@
+module Pool = Ron_util.Pool
+module Probe = Ron_obs.Probe
+
 type sssp = { source : int; dist : float array; first_hop : int array }
 
-(* Binary min-heap keyed by (distance, first-hop index, node) so that the
-   tie-break is deterministic. *)
-module Heap = struct
+type apsp = { ap_n : int; ap_dist : floatarray; ap_fh : int array }
+
+(* ------------------------------------------------------------------------ *)
+(* Flat, allocation-lean core.
+
+   The heap holds no records: entry [i] is a float priority in [heap_d.(i)]
+   and an int key in [heap_x.(i)] packing [(first_hop + 1) << k | node],
+   where [2^k] is the first power of two with [n <= 2^k]. Since
+   [node < 2^k], integer order on the packed key is exactly the
+   lexicographic order on [(first_hop, node)], so
+
+     d_i < d_j  ||  (d_i = d_j && x_i < x_j)
+
+   reproduces the reference comparator with two monomorphic compares and no
+   allocation. Distinct live entries never compare equal (a push requires a
+   strict [(d, fh)] improvement over the recorded tentative), so the pop
+   sequence — and therefore every output bit — is independent of the heap's
+   internal layout and identical to the reference implementation's.
+
+   All per-source state lives in one scratch struct, allocated once per
+   domain (via DLS) and reused across sources: running [all_pairs] performs
+   no per-source allocation beyond the shared output arrays. *)
+
+type scratch = {
+  mutable cap : int; (* node capacity the buffers are sized for *)
+  mutable dist : float array;
+  mutable fh : int array;
+  mutable settled : Bytes.t;
+  mutable heap_d : float array;
+  mutable heap_x : int array;
+  mutable heap_len : int;
+}
+
+let scratch_key : scratch Domain.DLS.key =
+  Domain.DLS.new_key (fun () ->
+      {
+        cap = 0;
+        dist = [||];
+        fh = [||];
+        settled = Bytes.empty;
+        heap_d = [||];
+        heap_x = [||];
+        heap_len = 0;
+      })
+
+let scratch_for n =
+  let sc = Domain.DLS.get scratch_key in
+  if sc.cap < n then begin
+    sc.cap <- n;
+    sc.dist <- Array.make n infinity;
+    sc.fh <- Array.make n (-1);
+    sc.settled <- Bytes.make n '\000';
+    (* Heap capacity grows on demand; seed it with room for a few pushes per
+       node, the common case on bounded-degree graphs. *)
+    sc.heap_d <- Array.make (4 * n) 0.0;
+    sc.heap_x <- Array.make (4 * n) 0;
+    sc.heap_len <- 0
+  end;
+  sc
+
+let heap_push sc d x =
+  let len = sc.heap_len in
+  if len = Array.length sc.heap_d then begin
+    let bigger_d = Array.make (2 * len) 0.0 and bigger_x = Array.make (2 * len) 0 in
+    Array.blit sc.heap_d 0 bigger_d 0 len;
+    Array.blit sc.heap_x 0 bigger_x 0 len;
+    sc.heap_d <- bigger_d;
+    sc.heap_x <- bigger_x
+  end;
+  let hd = sc.heap_d and hx = sc.heap_x in
+  (* Sift up by hole-movement: no swaps, one final store. *)
+  let i = ref len in
+  let continue = ref true in
+  while !continue && !i > 0 do
+    let p = (!i - 1) / 2 in
+    let pd = Array.unsafe_get hd p in
+    if d < pd || (d = pd && x < Array.unsafe_get hx p) then begin
+      Array.unsafe_set hd !i pd;
+      Array.unsafe_set hx !i (Array.unsafe_get hx p);
+      i := p
+    end
+    else continue := false
+  done;
+  Array.unsafe_set hd !i d;
+  Array.unsafe_set hx !i x;
+  sc.heap_len <- len + 1
+
+(* Remove the minimum; the caller reads it from [sc.heap_d.(0)]/[heap_x.(0)]
+   before calling. *)
+let heap_drop_min sc =
+  let len = sc.heap_len - 1 in
+  sc.heap_len <- len;
+  if len > 0 then begin
+    let hd = sc.heap_d and hx = sc.heap_x in
+    let d = Array.unsafe_get hd len and x = Array.unsafe_get hx len in
+    (* Sift the former last element down from the root, hole-movement. *)
+    let i = ref 0 in
+    let continue = ref true in
+    while !continue do
+      let l = (2 * !i) + 1 in
+      if l >= len then continue := false
+      else begin
+        let r = l + 1 in
+        let c =
+          if r < len then begin
+            let ld = Array.unsafe_get hd l and rd = Array.unsafe_get hd r in
+            if rd < ld || (rd = ld && Array.unsafe_get hx r < Array.unsafe_get hx l) then r
+            else l
+          end
+          else l
+        in
+        let cd = Array.unsafe_get hd c in
+        if cd < d || (cd = d && Array.unsafe_get hx c < x) then begin
+          Array.unsafe_set hd !i cd;
+          Array.unsafe_set hx !i (Array.unsafe_get hx c);
+          i := c
+        end
+        else continue := false
+      end
+    done;
+    Array.unsafe_set hd !i d;
+    Array.unsafe_set hx !i x
+  end
+
+(* CSR view of the adjacency: arc [k] of node [u] lives at flat position
+   [off.(u) + k], destinations in one int array and weights in one float
+   array. One flattening per traversal batch replaces a boxed-record load
+   per scanned edge with two unsafe array reads, and the three arrays are
+   immutable — shared read-only across the pool's domains. *)
+type csr = { off : int array; dst : int array; w : floatarray }
+
+let csr_of g =
+  let n = Graph.size g in
+  let off = Array.make (n + 1) 0 in
+  for u = 0 to n - 1 do
+    off.(u + 1) <- off.(u) + Graph.out_degree g u
+  done;
+  let m = off.(n) in
+  let dst = Array.make m 0 in
+  let w = Float.Array.create m in
+  for u = 0 to n - 1 do
+    let edges = Graph.out_edges g u in
+    let base = off.(u) in
+    Array.iteri
+      (fun k e ->
+        dst.(base + k) <- e.Graph.dst;
+        Float.Array.set w (base + k) e.Graph.weight)
+      edges
+  done;
+  { off; dst; w }
+
+(* One source, into the scratch buffers. *)
+let run_core csr n sc source =
+  let dist = sc.dist and fh = sc.fh and settled = sc.settled in
+  Array.fill dist 0 n infinity;
+  Array.fill fh 0 n (-1);
+  Bytes.fill settled 0 n '\000';
+  sc.heap_len <- 0;
+  dist.(source) <- 0.0;
+  (* Packing width: first power of two holding a node id, so unpacking is a
+     mask/shift instead of a division. *)
+  let shift =
+    let k = ref 1 in
+    while 1 lsl !k < n do incr k done;
+    !k
+  in
+  let mask = (1 lsl shift) - 1 in
+  (* fh = -1 packs to 0 lsl shift lor node. *)
+  heap_push sc 0.0 source;
+  let off = csr.off and adj = csr.dst and wts = csr.w in
+  while sc.heap_len > 0 do
+    let d = Array.unsafe_get sc.heap_d 0 and x = Array.unsafe_get sc.heap_x 0 in
+    heap_drop_min sc;
+    let node = x land mask in
+    if Bytes.unsafe_get settled node = '\000' then begin
+      Bytes.unsafe_set settled node '\001';
+      let efh = (x lsr shift) - 1 in
+      Array.unsafe_set dist node d;
+      Array.unsafe_set fh node efh;
+      let lo = Array.unsafe_get off node in
+      let hi = Array.unsafe_get off (node + 1) in
+      for e = lo to hi - 1 do
+        let v = Array.unsafe_get adj e in
+        if Bytes.unsafe_get settled v = '\000' then begin
+          let nd = d +. Float.Array.unsafe_get wts e in
+          let nfh = if node = source then e - lo else efh in
+          let dv = Array.unsafe_get dist v in
+          if nd < dv || (nd = dv && nfh < Array.unsafe_get fh v) then begin
+            Array.unsafe_set dist v nd;
+            Array.unsafe_set fh v nfh;
+            heap_push sc nd (((nfh + 1) lsl shift) lor v)
+          end
+        end
+      done
+    end
+  done;
+  fh.(source) <- -1
+
+let run g source =
+  let n = Graph.size g in
+  let sc = scratch_for n in
+  run_core (csr_of g) n sc source;
+  if !Probe.on then Probe.sssp_source ();
+  { source; dist = Array.sub sc.dist 0 n; first_hop = Array.sub sc.fh 0 n }
+
+let all_pairs ?jobs g =
+  let n = Graph.size g in
+  let csr = csr_of g in
+  let ap_dist = Float.Array.create (n * n) in
+  let ap_fh = Array.make (n * n) (-1) in
+  Pool.parallel_for ?jobs n (fun s ->
+      let sc = scratch_for n in
+      run_core csr n sc s;
+      let off = s * n in
+      for v = 0 to n - 1 do
+        Float.Array.unsafe_set ap_dist (off + v) (Array.unsafe_get sc.dist v);
+        Array.unsafe_set ap_fh (off + v) (Array.unsafe_get sc.fh v)
+      done;
+      if !Probe.on then Probe.sssp_source ());
+  { ap_n = n; ap_dist; ap_fh }
+
+let size a = a.ap_n
+let distance a u v = Float.Array.get a.ap_dist ((u * a.ap_n) + v)
+let first_hop a u v = a.ap_fh.((u * a.ap_n) + v)
+
+let sssp_of a s =
+  let n = a.ap_n in
+  {
+    source = s;
+    dist = Array.init n (fun v -> Float.Array.get a.ap_dist ((s * n) + v));
+    first_hop = Array.sub a.ap_fh (s * n) n;
+  }
+
+let next_node g s v =
+  if v = s.source then invalid_arg "Dijkstra.next_node: target is the source";
+  let k = s.first_hop.(v) in
+  if k < 0 then invalid_arg "Dijkstra.next_node: unreachable target";
+  Graph.hop g s.source k
+
+let next_toward g a u v =
+  if v = u then invalid_arg "Dijkstra.next_toward: target is the source";
+  let k = first_hop a u v in
+  if k < 0 then invalid_arg "Dijkstra.next_toward: unreachable target";
+  Graph.hop g u k
+
+(* ------------------------------------------------------------------------ *)
+(* The pre-optimization implementation (one boxed record per heap entry,
+   polymorphic tuple compare in [less], one record-of-arrays per source),
+   kept verbatim as the measured baseline for bench/main.exe --json and the
+   equivalence tests — the Dijkstra analogue of [Indexed.create_reference]. *)
+
+module Reference_heap = struct
   type entry = { d : float; fh : int; node : int }
 
   type t = { mutable a : entry array; mutable len : int }
@@ -55,16 +307,16 @@ module Heap = struct
     end
 end
 
-let run g source =
+let run_reference g source =
   let n = Graph.size g in
   let dist = Array.make n infinity in
   let first_hop = Array.make n (-1) in
   let settled = Array.make n false in
-  let heap = Heap.create () in
+  let heap = Reference_heap.create () in
   dist.(source) <- 0.0;
-  Heap.push heap { d = 0.0; fh = -1; node = source };
+  Reference_heap.push heap { d = 0.0; fh = -1; node = source };
   let rec loop () =
-    match Heap.pop heap with
+    match Reference_heap.pop heap with
     | None -> ()
     | Some e ->
       if not settled.(e.node) then begin
@@ -80,7 +332,7 @@ let run g source =
               if nd < dist.(v) || (nd = dist.(v) && nfh < first_hop.(v)) then begin
                 dist.(v) <- nd;
                 first_hop.(v) <- nfh;
-                Heap.push heap { d = nd; fh = nfh; node = v }
+                Reference_heap.push heap { d = nd; fh = nfh; node = v }
               end
             end)
           (Graph.out_edges g e.node)
@@ -91,10 +343,4 @@ let run g source =
   first_hop.(source) <- -1;
   { source; dist; first_hop }
 
-let all_pairs g = Array.init (Graph.size g) (fun s -> run g s)
-
-let next_node g s v =
-  if v = s.source then invalid_arg "Dijkstra.next_node: target is the source";
-  let k = s.first_hop.(v) in
-  if k < 0 then invalid_arg "Dijkstra.next_node: unreachable target";
-  Graph.hop g s.source k
+let all_pairs_reference g = Array.init (Graph.size g) (fun s -> run_reference g s)

@@ -1,4 +1,4 @@
-(** Single-source shortest paths with first-hop extraction.
+(** Single-source and all-pairs shortest paths with first-hop extraction.
 
     The routing schemes never store whole paths — only the {e first-hop
     pointer} from [u] towards a neighbor [v]: the index of the first edge of
@@ -8,7 +8,17 @@
 
     To make "the" shortest path well defined even with distance ties, ties
     are broken deterministically: among equal-length paths the one whose
-    first edge has the smallest index wins (propagated along the search). *)
+    first edge has the smallest index wins (propagated along the search).
+
+    The substrate is allocation-lean: the priority queue is a flat binary
+    heap over a [float array] of priorities and an [int array] of packed
+    [(first_hop, node)] keys, the adjacency is flattened once per traversal
+    batch into a CSR view (offset/destination [int array]s plus a weight
+    [floatarray], shared read-only across domains), and each domain reuses
+    one preallocated scratch buffer across sources. All-pairs results live
+    in two shared flat [n * n] arrays (an unboxed [floatarray] of distances,
+    an [int array] of first hops) rather than [n] boxed per-source
+    records. *)
 
 type sssp = {
   source : int;
@@ -21,9 +31,37 @@ type sssp = {
 
 val run : Graph.t -> int -> sssp
 
-val all_pairs : Graph.t -> sssp array
-(** One [sssp] per source. O(n (m + n log n)). *)
+type apsp
+(** All-pairs results in flat row-major storage: the distance and first-hop
+    from [u] to [v] live at offset [u * n + v]. *)
+
+val all_pairs : ?jobs:int -> Graph.t -> apsp
+(** One Dijkstra per source, parallelized over sources ({!Ron_util.Pool}:
+    [?jobs], else [RON_JOBS], else the hardware recommendation). Sources
+    write disjoint rows, so the result is bit-identical at every job count,
+    and identical to {!all_pairs_reference}. O(n (m + n log n)) work. *)
+
+val size : apsp -> int
+val distance : apsp -> int -> int -> float
+val first_hop : apsp -> int -> int -> int
+(** [-1] for [v = u] or unreachable [v]. *)
+
+val sssp_of : apsp -> int -> sssp
+(** Materialize one source's row as a boxed {!sssp} (copies). *)
 
 val next_node : Graph.t -> sssp -> int -> int
 (** [next_node g s v]: the node reached by following [s]'s first hop toward
     [v]. Raises [Invalid_argument] if [v] is the source or unreachable. *)
+
+val next_toward : Graph.t -> apsp -> int -> int -> int
+(** [next_toward g a u v]: the node after [u] on the canonical shortest
+    [u -> v] path. Raises [Invalid_argument] if [v = u] or unreachable. *)
+
+val run_reference : Graph.t -> int -> sssp
+(** The pre-optimization implementation (record-per-entry heap, polymorphic
+    tuple compare, boxed per-source results), kept as the measured baseline
+    for [bench/main.exe --json] and the equivalence tests — the Dijkstra
+    analogue of {!Ron_metric.Indexed.create_reference}. Produces outputs
+    bit-identical to {!run}/{!all_pairs}. *)
+
+val all_pairs_reference : Graph.t -> sssp array

@@ -1,29 +1,29 @@
-type t = { graph : Graph.t; sssp : Dijkstra.sssp array; metric : Ron_metric.Metric.t }
+type t = { graph : Graph.t; apsp : Dijkstra.apsp; metric : Ron_metric.Metric.t }
 
-let create g =
+let create ?jobs g =
   if not (Graph.is_connected g) then invalid_arg "Sp_metric.create: graph must be connected";
-  let sssp = Dijkstra.all_pairs g in
+  let apsp = Dijkstra.all_pairs ?jobs g in
   let n = Graph.size g in
   (* On an undirected graph the two directions can differ in the last ulp
      (float additions in opposite order); canonicalize on the smaller
      endpoint so the metric is exactly symmetric. *)
   let symmetric_dist u v =
-    if u <= v then sssp.(u).Dijkstra.dist.(v) else sssp.(v).Dijkstra.dist.(u)
+    if u <= v then Dijkstra.distance apsp u v else Dijkstra.distance apsp v u
   in
   let metric = Ron_metric.Metric.create ~name:"sp-metric" n symmetric_dist in
-  { graph = g; sssp; metric }
+  { graph = g; apsp; metric }
 
 let graph t = t.graph
 let metric t = t.metric
 
 let dist t u v =
-  if u <= v then t.sssp.(u).Dijkstra.dist.(v) else t.sssp.(v).Dijkstra.dist.(u)
+  if u <= v then Dijkstra.distance t.apsp u v else Dijkstra.distance t.apsp v u
 
 let first_hop_index t u v =
   if u = v then invalid_arg "Sp_metric.first_hop_index: u = v";
-  t.sssp.(u).Dijkstra.first_hop.(v)
+  Dijkstra.first_hop t.apsp u v
 
-let next_toward t u v = Dijkstra.next_node t.graph t.sssp.(u) v
+let next_toward t u v = Dijkstra.next_toward t.graph t.apsp u v
 
 let path t u v =
   let rec go acc cur =

@@ -7,8 +7,10 @@
 
 type t
 
-val create : Graph.t -> t
-(** Requires a connected graph. *)
+val create : ?jobs:int -> Graph.t -> t
+(** Requires a connected graph. The all-pairs computation is parallelized
+    over sources (see {!Dijkstra.all_pairs}); the result is identical at
+    every job count. *)
 
 val graph : t -> Graph.t
 val metric : t -> Ron_metric.Metric.t

@@ -29,15 +29,22 @@ let estimate t u v =
 
 let bad_fraction t ~delta =
   let n = Indexed.size t.idx in
-  let bad = ref 0 and total = ref 0 in
-  for u = 0 to n - 1 do
-    for v = u + 1 to n - 1 do
-      incr total;
-      let (lo, hi) = estimate t u v in
-      if lo <= 0.0 || hi > (1.0 +. delta) *. lo then incr bad
-    done
-  done;
-  if !total = 0 then 0.0 else float_of_int !bad /. float_of_int !total
+  (* O(n^2) estimate sweep: each row u counts its own pairs (u, v > u), the
+     integer row counts are summed afterwards — parallel over rows, with a
+     result independent of the job count. *)
+  let rows =
+    Ron_util.Pool.init n (fun u ->
+        let bad = ref 0 and total = ref 0 in
+        for v = u + 1 to n - 1 do
+          incr total;
+          let (lo, hi) = estimate t u v in
+          if lo <= 0.0 || hi > (1.0 +. delta) *. lo then incr bad
+        done;
+        (!bad, !total))
+  in
+  let bad = Array.fold_left (fun acc (b, _) -> acc + b) 0 rows in
+  let total = Array.fold_left (fun acc (_, t) -> acc + t) 0 rows in
+  if total = 0 then 0.0 else float_of_int bad /. float_of_int total
 
 let label_bits t =
   let n = Indexed.size t.idx in

@@ -4,6 +4,8 @@ module Bits = Ron_util.Bits
 module Qfloat = Ron_util.Qfloat
 module Enumeration = Ron_core.Enumeration
 module Translation = Ron_core.Translation
+module Pool = Ron_util.Pool
+module Probe = Ron_obs.Probe
 
 type label = {
   id : int;
@@ -70,7 +72,11 @@ let build ?(z_divisor = 64.0) tri =
     done;
     !acc
   in
-  let z_sets = Array.init n z_of in
+  (* Every per-node pass in this build reads only the immutable index,
+     hierarchy, triangulation, and earlier passes' finished arrays, so each
+     runs as a parallel fan-out over nodes ([Pool.init]/[Pool.map] are
+     barriers, keeping the passes ordered). *)
+  let z_sets = Pool.init n z_of in
   (* --- X_u across scales. *)
   let x_all u =
     let acc = ref [] in
@@ -81,12 +87,12 @@ let build ?(z_divisor = 64.0) tri =
   in
   (* --- Virtual neighbors T_u and enumerations psi_u. *)
   let virtuals =
-    Array.init n (fun u ->
+    Pool.init n (fun u ->
         let xs = x_all u in
         let via_x = List.concat_map (fun v -> z_sets.(v)) (sorted_distinct xs |> Array.to_list) in
         sorted_distinct (List.concat [ xs; z_sets.(u); via_x ]))
   in
-  let psi = Array.map Enumeration.of_array virtuals in
+  let psi = Pool.map Enumeration.of_array virtuals in
   let max_virtual = Array.fold_left (fun acc a -> max acc (Array.length a)) 1 virtuals in
   (* --- Host neighbor sets per scale and host enumerations phi_u with the
      canonical scale-0 prefix. *)
@@ -98,14 +104,14 @@ let build ?(z_divisor = 64.0) tri =
            Array.to_list (Triangulation.y_neighbors tri u i);
          ])
   in
-  let scale_sets = Array.init n (fun u -> Array.init li (fun i -> scale_set u i)) in
+  let scale_sets = Pool.init n (fun u -> Array.init li (fun i -> scale_set u i)) in
   let prefix_nodes = scale_sets.(0).(0) in
   (* Scale-0 sets coincide for every node by construction; the prefix is
      canonical. *)
   let prefix = Enumeration.of_array prefix_nodes in
   let prefix_len = Enumeration.size prefix in
   let phi =
-    Array.init n (fun u ->
+    Pool.init n (fun u ->
         let rest =
           sorted_distinct (List.concat_map Array.to_list (Array.to_list scale_sets.(u)))
         in
@@ -121,7 +127,7 @@ let build ?(z_divisor = 64.0) tri =
         in
         fst (Net.Hierarchy.nearest hier level u))
   in
-  let zooms = Array.init n zoom_of in
+  let zooms = Pool.init n zoom_of in
   (* --- Translation maps zeta_ui. *)
   let zetas_of u =
     Array.init (li - 1) (fun i ->
@@ -144,7 +150,7 @@ let build ?(z_divisor = 64.0) tri =
     Qfloat.codec_for ~delta ~aspect_ratio:(Float.max 2.0 (Indexed.aspect_ratio idx))
   in
   let labels =
-    Array.init n (fun u ->
+    Pool.init n (fun u ->
         let e = phi.(u) in
         let k = Enumeration.size e in
         let dists =
@@ -178,6 +184,7 @@ let build ?(z_divisor = 64.0) tri =
           + host_bits (* zoom_first *)
           + ((li - 1) * virt_bits) (* zoom_rest *)
         in
+        if !Probe.on then Probe.label_node ();
         { id = u; prefix_len; dists; zetas; zoom_first; zoom_rest; bits })
   in
   let host_order = Array.init n (fun u -> Enumeration.nodes phi.(u)) in
@@ -281,10 +288,10 @@ let serialize wc l =
           virt y;
           host z)
         (List.sort
-           (fun ((a1 : int), (b1 : int), (c1 : int)) (a2, b2, c2) ->
-             if a1 <> a2 then Stdlib.compare a1 a2
-             else if b1 <> b2 then Stdlib.compare b1 b2
-             else Stdlib.compare c1 c2)
+           (fun (a1, b1, c1) (a2, b2, c2) ->
+             if a1 <> a2 then Int.compare a1 a2
+             else if b1 <> b2 then Int.compare b1 b2
+             else Int.compare c1 c2)
            entries))
     l.zetas;
   host l.zoom_first;

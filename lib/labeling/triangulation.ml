@@ -3,6 +3,8 @@ module Net = Ron_metric.Net
 module Packing = Ron_metric.Packing
 module Bits = Ron_util.Bits
 module Qfloat = Ron_util.Qfloat
+module Pool = Ron_util.Pool
+module Probe = Ron_obs.Probe
 
 type t = {
   idx : Indexed.t;
@@ -43,8 +45,11 @@ let build ?(radius_factor = 12.0) ?(net_divisor = 4.0) idx_ ~delta =
   (* X-type: designated nodes h_B of packing balls B with
      d(u, h_B) + radius <= r_(u, i-1) (Appendix-B form of "B inside the
      previous ball"); at i = 0 the previous radius is unbounded. *)
+  (* The three per-node passes are pure reads of the immutable index,
+     packings, and hierarchy (plus, for the last, the finished xn/yn):
+     parallel fan-out over nodes, barriers between passes. *)
   let xn =
-    Array.init n (fun u ->
+    Pool.init n (fun u ->
         Array.init levels (fun i ->
             let r_prev = Indexed.r_level idx_ u (i - 1) in
             let keep b =
@@ -66,7 +71,7 @@ let build ?(radius_factor = 12.0) ?(net_divisor = 4.0) idx_ ~delta =
   let y0 = Array.copy (Net.Hierarchy.level hierarchy y0_level) in
   Ron_util.Fsort.sort_ints y0;
   let yn =
-    Array.init n (fun u ->
+    Pool.init n (fun u ->
         Array.init levels (fun i ->
             if i = 0 then y0
             else begin
@@ -78,7 +83,7 @@ let build ?(radius_factor = 12.0) ?(net_divisor = 4.0) idx_ ~delta =
             end))
   in
   let beacon_dist =
-    Array.init n (fun u ->
+    Pool.init n (fun u ->
         let tbl = Hashtbl.create 64 in
         let addall arr =
           Array.iter (fun b -> if not (Hashtbl.mem tbl b) then
@@ -86,6 +91,7 @@ let build ?(radius_factor = 12.0) ?(net_divisor = 4.0) idx_ ~delta =
         in
         Array.iter addall xn.(u);
         Array.iter addall yn.(u);
+        if !Probe.on then Probe.label_node ();
         tbl)
   in
   { idx = idx_; delta; levels; hierarchy; packings; xn; yn; beacon_dist }

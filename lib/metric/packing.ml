@@ -38,7 +38,9 @@ let candidate idx ~eps u =
 let create idx ~eps =
   if not (eps > 0.0 && eps <= 1.0) then invalid_arg "Packing.create: eps must be in (0,1]";
   let n = Indexed.size idx in
-  let candidates = Array.init n (fun u -> candidate idx ~eps u) in
+  (* Each descent reads only the immutable index: parallel over nodes. The
+     maximal-disjoint scan below is order-dependent and stays serial. *)
+  let candidates = Ron_util.Pool.init n (fun u -> candidate idx ~eps u) in
   (* Maximal disjoint subfamily, scanning candidates in node order. *)
   let owner = Array.make n (-1) in
   let chosen = ref [] in

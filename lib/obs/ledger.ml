@@ -106,7 +106,7 @@ let entries () =
   List.sort
     (fun a b ->
       let c = String.compare a.kind b.kind in
-      if c <> 0 then c else compare a.id b.id)
+      if c <> 0 then c else Int.compare a.id b.id)
     l
 
 let reset () =

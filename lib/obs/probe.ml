@@ -30,6 +30,15 @@ let table_touches = Counter.make "labeling.table_touches"
 let meridian_probes = Counter.make "meridian.probes"
 let meridian_hops = Counter.make "meridian.hops"
 
+(* Construction-side counters: one bump per unit of preprocessing fan-out,
+   so building routing tables / labels / rings is an observed cost, not just
+   a wall-clock one. Shard sums are commutative, so totals are identical at
+   every RON_JOBS. *)
+let sssp_sources = Counter.make "construct.sssp_sources"
+let table_nodes = Counter.make "construct.table_nodes"
+let label_nodes = Counter.make "construct.label_nodes"
+let ring_nodes = Counter.make "construct.ring_nodes"
+
 (* -- histograms --------------------------------------------------------- *)
 
 let route_hops_hist = Histogram.make "route.hops_per_query"
@@ -91,3 +100,10 @@ let meridian_probe () = Counter.incr meridian_probes
 let meridian_hop () =
   Counter.incr meridian_hops;
   Ledger.bump_hop ()
+
+(* Construction events are not per-query: they bump counters only (no
+   ledger charge). *)
+let sssp_source () = Counter.incr sssp_sources
+let table_node () = Counter.incr table_nodes
+let label_node () = Counter.incr label_nodes
+let ring_node () = Counter.incr ring_nodes

@@ -27,6 +27,13 @@ val table_touches : Counter.t
 val meridian_probes : Counter.t
 val meridian_hops : Counter.t
 
+(** Construction-side counters (preprocessing fan-out units). *)
+
+val sssp_sources : Counter.t
+val table_nodes : Counter.t
+val label_nodes : Counter.t
+val ring_nodes : Counter.t
+
 val route_hops_hist : Histogram.t
 val route_header_bits_hist : Histogram.t
 val meridian_probes_hist : Histogram.t
@@ -50,3 +57,15 @@ val route_done : hops:int -> header_bits_max:int -> delivered:bool -> truncated:
 val table_touch : unit -> unit
 val meridian_probe : unit -> unit
 val meridian_hop : unit -> unit
+
+val sssp_source : unit -> unit
+(** One shortest-path source solved ({!Ron_graph.Dijkstra}). *)
+
+val table_node : unit -> unit
+(** One node's routing table built. *)
+
+val label_node : unit -> unit
+(** One node's distance label built. *)
+
+val ring_node : unit -> unit
+(** One node's rings populated. *)

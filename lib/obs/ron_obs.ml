@@ -55,7 +55,7 @@ let histograms_json () =
 let queries_json () =
   let entries = Ledger.entries () in
   let kinds =
-    List.sort_uniq compare (List.map (fun (e : Ledger.entry) -> e.kind) entries)
+    List.sort_uniq String.compare (List.map (fun (e : Ledger.entry) -> e.kind) entries)
   in
   let field name get group =
     let xs = Array.of_list (List.map (fun e -> float_of_int (get e)) group) in

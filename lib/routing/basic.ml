@@ -4,6 +4,8 @@ module Graph = Ron_graph.Graph
 module Bits = Ron_util.Bits
 module Rings = Ron_core.Rings
 module Zooming = Ron_core.Zooming
+module Pool = Ron_util.Pool
+module Probe = Ron_obs.Probe
 
 type t = {
   sp : Sp_metric.t;
@@ -25,14 +27,17 @@ let build sp ~delta =
   let idx = Indexed.create (Sp_metric.metric sp) in
   let st = Structure.build idx ~delta in
   let n = Indexed.size idx in
+  (* Per-node fan-out: each table reads only shared immutable state (the
+     apsp and u's own cached neighbor slot), so nodes build in parallel. *)
   let first_hop =
-    Array.init n (fun u ->
+    Pool.init n (fun u ->
         let tbl = Hashtbl.create 64 in
         Array.iter
           (fun v ->
             if v <> u && not (Hashtbl.mem tbl v) then
               Hashtbl.replace tbl v (Sp_metric.first_hop_index sp u v))
           (Rings.neighbors st.Structure.rings u);
+        if !Probe.on then Probe.table_node ();
         tbl)
   in
   { sp; st; first_hop }

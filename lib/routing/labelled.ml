@@ -5,6 +5,8 @@ module Graph = Ron_graph.Graph
 module Bits = Ron_util.Bits
 module Triangulation = Ron_labeling.Triangulation
 module Dls = Ron_labeling.Dls
+module Pool = Ron_util.Pool
+module Probe = Ron_obs.Probe
 
 (* Internal delta for the black-box DLS: (1+2d)(1+d/8) <= 3/2 holds for
    d = 0.22. *)
@@ -33,8 +35,11 @@ let build sp ~delta =
   (* F_j = 2^j-nets (the hierarchy's levels); F_j(u) = B_u(2^(j+2)/delta). *)
   let hier = Triangulation.hierarchy tri in
   let jmax = Net.Hierarchy.jmax hier in
+  (* Both per-node passes read only immutable state (the index, the
+     hierarchy, and — for the second — the finished [nbrs]), so each is a
+     parallel fan-out over nodes. *)
   let nbrs =
-    Array.init n (fun u ->
+    Pool.init n (fun u ->
         let tbl = Hashtbl.create 32 in
         for j = 0 to jmax do
           let r = Ron_util.Bits.pow2 (j + 2) /. delta in
@@ -46,11 +51,12 @@ let build sp ~delta =
         a)
   in
   let first_hop =
-    Array.init n (fun u ->
+    Pool.init n (fun u ->
         let tbl = Hashtbl.create 32 in
         Array.iter
           (fun v -> if v <> u then Hashtbl.replace tbl v (Sp_metric.first_hop_index sp u v))
           nbrs.(u);
+        if !Probe.on then Probe.table_node ();
         tbl)
   in
   { sp; idx; delta; dls; nbrs; first_hop; dls_bits = Dls.label_bits dls }

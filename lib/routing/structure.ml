@@ -5,6 +5,8 @@ module Rings = Ron_core.Rings
 module Enumeration = Ron_core.Enumeration
 module Translation = Ron_core.Translation
 module Zooming = Ron_core.Zooming
+module Pool = Ron_util.Pool
+module Probe = Ron_obs.Probe
 
 type t = {
   idx : Indexed.t;
@@ -44,15 +46,19 @@ let build idx ~delta =
   let rings =
     Rings.of_membership idx ~scales ~radius_of ~member_of:(fun j v -> net_member.(j).(v))
   in
+  (* The four per-node passes below read only immutable shared state
+     (rings, nets, and the previous passes' finished arrays), so each runs
+     as a parallel per-node fan-out; the passes themselves stay ordered
+     because [Pool.init] is a barrier. *)
   let enums =
-    Array.init n (fun u ->
+    Pool.init n (fun u ->
         Array.init scales (fun j -> Enumeration.of_array (Rings.ring rings u j).Rings.members))
   in
   let zoomings =
-    Array.init n (fun t_ -> Array.init scales (fun j -> fst (Indexed.nearest_of idx t_ nets.(j))))
+    Pool.init n (fun t_ -> Array.init scales (fun j -> fst (Indexed.nearest_of idx t_ nets.(j))))
   in
   let zetas =
-    Array.init n (fun u ->
+    Pool.init n (fun u ->
         Array.init (scales - 1) (fun j ->
             let z = Translation.create () in
             let next_ring = (Rings.ring rings u (j + 1)).Rings.members in
@@ -70,11 +76,15 @@ let build idx ~delta =
             z))
   in
   let labels =
-    Array.init n (fun t_ ->
+    Pool.init n (fun t_ ->
         let sequence = zoomings.(t_) in
-        Zooming.encode ~sequence
-          ~enum_of_prev:(fun j next -> Enumeration.index enums.(sequence.(j)).(j + 1) next)
-          ~first_index:(Enumeration.index_exn enums.(t_).(0) sequence.(0)))
+        let enc =
+          Zooming.encode ~sequence
+            ~enum_of_prev:(fun j next -> Enumeration.index enums.(sequence.(j)).(j + 1) next)
+            ~first_index:(Enumeration.index_exn enums.(t_).(0) sequence.(0))
+        in
+        if !Probe.on then Probe.label_node ();
+        enc)
   in
   let ring_index_bits = Bits.index_bits (max 2 (Rings.max_ring_size rings)) in
   { idx; delta; scales; nets; rings; enums; zetas; zoomings; labels; ring_index_bits }

@@ -3,6 +3,8 @@ module Packing = Ron_metric.Packing
 module Bits = Ron_util.Bits
 module Triangulation = Ron_labeling.Triangulation
 module Dls = Ron_labeling.Dls
+module Pool = Ron_util.Pool
+module Probe = Ron_obs.Probe
 
 (* One M2 directory: a packing ball whose members collectively own direct
    links to every node of the enclosing ball B'. *)
@@ -67,7 +69,10 @@ let build ?(m1_threshold = 1.0 /. 3.0) idx ~delta =
       in
       { hub; members; boundaries; owned }
     in
-    let ds = Array.map make_directory (Packing.balls packing) in
+    (* Directories are independent (pure ball queries on the immutable
+       index); build them in parallel. The registration pass below writes
+       the shared lookup tables and stays serial. *)
+    let ds = Pool.map make_directory (Packing.balls packing) in
     dirs.(i) <- ds;
     Array.iteri
       (fun di d ->
@@ -80,10 +85,14 @@ let build ?(m1_threshold = 1.0 /. 3.0) idx ~delta =
       ds
   done;
   let hub_ptr =
-    Array.init n (fun u ->
-        Array.init (max 1 li) (fun i ->
-            if i = 0 then u
-            else (Packing.covering_ball (Triangulation.packing tri i) idx u).Packing.center))
+    Pool.init n (fun u ->
+        let ptr =
+          Array.init (max 1 li) (fun i ->
+              if i = 0 then u
+              else (Packing.covering_ball (Triangulation.packing tri i) idx u).Packing.center)
+        in
+        if !Probe.on then Probe.table_node ();
+        ptr)
   in
   { idx; delta; m1_threshold; dls; li; dirs; hub_dir; member_dir; hub_ptr; owned_lookup; m2_switches = 0 }
 

@@ -1,6 +1,8 @@
 module Indexed = Ron_metric.Indexed
 module Bits = Ron_util.Bits
 module Rng = Ron_util.Rng
+module Pool = Ron_util.Pool
+module Probe = Ron_obs.Probe
 
 type t = {
   idx : Indexed.t;
@@ -45,19 +47,20 @@ let out_degree t =
    keep at most [ring_size] entries; beyond that an existing entry is
    replaced with probability ring_size/occupancy (approximated by random
    eviction), keeping the ring a uniform-ish sample of the annulus. *)
-let insert_into_ring t rng u v =
-  if u <> v && t.member.(u) && t.member.(v) then begin
-    let i = scale_of t (Indexed.dist t.idx u v) in
-    let current = t.rings.(u).(i) in
-    if not (List.mem v current) then begin
-      if List.length current < t.ring_size then t.rings.(u).(i) <- v :: current
-      else begin
-        let slot = Rng.int rng (t.ring_size + 1) in
-        if slot < t.ring_size then
-          t.rings.(u).(i) <- v :: List.filteri (fun k _ -> k <> slot) current
-      end
+let insert_scaled t rng u v i =
+  let current = t.rings.(u).(i) in
+  if not (List.mem v current) then begin
+    if List.length current < t.ring_size then t.rings.(u).(i) <- v :: current
+    else begin
+      let slot = Rng.int rng (t.ring_size + 1) in
+      if slot < t.ring_size then
+        t.rings.(u).(i) <- v :: List.filteri (fun k _ -> k <> slot) current
     end
   end
+
+let insert_into_ring t rng u v =
+  if u <> v && t.member.(u) && t.member.(v) then
+    insert_scaled t rng u v (scale_of t (Indexed.dist t.idx u v))
 
 let rebuild_rings_of t rng u =
   Array.iteri (fun i _ -> t.rings.(u).(i) <- []) t.rings.(u);
@@ -84,7 +87,34 @@ let build idx rng ~ring_size ~members =
   (* Fill rings in a random order so reservoir eviction is unbiased. *)
   let order = Array.copy members in
   Rng.shuffle rng order;
-  Array.iter (fun u -> Array.iter (fun v -> insert_into_ring t rng u v) order) order;
+  (* The O(m^2) annulus classification (one distance + scale per ordered
+     pair) is the expensive part and touches no shared mutable state, so it
+     is precomputed in parallel into per-member byte rows. The reservoir
+     fill below stays serial: it consumes the shared RNG stream in exactly
+     the original order, so the built rings are bit-identical at every job
+     count. *)
+  let m = Array.length order in
+  if scales <= 255 then begin
+    let rows =
+      Pool.init m (fun a ->
+          let u = order.(a) in
+          let row = Bytes.create m in
+          for b = 0 to m - 1 do
+            Bytes.unsafe_set row b
+              (Char.unsafe_chr (scale_of t (Indexed.dist idx u order.(b))))
+          done;
+          if !Probe.on then Probe.ring_node ();
+          row)
+    in
+    Array.iteri
+      (fun a u ->
+        let row = rows.(a) in
+        Array.iteri
+          (fun b v -> if u <> v then insert_scaled t rng u v (Char.code (Bytes.unsafe_get row b)))
+          order)
+      order
+  end
+  else Array.iter (fun u -> Array.iter (fun v -> insert_into_ring t rng u v) order) order;
   t
 
 type result = { found : int; hops : int; measurements : int; path : int list }

@@ -83,4 +83,4 @@ let sort_floats (a : float array) =
   let n = Array.length a in
   if n > 1 then dual_sort a (Array.make n 0)
 
-let sort_ints (a : int array) = Array.sort (fun (x : int) y -> Stdlib.compare x y) a
+let sort_ints (a : int array) = Array.sort Int.compare a

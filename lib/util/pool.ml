@@ -19,10 +19,21 @@ let env_jobs =
       | _ -> None)
     | None -> None)
 
+(* Process-wide override (the CLI's --jobs flag); wins over RON_JOBS. *)
+let default_override = ref None
+
+let set_default_jobs j =
+  match j with
+  | Some j when j < 1 -> invalid_arg "Pool.set_default_jobs: jobs must be >= 1"
+  | _ -> default_override := j
+
 let jobs () =
-  match Lazy.force env_jobs with
+  match !default_override with
   | Some j -> j
-  | None -> Domain.recommended_domain_count ()
+  | None -> (
+    match Lazy.force env_jobs with
+    | Some j -> j
+    | None -> Domain.recommended_domain_count ())
 
 (* True while the current domain is executing a pool chunk; nested calls
    then run sequentially instead of spawning domains from domains. *)

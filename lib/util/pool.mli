@@ -13,7 +13,13 @@
     freely at any layer. *)
 
 val jobs : unit -> int
-(** The default job count ([RON_JOBS] or the hardware recommendation). *)
+(** The default job count (the {!set_default_jobs} override, else
+    [RON_JOBS], else the hardware recommendation). *)
+
+val set_default_jobs : int option -> unit
+(** Process-wide override of the default job count — what the CLI's
+    [--jobs N] flag sets. [Some j] requires [j >= 1]; [None] restores the
+    [RON_JOBS]/hardware resolution. Explicit [?jobs] arguments still win. *)
 
 val parallel_for : ?jobs:int -> int -> (int -> unit) -> unit
 (** [parallel_for n f] runs [f 0 .. f (n-1)], in parallel chunks when

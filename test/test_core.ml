@@ -151,6 +151,27 @@ let test_rings_accounting () =
   check_bool "max out degree sane" (Rings.max_out_degree rings <= 12);
   check_bool "max ring size" (Rings.max_ring_size rings = 4)
 
+let test_rings_neighbors_canonical () =
+  (* [neighbors] is the canonical adjacency view: sorted ascending, no
+     duplicates, exactly the union of the ring members. Parallel builders
+     and serialized outputs rely on this order being deterministic. *)
+  let idx = Lazy.force grid in
+  let rng = Rng.create 13 in
+  let rings = Rings.uniform_rings idx rng ~scales:4 ~samples:6 in
+  for u = 0 to Rings.size rings - 1 do
+    let nbrs = Rings.neighbors rings u in
+    for i = 1 to Array.length nbrs - 1 do
+      check_bool "sorted strictly ascending" (nbrs.(i - 1) < nbrs.(i))
+    done;
+    let union =
+      Array.fold_left
+        (fun acc r -> Array.fold_left (fun acc v -> v :: acc) acc r.Rings.members)
+        [] (Rings.rings_of rings u)
+    in
+    let expect = List.sort_uniq Int.compare union in
+    check_bool "equals sorted union of ring members" (Array.to_list nbrs = expect)
+  done
+
 (* -------------------------------------------------------------- Zooming *)
 
 let test_zooming_encode_decode () =
@@ -250,6 +271,7 @@ let () =
           Alcotest.test_case "uniform rings" `Quick test_uniform_rings;
           Alcotest.test_case "measure rings" `Quick test_measure_rings;
           Alcotest.test_case "accounting" `Quick test_rings_accounting;
+          Alcotest.test_case "neighbors canonical order" `Quick test_rings_neighbors_canonical;
         ] );
       ( "zooming",
         [

@@ -73,9 +73,67 @@ let test_dijkstra_matches_floyd_warshall () =
   let ap = Dijkstra.all_pairs g in
   for u = 0 to 39 do
     for v = 0 to 39 do
-      check_bool "distance agrees" (Float.abs (fw.(u).(v) -. ap.(u).Dijkstra.dist.(v)) < 1e-9)
+      check_bool "distance agrees" (Float.abs (fw.(u).(v) -. Dijkstra.distance ap u v) < 1e-9)
     done
   done
+
+let test_flat_apsp_matches_reference () =
+  (* The flat heap must reproduce the boxed reference implementation bit for
+     bit: distances by float equality (not tolerance), first hops exactly. *)
+  List.iter
+    (fun seed ->
+      let n = 30 + (seed * 7) in
+      let g = random_graph (100 + seed) n (2 * n) in
+      let ap = Dijkstra.all_pairs g in
+      let ref_ap = Dijkstra.all_pairs_reference g in
+      for u = 0 to n - 1 do
+        let s = ref_ap.(u) in
+        for v = 0 to n - 1 do
+          check_bool "dist bit-identical"
+            (Float.equal (Dijkstra.distance ap u v) s.Dijkstra.dist.(v));
+          check_int "first hop identical" s.Dijkstra.first_hop.(v) (Dijkstra.first_hop ap u v)
+        done
+      done)
+    [ 1; 2; 3 ]
+
+let test_all_pairs_jobs_bit_identical () =
+  (* Same contract as test_pool.ml: any job count, identical bits. *)
+  let g = random_graph 11 60 120 in
+  let a1 = Dijkstra.all_pairs ~jobs:1 g in
+  let a4 = Dijkstra.all_pairs ~jobs:4 g in
+  for u = 0 to 59 do
+    for v = 0 to 59 do
+      check_bool "dist jobs=1 = jobs=4" (Float.equal (Dijkstra.distance a1 u v) (Dijkstra.distance a4 u v));
+      check_int "fh jobs=1 = jobs=4" (Dijkstra.first_hop a1 u v) (Dijkstra.first_hop a4 u v)
+    done
+  done
+
+let prop_flat_apsp_vs_floyd_warshall =
+  QCheck.Test.make ~name:"flat all-pairs matches Floyd-Warshall on random connected graphs"
+    ~count:12
+    QCheck.(int_range 5 45)
+    (fun n ->
+      let g = random_graph (n * 13 + 5) n (3 * n / 2) in
+      let fw = floyd_warshall g in
+      let ap = Dijkstra.all_pairs g in
+      let ok = ref true in
+      for u = 0 to n - 1 do
+        for v = 0 to n - 1 do
+          if Float.abs (fw.(u).(v) -. Dijkstra.distance ap u v) > 1e-9 then ok := false;
+          (* The first hop must start a shortest path: one edge of the right
+             weight, then a shortest remainder. *)
+          if u <> v then begin
+            let next = Dijkstra.next_toward g ap u v in
+            let w =
+              Array.fold_left
+                (fun acc e -> if e.Graph.dst = next then Float.min acc e.Graph.weight else acc)
+                infinity (Graph.out_edges g u)
+            in
+            if Float.abs (w +. fw.(next).(v) -. fw.(u).(v)) > 1e-9 then ok := false
+          end
+        done
+      done;
+      !ok)
 
 let test_dijkstra_first_hop_walk () =
   (* Walking first hops from u must reach v with total length = dist. *)
@@ -252,6 +310,10 @@ let () =
       ( "dijkstra",
         [
           Alcotest.test_case "matches Floyd-Warshall" `Quick test_dijkstra_matches_floyd_warshall;
+          Alcotest.test_case "flat apsp = reference, bit for bit" `Quick
+            test_flat_apsp_matches_reference;
+          Alcotest.test_case "all_pairs bit-identical across jobs" `Quick
+            test_all_pairs_jobs_bit_identical;
           Alcotest.test_case "first-hop walks" `Quick test_dijkstra_first_hop_walk;
           Alcotest.test_case "source fields" `Quick test_dijkstra_source;
           Alcotest.test_case "sp metric valid" `Quick test_sp_metric_is_metric;
@@ -273,5 +335,7 @@ let () =
           Alcotest.test_case "N_delta small on geometric" `Quick test_n_delta_small_on_geometric;
           Alcotest.test_case "stretch validation" `Quick test_hop_paths_rejects_bad_stretch;
         ] );
-      ("properties", [ qt prop_dijkstra_triangle; qt prop_first_hop_progress ]);
+      ( "properties",
+        [ qt prop_dijkstra_triangle; qt prop_first_hop_progress; qt prop_flat_apsp_vs_floyd_warshall ]
+      );
     ]
