@@ -1,4 +1,4 @@
-.PHONY: all build test check bench bench-json trace-smoke clean
+.PHONY: all build test check bench bench-json trace-smoke fault-smoke clean
 
 all: build
 
@@ -24,6 +24,15 @@ trace-smoke: build
 	dune exec bin/ron_cli.exe -- route -m grid -n 64 -p 200 \
 	  --trace /tmp/ron_trace_smoke.jsonl --metrics-out /tmp/ron_metrics_smoke.json
 	dune exec bin/trace_check.exe /tmp/ron_trace_smoke.jsonl
+
+# Fault smoke: a small fault-injection sweep (crashed nodes + drops + dead
+# links with graceful-degradation fallbacks), then validate every JSONL
+# trace event the faulty run emitted.
+fault-smoke: build
+	dune exec bin/ron_cli.exe -- fault -m grid -n 64 -p 200 \
+	  --crash 0.08 --drop 0.02 --dead-links 0.02 \
+	  --trace /tmp/ron_fault_smoke.jsonl --metrics-out /tmp/ron_fault_metrics.json
+	dune exec bin/trace_check.exe /tmp/ron_fault_smoke.jsonl
 
 clean:
 	dune clean

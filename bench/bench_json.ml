@@ -225,6 +225,8 @@ let quality_obj (q : Exp_common.route_quality) =
     ("failures", Int q.Exp_common.failures);
     ("truncated", Int q.Exp_common.truncated);
     ("self_forwards", Int q.Exp_common.self_forwards);
+    ("cycled", Int q.Exp_common.cycled);
+    ("dropped", Int q.Exp_common.dropped);
     ("queries", Int q.Exp_common.queries);
     (* Observed per-query costs, straight from the ledger. *)
     ("ring_lookups_mean", Float q.Exp_common.ring_lookups_mean);
@@ -293,6 +295,53 @@ let table3 () =
      :: ("mode2_switches", Int (Ron_routing.Two_mode.mode2_switches tm))
      :: quality_obj q)
 
+(* ---------------------------------------------------- fault injection *)
+
+(* A fixed fault model over the Table 1 workload: how the headline scheme
+   degrades when 5% of nodes crash and 1% of hops drop. Deterministic (pure
+   function of the seeds), so the section doubles as a regression check on
+   the fault layer's delivery/detour numbers. *)
+let fault_section () =
+  let module Fault = Ron_fault.Fault in
+  let module Probe = Ron_obs.Probe in
+  let module Counter = Ron_obs.Counter in
+  let sp = Ron_graph.Sp_metric.create (Ron_graph.Graph_gen.grid 8 8) in
+  let b = Ron_routing.Basic.build sp ~delta:0.25 in
+  let n = Ron_graph.Graph.size (Ron_graph.Sp_metric.graph sp) in
+  let fault =
+    Fault.make ~seed:4242 ~crash_fraction:0.05 ~drop_rate:0.01 ~dead_link_fraction:0.01 ~n ()
+  in
+  let pairs =
+    Exp_common.sample_pairs (Rng.create 101) ~n ~count:800
+    |> List.filter (fun (u, v) -> not (Fault.crashed fault u || Fault.crashed fault v))
+  in
+  let d0 = Counter.value Probe.fault_drops
+  and c0 = Counter.value Probe.fault_crashed_hits
+  and l0 = Counter.value Probe.fault_dead_links
+  and r0 = Counter.value Probe.fault_retries
+  and v0 = Counter.value Probe.fault_detours in
+  let q =
+    Exp_common.collect_routes_keyed
+      ~route:(fun ~query u v ->
+        Ron_routing.Basic.route_wrapped (Fault.wrapper fault ~query) b ~src:u ~dst:v)
+      ~dist:(fun u v -> Ron_graph.Sp_metric.dist sp u v)
+      pairs
+  in
+  let delivered = q.Exp_common.queries - q.Exp_common.failures in
+  Obj
+    (("graph", String "grid8x8")
+     :: ("scheme", String "thm2.1")
+     :: ("model", String (Fault.describe fault))
+     :: ("crashed_nodes", Int (Fault.crash_count fault))
+     :: ("delivery_rate",
+         Float (float_of_int delivered /. float_of_int (max 1 q.Exp_common.queries)))
+     :: ("fault_drops", Int (Counter.value Probe.fault_drops - d0))
+     :: ("fault_crashed_hits", Int (Counter.value Probe.fault_crashed_hits - c0))
+     :: ("fault_dead_links", Int (Counter.value Probe.fault_dead_links - l0))
+     :: ("fault_retries", Int (Counter.value Probe.fault_retries - r0))
+     :: ("fault_detours", Int (Counter.value Probe.fault_detours - v0))
+     :: quality_obj q)
+
 (* ------------------------------------------------------------------ main *)
 
 let timestamp () =
@@ -321,6 +370,7 @@ let run ~file ~sizes =
      (collect_routes force-enables the probes while routing). *)
   Ron_obs.reset ();
   let t1 = table1 () and t2 = table2 () and t3 = table3 () in
+  let fault = fault_section () in
   let report =
     Obj
       [
@@ -335,6 +385,7 @@ let run ~file ~sizes =
         ("table1", t1);
         ("table2", t2);
         ("table3", t3);
+        ("fault", fault);
         ("obs", Ron_obs.snapshot ());
       ]
   in

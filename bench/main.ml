@@ -30,6 +30,7 @@ let experiments : (string * string * (unit -> unit)) list =
     ("esub", "Substrate lemmas (1.1-1.4, 1.3, 3.1/A.1)", E.Exp_esub.run);
     ("fig1", "Figure 1: flow of ideas as live dependencies", E.Exp_fig1.run);
     ("mer", "Meridian-style object location over rings (Sec 6)", E.Exp_mer.run);
+    ("fault", "Fault injection & graceful degradation sweep", E.Exp_fault.run);
   ]
 
 (* ------------------------------------------------- Bechamel micro-benches *)

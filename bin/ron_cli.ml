@@ -219,6 +219,132 @@ let route_cmd =
       const run_route $ trace_arg $ metrics_arg $ jobs_arg $ metric_arg $ n_arg $ seed_arg
       $ delta_arg $ pairs_arg $ scheme_arg)
 
+(* ----------------------------------------------------------------- fault *)
+
+let crash_arg =
+  Arg.(
+    value & opt float 0.05
+    & info [ "crash" ] ~docv:"FRAC" ~doc:"Fraction of nodes crashed (seed-chosen, in [0,1)).")
+
+let drop_arg =
+  Arg.(
+    value & opt float 0.01
+    & info [ "drop" ] ~docv:"RATE" ~doc:"Per-hop Bernoulli message-drop rate (in [0,1)).")
+
+let dead_links_arg =
+  Arg.(
+    value & opt float 0.0
+    & info [ "dead-links" ] ~docv:"FRAC" ~doc:"Fraction of (undirected) links dead (in [0,1)).")
+
+let fault_seed_arg =
+  Arg.(
+    value & opt int 4242
+    & info [ "fault-seed" ] ~docv:"SEED"
+        ~doc:"Seed of the fault model's dedicated random stream (independent of --seed).")
+
+let run_fault trace metrics jobs family n seed delta pairs scheme crash drop dead fseed =
+  set_jobs jobs;
+  with_obs trace metrics @@ fun () ->
+  let module Fault = Ron_fault.Fault in
+  let module C = Ron_experiments.Exp_common in
+  let rng = Rng.create seed in
+  let report ?parallel name route_wrapped dist nn =
+    let fault = Fault.make ~seed:fseed ~crash_fraction:crash ~drop_rate:drop
+        ~dead_link_fraction:dead ~n:nn ()
+    in
+    let prs =
+      List.filter
+        (fun (u, v) -> not (Fault.crashed fault u || Fault.crashed fault v))
+        (C.sample_pairs (Rng.create (seed + 2)) ~n:nn ~count:pairs)
+    in
+    let module Counter = Ron_obs.Counter in
+    let module Probe = Ron_obs.Probe in
+    let before name c = (name, Counter.value c) in
+    let base =
+      [
+        before "drops injected" Probe.fault_drops;
+        before "crashed hits" Probe.fault_crashed_hits;
+        before "dead-link hits" Probe.fault_dead_links;
+        before "retries" Probe.fault_retries;
+        before "detours" Probe.fault_detours;
+      ]
+    in
+    let q =
+      C.collect_routes_keyed ?parallel
+        ~route:(fun ~query u v -> route_wrapped (Fault.wrapper fault ~query) u v)
+        ~dist prs
+    in
+    Printf.printf "%s under faults (%s)\n  %s\n  %s\n" name (Fault.describe fault)
+      (C.pp_quality q) (C.pp_observed q);
+    let delivered = q.C.queries - q.C.failures in
+    Printf.printf "  delivery rate %.3f (%d/%d live pairs)\n"
+      (float_of_int delivered /. float_of_int (max 1 q.C.queries))
+      delivered q.C.queries;
+    Printf.printf "  fault events:";
+    List.iter
+      (fun (nm, v0) ->
+        let c =
+          match nm with
+          | "drops injected" -> Probe.fault_drops
+          | "crashed hits" -> Probe.fault_crashed_hits
+          | "dead-link hits" -> Probe.fault_dead_links
+          | "retries" -> Probe.fault_retries
+          | _ -> Probe.fault_detours
+        in
+        Printf.printf " %s %d" nm (Counter.value c - v0))
+      base;
+    print_newline ()
+  in
+  begin
+    match scheme with
+    | "thm42" ->
+      let idx = Indexed.create (make_metric family n seed) in
+      let nn = Indexed.size idx in
+      let s = Ron_routing.Two_mode.build idx ~delta:(Float.min delta 0.125) in
+      (* Two_mode.route counts mode switches in shared state: sequential. *)
+      report ~parallel:false "Thm 4.2 two-mode"
+        (fun w u v -> Ron_routing.Two_mode.route_wrapped w s ~src:u ~dst:v)
+        (fun u v -> Indexed.dist idx u v)
+        nn
+    | "thm21" | "thm41" ->
+      let g =
+        match family with
+        | "grid" ->
+          let side = max 2 (int_of_float (sqrt (float_of_int n))) in
+          Ron_graph.Graph_gen.grid side side
+        | "expline" -> Ron_graph.Graph_gen.exponential_line_graph (min n 40)
+        | _ -> Ron_graph.Graph_gen.random_geometric rng ~n ~radius:(2.0 /. sqrt (float_of_int n))
+      in
+      let sp = Ron_graph.Sp_metric.create g in
+      let nn = Ron_graph.Graph.size g in
+      let dist u v = Ron_graph.Sp_metric.dist sp u v in
+      if scheme = "thm21" then begin
+        let s = Ron_routing.Basic.build sp ~delta:(Float.min delta 0.25) in
+        report "Thm 2.1"
+          (fun w u v -> Ron_routing.Basic.route_wrapped w s ~src:u ~dst:v)
+          dist nn
+      end
+      else begin
+        let s = Ron_routing.Labelled.build sp ~delta in
+        report "Thm 4.1"
+          (fun w u v -> Ron_routing.Labelled.route_wrapped w s ~src:u ~dst:v)
+          dist nn
+      end
+    | other -> failwith (Printf.sprintf "unknown scheme %S (fault supports thm21, thm41, thm42)" other)
+  end;
+  0
+
+let fault_cmd =
+  let doc =
+    "Route under deterministic fault injection (crashed nodes, message drop, dead links) with \
+     graceful-degradation fallbacks."
+  in
+  Cmd.v (Cmd.info "fault" ~doc)
+    Term.(
+      const run_fault $ trace_arg $ metrics_arg $ jobs_arg $ metric_arg $ n_arg $ seed_arg
+      $ delta_arg $ pairs_arg $ scheme_arg $ crash_arg $ drop_arg $ dead_links_arg
+      $ fault_seed_arg)
+
 (* ------------------------------------------------------------ smallworld *)
 
 let model_arg =
@@ -311,7 +437,10 @@ let inspect_cmd =
 (* ------------------------------------------------------------ experiment *)
 
 let experiment_ids =
-  [ "t1"; "t2"; "t3"; "e21"; "e32"; "e34"; "e41"; "e52a"; "e52b"; "e54"; "e55"; "esub"; "fig1"; "mer" ]
+  [
+    "t1"; "t2"; "t3"; "e21"; "e32"; "e34"; "e41"; "e52a"; "e52b"; "e54"; "e55"; "esub"; "fig1";
+    "mer"; "fault";
+  ]
 
 let run_experiment trace metrics jobs id =
   set_jobs jobs;
@@ -323,7 +452,7 @@ let run_experiment trace metrics jobs id =
       ("e21", E.Exp_e21.run); ("e32", E.Exp_e32.run); ("e34", E.Exp_e34.run);
       ("e41", E.Exp_e41.run); ("e52a", E.Exp_e52.run_a); ("e52b", E.Exp_e52.run_b);
       ("e54", E.Exp_e54.run); ("e55", E.Exp_e55.run); ("esub", E.Exp_esub.run); ("mer", E.Exp_mer.run);
-      ("fig1", E.Exp_fig1.run);
+      ("fig1", E.Exp_fig1.run); ("fault", E.Exp_fault.run);
     ]
   in
   match List.assoc_opt id table with
@@ -345,4 +474,6 @@ let () =
   let info = Cmd.info "ron" ~version:"1.0.0" ~doc in
   let default = Term.(ret (const (`Help (`Pager, None)))) in
   exit
-    (Cmd.eval' (Cmd.group ~default info [ estimate_cmd; route_cmd; smallworld_cmd; inspect_cmd; experiment_cmd ]))
+    (Cmd.eval'
+       (Cmd.group ~default info
+          [ estimate_cmd; route_cmd; fault_cmd; smallworld_cmd; inspect_cmd; experiment_cmd ]))

@@ -40,6 +40,8 @@ type route_quality = {
   failures : int;
   truncated : int;
   self_forwards : int;
+  cycled : int;
+  dropped : int;
   stretch_max : float;
   stretch_mean : float;
   hops_max : int;
@@ -50,7 +52,7 @@ type route_quality = {
   zoom_steps_mean : float;
 }
 
-let collect_routes ?(parallel = true) ~route ~dist pairs =
+let collect_routes_keyed ?(parallel = true) ~route ~dist pairs =
   (* The route evaluations are independent, so they run in parallel; the
      aggregation below folds the per-pair results in index order, making the
      output bit-identical to a sequential run (float sums are not
@@ -67,7 +69,7 @@ let collect_routes ?(parallel = true) ~route ~dist pairs =
   let np = Array.length pairs_a in
   let eval i =
     let (u, v) = pairs_a.(i) in
-    Ron_obs.Ledger.with_query ~kind:"route" ~id:i (fun () -> route u v)
+    Ron_obs.Ledger.with_query ~kind:"route" ~id:i (fun () -> route ~query:i u v)
   in
   let was_on = !Ron_obs.Probe.on in
   Ron_obs.Probe.on := true;
@@ -77,6 +79,7 @@ let collect_routes ?(parallel = true) ~route ~dist pairs =
       (fun () -> if parallel then Ron_util.Pool.init np eval else Array.init np eval)
   in
   let queries = ref 0 and truncated = ref 0 and self_forwards = ref 0 in
+  let cycled = ref 0 and dropped = ref 0 in
   let smax = ref 0.0 and ssum = ref 0.0 in
   let hmax = ref 0 and hsum = ref 0 in
   let rsum = ref 0 and rmax = ref 0 and dsum = ref 0 and zsum = ref 0 in
@@ -96,9 +99,11 @@ let collect_routes ?(parallel = true) ~route ~dist pairs =
         hmax := max !hmax e.hops;
         hsum := !hsum + e.hops
       | Scheme.Truncated -> incr truncated
-      | Scheme.Self_forward -> incr self_forwards))
+      | Scheme.Self_forward -> incr self_forwards
+      | Scheme.Cycled -> incr cycled
+      | Scheme.Dropped -> incr dropped))
     results;
-  let failures = !truncated + !self_forwards in
+  let failures = !truncated + !self_forwards + !cycled + !dropped in
   let ok = max 1 (!queries - failures) in
   let nq = max 1 !queries in
   {
@@ -106,6 +111,8 @@ let collect_routes ?(parallel = true) ~route ~dist pairs =
     failures;
     truncated = !truncated;
     self_forwards = !self_forwards;
+    cycled = !cycled;
+    dropped = !dropped;
     stretch_max = !smax;
     stretch_mean = !ssum /. float_of_int ok;
     hops_max = !hmax;
@@ -116,6 +123,9 @@ let collect_routes ?(parallel = true) ~route ~dist pairs =
     zoom_steps_mean = float_of_int !zsum /. float_of_int nq;
   }
 
+let collect_routes ?parallel ~route ~dist pairs =
+  collect_routes_keyed ?parallel ~route:(fun ~query:_ u v -> route u v) ~dist pairs
+
 let pp_quality q =
   Printf.sprintf "stretch max %.3f mean %.3f | hops max %d mean %.1f | fails %d/%d" q.stretch_max
     q.stretch_mean q.hops_max q.hops_mean q.failures q.queries
@@ -124,6 +134,7 @@ let pp_observed q =
   Printf.sprintf
     "observed: ring lookups mean %.1f max %d | dist evals mean %.1f | zoom steps mean %.1f%s"
     q.ring_lookups_mean q.ring_lookups_max q.dist_evals_mean q.zoom_steps_mean
-    (if q.truncated > 0 || q.self_forwards > 0 then
-       Printf.sprintf " | truncated %d self-forward %d" q.truncated q.self_forwards
+    (if q.truncated > 0 || q.self_forwards > 0 || q.cycled > 0 || q.dropped > 0 then
+       Printf.sprintf " | truncated %d self-forward %d cycled %d dropped %d" q.truncated
+         q.self_forwards q.cycled q.dropped
      else "")

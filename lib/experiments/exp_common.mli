@@ -27,9 +27,11 @@ val sample_pairs : Ron_util.Rng.t -> n:int -> count:int -> (int * int) list
 
 type route_quality = {
   queries : int;
-  failures : int;  (** [truncated + self_forwards] *)
+  failures : int;  (** [truncated + self_forwards + cycled + dropped] *)
   truncated : int;  (** hop budget exhausted *)
   self_forwards : int;  (** scheme forwarded a packet to itself *)
+  cycled : int;  (** packet revisited a (node, header) state *)
+  dropped : int;  (** packet lost to an injected fault *)
   stretch_max : float;
   stretch_mean : float;
   hops_max : int;
@@ -56,6 +58,17 @@ val collect_routes :
     (and restored after): each pair is charged to a ledger entry keyed by
     its index, and the cost columns ([ring_lookups_*], [dist_evals_mean],
     [zoom_steps_mean], [hops_*]) come from those observed entries. *)
+
+val collect_routes_keyed :
+  ?parallel:bool ->
+  route:(query:int -> int -> int -> Ron_routing.Scheme.result) ->
+  dist:(int -> int -> float) ->
+  (int * int) list ->
+  route_quality
+(** Like {!collect_routes}, but passes [route] the pair's index as
+    [~query]. The fault layer keys its deterministic draws by (query, hop),
+    so the index — stable across RON_JOBS and list order — is the right
+    query identity. *)
 
 val pp_quality : route_quality -> string
 

@@ -1,0 +1,8 @@
+(** Fault-tolerance experiment: sweep the fault rate (crashed nodes,
+    per-hop message drop, dead links — one shared axis) against each
+    routing scheme and the Meridian object-location walk, reporting
+    delivery rate, stretch inflation, and detour/retry costs. The sweep is
+    a pure function of its fixed seeds: output is byte-identical across
+    [RON_JOBS] settings and reruns. *)
+
+val run : unit -> unit

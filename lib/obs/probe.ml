@@ -26,6 +26,8 @@ let route_header_rewrites = Counter.make "route.header_rewrites"
 let route_delivered = Counter.make "route.outcome.delivered"
 let route_truncated = Counter.make "route.outcome.truncated"
 let route_self_forward = Counter.make "route.outcome.self_forward"
+let route_cycled = Counter.make "route.outcome.cycled"
+let route_dropped = Counter.make "route.outcome.dropped"
 let table_touches = Counter.make "labeling.table_touches"
 let meridian_probes = Counter.make "meridian.probes"
 let meridian_hops = Counter.make "meridian.hops"
@@ -38,6 +40,15 @@ let sssp_sources = Counter.make "construct.sssp_sources"
 let table_nodes = Counter.make "construct.table_nodes"
 let label_nodes = Counter.make "construct.label_nodes"
 let ring_nodes = Counter.make "construct.ring_nodes"
+
+(* Fault-injection counters: one bump per injected fault or per fallback the
+   retry/detour policy took. Commutative sums, so totals are identical at
+   every RON_JOBS. *)
+let fault_drops = Counter.make "fault.drops_injected"
+let fault_crashed_hits = Counter.make "fault.crashed_hits"
+let fault_dead_links = Counter.make "fault.dead_link_hits"
+let fault_retries = Counter.make "fault.retries"
+let fault_detours = Counter.make "fault.detours"
 
 (* -- histograms --------------------------------------------------------- *)
 
@@ -80,11 +91,14 @@ let header_rewrite () =
 
 let header_bits bits = Ledger.note_header_bits bits
 
-let route_done ~hops ~header_bits_max ~delivered ~truncated =
+let route_done ~hops ~header_bits_max ~outcome =
   Counter.incr
-    (if delivered then route_delivered
-     else if truncated then route_truncated
-     else route_self_forward);
+    (match outcome with
+    | `Delivered -> route_delivered
+    | `Truncated -> route_truncated
+    | `Self_forward -> route_self_forward
+    | `Cycled -> route_cycled
+    | `Dropped -> route_dropped);
   Histogram.observe_int route_hops_hist hops;
   Histogram.observe_int route_header_bits_hist header_bits_max;
   Ledger.note_header_bits header_bits_max
@@ -107,3 +121,11 @@ let sssp_source () = Counter.incr sssp_sources
 let table_node () = Counter.incr table_nodes
 let label_node () = Counter.incr label_nodes
 let ring_node () = Counter.incr ring_nodes
+
+(* Fault events bump counters only; the simulator's hop/route counters keep
+   charging the ledger, so per-query costs already include detour hops. *)
+let fault_drop () = Counter.incr fault_drops
+let fault_crashed_hit () = Counter.incr fault_crashed_hits
+let fault_dead_link () = Counter.incr fault_dead_links
+let fault_retry () = Counter.incr fault_retries
+let fault_detour () = Counter.incr fault_detours

@@ -23,6 +23,8 @@ val route_header_rewrites : Counter.t
 val route_delivered : Counter.t
 val route_truncated : Counter.t
 val route_self_forward : Counter.t
+val route_cycled : Counter.t
+val route_dropped : Counter.t
 val table_touches : Counter.t
 val meridian_probes : Counter.t
 val meridian_hops : Counter.t
@@ -33,6 +35,14 @@ val sssp_sources : Counter.t
 val table_nodes : Counter.t
 val label_nodes : Counter.t
 val ring_nodes : Counter.t
+
+(** Fault-injection counters (injected faults and fallback decisions). *)
+
+val fault_drops : Counter.t
+val fault_crashed_hits : Counter.t
+val fault_dead_links : Counter.t
+val fault_retries : Counter.t
+val fault_detours : Counter.t
 
 val route_hops_hist : Histogram.t
 val route_header_bits_hist : Histogram.t
@@ -50,7 +60,11 @@ val hop : unit -> unit
 val header_rewrite : unit -> unit
 val header_bits : int -> unit
 
-val route_done : hops:int -> header_bits_max:int -> delivered:bool -> truncated:bool -> unit
+val route_done :
+  hops:int ->
+  header_bits_max:int ->
+  outcome:[ `Delivered | `Truncated | `Self_forward | `Cycled | `Dropped ] ->
+  unit
 (** Called once per simulated route: outcome counter, per-query histograms,
     and the ledger's header high-water mark. *)
 
@@ -69,3 +83,12 @@ val label_node : unit -> unit
 
 val ring_node : unit -> unit
 (** One node's rings populated. *)
+
+(** Fault-event helpers (call only under [if !on]; counters only, no ledger
+    charge — detour hops are already charged by the simulator's hop probe). *)
+
+val fault_drop : unit -> unit
+val fault_crashed_hit : unit -> unit
+val fault_dead_link : unit -> unit
+val fault_retry : unit -> unit
+val fault_detour : unit -> unit

@@ -68,15 +68,43 @@ let step t u (h : header) : header Scheme.action =
       else forward_to j
   end
 
-let route t ~src ~dst =
+(* Ranked fallback forwards: first hops toward the intermediate targets at
+   every other level, coarsest first — the same links the routing table
+   already pays for, just aimed at a different member of the zooming
+   sequence. Used only by the fault layer when the primary hop is dead. *)
+let alternates t u (h : header) =
+  if u = h.target then []
+  else begin
+    let m = Structure.decode t.st u h.label in
+    let jut = Array.length m - 1 in
+    let seen = Hashtbl.create 8 in
+    let acc = ref [] in
+    for j = 0 to jut do
+      let w = Structure.intermediate_of t.st u m j in
+      if w <> u then
+        match Hashtbl.find_opt t.first_hop.(u) w with
+        | None -> ()
+        | Some k ->
+          let next = Graph.hop (Sp_metric.graph t.sp) u k in
+          if next <> u && not (Hashtbl.mem seen next) then begin
+            Hashtbl.replace seen next ();
+            acc := (next, { h with level = Some j }) :: !acc
+          end
+    done;
+    !acc (* built 0..jut with prepends, so coarsest (jut) comes first *)
+  end
+
+let route_wrapped (w : Scheme.wrapper) t ~src ~dst =
   let n = Indexed.size t.st.Structure.idx in
   let hb = Structure.label_bits t.st dst + Bits.index_bits (scales t + 1) in
-  Scheme.simulate
+  Scheme.simulate ~detect_cycles:w.Scheme.detect_cycles
     ~dist:(fun a b -> Sp_metric.dist t.sp a b)
-    ~step:(step t)
+    ~step:(w.Scheme.wrap (step t) ~alternates:(alternates t))
     ~header_bits:(fun _ -> hb)
     ~src ~header:(initial_header t dst)
-    ~max_hops:(max 64 (8 * n))
+    ~max_hops:(max 64 (8 * n)) ()
+
+let route t ~src ~dst = route_wrapped Scheme.identity_wrapper t ~src ~dst
 
 let table_bits t =
   let n = Indexed.size t.st.Structure.idx in
@@ -136,4 +164,4 @@ let route_header t ~src header =
     ~step:(step t)
     ~header_bits:(fun _ -> hb)
     ~src ~header
-    ~max_hops:(max 64 (8 * n))
+    ~max_hops:(max 64 (8 * n)) ()

@@ -29,6 +29,13 @@ val initial_header : t -> int -> header
 val route : t -> src:int -> dst:int -> Scheme.result
 (** Simulate the packet through the underlying graph. *)
 
+val route_wrapped : Scheme.wrapper -> t -> src:int -> dst:int -> Scheme.result
+(** Like {!route}, but with the step function passed through the wrapper
+    (e.g. the fault injector). The ranked alternates offered to the wrapper
+    are the first hops toward the intermediate targets at every other
+    zooming level, coarsest first — links the routing table already holds.
+    [route] is [route_wrapped Scheme.identity_wrapper]. *)
+
 val serialize_label : t -> int -> Bytes.t * int
 (** [(bytes, bits)]: the routing label of a target as an actual bitstring
     (global id + encoded zooming sequence) — the concrete object whose

@@ -17,7 +17,7 @@ let route t ~src ~dst =
     ~dist:(fun a b -> Sp_metric.dist t.sp a b)
     ~step
     ~header_bits:(fun _ -> Bits.index_bits n)
-    ~src ~header:dst ~max_hops:(max 64 (2 * n))
+    ~src ~header:dst ~max_hops:(max 64 (2 * n)) ()
 
 let table_bits t =
   let g = Sp_metric.graph t.sp in

@@ -63,7 +63,7 @@ let build sp ~delta =
 
 type header = { target : int; intermediate : int }
 
-let step t u (h : header) : header Scheme.action =
+let step t ~score u (h : header) : header Scheme.action =
   if u = h.target then Deliver
   else begin
     let forward_to v h' =
@@ -74,12 +74,11 @@ let step t u (h : header) : header Scheme.action =
     if h.intermediate = u then begin
       (* Select a new intermediate target: the neighbor minimizing the
          labeled distance estimate to the target. *)
-      let lt = Dls.label t.dls h.target in
       let best = ref (-1) and best_d = ref infinity in
       Array.iter
         (fun v ->
           if v <> u then begin
-            let d = Dls.estimate (Dls.label t.dls v) lt in
+            let d = score v in
             if d < !best_d || (d = !best_d && v < !best) then begin
               best := v;
               best_d := d
@@ -92,15 +91,68 @@ let step t u (h : header) : header Scheme.action =
     else forward_to h.intermediate h
   end
 
-let route t ~src ~dst =
+(* Ranked fallback forwards: the node's neighbors ordered by their labeled
+   distance estimate to the target (the same score the primary selection
+   uses), each re-aimed as the new intermediate target. Capped — the fault
+   layer only ever needs the first few live ones. *)
+let alternates t ~score u (h : header) =
+  if u = h.target then []
+  else begin
+    let scored = ref [] in
+    Array.iter
+      (fun v -> if v <> u then scored := (score v, v) :: !scored)
+      t.nbrs.(u);
+    let ranked =
+      List.sort
+        (fun (d1, v1) (d2, v2) ->
+          match Float.compare d1 d2 with 0 -> compare v1 v2 | c -> c)
+        !scored
+    in
+    let seen = Hashtbl.create 8 in
+    let rec take k = function
+      | [] -> []
+      | _ when k = 0 -> []
+      | (_, v) :: rest -> (
+        match Hashtbl.find_opt t.first_hop.(u) v with
+        | None -> take k rest
+        | Some i ->
+          let next = Graph.hop (Sp_metric.graph t.sp) u i in
+          if next = u || Hashtbl.mem seen next then take k rest
+          else begin
+            Hashtbl.replace seen next ();
+            (next, { h with intermediate = v }) :: take (k - 1) rest
+          end)
+    in
+    take 4 ranked
+  end
+
+let route_wrapped (w : Scheme.wrapper) t ~src ~dst =
   let n = Indexed.size t.idx in
   let hdr_bits _ = t.dls_bits.(dst) + Bits.index_bits n in
-  Scheme.simulate
+  (* Per-route memo of the labeled estimate v -> dst. The target never
+     changes within a route, but intermediate re-selection re-scores a
+     node's whole neighbor set, and fault detours re-select at every
+     blocked hop — without the memo a long detour walk pays |nbrs| label
+     decodes per revisited node instead of one array read. *)
+  let lt = Dls.label t.dls dst in
+  let memo = Array.make n nan in
+  let score v =
+    let s = memo.(v) in
+    if Float.is_nan s then begin
+      let s = Dls.estimate (Dls.label t.dls v) lt in
+      memo.(v) <- s;
+      s
+    end
+    else s
+  in
+  Scheme.simulate ~detect_cycles:w.Scheme.detect_cycles
     ~dist:(fun a b -> Sp_metric.dist t.sp a b)
-    ~step:(step t)
+    ~step:(w.Scheme.wrap (step t ~score) ~alternates:(alternates t ~score))
     ~header_bits:hdr_bits ~src
     ~header:{ target = dst; intermediate = src }
-    ~max_hops:(max 64 (8 * n))
+    ~max_hops:(max 64 (8 * n)) ()
+
+let route t ~src ~dst = route_wrapped Scheme.identity_wrapper t ~src ~dst
 
 let table_bits t =
   let g = Sp_metric.graph t.sp in

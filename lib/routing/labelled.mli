@@ -27,6 +27,13 @@ val build : Ron_graph.Sp_metric.t -> delta:float -> t
 
 val route : t -> src:int -> dst:int -> Scheme.result
 
+val route_wrapped : Scheme.wrapper -> t -> src:int -> dst:int -> Scheme.result
+(** Like {!route}, but with the step function passed through the wrapper
+    (e.g. the fault injector). The ranked alternates are the node's
+    neighbors ordered by labeled distance estimate to the target — the
+    primary selection's own score — each becoming the new intermediate
+    target. [route] is [route_wrapped Scheme.identity_wrapper]. *)
+
 val table_bits : t -> int array
 (** Neighbor labels plus first-hop pointers. *)
 

@@ -63,7 +63,7 @@ let route t ~src ~dst =
     ~step:(step t)
     ~header_bits:(fun _ -> hb)
     ~src ~header:dst
-    ~max_hops:(max 64 (4 * n))
+    ~max_hops:(max 64 (4 * n)) ()
 
 let out_degree t = Array.fold_left (fun acc a -> max acc (Array.length a)) 0 t.nbrs
 

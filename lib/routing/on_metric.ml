@@ -32,7 +32,7 @@ let route t ~src ~dst =
     ~header_bits:(fun _ -> hb)
     ~src
     ~header:{ label = t.st.Structure.labels.(dst); target = dst }
-    ~max_hops:(max 64 (4 * t.st.Structure.scales))
+    ~max_hops:(max 64 (4 * t.st.Structure.scales)) ()
 
 let out_degree t = Rings.max_out_degree t.st.Structure.rings
 

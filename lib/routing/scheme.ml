@@ -3,9 +3,16 @@ module Trace = Ron_obs.Trace
 
 type 'h step = int -> 'h -> 'h action
 
-and 'h action = Deliver | Forward of int * 'h
+and 'h action = Deliver | Forward of int * 'h | Drop
 
-type outcome = Delivered | Truncated | Self_forward
+type outcome = Delivered | Truncated | Self_forward | Cycled | Dropped
+
+let outcome_string = function
+  | Delivered -> "delivered"
+  | Truncated -> "truncated"
+  | Self_forward -> "self_forward"
+  | Cycled -> "cycled"
+  | Dropped -> "dropped"
 
 type result = {
   delivered : bool;
@@ -16,21 +23,22 @@ type result = {
   max_header_bits : int;
 }
 
-let simulate ~dist ~step ~header_bits ~src ~header ~max_hops =
+let simulate ?(detect_cycles = true) ~dist ~step ~header_bits ~src ~header ~max_hops () =
   let finish outcome path acc_len hops max_hb =
     if !Probe.on then
       Probe.route_done ~hops ~header_bits_max:max_hb
-        ~delivered:(outcome = Delivered) ~truncated:(outcome = Truncated);
+        ~outcome:
+          (match outcome with
+          | Delivered -> `Delivered
+          | Truncated -> `Truncated
+          | Self_forward -> `Self_forward
+          | Cycled -> `Cycled
+          | Dropped -> `Dropped);
     if Trace.active () then
       Trace.event "route.done"
         ~args:
           [
-            ( "outcome",
-              Ron_obs.Json.String
-                (match outcome with
-                | Delivered -> "delivered"
-                | Truncated -> "truncated"
-                | Self_forward -> "self_forward") );
+            ("outcome", Ron_obs.Json.String (outcome_string outcome));
             ("hops", Ron_obs.Json.Int hops);
             ("header_bits_max", Ron_obs.Json.Int max_hb);
           ];
@@ -43,36 +51,65 @@ let simulate ~dist ~step ~header_bits ~src ~header ~max_hops =
       max_header_bits = max_hb;
     }
   in
-  let rec go node header acc_path acc_len hops max_hb =
+  (* Cycle detection is Brent's algorithm over (node, header) states: one
+     saved state, one comparison per hop, with the checkpoint refreshed at
+     every power-of-two hop count. The step function is a pure function of
+     (node, header), so a revisited state proves the packet loops forever;
+     a 2-cycle is caught within 4 hops instead of spinning to the budget.
+     Callers whose step is NOT state-determined (the fault layer keys its
+     drop draws by hop count) pass ~detect_cycles:false. *)
+  let rec go node header acc_path acc_len hops max_hb ~saved_node ~saved_header ~power =
     let hb = header_bits header in
     if !Probe.on then Probe.header_bits hb;
     let max_hb = max max_hb hb in
-    match step node header with
-    | Deliver -> finish Delivered acc_path acc_len hops max_hb
-    | Forward (next, header') ->
-      (* A scheme forwarding to itself would spin forever; record it as a
-         distinct failure outcome rather than crashing the whole run. *)
-      if next = node then finish Self_forward acc_path acc_len hops max_hb
-      else if hops >= max_hops then finish Truncated acc_path acc_len hops max_hb
-      else begin
-        if !Probe.on then begin
-          Probe.hop ();
-          (* Physical inequality: an untouched header is passed through as
-             the same value, so [!=] detects genuine rewrites. *)
-          if header' != header then Probe.header_rewrite ()
-        end;
-        if Trace.active () then
-          Trace.event "route.hop"
-            ~args:
-              [
-                ("from", Ron_obs.Json.Int node);
-                ("to", Ron_obs.Json.Int next);
-                ("hop", Ron_obs.Json.Int (hops + 1));
-              ];
-        go next header' (next :: acc_path) (acc_len +. dist node next) (hops + 1) max_hb
-      end
+    if detect_cycles && hops > 0 && node = saved_node && header = saved_header then
+      finish Cycled acc_path acc_len hops max_hb
+    else begin
+      let saved_node, saved_header, power =
+        if detect_cycles && hops = power then (node, header, 2 * power)
+        else (saved_node, saved_header, power)
+      in
+      match step node header with
+      | Deliver -> finish Delivered acc_path acc_len hops max_hb
+      | Drop -> finish Dropped acc_path acc_len hops max_hb
+      | Forward (next, header') ->
+        (* A scheme forwarding to itself would spin forever; record it as a
+           distinct failure outcome rather than crashing the whole run. *)
+        if next = node then finish Self_forward acc_path acc_len hops max_hb
+        else if hops >= max_hops then finish Truncated acc_path acc_len hops max_hb
+        else begin
+          if !Probe.on then begin
+            Probe.hop ();
+            (* Physical inequality: an untouched header is passed through as
+               the same value, so [!=] detects genuine rewrites. *)
+            if header' != header then Probe.header_rewrite ()
+          end;
+          if Trace.active () then
+            Trace.event "route.hop"
+              ~args:
+                [
+                  ("from", Ron_obs.Json.Int node);
+                  ("to", Ron_obs.Json.Int next);
+                  ("hop", Ron_obs.Json.Int (hops + 1));
+                ];
+          go next header' (next :: acc_path) (acc_len +. dist node next) (hops + 1) max_hb
+            ~saved_node ~saved_header ~power
+        end
+    end
   in
-  go src header [ src ] 0.0 0 0
+  go src header [ src ] 0.0 0 0 ~saved_node:src ~saved_header:header ~power:1
+
+(* A step-function transformer, polymorphic in the header type so one
+   wrapper (e.g. the fault injector) serves every scheme. [alternates]
+   gives the ranked fallback forwards a node's table can produce besides
+   the primary one; [detect_cycles] travels with the wrapper because a
+   wrapped step may stop being a pure function of (node, header). *)
+type wrapper = {
+  wrap : 'h. 'h step -> alternates:(int -> 'h -> (int * 'h) list) -> 'h step;
+  detect_cycles : bool;
+}
+
+let identity_wrapper = { wrap = (fun step ~alternates:_ -> step); detect_cycles = true }
 
 type table_stats = {
   max_table_bits : int;
@@ -84,4 +121,4 @@ type table_stats = {
 
 let stretch r d =
   if not r.delivered then invalid_arg "Scheme.stretch: packet not delivered";
-  if d = 0.0 then 1.0 else r.length /. d
+  if d = 0.0 then (if r.length > 0.0 then infinity else 1.0) else r.length /. d

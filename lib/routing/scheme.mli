@@ -14,11 +14,24 @@ type 'h step = int -> 'h -> 'h action
 and 'h action =
   | Deliver  (** the current node is the target *)
   | Forward of int * 'h  (** next physical hop and the (possibly rewritten) header *)
+  | Drop
+      (** the packet is lost at this node — produced by the fault-injection
+          wrapper ({!Ron_fault.Fault.wrap}) when every ranked next hop is
+          exhausted, never by a healthy scheme *)
 
 type outcome =
   | Delivered  (** the step function returned [Deliver] *)
   | Truncated  (** the hop budget ran out before delivery *)
   | Self_forward  (** the scheme forwarded a packet to the node it was at *)
+  | Cycled
+      (** the packet revisited a (node, header) state — the step function is
+          state-determined, so the walk was provably looping forever *)
+  | Dropped  (** the step function returned [Drop] (injected fault) *)
+
+val outcome_string : outcome -> string
+(** Stable lowercase name ("delivered", "truncated", "self_forward",
+    "cycled", "dropped") — the same strings the [route.done] trace events
+    carry. *)
 
 type result = {
   delivered : bool;  (** [outcome = Delivered], kept for convenience *)
@@ -30,20 +43,49 @@ type result = {
 }
 
 val simulate :
+  ?detect_cycles:bool ->
   dist:(int -> int -> float) ->
   step:'h step ->
   header_bits:('h -> int) ->
   src:int ->
   header:'h ->
   max_hops:int ->
+  unit ->
   result
-(** Runs the packet until [Deliver], the hop budget, or a self-forward (a
-    broken scheme that would spin forever); the three cases are distinct
-    [outcome]s, never exceptions. [dist] is charged on every [Forward]
-    edge. When observability is on ({!Ron_obs.Probe.on}), each hop bumps
-    the route counters and charges the current query ledger entry, and
-    each simulation emits [route.hop]/[route.done] trace events when a
-    trace sink is active. *)
+(** Runs the packet until [Deliver], the hop budget, a self-forward, a
+    revisited state, or a [Drop]; the cases are distinct [outcome]s, never
+    exceptions. [dist] is charged on every [Forward] edge.
+
+    [detect_cycles] (default true) runs Brent's cycle detection over
+    (node, header) states — one saved state and one structural comparison
+    per hop — so a looping scheme reports [Cycled] within O(cycle length)
+    hops instead of spinning to [max_hops] and misreporting [Truncated].
+    Pass [~detect_cycles:false] when the step function is not a pure
+    function of (node, header) (e.g. the fault wrapper keys its drop draws
+    by hop count, so a revisited state may legitimately take a different
+    branch later).
+
+    When observability is on ({!Ron_obs.Probe.on}), each hop bumps the
+    route counters and charges the current query ledger entry, and each
+    simulation emits [route.hop]/[route.done] trace events when a trace
+    sink is active. *)
+
+type wrapper = {
+  wrap : 'h. 'h step -> alternates:(int -> 'h -> (int * 'h) list) -> 'h step;
+  detect_cycles : bool;
+}
+(** A step-function transformer, polymorphic in the header type so a single
+    wrapper — e.g. the fault injector in [Ron_fault] — can wrap every
+    scheme. [alternates u h] lists the ranked fallback forwards (next hop,
+    rewritten header) the node's own table can produce besides the primary
+    one; each must use links the table already holds. [detect_cycles] rides
+    along because a wrapped step may no longer be a pure function of
+    (node, header), in which case {!simulate}'s cycle detection must be
+    switched off. *)
+
+val identity_wrapper : wrapper
+(** Returns the step unchanged (physically equal — the wrapped route is
+    byte-identical to the unwrapped one) and keeps cycle detection on. *)
 
 type table_stats = {
   max_table_bits : int;
@@ -54,5 +96,7 @@ type table_stats = {
 }
 
 val stretch : result -> float -> float
-(** [stretch r d]: [r.length / d]; 1.0 when [d = 0]. Raises if not
-    delivered. *)
+(** [stretch r d]: [r.length / d]. When [d = 0] the result is [1.0] for a
+    zero-length path and [infinity] otherwise — a delivered-but-wandering
+    packet to a coincident point must not read as perfect stretch. Raises
+    if not delivered. *)

@@ -186,15 +186,88 @@ let header_bits t =
   + 2 (* mode tag *)
   + Bits.index_bits (t.li + 1)
 
-let route t ~src ~dst =
+(* Ranked fallback forwards for the fault layer. Every alternate uses a
+   link the node's M1/M2 tables already hold:
+   - in M1, the other identified beacons (ranked by proximity to the
+     target, the primary selection's own score);
+   - at a hub (M2_hub i), the other members of the scale-i directory sent
+     as provisional owners — safe for i >= 2 because a non-owner falls
+     through [as_owner] to [resolve_scale (i-1)]; at scale 1 only the true
+     owner may receive [M2_owner 1] (anyone else would violate the
+     directory invariant), so there is no in-directory alternate;
+   - as an owner (M2_owner i), the coarser hub pointers below the scale the
+     primary resolution would use. *)
+let alternates t u (h : header) =
+  if u = h.target then []
+  else begin
+    let hub_chain below =
+      let acc = ref [] in
+      for i = 1 to min below (t.li - 1) do
+        let hub = t.hub_ptr.(u).(i) in
+        if hub <> u then acc := (hub, { h with mode = M2_hub i }) :: !acc
+      done;
+      !acc (* built 1..below with prepends, so coarser scales come first *)
+    in
+    let dedupe l =
+      let seen = Hashtbl.create 8 in
+      List.filter
+        (fun (next, _) ->
+          if next = u || Hashtbl.mem seen next then false
+          else begin
+            Hashtbl.replace seen next ();
+            true
+          end)
+        l
+    in
+    match h.mode with
+    | M1 ->
+      let lu = Dls.label t.dls u in
+      let cands = Dls.candidates lu h.lt in
+      let beacons = Dls.host_beacons t.dls u in
+      let ranked =
+        List.sort
+          (fun (dv1, w1) (dv2, w2) ->
+            match Float.compare dv1 dv2 with 0 -> compare w1 w2 | c -> c)
+          (List.filter_map
+             (fun (iu, _, _, dv) ->
+               let w = beacons.(iu) in
+               if w = u then None else Some (dv, w))
+             cands)
+      in
+      let rec take k = function
+        | [] -> []
+        | _ when k = 0 -> []
+        | (_, w) :: rest -> (w, h) :: take (k - 1) rest
+      in
+      dedupe (take 4 ranked @ hub_chain (t.li - 1))
+    | M2_hub i -> (
+      match Hashtbl.find_opt t.hub_dir.(i) u with
+      | None -> dedupe (hub_chain (i - 1))
+      | Some di ->
+        let dir = t.dirs.(i).(di) in
+        let owner = owner_of dir h.target in
+        let members =
+          if i >= 2 then
+            List.filter_map
+              (fun v -> if v = owner then None else Some (v, { h with mode = M2_owner i }))
+              (Array.to_list dir.members)
+          else []
+        in
+        dedupe (members @ hub_chain (i - 1)))
+    | M2_owner i -> dedupe (hub_chain (i - 1))
+  end
+
+let route_wrapped (w : Scheme.wrapper) t ~src ~dst =
   let hb = header_bits t in
-  Scheme.simulate
+  Scheme.simulate ~detect_cycles:w.Scheme.detect_cycles
     ~dist:(fun a b -> Indexed.dist t.idx a b)
-    ~step:(step t)
+    ~step:(w.Scheme.wrap (step t) ~alternates:(alternates t))
     ~header_bits:(fun _ -> hb)
     ~src
     ~header:{ lt = Dls.label t.dls dst; target = dst; mode = M1 }
-    ~max_hops:(max 64 (8 * t.li))
+    ~max_hops:(max 64 (8 * t.li)) ()
+
+let route t ~src ~dst = route_wrapped Scheme.identity_wrapper t ~src ~dst
 
 let table_bits_m1 t =
   let n = Indexed.size t.idx in

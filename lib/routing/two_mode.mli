@@ -36,6 +36,14 @@ val build : ?m1_threshold:float -> Ron_metric.Indexed.t -> delta:float -> t
 
 val route : t -> src:int -> dst:int -> Scheme.result
 
+val route_wrapped : Scheme.wrapper -> t -> src:int -> dst:int -> Scheme.result
+(** Like {!route}, but with the step function passed through the wrapper
+    (e.g. the fault injector). Alternates per mode: other identified
+    beacons in M1; the scale-i directory's other members (provisional
+    owners, scales >= 2 only) and coarser hub pointers at a hub; coarser
+    hub pointers as an owner. All are links the M1/M2 tables already pay
+    for. [route] is [route_wrapped Scheme.identity_wrapper]. *)
+
 val mode2_switches : t -> int
 (** Number of M1 -> M2 switches since construction (diagnostics). *)
 

@@ -119,13 +119,46 @@ let build idx rng ~ring_size ~members =
 
 type result = { found : int; hops : int; measurements : int; path : int list }
 
-let closest t ~start ~target =
+module Fault = Ron_fault.Fault
+
+let closest ?fault t ~start ~target =
   if not t.member.(start) then invalid_arg "Meridian.closest: start is not a member";
+  (match fault with
+  | Some (f, _) when Fault.crashed f start ->
+    invalid_arg "Meridian.closest: start node is crashed"
+  | _ -> ());
   let measurements = ref 0 in
   let measure v =
     incr measurements;
     if !Ron_obs.Probe.on then Ron_obs.Probe.meridian_probe ();
     Indexed.dist t.idx v target
+  in
+  (* Under a fault model, a ring candidate is invisible to the walk when it
+     crashed, its link from the polling node is dead, or its measurement
+     reply is dropped (a coin keyed by a serial attempt counter, so the
+     schedule is a pure function of the (model, query) pair). The walk then
+     simply advances to the best visible candidate — the rings are their
+     own fallback. *)
+  let attempts = ref 0 in
+  let visible u v =
+    match fault with
+    | None -> true
+    | Some (f, query) ->
+      let k = !attempts in
+      incr attempts;
+      if Fault.crashed f v then begin
+        if !Ron_obs.Probe.on then Ron_obs.Probe.fault_crashed_hit ();
+        false
+      end
+      else if Fault.link_dead f u v then begin
+        if !Ron_obs.Probe.on then Ron_obs.Probe.fault_dead_link ();
+        false
+      end
+      else if Fault.drops f ~query ~hop:k then begin
+        if !Ron_obs.Probe.on then Ron_obs.Probe.fault_drop ();
+        false
+      end
+      else true
   in
   let advance u best =
     if !Ron_obs.Probe.on then Ron_obs.Probe.meridian_hop ();
@@ -145,10 +178,12 @@ let closest t ~start ~target =
         Ron_obs.Probe.ring_probe ~members:(List.length members);
       List.iter
         (fun v ->
-          let dv = measure v in
-          if dv < !best_d || (dv = !best_d && v < !best) then begin
-            best := v;
-            best_d := dv
+          if visible u v then begin
+            let dv = measure v in
+            if dv < !best_d || (dv = !best_d && v < !best) then begin
+              best := v;
+              best_d := dv
+            end
           end)
         members
     done;

@@ -43,10 +43,19 @@ type result = {
   path : int list;
 }
 
-val closest : t -> start:int -> target:int -> result
+val closest : ?fault:Ron_fault.Fault.t * int -> t -> start:int -> target:int -> result
 (** [closest t ~start ~target]: locate the member closest to [target]
     (which need not be a member), starting from member [start], using only
-    ring state and distance measurements to [target]. *)
+    ring state and distance measurements to [target].
+
+    [?fault:(model, query)] runs the walk under fault injection: crashed
+    ring members, dead links from the polling node, and dropped measurement
+    replies (coins keyed by the model's seed, [query], and a serial attempt
+    counter — deterministic for a given pair) all make a candidate
+    invisible, and the walk advances to the best visible one instead: the
+    rings are their own fallback, so the search degrades (possibly settling
+    on a worse member) rather than failing. Raises [Invalid_argument] if
+    [start] itself is crashed. *)
 
 val exact_closest : t -> int -> int
 (** Ground truth for tests: the member genuinely closest to a target. *)

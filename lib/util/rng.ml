@@ -17,6 +17,15 @@ let bits64 t =
 
 let split t = { state = mix64 (bits64 t) }
 
+(* Stateless hash combine: one SplitMix64 finalizer round over (a + gamma*b).
+   Chaining [mix (mix seed q) h] gives a well-mixed pure function of the key
+   tuple — no mutable state, so draws keyed this way are order-independent
+   and bit-identical at any parallelism. The result is non-negative (top bit
+   cleared) so it can seed [create] or be reduced by [mod]. *)
+let mix a b =
+  let z = Int64.add (Int64.of_int a) (Int64.mul golden_gamma (Int64.of_int b)) in
+  Int64.to_int (Int64.logand (mix64 z) (Int64.of_int max_int))
+
 (* Uniform int in [0, bound) by rejection on the top 62 bits, avoiding
    modulo bias. *)
 let int t bound =

@@ -24,6 +24,14 @@ val split : t -> t
 val bits64 : t -> int64
 (** Next raw 64-bit output. *)
 
+val mix : int -> int -> int
+(** [mix a b] is a stateless, well-mixed, non-negative hash of the pair —
+    one SplitMix64 finalizer round over [a + gamma * b]. Chain it
+    ([mix (mix seed x) y]) to hash tuples. Because it is a pure function of
+    its inputs, draws keyed this way are independent of evaluation order
+    and of [RON_JOBS]; the fault layer uses it to key per-(query, hop)
+    coin flips. *)
+
 val int : t -> int -> int
 (** [int t bound] is uniform in [0, bound); requires [bound > 0]. *)
 

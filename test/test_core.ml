@@ -127,6 +127,47 @@ let test_uniform_rings () =
     check_bool "deep ring is self" (Array.for_all (( = ) u) deep.Rings.members)
   done
 
+let test_uniform_rings_shift_clamp () =
+  (* The per-scale population target is n / 2^i; rings.ml clamps the shift
+     at i >= 62 so deep scales don't overflow into a negative (or zero)
+     divisor. Every scale past log2 n already targets a count of 1, clamped
+     scales included: the ball is the singleton {u}. *)
+  let idx = Lazy.force grid in
+  let n = Indexed.size idx in
+  List.iter
+    (fun scales ->
+      let rng = Rng.create 11 in
+      let rings = Rings.uniform_rings idx rng ~scales ~samples:4 in
+      check_bool "containment" (Rings.check_containment idx rings);
+      for u = 0 to n - 1 do
+        check_int "all scales present" scales (Rings.scales rings u);
+        let deepest = Rings.ring rings u (scales - 1) in
+        for i = Indexed.log2_size idx + 1 to scales - 1 do
+          let r = Rings.ring rings u i in
+          check_bool "singleton ball past log2 n" (Array.for_all (( = ) u) r.Rings.members);
+          check_bool "radius equals deepest ring's" (r.Rings.radius = deepest.Rings.radius)
+        done
+      done)
+    [ 61; 62; 63 ]
+
+let prop_uniform_ring_radii_monotone =
+  (* Ball populations shrink as the scale deepens, so ring radii must be
+     monotone non-increasing in the scale index — including across the
+     i >= 62 shift clamp. *)
+  QCheck.Test.make ~name:"uniform ring radii monotone non-increasing in scale" ~count:25
+    QCheck.(pair (int_range 2 70) (int_range 0 10_000))
+    (fun (scales, seed) ->
+      let idx = Lazy.force grid in
+      let rings = Rings.uniform_rings idx (Rng.create seed) ~scales ~samples:2 in
+      let ok = ref true in
+      for u = 0 to Indexed.size idx - 1 do
+        for i = 1 to scales - 1 do
+          if (Rings.ring rings u i).Rings.radius > (Rings.ring rings u (i - 1)).Rings.radius
+          then ok := false
+        done
+      done;
+      !ok)
+
 let test_measure_rings () =
   let idx = Lazy.force grid in
   let h = Lazy.force hier in
@@ -269,6 +310,8 @@ let () =
           Alcotest.test_case "thm 2.1 shape" `Quick test_net_rings_thm21_shape;
           Alcotest.test_case "bounded cardinality" `Quick test_net_rings_bounded_cardinality;
           Alcotest.test_case "uniform rings" `Quick test_uniform_rings;
+          Alcotest.test_case "uniform rings shift clamp" `Quick test_uniform_rings_shift_clamp;
+          QCheck_alcotest.to_alcotest prop_uniform_ring_radii_monotone;
           Alcotest.test_case "measure rings" `Quick test_measure_rings;
           Alcotest.test_case "accounting" `Quick test_rings_accounting;
           Alcotest.test_case "neighbors canonical order" `Quick test_rings_neighbors_canonical;

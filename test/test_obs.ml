@@ -145,7 +145,7 @@ let test_simulate_hops_match_trace_and_ledger () =
   let step u target = if u = target then Scheme.Deliver else Scheme.Forward (u + 1, target) in
   let (r, e) =
     Ledger.with_query ~kind:"route" ~id:0 (fun () ->
-        Scheme.simulate ~dist ~step ~header_bits:(fun _ -> 3) ~src:0 ~header:4 ~max_hops:10)
+        Scheme.simulate ~dist ~step ~header_bits:(fun _ -> 3) ~src:0 ~header:4 ~max_hops:10 ())
   in
   Ron_obs.disable ();
   Trace.stop ();
@@ -190,7 +190,7 @@ let test_probe_off_records_nothing () =
   (* Probes off: the instrumented simulator leaves no footprint. *)
   let dist a b = Float.abs (float_of_int (a - b)) in
   let step u target = if u = target then Scheme.Deliver else Scheme.Forward (u + 1, target) in
-  ignore (Scheme.simulate ~dist ~step ~header_bits:(fun _ -> 3) ~src:0 ~header:4 ~max_hops:10);
+  ignore (Scheme.simulate ~dist ~step ~header_bits:(fun _ -> 3) ~src:0 ~header:4 ~max_hops:10 ());
   let counters =
     match Ron_obs.snapshot () with
     | Json.Obj fields -> (

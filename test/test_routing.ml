@@ -30,7 +30,9 @@ let test_simulator_basics () =
   (* A 3-node line walked by a hand-rolled scheme. *)
   let dist a b = Float.abs (float_of_int (a - b)) in
   let step u target = if u = target then Scheme.Deliver else Scheme.Forward (u + 1, target) in
-  let r = Scheme.simulate ~dist ~step ~header_bits:(fun _ -> 5) ~src:0 ~header:2 ~max_hops:10 in
+  let r =
+    Scheme.simulate ~dist ~step ~header_bits:(fun _ -> 5) ~src:0 ~header:2 ~max_hops:10 ()
+  in
   check_bool "delivered" r.Scheme.delivered;
   check_int "hops" 2 r.Scheme.hops;
   Alcotest.(check (float 1e-9)) "length" 2.0 r.Scheme.length;
@@ -38,21 +40,74 @@ let test_simulator_basics () =
   check_int "header bits" 5 r.Scheme.max_header_bits
 
 let test_simulator_max_hops () =
-  let step _ target = Scheme.Forward (0, target) in
+  (* An ever-advancing walk (no state ever repeats) so the only way out is
+     the hop budget — cycle detection must not fire. *)
   let r =
     Scheme.simulate ~dist:(fun _ _ -> 1.0)
-      ~step:(fun u h -> if u = 0 then Scheme.Forward (1, h) else step u h)
-      ~header_bits:(fun _ -> 1) ~src:0 ~header:99 ~max_hops:5
+      ~step:(fun u h -> Scheme.Forward (u + 1, h))
+      ~header_bits:(fun _ -> 1) ~src:0 ~header:99 ~max_hops:5 ()
   in
   check_bool "not delivered" (not r.Scheme.delivered);
   check_bool "truncated outcome" (r.Scheme.outcome = Scheme.Truncated);
   check_int "capped" 5 r.Scheme.hops
 
+let test_simulator_two_cycle_detected () =
+  (* A 2-cycle 0 -> 1 -> 0 with a constant header: before the fix this spun
+     to the hop budget and misreported Truncated. Brent's detection must
+     flag it as Cycled within O(cycle length) hops, far below the budget. *)
+  let r =
+    Scheme.simulate ~dist:(fun _ _ -> 1.0)
+      ~step:(fun u h -> Scheme.Forward ((if u = 0 then 1 else 0), h))
+      ~header_bits:(fun _ -> 1) ~src:0 ~header:99 ~max_hops:10_000 ()
+  in
+  check_bool "not delivered" (not r.Scheme.delivered);
+  check_bool "cycled outcome" (r.Scheme.outcome = Scheme.Cycled);
+  check_bool "detected in O(cycle length) hops" (r.Scheme.hops <= 8)
+
+let test_simulator_longer_cycle_detected () =
+  (* A tail of 3 hops into a 5-cycle; detection cost must stay proportional
+     to tail + cycle length, not the budget. *)
+  let step u h =
+    if u < 3 then Scheme.Forward (u + 1, h)
+    else Scheme.Forward ((if u = 7 then 3 else u + 1), h)
+  in
+  let r =
+    Scheme.simulate ~dist:(fun _ _ -> 1.0) ~step ~header_bits:(fun _ -> 1) ~src:0 ~header:()
+      ~max_hops:10_000 ()
+  in
+  check_bool "cycled outcome" (r.Scheme.outcome = Scheme.Cycled);
+  check_bool "detected promptly" (r.Scheme.hops <= 40)
+
+let test_simulator_header_rewrite_not_cycled () =
+  (* Revisiting a node with a *different* header is not a cycle: the header
+     counts down to delivery. *)
+  let step u h =
+    if h = 0 then Scheme.Deliver
+    else Scheme.Forward ((if u = 0 then 1 else 0), h - 1)
+  in
+  let r =
+    Scheme.simulate ~dist:(fun _ _ -> 1.0) ~step ~header_bits:(fun _ -> 4) ~src:0 ~header:9
+      ~max_hops:100 ()
+  in
+  check_bool "delivered" r.Scheme.delivered;
+  check_int "hops" 9 r.Scheme.hops
+
+let test_simulator_no_detect_opt_out () =
+  (* ~detect_cycles:false restores the old spin-to-budget behaviour (needed
+     when the step function is not state-determined, e.g. under faults). *)
+  let r =
+    Scheme.simulate ~detect_cycles:false ~dist:(fun _ _ -> 1.0)
+      ~step:(fun u h -> Scheme.Forward ((if u = 0 then 1 else 0), h))
+      ~header_bits:(fun _ -> 1) ~src:0 ~header:99 ~max_hops:17 ()
+  in
+  check_bool "truncated outcome" (r.Scheme.outcome = Scheme.Truncated);
+  check_int "ran to budget" 17 r.Scheme.hops
+
 let test_simulator_self_forward_outcome () =
   let r =
     Scheme.simulate ~dist:(fun _ _ -> 1.0)
       ~step:(fun u h -> Scheme.Forward (u, h))
-      ~header_bits:(fun _ -> 1) ~src:0 ~header:() ~max_hops:5
+      ~header_bits:(fun _ -> 1) ~src:0 ~header:() ~max_hops:5 ()
   in
   check_bool "not delivered" (not r.Scheme.delivered);
   check_bool "self-forward outcome" (r.Scheme.outcome = Scheme.Self_forward);
@@ -73,6 +128,26 @@ let test_stretch_requires_delivery () =
   Alcotest.check_raises "undelivered stretch"
     (Invalid_argument "Scheme.stretch: packet not delivered") (fun () ->
       ignore (Scheme.stretch r 1.0))
+
+let test_stretch_zero_distance () =
+  (* A delivered-but-wandering packet between coincident points used to read
+     as perfect stretch 1.0; it must read as infinite stretch. *)
+  let delivered length hops =
+    {
+      Scheme.delivered = true;
+      outcome = Scheme.Delivered;
+      hops;
+      length;
+      path = [ 0 ];
+      max_header_bits = 0;
+    }
+  in
+  Alcotest.(check (float 0.0)) "wandering to coincident point" infinity
+    (Scheme.stretch (delivered 3.0 2) 0.0);
+  Alcotest.(check (float 0.0)) "zero-length path to coincident point" 1.0
+    (Scheme.stretch (delivered 0.0 0) 0.0);
+  Alcotest.(check (float 1e-9)) "normal case unchanged" 1.5
+    (Scheme.stretch (delivered 3.0 2) 2.0)
 
 (* ----------------------------------------------------- Basic (Thm 2.1) *)
 
@@ -358,8 +433,14 @@ let () =
         [
           Alcotest.test_case "basics" `Quick test_simulator_basics;
           Alcotest.test_case "max hops" `Quick test_simulator_max_hops;
+          Alcotest.test_case "two-cycle detected" `Quick test_simulator_two_cycle_detected;
+          Alcotest.test_case "longer cycle detected" `Quick test_simulator_longer_cycle_detected;
+          Alcotest.test_case "header rewrite not cycled" `Quick
+            test_simulator_header_rewrite_not_cycled;
+          Alcotest.test_case "cycle detection opt-out" `Quick test_simulator_no_detect_opt_out;
           Alcotest.test_case "self forward outcome" `Quick test_simulator_self_forward_outcome;
           Alcotest.test_case "stretch requires delivery" `Quick test_stretch_requires_delivery;
+          Alcotest.test_case "stretch at zero distance" `Quick test_stretch_zero_distance;
         ] );
       ( "basic-thm21",
         [
