@@ -1,4 +1,12 @@
-.PHONY: all build test check bench bench-json trace-smoke fault-smoke clean
+.PHONY: all build test check bench bench-json bench-diff trace-smoke fault-smoke profile-smoke clean
+
+# Relative slowdown tolerated by bench-diff before a timing key fails
+# (0.5 = 50% slower); override per-run: make bench-diff RON_BENCH_DIFF_THRESHOLD=1.0
+RON_BENCH_DIFF_THRESHOLD ?= 0.5
+export RON_BENCH_DIFF_THRESHOLD
+
+# Committed baseline that bench-diff compares against.
+BENCH_BASELINE ?= BENCH_2026-08-05.json
 
 all: build
 
@@ -19,6 +27,15 @@ bench:
 bench-json:
 	dune exec bench/main.exe -- --json BENCH_$$(date +%Y-%m-%d).json
 
+# Regression gate: measure a fresh (small) report and diff it against the
+# committed baseline. Timing keys use RON_BENCH_DIFF_THRESHOLD; the
+# deterministic keys (stretch, hops, counter deltas, table bits) must
+# match exactly; sizes missing from either file are skipped.
+bench-diff: build
+	dune exec bench/main.exe -- esub --json /tmp/ron_bench_fresh.json --sizes 200,400
+	dune exec bin/bench_diff.exe -- $(BENCH_BASELINE) /tmp/ron_bench_fresh.json \
+	  --out /tmp/ron_bench_diff_verdict.json
+
 # Observability smoke: trace a routing run, then validate every JSONL event.
 trace-smoke: build
 	dune exec bin/ron_cli.exe -- route -m grid -n 64 -p 200 \
@@ -33,6 +50,18 @@ fault-smoke: build
 	  --crash 0.08 --drop 0.02 --dead-links 0.02 \
 	  --trace /tmp/ron_fault_smoke.jsonl --metrics-out /tmp/ron_fault_metrics.json
 	dune exec bin/trace_check.exe /tmp/ron_fault_smoke.jsonl
+
+# Profiler smoke: a profiled + traced routing run, then aggregate the trace
+# into the per-span table / folded stacks and assert the phase profile is
+# non-empty (construct.* and query.* phases must have fired).
+profile-smoke: build
+	dune exec bin/ron_cli.exe -- route -m grid -n 64 -p 200 \
+	  --profile /tmp/ron_profile_smoke.json --trace /tmp/ron_profile_trace.jsonl
+	dune exec bin/trace_check.exe /tmp/ron_profile_trace.jsonl
+	dune exec bin/trace_report.exe -- /tmp/ron_profile_trace.jsonl \
+	  --folded /tmp/ron_profile_folded.txt
+	grep -q '"construct.basic"' /tmp/ron_profile_smoke.json
+	grep -q '"query.routes"' /tmp/ron_profile_smoke.json
 
 clean:
 	dune clean

@@ -349,6 +349,8 @@ let timestamp () =
   Printf.sprintf "%04d-%02d-%02dT%02d:%02d:%02d" (tm.Unix.tm_year + 1900) (tm.Unix.tm_mon + 1)
     tm.Unix.tm_mday tm.Unix.tm_hour tm.Unix.tm_min tm.Unix.tm_sec
 
+let ns_clock () = Int64.of_float (Unix.gettimeofday () *. 1e9)
+
 let run ~file ~sizes =
   (* Open the output first so a bad path fails before minutes of measuring. *)
   let oc =
@@ -357,6 +359,12 @@ let run ~file ~sizes =
       Printf.eprintf "cannot write --json output: %s\n" e;
       exit 1
   in
+  (* Phase profiling rides along on the whole run with a real clock: the
+     report gains a "profile" section breaking construction and query time
+     down per phase (bench_diff ignores it — wall-clock phase shapes are
+     not regression signals). *)
+  Ron_obs.Profile.enable ~clock:ns_clock ();
+  Ron_obs.Profile.reset ();
   Printf.printf "\n[JSON] measuring index hot path at n in {%s} (RON_JOBS=%d)...\n%!"
     (String.concat ", " (List.map string_of_int sizes))
     (Pool.jobs ());
@@ -387,8 +395,10 @@ let run ~file ~sizes =
         ("table3", t3);
         ("fault", fault);
         ("obs", Ron_obs.snapshot ());
+        ("profile", Ron_obs.Profile.to_json ());
       ]
   in
+  Ron_obs.Profile.disable ();
   output_string oc (to_string report);
   close_out oc;
   Printf.printf "[JSON] wrote %s\n%!" file

@@ -1,0 +1,276 @@
+(* Compare two BENCH_*.json reports (schema ron-bench/1) section by
+   section and flag regressions. Three kinds of leaf comparison:
+
+   - timing keys (suffix "_s" or containing "_ns"): noisy wall-clock
+     measurements, compared with a relative threshold — default 0.5
+     (50% slower fails), overridable with --threshold or the
+     RON_BENCH_DIFF_THRESHOLD env var;
+   - booleans (the bit-identity invariants): must match exactly;
+   - every other number or string: deterministic outputs of seeded
+     workloads (stretch, hops, counter deltas, table bits), compared
+     with a tight relative tolerance (--det-threshold, default 1e-9).
+
+   Environment-describing keys (timestamp, ocaml_version, ron_jobs,
+   word_size, peak_rss_kb, ...), derived speedup_* ratios, and the
+   profile section are ignored. List sections are matched entry-by-entry
+   on their "n"/"nodes" key, so a CI run at --sizes 200,400 diffs cleanly
+   against a committed baseline at 500,1000,2000: unmatched entries are
+   reported as skipped, not failed.
+
+   Prints a human table, optionally writes a machine-readable verdict
+   (--out FILE, schema ron-bench-diff/1), and exits 1 on regression
+   unless --warn-only.
+
+   usage: bench_diff [--threshold X] [--det-threshold X] [--out FILE]
+                     [--warn-only] BASE.json NEW.json *)
+
+module Json = Ron_obs.Json
+
+let fail fmt = Printf.ksprintf (fun s -> prerr_endline s; exit 2) fmt
+
+let ignored_keys =
+  [
+    "schema"; "timestamp"; "ocaml_version"; "ron_jobs"; "recommended_domains";
+    "word_size"; "peak_rss_kb"; "profile";
+  ]
+
+let ignored key =
+  List.mem key ignored_keys
+  || (String.length key >= 8 && String.sub key 0 8 = "speedup_")
+
+let is_timing key =
+  let len = String.length key in
+  (len >= 2 && String.sub key (len - 2) 2 = "_s")
+  ||
+  let rec contains i =
+    i + 3 <= len && (String.sub key i 3 = "_ns" || contains (i + 1))
+  in
+  contains 0
+
+type status = Ok_same | Faster | Slower | Mismatch | Skipped
+
+type row = {
+  path : string;
+  base : string;
+  next : string;
+  delta : float option; (* relative change for numerics *)
+  status : status;
+  note : string;
+}
+
+let status_string = function
+  | Ok_same -> "ok"
+  | Faster -> "faster"
+  | Slower -> "SLOWER"
+  | Mismatch -> "MISMATCH"
+  | Skipped -> "skip"
+
+let rows : row list ref = ref []
+
+let add path base next delta status note =
+  rows := { path; base; next; delta; status; note } :: !rows
+
+let num_string v = Printf.sprintf "%.6g" v
+
+let number = function Json.Int i -> Some (float_of_int i) | Json.Float f -> Some f | _ -> None
+
+let rel_change base next =
+  if base = next then 0.0
+  else if Float.abs base < 1e-300 then infinity
+  else (next -. base) /. Float.abs base
+
+let compare_leaf ~threshold ~det_threshold path key base next =
+  match (number base, number next) with
+  | Some b, Some n ->
+    let d = rel_change b n in
+    if is_timing key then begin
+      if d > threshold then
+        add path (num_string b) (num_string n) (Some d) Slower
+          (Printf.sprintf "exceeds +%.0f%% threshold" (threshold *. 100.0))
+      else if d < -.threshold then
+        add path (num_string b) (num_string n) (Some d) Faster ""
+      else add path (num_string b) (num_string n) (Some d) Ok_same ""
+    end
+    else if Float.abs d > det_threshold then
+      add path (num_string b) (num_string n) (Some d) Mismatch "deterministic value changed"
+    else add path (num_string b) (num_string n) (Some d) Ok_same ""
+  | _ -> (
+    match (base, next) with
+    | Json.Bool b, Json.Bool n ->
+      if b = n then add path (string_of_bool b) (string_of_bool n) None Ok_same ""
+      else add path (string_of_bool b) (string_of_bool n) None Mismatch "invariant flipped"
+    | Json.String b, Json.String n ->
+      if String.equal b n then add path b n None Ok_same ""
+      else add path b n None Mismatch "label changed"
+    | _ ->
+      add path (Json.to_line base) (Json.to_line next) None Mismatch "type changed")
+
+(* List entries are benchmark points keyed by problem size. *)
+let entry_key j =
+  match Json.member "n" j with
+  | Some (Json.Int n) -> Some n
+  | _ -> ( match Json.member "nodes" j with Some (Json.Int n) -> Some n | _ -> None)
+
+let rec compare_values ~threshold ~det_threshold path key base next =
+  match (base, next) with
+  | Json.Obj bs, Json.Obj ns ->
+    List.iter
+      (fun (k, bv) ->
+        if not (ignored k) then begin
+          let sub = if path = "" then k else path ^ "." ^ k in
+          match List.assoc_opt k ns with
+          | Some nv -> compare_values ~threshold ~det_threshold sub k bv nv
+          | None -> add sub (Json.to_line bv) "-" None Skipped "missing in NEW"
+        end)
+      bs;
+    List.iter
+      (fun (k, nv) ->
+        if (not (ignored k)) && List.assoc_opt k bs = None then
+          add (if path = "" then k else path ^ "." ^ k) "-" (Json.to_line nv) None Skipped
+            "missing in BASE")
+      ns
+  | Json.List bs, Json.List ns ->
+    List.iteri
+      (fun i bv ->
+        match entry_key bv with
+        | None ->
+          (* Unkeyed list: positional. *)
+          let sub = Printf.sprintf "%s[%d]" path i in
+          if i < List.length ns then
+            compare_values ~threshold ~det_threshold sub key bv (List.nth ns i)
+          else add sub (Json.to_line bv) "-" None Skipped "missing in NEW"
+        | Some n -> (
+          let sub = Printf.sprintf "%s[n=%d]" path n in
+          match List.find_opt (fun nv -> entry_key nv = Some n) ns with
+          | Some nv -> compare_values ~threshold ~det_threshold sub key bv nv
+          | None -> add sub "-" "-" None Skipped "size not measured in NEW"))
+      bs;
+    List.iter
+      (fun nv ->
+        match entry_key nv with
+        | Some n when not (List.exists (fun bv -> entry_key bv = Some n) bs) ->
+          add (Printf.sprintf "%s[n=%d]" path n) "-" "-" None Skipped
+            "size not measured in BASE"
+        | _ -> ())
+      ns
+  | _ -> compare_leaf ~threshold ~det_threshold path key base next
+
+let read_json file =
+  let ic = try open_in file with Sys_error e -> fail "bench_diff: %s" e in
+  let len = in_channel_length ic in
+  let s = really_input_string ic len in
+  close_in ic;
+  match Json.of_string s with
+  | Ok j -> j
+  | Error e -> fail "bench_diff: %s: %s" file e
+
+let () =
+  let env_threshold =
+    match Sys.getenv_opt "RON_BENCH_DIFF_THRESHOLD" with
+    | Some s -> (
+      match float_of_string_opt s with
+      | Some f when f > 0.0 -> f
+      | _ -> fail "bench_diff: bad RON_BENCH_DIFF_THRESHOLD %S" s)
+    | None -> 0.5
+  in
+  let threshold = ref env_threshold and det_threshold = ref 1e-9 in
+  let out = ref None and warn_only = ref false and files = ref [] in
+  let rec parse_args = function
+    | [] -> ()
+    | "--threshold" :: v :: rest ->
+      (match float_of_string_opt v with
+      | Some f when f > 0.0 -> threshold := f
+      | _ -> fail "bench_diff: bad --threshold %S" v);
+      parse_args rest
+    | "--det-threshold" :: v :: rest ->
+      (match float_of_string_opt v with
+      | Some f when f >= 0.0 -> det_threshold := f
+      | _ -> fail "bench_diff: bad --det-threshold %S" v);
+      parse_args rest
+    | "--out" :: v :: rest ->
+      out := Some v;
+      parse_args rest
+    | "--warn-only" :: rest ->
+      warn_only := true;
+      parse_args rest
+    | arg :: rest when String.length arg > 0 && arg.[0] <> '-' ->
+      files := arg :: !files;
+      parse_args rest
+    | arg :: _ -> fail "bench_diff: unexpected argument %S" arg
+  in
+  parse_args (List.tl (Array.to_list Sys.argv));
+  let base_file, next_file =
+    match List.rev !files with
+    | [ b; n ] -> (b, n)
+    | _ ->
+      prerr_endline
+        "usage: bench_diff [--threshold X] [--det-threshold X] [--out FILE] [--warn-only] \
+         BASE.json NEW.json";
+      exit 2
+  in
+  let base = read_json base_file and next = read_json next_file in
+  compare_values ~threshold:!threshold ~det_threshold:!det_threshold "" "" base next;
+  let all = List.rev !rows in
+  Printf.printf "bench_diff: %s vs %s (threshold +%.0f%%, det %g)\n\n" base_file next_file
+    (!threshold *. 100.0) !det_threshold;
+  Printf.printf "%-52s %14s %14s %8s  %-8s %s\n" "key" "base" "new" "delta" "status" "note";
+  Printf.printf "%s\n" (String.make 110 '-');
+  List.iter
+    (fun r ->
+      let delta_s =
+        match r.delta with
+        | Some d when Float.is_finite d -> Printf.sprintf "%+.1f%%" (d *. 100.0)
+        | Some _ -> "inf"
+        | None -> "-"
+      in
+      Printf.printf "%-52s %14s %14s %8s  %-8s %s\n" r.path r.base r.next delta_s
+        (status_string r.status) r.note)
+    all;
+  let count st = List.length (List.filter (fun r -> r.status = st) all) in
+  let slower = count Slower and mismatch = count Mismatch in
+  let faster = count Faster and skipped = count Skipped and same = count Ok_same in
+  let regressions = slower + mismatch in
+  Printf.printf "\n%d compared: %d ok, %d faster, %d slower, %d mismatched, %d skipped\n"
+    (List.length all - skipped) same faster slower mismatch skipped;
+  let verdict = if regressions = 0 then "ok" else "regression" in
+  (match !out with
+  | None -> ()
+  | Some file ->
+    let row_json r =
+      Json.Obj
+        [
+          ("key", Json.String r.path);
+          ("base", Json.String r.base);
+          ("new", Json.String r.next);
+          ("delta", match r.delta with Some d when Float.is_finite d -> Json.Float d | _ -> Json.Null);
+          ("status", Json.String (status_string r.status));
+          ("note", Json.String r.note);
+        ]
+    in
+    let pick st = List.filter (fun r -> r.status = st) all in
+    let oc = try open_out file with Sys_error e -> fail "bench_diff: %s" e in
+    output_string oc
+      (Json.to_string
+         (Json.Obj
+            [
+              ("schema", Json.String "ron-bench-diff/1");
+              ("base", Json.String base_file);
+              ("new", Json.String next_file);
+              ("threshold", Json.Float !threshold);
+              ("det_threshold", Json.Float !det_threshold);
+              ("compared", Json.Int (List.length all - skipped));
+              ("verdict", Json.String verdict);
+              ("warn_only", Json.Bool !warn_only);
+              ("regressions", Json.List (List.map row_json (pick Slower @ pick Mismatch)));
+              ("improvements", Json.List (List.map row_json (pick Faster)));
+              ("skipped", Json.List (List.map row_json (pick Skipped)));
+            ]));
+    close_out oc;
+    Printf.printf "verdict json -> %s\n" file);
+  if regressions > 0 then begin
+    Printf.printf "verdict: REGRESSION (%d finding%s)%s\n" regressions
+      (if regressions = 1 then "" else "s")
+      (if !warn_only then " [warn-only: exit 0]" else "");
+    if not !warn_only then exit 1
+  end
+  else Printf.printf "verdict: ok\n"

@@ -1,9 +1,12 @@
 (* Validate a JSONL trace file produced by --trace: every line must parse
-   as a JSON object carrying at least "ts" and "name", and the file must
-   not be empty. Exit 0 on success, 1 otherwise — used by `make
-   trace-smoke` and CI. *)
+   as a trace event (integer "ts"/"dom", string "name", "ph" one of
+   B/E/i), per domain the B/E events must balance like brackets, the
+   "error" arg (emitted when a span unwinds on an exception) may appear
+   only on "E" events and must be a string, and the file must not be
+   empty. Exit 0 on success, 1 otherwise — used by `make trace-smoke`
+   and CI. *)
 
-module Json = Ron_obs.Json
+module Trace_read = Ron_obs.Trace_read
 
 let fail fmt = Printf.ksprintf (fun s -> prerr_endline s; exit 1) fmt
 
@@ -15,22 +18,11 @@ let () =
       prerr_endline "usage: trace_check FILE.jsonl";
       exit 2
   in
-  let ic = try open_in file with Sys_error e -> fail "trace_check: %s" e in
-  let lines = ref 0 in
-  (try
-     while true do
-       let line = input_line ic in
-       if String.trim line <> "" then begin
-         incr lines;
-         match Json.of_string line with
-         | Error e -> fail "trace_check: %s line %d: %s" file !lines e
-         | Ok j ->
-           if Json.member "ts" j = None then
-             fail "trace_check: %s line %d: missing \"ts\"" file !lines;
-           if Json.member "name" j = None then
-             fail "trace_check: %s line %d: missing \"name\"" file !lines
-       end
-     done
-   with End_of_file -> close_in ic);
-  if !lines = 0 then fail "trace_check: %s: no trace events" file;
-  Printf.printf "trace_check: %s: %d well-formed events\n" file !lines
+  match Trace_read.read_file file with
+  | exception Sys_error e -> fail "trace_check: %s" e
+  | Error e -> fail "trace_check: %s: %s" file e
+  | Ok events -> (
+    match Trace_read.validate events with
+    | Error e -> fail "trace_check: %s: %s" file e
+    | Ok 0 -> fail "trace_check: %s: no trace events" file
+    | Ok n -> Printf.printf "trace_check: %s: %d well-formed events\n" file n)

@@ -1,0 +1,152 @@
+(* Aggregate a JSONL trace (--trace output) into a per-span table: count,
+   total and self time, p50/p95 span duration, and a per-domain breakdown.
+   Optionally emit folded-stack lines (one "a;b;c SELF_NS" per stack path)
+   for flamegraph tools via --folded FILE.
+
+   Durations come from matching B/E pairs, replayed per domain with the
+   same stack discipline that Trace_read.validate enforces; self time is a
+   span's duration minus the durations of its same-domain children.
+   Timestamps are whatever clock the trace was recorded with (logical
+   ticks by default, nanoseconds under ron_cli --trace), so the columns
+   are labelled generically as "ticks".
+
+   usage: trace_report FILE.jsonl [--folded OUT] *)
+
+module Trace_read = Ron_obs.Trace_read
+
+let fail fmt = Printf.ksprintf (fun s -> prerr_endline s; exit 1) fmt
+
+type span_agg = {
+  mutable count : int;
+  mutable total : int;
+  mutable self : int;
+  mutable durations : int list;
+  by_dom : (int, int * int) Hashtbl.t; (* dom -> count, total *)
+}
+
+type frame = { name : string; t0 : int; mutable child : int; path : string }
+
+let percentile sorted q =
+  let n = Array.length sorted in
+  if n = 0 then 0
+  else begin
+    let rank = int_of_float (Float.ceil (q *. float_of_int n)) in
+    sorted.(max 0 (min (n - 1) (rank - 1)))
+  end
+
+let () =
+  let file = ref None and folded = ref None in
+  let rec parse_args = function
+    | [] -> ()
+    | "--folded" :: out :: rest ->
+      folded := Some out;
+      parse_args rest
+    | arg :: rest when !file = None && String.length arg > 0 && arg.[0] <> '-' ->
+      file := Some arg;
+      parse_args rest
+    | arg :: _ -> fail "trace_report: unexpected argument %S" arg
+  in
+  parse_args (List.tl (Array.to_list Sys.argv));
+  let file =
+    match !file with
+    | Some f -> f
+    | None ->
+      prerr_endline "usage: trace_report FILE.jsonl [--folded OUT]";
+      exit 2
+  in
+  let events =
+    match Trace_read.read_file file with
+    | exception Sys_error e -> fail "trace_report: %s" e
+    | Error e -> fail "trace_report: %s: %s" file e
+    | Ok events -> (
+      match Trace_read.validate events with
+      | Error e -> fail "trace_report: %s: %s" file e
+      | Ok _ -> events)
+  in
+  let spans : (string, span_agg) Hashtbl.t = Hashtbl.create 16 in
+  let instants : (string, int) Hashtbl.t = Hashtbl.create 16 in
+  let folded_acc : (string, int) Hashtbl.t = Hashtbl.create 16 in
+  let stacks : (int, frame list) Hashtbl.t = Hashtbl.create 8 in
+  let stack dom = Option.value (Hashtbl.find_opt stacks dom) ~default:[] in
+  List.iter
+    (fun (e : Trace_read.event) ->
+      match e.ph with
+      | Trace_read.I ->
+        Hashtbl.replace instants e.name
+          (1 + Option.value (Hashtbl.find_opt instants e.name) ~default:0)
+      | Trace_read.B ->
+        let parent = stack e.dom in
+        let path =
+          match parent with [] -> e.name | top :: _ -> top.path ^ ";" ^ e.name
+        in
+        Hashtbl.replace stacks e.dom ({ name = e.name; t0 = e.ts; child = 0; path } :: parent)
+      | Trace_read.E -> (
+        match stack e.dom with
+        | [] -> assert false (* validate already accepted the stream *)
+        | top :: rest ->
+          Hashtbl.replace stacks e.dom rest;
+          let dur = e.ts - top.t0 in
+          let self = dur - top.child in
+          (match rest with [] -> () | parent :: _ -> parent.child <- parent.child + dur);
+          let agg =
+            match Hashtbl.find_opt spans e.name with
+            | Some a -> a
+            | None ->
+              let a =
+                { count = 0; total = 0; self = 0; durations = []; by_dom = Hashtbl.create 4 }
+              in
+              Hashtbl.replace spans e.name a;
+              a
+          in
+          agg.count <- agg.count + 1;
+          agg.total <- agg.total + dur;
+          agg.self <- agg.self + self;
+          agg.durations <- dur :: agg.durations;
+          let c, t = Option.value (Hashtbl.find_opt agg.by_dom e.dom) ~default:(0, 0) in
+          Hashtbl.replace agg.by_dom e.dom (c + 1, t + dur);
+          Hashtbl.replace folded_acc top.path
+            (self + Option.value (Hashtbl.find_opt folded_acc top.path) ~default:0)))
+    events;
+  let rows = Hashtbl.fold (fun name agg acc -> (name, agg) :: acc) spans [] in
+  let rows =
+    List.sort
+      (fun (na, a) (nb, b) ->
+        match compare b.total a.total with 0 -> String.compare na nb | c -> c)
+      rows
+  in
+  Printf.printf "trace_report: %s: %d events, %d span names, %d instant names\n\n" file
+    (List.length events) (List.length rows) (Hashtbl.length instants);
+  Printf.printf "%-28s %8s %14s %14s %12s %12s  %s\n" "span" "count" "total_ticks"
+    "self_ticks" "p50" "p95" "domains (count@total)";
+  Printf.printf "%s\n" (String.make 110 '-');
+  List.iter
+    (fun (name, agg) ->
+      let sorted = Array.of_list agg.durations in
+      Array.sort compare sorted;
+      let doms = Hashtbl.fold (fun d ct acc -> (d, ct) :: acc) agg.by_dom [] in
+      let doms = List.sort (fun (a, _) (b, _) -> compare a b) doms in
+      let doms_s =
+        String.concat " "
+          (List.map (fun (d, (c, t)) -> Printf.sprintf "%d:%d@%d" d c t) doms)
+      in
+      Printf.printf "%-28s %8d %14d %14d %12d %12d  %s\n" name agg.count agg.total agg.self
+        (percentile sorted 0.50) (percentile sorted 0.95) doms_s)
+    rows;
+  let inst = Hashtbl.fold (fun name c acc -> (name, c) :: acc) instants [] in
+  if inst <> [] then begin
+    Printf.printf "\n%-28s %8s\n" "instant" "count";
+    Printf.printf "%s\n" (String.make 37 '-');
+    List.iter
+      (fun (name, c) -> Printf.printf "%-28s %8d\n" name c)
+      (List.sort (fun (a, _) (b, _) -> String.compare a b) inst)
+  end;
+  match !folded with
+  | None -> ()
+  | Some out ->
+    let oc = open_out out in
+    let paths = Hashtbl.fold (fun p v acc -> (p, v) :: acc) folded_acc [] in
+    List.iter
+      (fun (p, v) -> Printf.fprintf oc "%s %d\n" p v)
+      (List.sort (fun (a, _) (b, _) -> String.compare a b) paths);
+    close_out oc;
+    Printf.printf "\nfolded stacks: %d paths -> %s\n" (List.length paths) out

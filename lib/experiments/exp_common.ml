@@ -76,7 +76,9 @@ let collect_routes_keyed ?(parallel = true) ~route ~dist pairs =
   let results =
     Fun.protect
       ~finally:(fun () -> Ron_obs.Probe.on := was_on)
-      (fun () -> if parallel then Ron_util.Pool.init np eval else Array.init np eval)
+      (fun () ->
+        Ron_obs.Profile.phase "query.routes" (fun () ->
+            if parallel then Ron_util.Pool.init np eval else Array.init np eval))
   in
   let queries = ref 0 and truncated = ref 0 and self_forwards = ref 0 in
   let cycled = ref 0 and dropped = ref 0 in

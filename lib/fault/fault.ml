@@ -42,6 +42,7 @@ let make ?(seed = 0) ?(crash_fraction = 0.0) ?(drop_rate = 0.0) ?(dead_link_frac
   check "crash_fraction" crash_fraction;
   check "drop_rate" drop_rate;
   check "dead_link_fraction" dead_link_fraction;
+  Ron_obs.Profile.phase "fault.make" @@ fun () ->
   let k = int_of_float (crash_fraction *. float_of_int n) in
   let crashed_set = Array.make (max 1 n) false in
   if k > 0 then begin
@@ -141,7 +142,10 @@ let wrapper t ~query : Scheme.wrapper =
                 if not (blocked next) then Scheme.Forward (next, h')
                 else begin
                   (* The primary hop is dead: walk the scheme's ranked
-                     alternates and detour through the first live one. *)
+                     alternates and detour through the first live one. The
+                     search is the fault layer's own query-time cost, so it
+                     is a profiler phase of its own (count = blocked hops). *)
+                  Ron_obs.Profile.phase "fault.detour_search" @@ fun () ->
                   let rec try_alts = function
                     | [] ->
                       if Trace.active () then

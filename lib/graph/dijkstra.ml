@@ -1,5 +1,6 @@
 module Pool = Ron_util.Pool
 module Probe = Ron_obs.Probe
+module Profile = Ron_obs.Profile
 
 type sssp = { source : int; dist : float array; first_hop : int array }
 
@@ -209,6 +210,7 @@ let run g source =
   { source; dist = Array.sub sc.dist 0 n; first_hop = Array.sub sc.fh 0 n }
 
 let all_pairs ?jobs g =
+  Profile.phase "dijkstra.all_pairs" @@ fun () ->
   let n = Graph.size g in
   let csr = csr_of g in
   let ap_dist = Float.Array.create (n * n) in

@@ -1,6 +1,7 @@
 type t = { graph : Graph.t; apsp : Dijkstra.apsp; metric : Ron_metric.Metric.t }
 
 let create ?jobs g =
+  Ron_obs.Profile.phase "construct.sp_metric" @@ fun () ->
   if not (Graph.is_connected g) then invalid_arg "Sp_metric.create: graph must be connected";
   let apsp = Dijkstra.all_pairs ?jobs g in
   let n = Graph.size g in

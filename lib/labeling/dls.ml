@@ -52,6 +52,7 @@ let sorted_distinct lst =
   a
 
 let build ?(z_divisor = 64.0) tri =
+  Ron_obs.Profile.phase "construct.dls" @@ fun () ->
   let idx = Triangulation.idx tri in
   let delta = Triangulation.delta tri in
   let hier = Triangulation.hierarchy tri in

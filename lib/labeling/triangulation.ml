@@ -35,6 +35,7 @@ let build ?(radius_factor = 12.0) ?(net_divisor = 4.0) idx_ ~delta =
     invalid_arg "Triangulation.build: delta must be in (0, 1/2)";
   if Indexed.size idx_ >= 2 && Indexed.min_distance idx_ < 1.0 then
     invalid_arg "Triangulation.build: metric must be normalized";
+  Ron_obs.Profile.phase "construct.triangulation" @@ fun () ->
   let n = Indexed.size idx_ in
   let levels = Indexed.log2_size idx_ + 1 in
   let hierarchy = Net.Hierarchy.create idx_ in

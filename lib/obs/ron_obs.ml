@@ -12,7 +12,9 @@ module Counter = Counter
 module Histogram = Histogram
 module Ledger = Ledger
 module Trace = Trace
+module Trace_read = Trace_read
 module Probe = Probe
+module Profile = Profile
 
 let enable () = Probe.on := true
 let disable () = Probe.on := false

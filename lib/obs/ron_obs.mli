@@ -12,7 +12,9 @@ module Counter = Counter
 module Histogram = Histogram
 module Ledger = Ledger
 module Trace = Trace
+module Trace_read = Trace_read
 module Probe = Probe
+module Profile = Profile
 
 val enable : unit -> unit
 (** Turn the probes on ([Probe.on := true]). *)

@@ -56,6 +56,10 @@ let configure ?clock sink =
 let stop () =
   let s = state.sink in
   state.sink <- null_sink;
+  (* Restore the default clock too: a later [configure sink] (no ?clock)
+     must get the deterministic logical tick, not silently inherit the
+     previous run's wall clock. *)
+  state.clock <- logical_clock;
   state.is_active <- false;
   s.close ()
 

@@ -27,7 +27,9 @@ val configure : ?clock:(unit -> int64) -> sink -> unit
 (** Install a sink (and optionally a clock) and activate tracing. *)
 
 val stop : unit -> unit
-(** Deactivate tracing and close the previous sink. *)
+(** Deactivate tracing, close the previous sink, and restore the default
+    {!logical_clock} (so a later [configure] without [?clock] does not
+    inherit a stale injected clock). *)
 
 val active : unit -> bool
 

@@ -1,0 +1,123 @@
+(* Reader-side of the JSONL trace format: parse lines back into events and
+   validate the stream's structural invariants. Shared by bin/trace_check
+   (the CI validator) and bin/trace_report (the span aggregator), and unit
+   tested directly — the emitters in Trace and the checks here must agree
+   on the schema or the smoke targets break. *)
+
+type ph = B | E | I
+
+type event = {
+  ts : int;
+  dom : int;
+  ph : ph;
+  name : string;
+  args : (string * Json.t) list;
+}
+
+let ph_string = function B -> "B" | E -> "E" | I -> "i"
+
+let parse_line line =
+  match Json.of_string line with
+  | Error e -> Error e
+  | Ok j -> (
+    let int_field k =
+      match Json.member k j with
+      | Some (Json.Int v) -> Ok v
+      | Some _ -> Error (Printf.sprintf "field %S is not an integer" k)
+      | None -> Error (Printf.sprintf "missing %S" k)
+    in
+    match int_field "ts" with
+    | Error e -> Error e
+    | Ok ts -> (
+      match int_field "dom" with
+      | Error e -> Error e
+      | Ok dom -> (
+        match Json.member "name" j with
+        | Some (Json.String name) -> (
+          let ph =
+            match Json.member "ph" j with
+            | Some (Json.String "B") -> Ok B
+            | Some (Json.String "E") -> Ok E
+            | Some (Json.String "i") -> Ok I
+            | Some (Json.String other) ->
+              Error (Printf.sprintf "unknown phase %S (expected B, E or i)" other)
+            | Some _ -> Error "field \"ph\" is not a string"
+            | None -> Error "missing \"ph\""
+          in
+          match ph with
+          | Error e -> Error e
+          | Ok ph -> (
+            match Json.member "args" j with
+            | None -> Ok { ts; dom; ph; name; args = [] }
+            | Some (Json.Obj args) -> Ok { ts; dom; ph; name; args }
+            | Some _ -> Error "field \"args\" is not an object"))
+        | Some _ -> Error "field \"name\" is not a string"
+        | None -> Error "missing \"name\"")))
+
+(* Structural validation over a whole stream:
+   - the ["error"] arg (what [Trace.span] emits when the wrapped function
+     raises) may appear only on "E" events and must be a string;
+   - per domain, "B"/"E" events balance like brackets: every "E" closes the
+     innermost open "B" of the same name (spans are synchronous, so they
+     strictly nest within a domain), and no span stays open at the end. *)
+let validate events =
+  let stacks : (int, string list) Hashtbl.t = Hashtbl.create 8 in
+  let stack dom = Option.value (Hashtbl.find_opt stacks dom) ~default:[] in
+  let rec go i = function
+    | [] -> (
+      match Hashtbl.fold (fun dom st acc -> ((dom, st) :: acc)) stacks [] with
+      | [] -> Ok i
+      | opens -> (
+        match List.find_opt (fun (_, st) -> st <> []) opens with
+        | Some (dom, name :: _) ->
+          Error (Printf.sprintf "span %S on domain %d is never closed" name dom)
+        | _ -> Ok i))
+    | e :: rest -> (
+      let err fmt = Printf.ksprintf (fun s -> Error (Printf.sprintf "event %d: %s" (i + 1) s)) fmt in
+      match List.assoc_opt "error" e.args with
+      | Some v when e.ph <> E ->
+        ignore v;
+        err "\"error\" arg on a %S event (only \"E\" may carry one)" (ph_string e.ph)
+      | Some (Json.String _) | None -> (
+        match e.ph with
+        | I -> go (i + 1) rest
+        | B ->
+          Hashtbl.replace stacks e.dom (e.name :: stack e.dom);
+          go (i + 1) rest
+        | E -> (
+          match stack e.dom with
+          | [] -> err "\"E\" %S on domain %d closes no open span" e.name e.dom
+          | top :: tl ->
+            if String.equal top e.name then begin
+              Hashtbl.replace stacks e.dom tl;
+              go (i + 1) rest
+            end
+            else err "\"E\" %S on domain %d does not match open span %S" e.name e.dom top))
+      | Some _ -> err "\"error\" arg is not a string")
+  in
+  go 0 events
+
+let parse_lines lines =
+  let rec go i acc = function
+    | [] -> Ok (List.rev acc)
+    | line :: rest ->
+      if String.trim line = "" then go (i + 1) acc rest
+      else begin
+        match parse_line line with
+        | Ok e -> go (i + 1) (e :: acc) rest
+        | Error e -> Error (Printf.sprintf "line %d: %s" (i + 1) e)
+      end
+  in
+  go 1 [] lines
+
+let read_file file =
+  let ic = open_in file in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () ->
+      let rec slurp acc =
+        match input_line ic with
+        | line -> slurp (line :: acc)
+        | exception End_of_file -> List.rev acc
+      in
+      parse_lines (slurp []))

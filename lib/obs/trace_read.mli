@@ -1,0 +1,31 @@
+(** Reader side of the JSONL trace format: parse {!Trace}'s output back
+    into events and validate the stream's structural invariants. Shared by
+    [bin/trace_check] and [bin/trace_report]. *)
+
+type ph = B | E | I
+
+type event = {
+  ts : int;
+  dom : int;
+  ph : ph;
+  name : string;
+  args : (string * Json.t) list;  (** [[]] when the event carried no args *)
+}
+
+val ph_string : ph -> string
+
+val parse_line : string -> (event, string) result
+(** One JSONL line to one event; rejects missing/ill-typed [ts], [dom],
+    [ph], [name], or a non-object [args]. *)
+
+val parse_lines : string list -> (event list, string) result
+(** Parse every non-blank line, failing with a 1-based line number. *)
+
+val read_file : string -> (event list, string) result
+
+val validate : event list -> (int, string) result
+(** Check the whole stream: the ["error"] arg (emitted by {!Trace.span}
+    when the wrapped function raises) appears only on ["E"] events and is a
+    string, and per domain every ["E"] closes the innermost open ["B"] of
+    the same name with nothing left open at the end. Returns the event
+    count. *)

@@ -24,12 +24,14 @@ let zooming t u = Array.copy t.st.Structure.zoomings.(u)
 let max_ring_size t = Rings.max_ring_size t.st.Structure.rings
 
 let build sp ~delta =
+  Ron_obs.Profile.phase "construct.basic" @@ fun () ->
   let idx = Indexed.create (Sp_metric.metric sp) in
   let st = Structure.build idx ~delta in
   let n = Indexed.size idx in
   (* Per-node fan-out: each table reads only shared immutable state (the
      apsp and u's own cached neighbor slot), so nodes build in parallel. *)
   let first_hop =
+    Ron_obs.Profile.phase "tables" @@ fun () ->
     Pool.init n (fun u ->
         let tbl = Hashtbl.create 64 in
         Array.iter

@@ -27,6 +27,7 @@ let neighbors t u = Array.copy t.nbrs.(u)
 let build sp ~delta =
   if not (delta > 0.0 && delta < 2.0 /. 3.0) then
     invalid_arg "Labelled.build: delta must be in (0, 2/3)";
+  Ron_obs.Profile.phase "construct.labelled" @@ fun () ->
   let metric = Ron_metric.Metric.normalize (Sp_metric.metric sp) in
   let idx = Indexed.create metric in
   let n = Indexed.size idx in
@@ -39,6 +40,7 @@ let build sp ~delta =
      hierarchy, and — for the second — the finished [nbrs]), so each is a
      parallel fan-out over nodes. *)
   let nbrs =
+    Ron_obs.Profile.phase "neighbors" @@ fun () ->
     Pool.init n (fun u ->
         let tbl = Hashtbl.create 32 in
         for j = 0 to jmax do
@@ -51,6 +53,7 @@ let build sp ~delta =
         a)
   in
   let first_hop =
+    Ron_obs.Profile.phase "tables" @@ fun () ->
     Pool.init n (fun u ->
         let tbl = Hashtbl.create 32 in
         Array.iter

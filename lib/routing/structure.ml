@@ -24,6 +24,7 @@ type t = {
 let build idx ~delta =
   if not (delta > 0.0 && delta <= 0.25) then
     invalid_arg "Structure.build: delta must be in (0, 1/4]";
+  Ron_obs.Profile.phase "construct.structure" @@ fun () ->
   let n = Indexed.size idx in
   let diam = Float.max (Indexed.diameter idx) 1e-9 in
   let big_l = Indexed.log2_aspect_ratio idx in

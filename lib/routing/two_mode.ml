@@ -38,6 +38,7 @@ let build ?(m1_threshold = 1.0 /. 3.0) idx ~delta =
     invalid_arg "Two_mode.build: delta must be in (0, 1/8]";
   if not (m1_threshold > 0.0 && m1_threshold < 0.5) then
     invalid_arg "Two_mode.build: m1_threshold must be in (0, 1/2)";
+  Ron_obs.Profile.phase "construct.two_mode" @@ fun () ->
   let n = Indexed.size idx in
   let tri = Triangulation.build idx ~delta in
   let dls = Dls.build tri in
@@ -46,6 +47,7 @@ let build ?(m1_threshold = 1.0 /. 3.0) idx ~delta =
   let hub_dir = Array.init (max 1 li) (fun _ -> Hashtbl.create 16) in
   let member_dir = Array.init (max 1 li) (fun _ -> Array.make n (-1)) in
   let owned_lookup = Array.init (max 1 li) (fun _ -> Array.init n (fun _ -> Hashtbl.create 1)) in
+  (Ron_obs.Profile.phase "directories" @@ fun () ->
   for i = 1 to li - 1 do
     let packing = Triangulation.packing tri i in
     let make_directory b =
@@ -83,8 +85,9 @@ let build ?(m1_threshold = 1.0 /. 3.0) idx ~delta =
             Array.iter (fun tgt -> Hashtbl.replace owned_lookup.(i).(v) tgt ()) d.owned.(m))
           d.members)
       ds
-  done;
+  done);
   let hub_ptr =
+    Ron_obs.Profile.phase "hub_ptrs" @@ fun () ->
     Pool.init n (fun u ->
         let ptr =
           Array.init (max 1 li) (fun i ->

@@ -73,6 +73,7 @@ let build idx rng ~ring_size ~members =
     invalid_arg "Meridian.build: metric must be normalized";
   if ring_size < 1 then invalid_arg "Meridian.build: ring_size must be positive";
   if Array.length members = 0 then invalid_arg "Meridian.build: no members";
+  Ron_obs.Profile.phase "construct.meridian" @@ fun () ->
   let n = Indexed.size idx in
   let scales = Indexed.log2_aspect_ratio idx + 1 in
   let member = Array.make n false in
@@ -96,6 +97,7 @@ let build idx rng ~ring_size ~members =
   let m = Array.length order in
   if scales <= 255 then begin
     let rows =
+      Ron_obs.Profile.phase "annuli" @@ fun () ->
       Pool.init m (fun a ->
           let u = order.(a) in
           let row = Bytes.create m in
@@ -106,6 +108,7 @@ let build idx rng ~ring_size ~members =
           if !Probe.on then Probe.ring_node ();
           row)
     in
+    Ron_obs.Profile.phase "reservoir" @@ fun () ->
     Array.iteri
       (fun a u ->
         let row = rows.(a) in

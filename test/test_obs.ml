@@ -7,7 +7,9 @@ module Counter = Ron_obs.Counter
 module Histogram = Ron_obs.Histogram
 module Ledger = Ron_obs.Ledger
 module Trace = Ron_obs.Trace
+module Trace_read = Ron_obs.Trace_read
 module Probe = Ron_obs.Probe
+module Profile = Ron_obs.Profile
 module Scheme = Ron_routing.Scheme
 
 let check_bool msg b = Alcotest.(check bool) msg true b
@@ -18,7 +20,9 @@ let check_string = Alcotest.(check string)
    starts from a clean slate. *)
 let fresh () =
   Ron_obs.disable ();
-  Ron_obs.reset ()
+  Ron_obs.reset ();
+  Profile.disable ();
+  Profile.reset ()
 
 (* ------------------------------------------------------------------ JSON *)
 
@@ -108,6 +112,106 @@ let test_memory_sink_captures_events () =
   in
   Alcotest.(check (list string)) "phases in order" [ "i"; "B"; "i"; "E" ] phases
 
+let test_stop_resets_clock () =
+  fresh ();
+  (* A stale injected wall clock must not leak into the next configure:
+     stop() restores the logical tick along with the null sink. *)
+  let sink1, _ = Trace.memory_sink () in
+  Trace.configure ~clock:(fun () -> 999_999_999L) sink1;
+  Trace.stop ();
+  let sink2, lines = Trace.memory_sink () in
+  Trace.configure sink2;
+  Trace.event "tick";
+  Trace.stop ();
+  match lines () with
+  | [ line ] -> (
+    match Json.of_string line with
+    | Ok j -> (
+      match Json.member "ts" j with
+      | Some (Json.Int ts) ->
+        check_bool "ts is a logical tick, not the stale injected clock" (ts < 999_999_999)
+      | _ -> Alcotest.fail "event has no integer ts")
+    | Error e -> Alcotest.failf "bad JSONL line: %s" e)
+  | l -> Alcotest.failf "expected 1 line, got %d" (List.length l)
+
+let test_span_unwind_emits_error () =
+  fresh ();
+  let sink, lines = Trace.memory_sink () in
+  Trace.configure ~clock:Trace.logical_clock sink;
+  (try Trace.span "boom" (fun () -> failwith "kaput") with Failure _ -> ());
+  Trace.stop ();
+  let events =
+    match Trace_read.parse_lines (lines ()) with
+    | Ok evs -> evs
+    | Error e -> Alcotest.failf "parse: %s" e
+  in
+  check_int "B then E" 2 (List.length events);
+  (match List.rev events with
+  | last :: _ -> (
+    check_bool "unwind event is E" (last.Trace_read.ph = Trace_read.E);
+    match List.assoc_opt "error" last.Trace_read.args with
+    | Some (Json.String msg) ->
+      let contains hay needle =
+        let lh = String.length hay and ln = String.length needle in
+        let rec go i = i + ln <= lh && (String.sub hay i ln = needle || go (i + 1)) in
+        go 0
+      in
+      check_bool "error carries the exception" (contains msg "kaput")
+    | _ -> Alcotest.fail "E event lacks a string error arg")
+  | [] -> Alcotest.fail "no events");
+  match Trace_read.validate events with
+  | Ok n -> check_int "validator accepts the unwind shape" 2 n
+  | Error e -> Alcotest.failf "validator rejected span unwind: %s" e
+
+let test_trace_read_parse_line () =
+  let bad s =
+    match Trace_read.parse_line s with
+    | Ok _ -> Alcotest.failf "accepted %S" s
+    | Error _ -> ()
+  in
+  bad "{}";
+  bad "{\"ts\":1,\"dom\":0,\"name\":\"x\"}";
+  bad "{\"ts\":\"1\",\"dom\":0,\"ph\":\"B\",\"name\":\"x\"}";
+  bad "{\"ts\":1,\"dom\":0,\"ph\":\"Q\",\"name\":\"x\"}";
+  bad "{\"ts\":1,\"dom\":0,\"ph\":\"B\",\"name\":7}";
+  bad "{\"ts\":1,\"dom\":0,\"ph\":\"B\",\"name\":\"x\",\"args\":3}";
+  match Trace_read.parse_line "{\"ts\":1,\"dom\":2,\"ph\":\"i\",\"name\":\"x\",\"args\":{\"k\":1}}" with
+  | Ok e ->
+    check_int "ts" 1 e.Trace_read.ts;
+    check_int "dom" 2 e.Trace_read.dom;
+    check_bool "ph" (e.Trace_read.ph = Trace_read.I);
+    check_bool "args" (e.Trace_read.args = [ ("k", Json.Int 1) ])
+  | Error e -> Alcotest.failf "rejected a valid line: %s" e
+
+let test_validator_structural_rules () =
+  let ev ts dom ph name args = { Trace_read.ts; dom; ph; name; args } in
+  let reject what evs =
+    match Trace_read.validate evs with
+    | Ok _ -> Alcotest.failf "validator accepted %s" what
+    | Error _ -> ()
+  in
+  reject "an unclosed span" [ ev 0 0 Trace_read.B "a" [] ];
+  reject "E without B" [ ev 0 0 Trace_read.E "a" [] ];
+  reject "a mismatched close"
+    [ ev 0 0 Trace_read.B "a" []; ev 1 0 Trace_read.E "b" [] ];
+  reject "an error arg on B"
+    [ ev 0 0 Trace_read.B "a" [ ("error", Json.String "x") ]; ev 1 0 Trace_read.E "a" [] ];
+  reject "an error arg on i" [ ev 0 0 Trace_read.I "a" [ ("error", Json.String "x") ] ];
+  reject "a non-string error arg"
+    [ ev 0 0 Trace_read.B "a" []; ev 1 0 Trace_read.E "a" [ ("error", Json.Int 3) ] ];
+  (* Domains balance independently: interleaved B/E across two domains. *)
+  match
+    Trace_read.validate
+      [
+        ev 0 0 Trace_read.B "a" [];
+        ev 1 1 Trace_read.B "a" [];
+        ev 2 0 Trace_read.E "a" [];
+        ev 3 1 Trace_read.E "a" [];
+      ]
+  with
+  | Ok n -> check_int "interleaved domains validate" 4 n
+  | Error e -> Alcotest.failf "rejected a valid stream: %s" e
+
 (* ---------------------------------------------- shard-merge determinism *)
 
 let workload ~jobs =
@@ -133,6 +237,155 @@ let test_snapshot_deterministic_across_jobs () =
   let s1 = workload ~jobs:1 in
   let s4 = workload ~jobs:4 in
   check_string "RON_JOBS=1 and =4 snapshots byte-identical" s1 s4
+
+(* ------------------------------------------------------------ histogram *)
+
+let test_histogram_growth_and_empty () =
+  fresh ();
+  let h = Histogram.make "test.hist.growth" in
+  check_int "empty count" 0 (Histogram.count h);
+  check_bool "empty values is [||]" (Histogram.values h = [||]);
+  (* Push well past the 16-element shard seed so the buffer doubles. *)
+  for i = 1 to 100 do
+    Histogram.observe_int h (i mod 10)
+  done;
+  check_int "100 observations" 100 (Histogram.count h);
+  let vs = Histogram.values h in
+  check_int "values length" 100 (Array.length vs);
+  let sorted = ref true in
+  for i = 1 to Array.length vs - 1 do
+    if vs.(i - 1) > vs.(i) then sorted := false
+  done;
+  check_bool "values sorted ascending" !sorted;
+  Histogram.reset h;
+  check_int "reset drops everything" 0 (Histogram.count h);
+  check_bool "reset values is [||]" (Histogram.values h = [||])
+
+let hist_snapshot ~jobs =
+  let h = Histogram.make "test.hist.reobserve" in
+  Histogram.reset h;
+  Ron_util.Pool.parallel_for ~jobs 500 (fun i ->
+      Histogram.observe h (float_of_int (i mod 13) /. 8.0));
+  Histogram.values h
+
+let test_histogram_reset_reobserve_across_jobs () =
+  fresh ();
+  (* reset + re-observe: the sorted snapshot depends only on the observed
+     multiset, so jobs=1 and jobs=4 are bit-identical. *)
+  let v1 = hist_snapshot ~jobs:1 in
+  let v4 = hist_snapshot ~jobs:4 in
+  check_int "same size" (Array.length v1) (Array.length v4);
+  check_bool "sorted snapshots bit-identical at jobs 1 and 4" (v1 = v4)
+
+(* -------------------------------------------------------------- profile *)
+
+let test_profile_off_is_noop () =
+  fresh ();
+  check_bool "off by default" (not (Profile.enabled ()));
+  check_int "phase returns its result" 42 (Profile.phase "nope" (fun () -> 41 + 1));
+  check_int "nothing recorded" 0 (List.length (Profile.stats ()))
+
+let test_profile_nesting_and_self_time () =
+  fresh ();
+  (* A +1-per-read clock makes the arithmetic exact: each phase consumes
+     one tick on entry and one on exit, so  a { b {} b {} }  gives
+     a: total 5 (ticks 1..6), children 2, self 3; b: count 2, total 2. *)
+  let t = ref 0L in
+  let clock () =
+    t := Int64.add !t 1L;
+    !t
+  in
+  Profile.enable ~clock ();
+  Profile.phase "a" (fun () ->
+      Profile.phase "b" (fun () -> ());
+      Profile.phase "b" (fun () -> ()));
+  Profile.disable ();
+  match Profile.stats () with
+  | [ a; ab ] ->
+    check_string "root path" "a" a.Profile.path;
+    check_string "nested path" "a/b" ab.Profile.path;
+    check_int "a count" 1 a.Profile.count;
+    check_int "b count" 2 ab.Profile.count;
+    check_bool "a total = 5 ticks" (a.Profile.total_ns = 5L);
+    check_bool "a self = total - children" (a.Profile.self_ns = 3L);
+    check_bool "b total = 2 ticks" (ab.Profile.total_ns = 2L);
+    check_bool "b self = b total" (ab.Profile.self_ns = 2L)
+  | l -> Alcotest.failf "expected 2 phase rows, got %d" (List.length l)
+
+let test_profile_exception_unwind () =
+  fresh ();
+  Profile.enable ();
+  (try Profile.phase "outer" (fun () -> Profile.phase "inner" (fun () -> failwith "x"))
+   with Failure _ -> ());
+  (* The stack unwound: a later phase is a fresh root, not "outer/...". *)
+  Profile.phase "after" (fun () -> ());
+  Profile.disable ();
+  let paths = List.map (fun (s : Profile.stat) -> s.Profile.path) (Profile.stats ()) in
+  Alcotest.(check (list string))
+    "both raising phases recorded and the stack unwound"
+    [ "after"; "outer"; "outer/inner" ] paths
+
+let test_profile_disable_resets_clock () =
+  fresh ();
+  Profile.enable ~clock:(fun () -> 1_000_000_000L) ();
+  Profile.phase "w" (fun () -> ());
+  Profile.disable ();
+  Profile.reset ();
+  (* Re-enable without a clock: must be back on logical ticks, not the
+     stale constant clock (the Trace.stop leak, applied here). *)
+  Profile.enable ();
+  Profile.phase "w" (fun () -> ());
+  Profile.disable ();
+  match Profile.stats () with
+  | [ s ] -> check_bool "total is one logical tick" (s.Profile.total_ns = 1L)
+  | l -> Alcotest.failf "expected 1 phase row, got %d" (List.length l)
+
+let profile_shape ~jobs =
+  Profile.reset ();
+  Profile.enable ();
+  Profile.phase "par" (fun () ->
+      Ron_util.Pool.parallel_for ~jobs 64 (fun i -> Profile.phase "work" (fun () -> ignore (Sys.opaque_identity i))));
+  Profile.disable ();
+  Profile.stats ()
+
+let test_profile_merge_across_domains () =
+  fresh ();
+  (* Phases on pool workers land in per-domain shards; the merge must see
+     all 64 of them at any job count, and report sorted by path. A phase
+     on a worker is its own root, so only paths/counts are compared — not
+     which domain they nested under. *)
+  let work_count stats =
+    List.fold_left
+      (fun acc (s : Profile.stat) ->
+        let p = s.Profile.path in
+        let l = String.length p in
+        if l >= 4 && String.sub p (l - 4) 4 = "work" then acc + s.Profile.count else acc)
+      0 stats
+  in
+  let s1 = profile_shape ~jobs:1 in
+  let s4 = profile_shape ~jobs:4 in
+  check_int "64 work phases merged at jobs=1" 64 (work_count s1);
+  check_int "64 work phases merged at jobs=4" 64 (work_count s4);
+  let paths = List.map (fun (s : Profile.stat) -> s.Profile.path) s4 in
+  check_bool "report sorted by path" (List.sort String.compare paths = paths);
+  let shape st = List.map (fun (s : Profile.stat) -> (s.Profile.path, s.Profile.count)) st in
+  let s4' = profile_shape ~jobs:4 in
+  check_bool "jobs=4 shape reproducible run-to-run" (shape s4 = shape s4')
+
+let test_profile_mirrors_trace_span () =
+  fresh ();
+  let sink, lines = Trace.memory_sink () in
+  Trace.configure ~clock:Trace.logical_clock sink;
+  Profile.enable ();
+  Profile.phase "mirrored" (fun () -> ());
+  Profile.disable ();
+  Trace.stop ();
+  match Trace_read.parse_lines (lines ()) with
+  | Ok [ b; e ] ->
+    check_bool "B span" (b.Trace_read.ph = Trace_read.B && b.Trace_read.name = "mirrored");
+    check_bool "E span" (e.Trace_read.ph = Trace_read.E && e.Trace_read.name = "mirrored")
+  | Ok l -> Alcotest.failf "expected B+E, got %d events" (List.length l)
+  | Error e -> Alcotest.failf "parse: %s" e
 
 (* ------------------------------------------- simulator <-> obs agreement *)
 
@@ -217,6 +470,27 @@ let () =
         [
           Alcotest.test_case "no-op sink emits nothing" `Quick test_noop_sink_emits_nothing;
           Alcotest.test_case "memory sink captures JSONL" `Quick test_memory_sink_captures_events;
+          Alcotest.test_case "stop resets the injected clock" `Quick test_stop_resets_clock;
+          Alcotest.test_case "span unwind carries the error" `Quick test_span_unwind_emits_error;
+          Alcotest.test_case "reader rejects malformed lines" `Quick test_trace_read_parse_line;
+          Alcotest.test_case "validator enforces B/E structure" `Quick
+            test_validator_structural_rules;
+        ] );
+      ( "histogram",
+        [
+          Alcotest.test_case "growth, empty, reset" `Quick test_histogram_growth_and_empty;
+          Alcotest.test_case "reset + re-observe identical across jobs" `Quick
+            test_histogram_reset_reobserve_across_jobs;
+        ] );
+      ( "profile",
+        [
+          Alcotest.test_case "off is a no-op" `Quick test_profile_off_is_noop;
+          Alcotest.test_case "nesting paths and self time" `Quick
+            test_profile_nesting_and_self_time;
+          Alcotest.test_case "exception unwinds the stack" `Quick test_profile_exception_unwind;
+          Alcotest.test_case "disable resets the clock" `Quick test_profile_disable_resets_clock;
+          Alcotest.test_case "merge across domains" `Quick test_profile_merge_across_domains;
+          Alcotest.test_case "phase mirrors a trace span" `Quick test_profile_mirrors_trace_span;
         ] );
       ( "determinism",
         [
