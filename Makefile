@@ -1,4 +1,4 @@
-.PHONY: all build test check bench bench-json bench-diff trace-smoke fault-smoke profile-smoke clean
+.PHONY: all build test check bench bench-json bench-diff scale-smoke trace-smoke fault-smoke profile-smoke clean
 
 # Relative slowdown tolerated by bench-diff before a timing key fails
 # (0.5 = 50% slower); override per-run: make bench-diff RON_BENCH_DIFF_THRESHOLD=1.0
@@ -6,7 +6,7 @@ RON_BENCH_DIFF_THRESHOLD ?= 0.5
 export RON_BENCH_DIFF_THRESHOLD
 
 # Committed baseline that bench-diff compares against.
-BENCH_BASELINE ?= BENCH_2026-08-05.json
+BENCH_BASELINE ?= BENCH_2026-08-08.json
 
 all: build
 
@@ -35,6 +35,19 @@ bench-diff: build
 	dune exec bench/main.exe -- esub --json /tmp/ron_bench_fresh.json --sizes 200,400
 	dune exec bin/bench_diff.exe -- $(BENCH_BASELINE) /tmp/ron_bench_fresh.json \
 	  --out /tmp/ron_bench_diff_verdict.json
+
+# Scaling smoke: the near-linear pipeline (streamed torus -> on-demand
+# oracle -> landmark labels -> sampled stretch) at n = 10^5, under a hard
+# wall-clock budget, then diffed warn-only against the committed baseline
+# (timing keys use the threshold; the deterministic label/stretch keys must
+# match exactly; peak_rss_kb is recorded but not diffed).
+SCALE_SMOKE_N ?= 100000
+SCALE_SMOKE_BUDGET_S ?= 300
+scale-smoke: build
+	timeout $(SCALE_SMOKE_BUDGET_S) dune exec bench/main.exe -- \
+	  --json /tmp/ron_scale_smoke.json --scale-only --scale $(SCALE_SMOKE_N)
+	dune exec bin/bench_diff.exe -- $(BENCH_BASELINE) /tmp/ron_scale_smoke.json \
+	  --warn-only --out /tmp/ron_scale_smoke_verdict.json
 
 # Observability smoke: trace a routing run, then validate every JSONL event.
 trace-smoke: build

@@ -212,6 +212,66 @@ let graph_section sizes =
       ("construction", graph_construction_section ());
     ]
 
+(* -------------------------------------------------------- scaling regime *)
+
+(* The near-linear pipeline at sizes the eager path cannot touch: streamed
+   torus generation, on-demand oracle metric, landmark + local-ball labels,
+   sampled stretch. Parameters mirror Exp_scale so the deterministic
+   quantities here cross-check the experiment's table; the timing keys and
+   the peak-RSS high-water mark are what this section adds. Entries are
+   keyed by "n" (bench_diff matches list entries on it), so a CI smoke at
+   one size diffs cleanly against a baseline measured at several. *)
+let scale_section n =
+  let side = max 2 (int_of_float (Float.round (sqrt (float_of_int n)))) in
+  let (g, t_gen) = time (fun () -> Ron_graph.Graph_gen.torus side side) in
+  let nn = Ron_graph.Graph.size g in
+  let (sp, t_sp) = time (fun () -> Ron_graph.Sp_metric.create g) in
+  let k = max 4 (min 32 (1 + Ron_util.Bits.ilog2_floor nn)) in
+  let (lm, t_lm) =
+    time (fun () -> Ron_labeling.Landmark.build sp (Rng.create 97) ~k ~local_radius:2.0)
+  in
+  let (truth, t_truth) =
+    time (fun () -> Ron_graph.Sp_metric.sample_ground_truth sp ~seed:1009 ~count:500)
+  in
+  let exact = ref 0 and hi_sum = ref 0.0 and hi_max = ref 1.0 in
+  Array.iter
+    (fun (u, v, d) ->
+      let lo, hi = Ron_labeling.Landmark.estimate lm u v in
+      if Float.equal lo hi then incr exact;
+      let r = hi /. d in
+      hi_sum := !hi_sum +. r;
+      hi_max := Float.max !hi_max r)
+    truth;
+  let bits = Ron_labeling.Landmark.label_bits lm in
+  let pairs = Array.length truth in
+  let fields =
+    [
+      ("n", Int nn);
+      ("torus_side", Int side);
+      ("arcs", Int (2 * Ron_graph.Graph.edge_count g));
+      ("sp_mode",
+       String (match Ron_graph.Sp_metric.mode sp with
+               | Ron_graph.Sp_metric.Eager -> "eager"
+               | Ron_graph.Sp_metric.On_demand -> "ondemand"));
+      ("beacons", Int k);
+      ("graph_gen_s", Float t_gen);
+      ("sp_metric_create_s", Float t_sp);
+      ("landmark_build_s", Float t_lm);
+      ("sample_ground_truth_s", Float t_truth);
+      ("label_bits_max", Int (Array.fold_left max 0 bits));
+      ("label_bits_mean",
+       Float (float_of_int (Array.fold_left ( + ) 0 bits) /. float_of_int nn));
+      ("sampled_pairs", Int pairs);
+      ("exact_estimates", Int !exact);
+      ("stretch_hi_mean", Float (!hi_sum /. float_of_int pairs));
+      ("stretch_hi_max", Float !hi_max);
+    ]
+  in
+  Obj
+    (match peak_rss_kb () with
+    | Some kb -> fields @ [ ("peak_rss_kb", Int kb) ]
+    | None -> fields)
+
 (* -------------------------------------------- Table 1-3 headline numbers *)
 
 let max_arr = Array.fold_left max 0
@@ -351,7 +411,7 @@ let timestamp () =
 
 let ns_clock () = Int64.of_float (Unix.gettimeofday () *. 1e9)
 
-let run ~file ~sizes =
+let run ?(scale_sizes = [ 10_000 ]) ?(scale_only = false) ~file ~sizes () =
   (* Open the output first so a bad path fails before minutes of measuring. *)
   let oc =
     try open_out file
@@ -365,39 +425,56 @@ let run ~file ~sizes =
      not regression signals). *)
   Ron_obs.Profile.enable ~clock:ns_clock ();
   Ron_obs.Profile.reset ();
-  Printf.printf "\n[JSON] measuring index hot path at n in {%s} (RON_JOBS=%d)...\n%!"
-    (String.concat ", " (List.map string_of_int sizes))
-    (Pool.jobs ());
-  let index = Stdlib.List.map index_section sizes in
-  Printf.printf "[JSON] measuring graph all-pairs + construction at n in {%s}...\n%!"
-    (String.concat ", " (List.map string_of_int sizes));
-  let graph = graph_section sizes in
-  Printf.printf "[JSON] measuring Table 1-3 quantities...\n%!";
-  (* The timed index sections above ran with observability off; reset so the
-     obs section below reflects exactly the Table 1-3 query workloads
-     (collect_routes force-enables the probes while routing). *)
-  Ron_obs.reset ();
-  let t1 = table1 () and t2 = table2 () and t3 = table3 () in
-  let fault = fault_section () in
-  let report =
-    Obj
+  let env_fields =
+    [
+      ("schema", String "ron-bench/1");
+      ("timestamp", String (timestamp ()));
+      ("ocaml_version", String Sys.ocaml_version);
+      ("ron_jobs", Int (Pool.jobs ()));
+      ("recommended_domains", Int (Domain.recommended_domain_count ()));
+      ("word_size", Int Sys.word_size);
+    ]
+  in
+  let sections =
+    if scale_only then begin
+      (* The scale-smoke path: one near-linear pipeline per size, nothing
+         quadratic — fits a CI time budget even at n = 10^5. *)
+      Printf.printf "\n[JSON] measuring scaling regime at n in {%s} (RON_JOBS=%d)...\n%!"
+        (String.concat ", " (List.map string_of_int scale_sizes))
+        (Pool.jobs ());
+      [ ("scale", List (Stdlib.List.map scale_section scale_sizes)) ]
+    end
+    else begin
+      Printf.printf "\n[JSON] measuring index hot path at n in {%s} (RON_JOBS=%d)...\n%!"
+        (String.concat ", " (List.map string_of_int sizes))
+        (Pool.jobs ());
+      let index = Stdlib.List.map index_section sizes in
+      Printf.printf "[JSON] measuring graph all-pairs + construction at n in {%s}...\n%!"
+        (String.concat ", " (List.map string_of_int sizes));
+      let graph = graph_section sizes in
+      Printf.printf "[JSON] measuring scaling regime at n in {%s}...\n%!"
+        (String.concat ", " (List.map string_of_int scale_sizes));
+      let scale = List (Stdlib.List.map scale_section scale_sizes) in
+      Printf.printf "[JSON] measuring Table 1-3 quantities...\n%!";
+      (* The timed sections above ran with observability off; reset so the
+         obs section below reflects exactly the Table 1-3 query workloads
+         (collect_routes force-enables the probes while routing). *)
+      Ron_obs.reset ();
+      let t1 = table1 () and t2 = table2 () and t3 = table3 () in
+      let fault = fault_section () in
       [
-        ("schema", String "ron-bench/1");
-        ("timestamp", String (timestamp ()));
-        ("ocaml_version", String Sys.ocaml_version);
-        ("ron_jobs", Int (Pool.jobs ()));
-        ("recommended_domains", Int (Domain.recommended_domain_count ()));
-        ("word_size", Int Sys.word_size);
         ("index", List index);
         ("graph", graph);
+        ("scale", scale);
         ("table1", t1);
         ("table2", t2);
         ("table3", t3);
         ("fault", fault);
         ("obs", Ron_obs.snapshot ());
-        ("profile", Ron_obs.Profile.to_json ());
       ]
+    end
   in
+  let report = Obj (env_fields @ sections @ [ ("profile", Ron_obs.Profile.to_json ()) ]) in
   Ron_obs.Profile.disable ();
   output_string oc (to_string report);
   close_out oc;

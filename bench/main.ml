@@ -7,6 +7,9 @@
      dune exec bench/main.exe -- --json BENCH.json [--sizes 500,1000,2000]
                                          -- machine-readable perf report
                                             (combinable with experiment ids)
+     dune exec bench/main.exe -- --json B.json --scale-only --scale 100000
+                                         -- only the near-linear "scale"
+                                            section (the CI scale smoke)
 
    One section is printed per paper artifact (table / figure / theorem); see
    DESIGN.md section 3 for the index and EXPERIMENTS.md for the recorded
@@ -31,6 +34,7 @@ let experiments : (string * string * (unit -> unit)) list =
     ("fig1", "Figure 1: flow of ideas as live dependencies", E.Exp_fig1.run);
     ("mer", "Meridian-style object location over rings (Sec 6)", E.Exp_mer.run);
     ("fault", "Fault injection & graceful degradation sweep", E.Exp_fault.run);
+    ("scale", "Scaling regime: landmark labels over the on-demand oracle", E.Exp_scale.run);
   ]
 
 (* ------------------------------------------------- Bechamel micro-benches *)
@@ -127,6 +131,7 @@ let parse_sizes s =
 let () =
   let args = List.tl (Array.to_list Sys.argv) in
   let json_file = ref None and sizes = ref [ 500; 1000; 2000 ] in
+  let scale_sizes = ref [ 10_000 ] and scale_only = ref false in
   let rec strip_flags = function
     | [] -> []
     | "--json" :: file :: rest ->
@@ -141,6 +146,15 @@ let () =
     | [ "--sizes" ] ->
       Printf.eprintf "--sizes requires a comma-separated list (e.g. 500,1000,2000)\n";
       exit 1
+    | "--scale" :: spec :: rest ->
+      scale_sizes := parse_sizes spec;
+      strip_flags rest
+    | [ "--scale" ] ->
+      Printf.eprintf "--scale requires a comma-separated list (e.g. 10000,100000)\n";
+      exit 1
+    | "--scale-only" :: rest ->
+      scale_only := true;
+      strip_flags rest
     | arg :: rest -> arg :: strip_flags rest
   in
   let ids = strip_flags args in
@@ -165,5 +179,6 @@ let () =
          end)
        ids);
   match !json_file with
-  | Some file -> Bench_json.run ~file ~sizes:!sizes
+  | Some file ->
+    Bench_json.run ~scale_sizes:!scale_sizes ~scale_only:!scale_only ~file ~sizes:!sizes ()
   | None -> ()

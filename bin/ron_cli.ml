@@ -457,7 +457,7 @@ let inspect_cmd =
 let experiment_ids =
   [
     "t1"; "t2"; "t3"; "e21"; "e32"; "e34"; "e41"; "e52a"; "e52b"; "e54"; "e55"; "esub"; "fig1";
-    "mer"; "fault";
+    "mer"; "fault"; "scale";
   ]
 
 let run_experiment trace metrics profile jobs id =
@@ -470,7 +470,7 @@ let run_experiment trace metrics profile jobs id =
       ("e21", E.Exp_e21.run); ("e32", E.Exp_e32.run); ("e34", E.Exp_e34.run);
       ("e41", E.Exp_e41.run); ("e52a", E.Exp_e52.run_a); ("e52b", E.Exp_e52.run_b);
       ("e54", E.Exp_e54.run); ("e55", E.Exp_e55.run); ("esub", E.Exp_esub.run); ("mer", E.Exp_mer.run);
-      ("fig1", E.Exp_fig1.run); ("fault", E.Exp_fault.run);
+      ("fig1", E.Exp_fig1.run); ("fault", E.Exp_fault.run); ("scale", E.Exp_scale.run);
     ]
   in
   match List.assoc_opt id table with

@@ -1,36 +1,161 @@
+(* Flat storage: the DLS zeta join inserts tens of millions of entries per
+   labelled build, and the retained tables dominate that scheme's memory, so
+   entries live in unboxed int arrays instead of a boxed stdlib Hashtbl.
+
+   - [(x, y)] packs into one immediate int ([x lsl 31 lor y]; enumeration
+     indices are < 2^31).
+   - An insertion log ([log_key]/[log_z]/[log_next]) holds the entries in
+     add order; [log_next] chains entries sharing an [x] (newest first,
+     matching the bucket order of the previous implementation).
+   - An open-addressing table ([hkeys]/[hvals], linear probing, Murmur3
+     finalizer hash, load factor <= 1/2) gives O(1) [find] and the
+     immediate conflicting-add check.
+
+   Per entry: 5 ints of log/chain plus ~4 ints of hash slots — no
+   per-entry allocation at all. *)
+
 type t = {
-  table : (int * int, int) Hashtbl.t;
-  by_x : (int, (int * int) list ref) Hashtbl.t;
+  mutable cap : int; (* hash capacity, power of two *)
+  mutable hkeys : int array; (* packed key, or -1 for empty *)
+  mutable hvals : int array; (* log index *)
+  mutable log_key : int array;
+  mutable log_z : int array;
+  mutable log_next : int array; (* next log index with the same x, or -1 *)
+  mutable heads : int array; (* chain head per x, or -1; grows on demand *)
+  mutable len : int;
 }
 
-let create () = { table = Hashtbl.create 16; by_x = Hashtbl.create 16 }
+let shift = 31
+let mask = (1 lsl shift) - 1
+
+let hash key cap =
+  (* Murmur3-style finalizer (odd 62-bit multipliers: OCaml ints are 63
+     bits): full-width mix, then mask to the table. *)
+  let k = key lxor (key lsr 33) in
+  let k = k * 0x2545F4914F6CDD1D in
+  let k = k lxor (k lsr 33) in
+  let k = k * 0x1A85EC53A85EC5B5 in
+  let k = k lxor (k lsr 33) in
+  k land (cap - 1)
+
+let next_pow2 k =
+  let c = ref 16 in
+  while !c < k do
+    c := 2 * !c
+  done;
+  !c
+
+let create ?(size_hint = 0) () =
+  let logc = max 8 size_hint in
+  let cap = next_pow2 ((2 * size_hint) + 1) in
+  {
+    cap;
+    hkeys = Array.make cap (-1);
+    hvals = Array.make cap 0;
+    log_key = Array.make logc 0;
+    log_z = Array.make logc 0;
+    log_next = Array.make logc (-1);
+    heads = [||];
+    len = 0;
+  }
+
+let rehash t cap =
+  let hkeys = Array.make cap (-1) and hvals = Array.make cap 0 in
+  for i = 0 to t.len - 1 do
+    let key = t.log_key.(i) in
+    let j = ref (hash key cap) in
+    while hkeys.(!j) >= 0 do
+      j := (!j + 1) land (cap - 1)
+    done;
+    hkeys.(!j) <- key;
+    hvals.(!j) <- i
+  done;
+  t.cap <- cap;
+  t.hkeys <- hkeys;
+  t.hvals <- hvals
 
 let add t ~x ~y ~z =
-  match Hashtbl.find_opt t.table (x, y) with
-  | Some z' when z' = z -> ()
-  | Some _ -> invalid_arg "Translation.add: conflicting entry"
-  | None ->
-    Hashtbl.replace t.table (x, y) z;
-    let bucket =
-      match Hashtbl.find_opt t.by_x x with
-      | Some b -> b
-      | None ->
-        let b = ref [] in
-        Hashtbl.replace t.by_x x b;
-        b
-    in
-    bucket := (y, z) :: !bucket
+  let key = (x lsl shift) lor y in
+  let cap = t.cap in
+  let j = ref (hash key cap) in
+  let hkeys = t.hkeys in
+  (* [!j] stays masked to [cap - 1], so the unsafe accesses are in bounds. *)
+  while
+    let k = Array.unsafe_get hkeys !j in
+    k >= 0 && k <> key
+  do
+    j := (!j + 1) land (cap - 1)
+  done;
+  if Array.unsafe_get hkeys !j = key then begin
+    if t.log_z.(t.hvals.(!j)) <> z then invalid_arg "Translation.add: conflicting entry"
+  end
+  else begin
+    let i = t.len in
+    if i = Array.length t.log_key then begin
+      let bigger = 2 * i in
+      let nk = Array.make bigger 0 and nz = Array.make bigger 0 and nn = Array.make bigger (-1) in
+      Array.blit t.log_key 0 nk 0 i;
+      Array.blit t.log_z 0 nz 0 i;
+      Array.blit t.log_next 0 nn 0 i;
+      t.log_key <- nk;
+      t.log_z <- nz;
+      t.log_next <- nn
+    end;
+    t.log_key.(i) <- key;
+    t.log_z.(i) <- z;
+    if x >= Array.length t.heads then begin
+      let bigger = Array.make (max 16 (2 * (x + 1))) (-1) in
+      Array.blit t.heads 0 bigger 0 (Array.length t.heads);
+      t.heads <- bigger
+    end;
+    t.log_next.(i) <- t.heads.(x);
+    t.heads.(x) <- i;
+    t.len <- i + 1;
+    t.hkeys.(!j) <- key;
+    t.hvals.(!j) <- i;
+    if 2 * t.len >= cap then rehash t (2 * cap)
+  end
 
 let find t ~x ~y =
   if !Ron_obs.Probe.on then Ron_obs.Probe.translation_lookup ();
-  Hashtbl.find_opt t.table (x, y)
+  let key = (x lsl shift) lor y in
+  let cap = t.cap in
+  let j = ref (hash key cap) in
+  let hkeys = t.hkeys in
+  while
+    let k = Array.unsafe_get hkeys !j in
+    k >= 0 && k <> key
+  do
+    j := (!j + 1) land (cap - 1)
+  done;
+  if Array.unsafe_get hkeys !j = key then Some t.log_z.(t.hvals.(!j)) else None
 
-let entries t = Hashtbl.fold (fun (x, y) z acc -> (x, y, z) :: acc) t.table []
+let entries t =
+  let acc = ref [] in
+  for i = t.len - 1 downto 0 do
+    let key = t.log_key.(i) in
+    acc := (key lsr shift, key land mask, t.log_z.(i)) :: !acc
+  done;
+  !acc
 
 let entries_with_x t ~x =
-  match Hashtbl.find_opt t.by_x x with Some b -> !b | None -> []
+  if x >= Array.length t.heads then []
+  else begin
+    let acc = ref [] in
+    let i = ref t.heads.(x) in
+    let out = ref [] in
+    while !i >= 0 do
+      let key = t.log_key.(!i) in
+      acc := (key land mask, t.log_z.(!i)) :: !acc;
+      i := t.log_next.(!i)
+    done;
+    (* [acc] collected oldest-last; reverse to newest-first (the historical
+       bucket order). *)
+    List.iter (fun e -> out := e :: !out) !acc;
+    !out
+  end
 
-let entry_count t = Hashtbl.length t.table
+let entry_count t = t.len
 
 let bits_sparse t ~x_bits ~y_bits ~z_bits = entry_count t * (x_bits + y_bits + z_bits)
 

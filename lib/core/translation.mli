@@ -9,7 +9,11 @@
 
 type t
 
-val create : unit -> t
+val create : ?size_hint:int -> unit -> t
+(** [size_hint] presizes the internal storage for that many entries, so a
+    caller that can count before filling (the DLS zeta join) pays no
+    doubling or rehash garbage. Purely an optimization: contents are
+    identical for any hint. *)
 
 val add : t -> x:int -> y:int -> z:int -> unit
 (** Raises [Invalid_argument] if [(x, y)] is already bound to a different

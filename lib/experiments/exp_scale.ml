@@ -1,0 +1,129 @@
+module C = Exp_common
+module Rng = Ron_util.Rng
+module Graph = Ron_graph.Graph
+module Graph_gen = Ron_graph.Graph_gen
+module Sp_metric = Ron_graph.Sp_metric
+module Landmark = Ron_labeling.Landmark
+
+(* The scaling regime: everything here must stay near-linear in n. The
+   shortest-path ground truth goes through the on-demand oracle (no n^2
+   matrix), stretch is measured on a seeded pair sample (no n^2 sweep),
+   and the scheme under test is the landmark + local-ball labeling — the
+   one construction in the repo with no quadratic term.
+
+   Output discipline: only deterministic quantities are printed (label
+   bits, ball sizes, sampled stretch). Wall times and RSS belong to the
+   bench JSON report ("scale" section), not here, so this experiment's
+   stdout is byte-identical across machines, reruns, and RON_JOBS. *)
+
+let default_sizes = [ 1024; 4096; 10_000 ]
+
+(* RON_SCALE_SIZES=100000,1000000 runs the big sweep without recompiling;
+   the committed expectation files use the default. *)
+let sizes () =
+  match Sys.getenv_opt "RON_SCALE_SIZES" with
+  | None | Some "" -> default_sizes
+  | Some s ->
+    String.split_on_char ',' s
+    |> List.map String.trim
+    |> List.filter (fun x -> x <> "")
+    |> List.map (fun x ->
+           match int_of_string_opt x with
+           | Some n when n >= 4 -> n
+           | _ -> failwith (Printf.sprintf "bad RON_SCALE_SIZES entry %S" x))
+
+let beacons_for n = max 4 (min 32 (1 + Ron_util.Bits.ilog2_floor n))
+
+type point = {
+  n : int;
+  arcs : int;
+  k : int;
+  ball_mean : float;
+  ball_max : int;
+  bits_mean : float;
+  bits_max : int;
+  exact : int;
+  pairs : int;
+  hi_mean : float;
+  hi_max : float;
+  lo_mean : float;
+}
+
+let measure n =
+  let side = max 2 (int_of_float (Float.round (sqrt (float_of_int n)))) in
+  let g = Graph_gen.torus side side in
+  let nn = Graph.size g in
+  let sp = Sp_metric.create g in
+  let lm = Landmark.build sp (Rng.create 97) ~k:(beacons_for nn) ~local_radius:2.0 in
+  let truth = Sp_metric.sample_ground_truth sp ~seed:1009 ~count:500 in
+  let exact = ref 0 and hi_sum = ref 0.0 and hi_max = ref 1.0 and lo_sum = ref 0.0 in
+  Array.iter
+    (fun (u, v, d) ->
+      let lo, hi = Landmark.estimate lm u v in
+      if Float.equal lo hi then incr exact;
+      let rhi = hi /. d and rlo = lo /. d in
+      hi_sum := !hi_sum +. rhi;
+      lo_sum := !lo_sum +. rlo;
+      hi_max := Float.max !hi_max rhi)
+    truth;
+  let bits = Landmark.label_bits lm in
+  let bits_max = Array.fold_left max 0 bits in
+  let bits_mean =
+    float_of_int (Array.fold_left ( + ) 0 bits) /. float_of_int nn
+  in
+  let ball_sum = ref 0 and ball_max = ref 0 in
+  for u = 0 to nn - 1 do
+    let b = Landmark.ball_size lm u in
+    ball_sum := !ball_sum + b;
+    ball_max := max !ball_max b
+  done;
+  let pairs = Array.length truth in
+  {
+    n = nn;
+    arcs = 2 * Graph.edge_count g;
+    k = Landmark.order lm;
+    ball_mean = float_of_int !ball_sum /. float_of_int nn;
+    ball_max = !ball_max;
+    bits_mean;
+    bits_max;
+    exact = !exact;
+    pairs;
+    hi_mean = !hi_sum /. float_of_int pairs;
+    hi_max = !hi_max;
+    lo_mean = !lo_sum /. float_of_int pairs;
+  }
+
+let run () =
+  C.section "SCALE"
+    "Million-node regime: landmark + local-ball labels over the on-demand oracle";
+  C.note "Torus graphs (unit weights, side = round(sqrt n)); beacons k = min(32,";
+  C.note "1 + floor(log2 n)); local balls of radius 2. Stretch: 500 seeded sample";
+  C.note "pairs against oracle ground truth (no all-pairs matrix is ever built).";
+  C.header
+    [
+      C.cell ~w:9 "n"; C.cell ~w:9 "arcs"; C.cell ~w:4 "k"; C.cell ~w:8 "ball mn";
+      C.cell ~w:8 "ball mx"; C.cell ~w:10 "bits/node"; C.cell ~w:9 "bits max";
+      C.cell ~w:9 "exact"; C.cell ~w:8 "lo mn"; C.cell ~w:8 "hi mn"; C.cell ~w:8 "hi max";
+    ];
+  List.iter
+    (fun n ->
+      let p = measure n in
+      C.row
+        [
+          C.cell_int ~w:9 p.n;
+          C.cell_int ~w:9 p.arcs;
+          C.cell_int ~w:4 p.k;
+          C.cell_float ~w:8 ~prec:2 p.ball_mean;
+          C.cell_int ~w:8 p.ball_max;
+          C.cell_float ~w:10 ~prec:1 p.bits_mean;
+          C.cell_int ~w:9 p.bits_max;
+          C.cell ~w:9 (Printf.sprintf "%d/%d" p.exact p.pairs);
+          C.cell_float ~w:8 p.lo_mean;
+          C.cell_float ~w:8 p.hi_mean;
+          C.cell_float ~w:8 p.hi_max;
+        ])
+    (sizes ());
+  C.note "lo <= d <= hi always (landmark sandwich); lo = hi on in-ball and";
+  C.note "beacon-endpoint pairs. Label bits grow as O(k log n + ball), not O(n).";
+  C.note "Construction wall times and peak RSS for this regime live in the bench";
+  C.note "JSON report's \"scale\" section (see EXPERIMENTS.md, Scaling)."

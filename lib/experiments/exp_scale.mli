@@ -1,0 +1,10 @@
+(** Scaling experiment: the landmark + local-ball labeling built over the
+    on-demand shortest-path oracle, measured on tori of growing size with
+    sampled (never all-pairs) stretch. Prints only deterministic
+    quantities — label bits, ball sizes, sampled lo/hi stretch — so the
+    output is byte-identical across reruns and [RON_JOBS]; wall-clock and
+    memory for the same regime are reported by the bench JSON "scale"
+    section. [RON_SCALE_SIZES] (comma-separated node counts) overrides the
+    default sweep. *)
+
+val run : unit -> unit

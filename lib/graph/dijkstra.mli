@@ -31,6 +31,53 @@ type sssp = {
 
 val run : Graph.t -> int -> sssp
 
+type bounded = {
+  center : int;
+  radius : float;
+  nodes : int array;
+      (** Settled nodes — exactly [{ v | dist(center, v) <= radius }] — in
+          pop (increasing-distance, deterministic tie-broken) order. *)
+  dists : float array;  (** [dists.(i)]: distance to [nodes.(i)]. *)
+  hops : int array;
+      (** [hops.(i)]: first-hop edge index toward [nodes.(i)]; [-1] for the
+          center itself. *)
+}
+
+val run_bounded : Graph.t -> int -> radius:float -> bounded
+(** Radius-limited Dijkstra with early exit: tentative distances beyond
+    [radius] are never enqueued, so the run costs O(ball) — not O(n) — per
+    call (per-domain generation-stamped scratch, no O(n) reset). Every
+    distance and first-hop bit agrees with {!run} restricted to the ball.
+    The workhorse for ring/annulus and local-ball construction. *)
+
+module Oracle : sig
+  (** On-demand distance oracle: SSSP rows computed lazily with the same
+      core as {!all_pairs} (bit-identical results) and cached in a
+      per-domain LRU keyed by source. Lock-free; [RON_JOBS] never changes
+      bits. Memory: [capacity] rows of 16 bytes per node, per querying
+      domain. *)
+
+  type t
+
+  val create : ?capacity:int -> Graph.t -> t
+  (** Default capacity keeps the per-domain cache near 64 MB (at least 2
+      rows, at most 32); [RON_ORACLE_ROWS] overrides. *)
+
+  val size : t -> int
+  val capacity : t -> int
+
+  val distances : t -> int -> float array
+  (** [distances t s]: the full distance row from [s]. Returns the cache's
+      own array — read-only, and only valid until [capacity] further
+      distinct-source queries on this domain. Copy to retain. *)
+
+  val first_hops : t -> int -> int array
+  (** First-hop row from [s], same caching contract as {!distances}. *)
+
+  val distance : t -> int -> int -> float
+  val first_hop : t -> int -> int -> int
+end
+
 type apsp
 (** All-pairs results in flat row-major storage: the distance and first-hop
     from [u] to [v] live at offset [u * n + v]. *)

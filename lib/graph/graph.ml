@@ -1,63 +1,137 @@
 type edge = { dst : int; weight : float }
 
-type t = { n : int; adj : edge array array }
+(* CSR adjacency: the arcs out of node [u] are the slice
+   [off.(u) .. off.(u+1) - 1] of [dst]/[w]. Three flat arrays instead of an
+   array-of-arrays keeps the whole structure in a handful of contiguous
+   allocations (no per-node boxing, no per-edge records), which is what lets
+   traversals run zero-copy at n = 10^6. *)
+type t = { n : int; off : int array; dst : int array; w : floatarray }
+
+let check_arc n u v weight =
+  if u < 0 || u >= n || v < 0 || v >= n then invalid_arg "Graph.create: node out of range";
+  if u = v then invalid_arg "Graph.create: self-loop";
+  if not (weight > 0.0 && Float.is_finite weight) then
+    invalid_arg "Graph.create: weight must be positive"
+
+(* Two-pass CSR build from a re-runnable arc producer: pass one counts
+   degrees, pass two fills the arrays. [produce] is called exactly twice and
+   must emit the same arcs in the same order both times (it is handed a
+   fresh [add] callback each time). Per-node arc order is emission order. *)
+let of_arc_stream n produce =
+  if n < 1 then invalid_arg "Graph.create: need at least one node";
+  let deg = Array.make n 0 in
+  let m = ref 0 in
+  produce (fun u v weight ->
+      check_arc n u v weight;
+      deg.(u) <- deg.(u) + 1;
+      incr m);
+  let off = Array.make (n + 1) 0 in
+  for u = 0 to n - 1 do
+    off.(u + 1) <- off.(u) + deg.(u)
+  done;
+  let m = !m in
+  let dst = Array.make (max m 1) 0 in
+  let w = Float.Array.create (max m 1) in
+  (* Reuse [deg] as the per-node write cursor. *)
+  Array.blit off 0 deg 0 n;
+  let filled = ref 0 in
+  produce (fun u v weight ->
+      let i = deg.(u) in
+      if i >= off.(u + 1) then invalid_arg "Graph.of_arc_stream: passes disagree";
+      deg.(u) <- i + 1;
+      dst.(i) <- v;
+      Float.Array.set w i weight;
+      incr filled);
+  if !filled <> m then invalid_arg "Graph.of_arc_stream: passes disagree";
+  { n; off; dst; w }
+
+let of_edge_stream n produce =
+  of_arc_stream n (fun add -> produce (fun u v weight -> add u v weight; add v u weight))
 
 let create n arcs =
-  if n < 1 then invalid_arg "Graph.create: need at least one node";
-  let buckets = Array.make n [] in
-  List.iter
-    (fun (u, v, w) ->
-      if u < 0 || u >= n || v < 0 || v >= n then invalid_arg "Graph.create: node out of range";
-      if u = v then invalid_arg "Graph.create: self-loop";
-      if not (w > 0.0 && Float.is_finite w) then invalid_arg "Graph.create: weight must be positive";
-      buckets.(u) <- { dst = v; weight = w } :: buckets.(u))
-    arcs;
-  { n; adj = Array.map (fun l -> Array.of_list (List.rev l)) buckets }
+  of_arc_stream n (fun add -> List.iter (fun (u, v, weight) -> add u v weight) arcs)
 
 let undirected n edges =
-  let arcs = List.concat_map (fun (u, v, w) -> [ (u, v, w); (v, u, w) ]) edges in
-  create n arcs
+  of_edge_stream n (fun add -> List.iter (fun (u, v, weight) -> add u v weight) edges)
 
 let size t = t.n
-let out_edges t u = t.adj.(u)
-let out_degree t u = Array.length t.adj.(u)
+let csr t = (t.off, t.dst, t.w)
+
+let out_degree t u = t.off.(u + 1) - t.off.(u)
+
+let out_edges t u =
+  let base = t.off.(u) in
+  Array.init (t.off.(u + 1) - base) (fun k ->
+      { dst = t.dst.(base + k); weight = Float.Array.get t.w (base + k) })
+
+let iter_out t u f =
+  for i = t.off.(u) to t.off.(u + 1) - 1 do
+    f t.dst.(i) (Float.Array.get t.w i)
+  done
 
 let max_out_degree t =
-  Array.fold_left (fun acc row -> max acc (Array.length row)) 0 t.adj
+  let best = ref 0 in
+  for u = 0 to t.n - 1 do
+    let d = t.off.(u + 1) - t.off.(u) in
+    if d > !best then best := d
+  done;
+  !best
 
-let edge_count t = Array.fold_left (fun acc row -> acc + Array.length row) 0 t.adj
+let edge_count t = t.off.(t.n)
 
-let hop t u k = t.adj.(u).(k).dst
+let hop t u k =
+  let base = t.off.(u) in
+  if k < 0 || base + k >= t.off.(u + 1) then invalid_arg "Graph.hop: edge index out of range";
+  t.dst.(base + k)
 
 let is_connected t =
   let n = t.n in
-  if n = 0 then true
-  else begin
-    (* Symmetrize for weak connectivity. *)
-    let nbrs = Array.make n [] in
-    Array.iteri
-      (fun u row ->
-        Array.iter
-          (fun e ->
-            nbrs.(u) <- e.dst :: nbrs.(u);
-            nbrs.(e.dst) <- u :: nbrs.(e.dst))
-          row)
-      t.adj;
-    let seen = Array.make n false in
-    let queue = Queue.create () in
-    Queue.add 0 queue;
-    seen.(0) <- true;
-    let visited = ref 1 in
-    while not (Queue.is_empty queue) do
-      let u = Queue.pop queue in
-      List.iter
-        (fun v ->
-          if not seen.(v) then begin
-            seen.(v) <- true;
-            incr visited;
-            Queue.add v queue
-          end)
-        nbrs.(u)
+  (* Symmetrize into a reverse-CSR of int arrays, then run an explicit-stack
+     DFS: no recursion, no lists, O(n + m) ints total. *)
+  let rdeg = Array.make n 0 in
+  for i = 0 to t.off.(n) - 1 do
+    let v = t.dst.(i) in
+    rdeg.(v) <- rdeg.(v) + 1
+  done;
+  let roff = Array.make (n + 1) 0 in
+  for u = 0 to n - 1 do
+    roff.(u + 1) <- roff.(u) + rdeg.(u)
+  done;
+  let rdst = Array.make (max t.off.(n) 1) 0 in
+  Array.blit roff 0 rdeg 0 n;
+  for u = 0 to n - 1 do
+    for i = t.off.(u) to t.off.(u + 1) - 1 do
+      let v = t.dst.(i) in
+      rdst.(rdeg.(v)) <- u;
+      rdeg.(v) <- rdeg.(v) + 1
+    done
+  done;
+  let seen = Array.make n false in
+  let stack = Array.make n 0 in
+  let top = ref 1 in
+  stack.(0) <- 0;
+  seen.(0) <- true;
+  let visited = ref 1 in
+  while !top > 0 do
+    decr top;
+    let u = stack.(!top) in
+    for i = t.off.(u) to t.off.(u + 1) - 1 do
+      let v = t.dst.(i) in
+      if not seen.(v) then begin
+        seen.(v) <- true;
+        incr visited;
+        stack.(!top) <- v;
+        incr top
+      end
     done;
-    !visited = n
-  end
+    for i = roff.(u) to roff.(u + 1) - 1 do
+      let v = rdst.(i) in
+      if not seen.(v) then begin
+        seen.(v) <- true;
+        incr visited;
+        stack.(!top) <- v;
+        incr top
+      end
+    done
+  done;
+  !visited = n

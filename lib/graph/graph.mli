@@ -3,7 +3,13 @@
     A routing scheme routes over the physical edges of a graph [G]; edge
     weights are delays. Edges out of a node are held in a fixed order — the
     paper's enumeration [phi_u] of outgoing links — so a first-hop pointer
-    is just an index of [ceil(log2 Dout)] bits into this list. *)
+    is just an index of [ceil(log2 Dout)] bits into this list.
+
+    The adjacency lives in CSR form (offset / destination / weight flat
+    arrays): a handful of contiguous allocations regardless of n, so
+    million-node graphs build and traverse without per-node or per-edge
+    boxing. Traversal layers ({!Dijkstra}) read the arrays zero-copy via
+    {!csr}. *)
 
 type edge = { dst : int; weight : float }
 
@@ -17,8 +23,33 @@ val create : int -> (int * int * float) list -> t
 val undirected : int -> (int * int * float) list -> t
 (** Adds both directions of every edge. *)
 
+val of_arc_stream : int -> ((int -> int -> float -> unit) -> unit) -> t
+(** [of_arc_stream n produce]: build CSR-natively from a streamed arc
+    producer — no intermediate edge list. [produce add] must call
+    [add u v w] once per arc; it is invoked exactly twice (a counting pass,
+    then a fill pass) and must emit the same arcs in the same order both
+    times. Per-node arc order is emission order. Raises [Invalid_argument]
+    on bad arcs or if the two passes disagree. *)
+
+val of_edge_stream : int -> ((int -> int -> float -> unit) -> unit) -> t
+(** Undirected {!of_arc_stream}: each emitted edge adds both arcs
+    (forward then reverse, adjacent in emission order). *)
+
 val size : t -> int
+
+val csr : t -> int array * int array * floatarray
+(** [csr g] is the internal [(off, dst, w)] CSR triple, zero-copy: arcs of
+    [u] occupy indices [off.(u) .. off.(u+1)-1] of [dst]/[w]. Read-only —
+    mutating the arrays corrupts the graph. *)
+
 val out_edges : t -> int -> edge array
+(** Materializes a fresh array of [u]'s out-arcs (reference/test path; hot
+    loops should use {!csr} or {!iter_out}). *)
+
+val iter_out : t -> int -> (int -> float -> unit) -> unit
+(** [iter_out g u f] calls [f dst weight] per out-arc of [u], in arc order,
+    without allocating. *)
+
 val out_degree : t -> int -> int
 val max_out_degree : t -> int
 
@@ -29,4 +60,5 @@ val hop : t -> int -> int -> int
 (** [hop g u k]: destination of the [k]-th outgoing edge of [u]. *)
 
 val is_connected : t -> bool
-(** Weak connectivity via BFS over arcs in both directions. *)
+(** Weak connectivity via an explicit-stack DFS over arcs in both
+    directions — iterative, O(n + m) ints, safe at n = 10^6. *)

@@ -1,28 +1,33 @@
 module Rng = Ron_util.Rng
 
+(* The lattice generators stream edges straight into the CSR builder — no
+   intermediate edge list, so generation is O(n) words at any n. The
+   historical list-built versions pushed (right, down) per cell onto a list
+   and then reversed it; emitting cells in reverse order with (down, right)
+   per cell reproduces that adjacency order bit-for-bit, which the golden
+   generator tests pin down. *)
+
 let grid w h =
   if w < 1 || h < 1 then invalid_arg "Graph_gen.grid";
   let id x y = (y * w) + x in
-  let edges = ref [] in
-  for y = 0 to h - 1 do
-    for x = 0 to w - 1 do
-      if x + 1 < w then edges := (id x y, id (x + 1) y, 1.0) :: !edges;
-      if y + 1 < h then edges := (id x y, id x (y + 1), 1.0) :: !edges
-    done
-  done;
-  Graph.undirected (w * h) !edges
+  Graph.of_edge_stream (w * h) (fun add ->
+      for y = h - 1 downto 0 do
+        for x = w - 1 downto 0 do
+          if y + 1 < h then add (id x y) (id x (y + 1)) 1.0;
+          if x + 1 < w then add (id x y) (id (x + 1) y) 1.0
+        done
+      done)
 
 let torus w h =
   if w < 3 || h < 3 then invalid_arg "Graph_gen.torus";
   let id x y = (y * w) + x in
-  let edges = ref [] in
-  for y = 0 to h - 1 do
-    for x = 0 to w - 1 do
-      edges := (id x y, id ((x + 1) mod w) y, 1.0) :: !edges;
-      edges := (id x y, id x ((y + 1) mod h), 1.0) :: !edges
-    done
-  done;
-  Graph.undirected (w * h) !edges
+  Graph.of_edge_stream (w * h) (fun add ->
+      for y = h - 1 downto 0 do
+        for x = w - 1 downto 0 do
+          add (id x y) (id x ((y + 1) mod h)) 1.0;
+          add (id x y) (id ((x + 1) mod w) y) 1.0
+        done
+      done)
 
 let random_geometric rng ~n ~radius =
   if n < 2 then invalid_arg "Graph_gen.random_geometric";
@@ -73,6 +78,103 @@ let random_geometric rng ~n ~radius =
   in
   connect ();
   Graph.undirected n !edges
+
+(* Cell-bucketed random geometric graph: the near-linear path for large n.
+   Points live in two unboxed floatarrays (no tuple cloud); the unit square
+   is cut into cells of side >= radius, so each point's neighbors lie in its
+   3x3 cell block and edge enumeration is O(n * mean cell load). The edge
+   stream is a pure function of the drawn points, so the two CSR-builder
+   passes see identical arcs. Connectivity is guaranteed at generation time:
+   a union-find pass over the same stream finds components, which are then
+   chained rep-to-rep (increasing min-node order) — O(alpha) per edge, no
+   O(n^2) nearest-pair scan. *)
+let random_geometric_cells rng ~n ~radius =
+  if n < 2 then invalid_arg "Graph_gen.random_geometric_cells";
+  if not (radius > 0.0 && radius <= 1.0) then
+    invalid_arg "Graph_gen.random_geometric_cells: radius must be in (0, 1]";
+  let px = Float.Array.create n and py = Float.Array.create n in
+  for i = 0 to n - 1 do
+    Float.Array.set px i (Rng.float rng 1.0);
+    Float.Array.set py i (Rng.float rng 1.0)
+  done;
+  let cells =
+    let by_radius = int_of_float (1.0 /. radius) in
+    let by_n = int_of_float (Float.sqrt (float_of_int n)) in
+    max 1 (min by_radius (max 1 by_n))
+  in
+  let cell_of i =
+    let cx = min (cells - 1) (int_of_float (Float.Array.get px i *. float_of_int cells)) in
+    let cy = min (cells - 1) (int_of_float (Float.Array.get py i *. float_of_int cells)) in
+    (cx, cy)
+  in
+  (* Bucket point ids by cell, CSR-style; ids ascend within each bucket. *)
+  let ncell = cells * cells in
+  let cnt = Array.make ncell 0 in
+  for i = 0 to n - 1 do
+    let cx, cy = cell_of i in
+    let c = (cy * cells) + cx in
+    cnt.(c) <- cnt.(c) + 1
+  done;
+  let coff = Array.make (ncell + 1) 0 in
+  for c = 0 to ncell - 1 do
+    coff.(c + 1) <- coff.(c) + cnt.(c)
+  done;
+  let bkt = Array.make n 0 in
+  Array.blit coff 0 cnt 0 ncell;
+  for i = 0 to n - 1 do
+    let cx, cy = cell_of i in
+    let c = (cy * cells) + cx in
+    bkt.(cnt.(c)) <- i;
+    cnt.(c) <- cnt.(c) + 1
+  done;
+  let dist_between u v =
+    Float.hypot
+      (Float.Array.get px u -. Float.Array.get px v)
+      (Float.Array.get py u -. Float.Array.get py v)
+  in
+  (* Enumerate geometric edges (u < v) in a fixed deterministic order. *)
+  let iter_geo_edges f =
+    for u = 0 to n - 1 do
+      let cx, cy = cell_of u in
+      for dy = -1 to 1 do
+        let yy = cy + dy in
+        if yy >= 0 && yy < cells then
+          for dx = -1 to 1 do
+            let xx = cx + dx in
+            if xx >= 0 && xx < cells then begin
+              let c = (yy * cells) + xx in
+              for k = coff.(c) to coff.(c + 1) - 1 do
+                let v = bkt.(k) in
+                if v > u then begin
+                  let duv = dist_between u v in
+                  if duv <= radius && duv > 0.0 then f u v duv
+                end
+              done
+            end
+          done
+      done
+    done
+  in
+  (* Union-find pass, then chain component representatives. *)
+  let comp = Array.init n (fun i -> i) in
+  let rec find i = if comp.(i) = i then i else (comp.(i) <- find comp.(i); comp.(i)) in
+  let union i j = comp.(find i) <- find j in
+  iter_geo_edges (fun u v _ -> union u v);
+  let bridges = ref [] in
+  let prev_rep = ref (-1) in
+  for i = 0 to n - 1 do
+    if find i = i then begin
+      if !prev_rep >= 0 then begin
+        let d = Float.max (dist_between !prev_rep i) 1e-12 in
+        bridges := (!prev_rep, i, d) :: !bridges
+      end;
+      prev_rep := i
+    end
+  done;
+  let bridges = List.rev !bridges in
+  Graph.of_edge_stream n (fun add ->
+      iter_geo_edges add;
+      List.iter (fun (u, v, d) -> add u v d) bridges)
 
 let ring_with_chords rng ~n ~chords =
   if n < 3 then invalid_arg "Graph_gen.ring_with_chords";

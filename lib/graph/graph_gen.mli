@@ -18,6 +18,16 @@ val random_geometric : Ron_util.Rng.t -> n:int -> radius:float -> Graph.t
     disconnected, nearest-pair bridges are added between components, so the
     result is always connected. *)
 
+val random_geometric_cells : Ron_util.Rng.t -> n:int -> radius:float -> Graph.t
+(** Cell-bucketed {!random_geometric}: same model, near-linear construction
+    (points in unboxed arrays, neighbor search over a radius-sized cell
+    grid, edges streamed CSR-natively with no edge list). Connectivity is
+    guaranteed at generation time by chaining component representatives
+    (min-node order, Euclidean weight) — O(n + m) total, so it scales to
+    millions of nodes. Edge {e set} equals {!random_geometric}'s geometric
+    edges; adjacency order and bridge choices differ, so it is a distinct
+    generator, not a bit-compatible replacement. *)
+
 val ring_with_chords : Ron_util.Rng.t -> n:int -> chords:int -> Graph.t
 (** Cycle of [n] unit edges plus [chords] random chords weighted by ring
     distance (so the metric is unchanged but path diversity increases). *)

@@ -6,6 +6,7 @@ let min_hops_within_stretch sp ~src ~stretch =
   if stretch < 1.0 then invalid_arg "Hop_paths.min_hops_within_stretch: stretch must be >= 1";
   let g = Sp_metric.graph sp in
   let n = Graph.size g in
+  let off, dst, w = Graph.csr g in
   let best = Array.make n infinity in
   best.(src) <- 0.0;
   let answer = Array.make n (-1) in
@@ -13,16 +14,18 @@ let min_hops_within_stretch sp ~src ~stretch =
   let tol = 1.0 +. 1e-12 in
   let unresolved = ref (n - 1) in
   let h = ref 0 in
+  let next = Array.make n infinity in
   while !unresolved > 0 && !h <= n do
     incr h;
-    let next = Array.copy best in
+    Array.blit best 0 next 0 n;
     for u = 0 to n - 1 do
-      if best.(u) < infinity then
-        Array.iter
-          (fun e ->
-            let cand = best.(u) +. e.Graph.weight in
-            if cand < next.(e.Graph.dst) then next.(e.Graph.dst) <- cand)
-          (Graph.out_edges g u)
+      let bu = best.(u) in
+      if bu < infinity then
+        for e = off.(u) to off.(u + 1) - 1 do
+          let cand = bu +. Float.Array.get w e in
+          let v = dst.(e) in
+          if cand < next.(v) then next.(v) <- cand
+        done
     done;
     Array.blit next 0 best 0 n;
     for v = 0 to n - 1 do

@@ -44,10 +44,37 @@ let label_bits t = Array.map (fun l -> l.bits) t.labels
 let max_label_bits t = Array.fold_left (fun acc l -> max acc l.bits) 0 t.labels
 let host_beacons t u = Array.copy t.host_order.(u)
 
-let sorted_distinct lst =
-  let tbl = Hashtbl.create 64 in
-  List.iter (fun v -> Hashtbl.replace tbl v ()) lst;
-  let a = Array.of_list (Hashtbl.fold (fun v () acc -> v :: acc) tbl []) in
+(* Deduplicate a list of node ids into a sorted array. Node ids are < n, so
+   a per-domain mark array beats a fresh Hashtbl per call: the build calls
+   this O(n) times per pass, and the scratch makes each call allocate only
+   its result. Marks are cleared by re-walking the output, so cost tracks
+   the list length, not n. *)
+type dedup_scratch = { mutable dcap : int; mutable mark : Bytes.t; mutable buf : int array }
+
+let dedup_key : dedup_scratch Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> { dcap = 0; mark = Bytes.empty; buf = [||] })
+
+let sorted_distinct n lst =
+  let sc = Domain.DLS.get dedup_key in
+  if sc.dcap < n then begin
+    sc.dcap <- n;
+    sc.mark <- Bytes.make n '\000';
+    sc.buf <- Array.make n 0
+  end;
+  let mark = sc.mark and buf = sc.buf in
+  let len = ref 0 in
+  List.iter
+    (fun v ->
+      if Bytes.unsafe_get mark v = '\000' then begin
+        Bytes.unsafe_set mark v '\001';
+        buf.(!len) <- v;
+        incr len
+      end)
+    lst;
+  let a = Array.sub buf 0 !len in
+  for i = 0 to !len - 1 do
+    Bytes.unsafe_set mark a.(i) '\000'
+  done;
   Ron_util.Fsort.sort_ints a;
   a
 
@@ -77,7 +104,7 @@ let build ?(z_divisor = 64.0) tri =
      hierarchy, triangulation, and earlier passes' finished arrays, so each
      runs as a parallel fan-out over nodes ([Pool.init]/[Pool.map] are
      barriers, keeping the passes ordered). *)
-  let z_sets = Pool.init n z_of in
+  let z_sets = Ron_obs.Profile.phase "z_rings" @@ fun () -> Pool.init n z_of in
   (* --- X_u across scales. *)
   let x_all u =
     let acc = ref [] in
@@ -88,24 +115,40 @@ let build ?(z_divisor = 64.0) tri =
   in
   (* --- Virtual neighbors T_u and enumerations psi_u. *)
   let virtuals =
+    Ron_obs.Profile.phase "virtuals" @@ fun () ->
     Pool.init n (fun u ->
         let xs = x_all u in
-        let via_x = List.concat_map (fun v -> z_sets.(v)) (sorted_distinct xs |> Array.to_list) in
-        sorted_distinct (List.concat [ xs; z_sets.(u); via_x ]))
+        let via_x = List.concat_map (fun v -> z_sets.(v)) (sorted_distinct n xs |> Array.to_list) in
+        sorted_distinct n (List.concat [ xs; z_sets.(u); via_x ]))
   in
   let psi = Pool.map Enumeration.of_array virtuals in
+  (* Dense inverse of every psi: [psi_inv.(v).(w)] is [Enumeration.index
+     psi.(v) w] with [-1] for absent. The zeta join below probes psi
+     |S_i| * |S_(i+1)| times per node per scale; an array read there instead
+     of a Hashtbl probe is the difference between minutes and seconds. The
+     n^2 ints are within the Indexed-backed schemes' existing memory class
+     (the metric itself is already materialized at n^2 floats). *)
+  let psi_inv =
+    Pool.init n (fun v ->
+        let inv = Array.make n (-1) in
+        Array.iteri (fun k w -> inv.(w) <- k) (Enumeration.nodes psi.(v));
+        inv)
+  in
   let max_virtual = Array.fold_left (fun acc a -> max acc (Array.length a)) 1 virtuals in
   (* --- Host neighbor sets per scale and host enumerations phi_u with the
      canonical scale-0 prefix. *)
   let scale_set u i =
-    sorted_distinct
+    sorted_distinct n
       (List.concat
          [
            Array.to_list (Triangulation.x_neighbors tri u i);
            Array.to_list (Triangulation.y_neighbors tri u i);
          ])
   in
-  let scale_sets = Pool.init n (fun u -> Array.init li (fun i -> scale_set u i)) in
+  let scale_sets =
+    Ron_obs.Profile.phase "hosts" @@ fun () ->
+    Pool.init n (fun u -> Array.init li (fun i -> scale_set u i))
+  in
   let prefix_nodes = scale_sets.(0).(0) in
   (* Scale-0 sets coincide for every node by construction; the prefix is
      canonical. *)
@@ -114,7 +157,7 @@ let build ?(z_divisor = 64.0) tri =
   let phi =
     Pool.init n (fun u ->
         let rest =
-          sorted_distinct (List.concat_map Array.to_list (Array.to_list scale_sets.(u)))
+          sorted_distinct n (List.concat_map Array.to_list (Array.to_list scale_sets.(u)))
         in
         Enumeration.with_prefix ~prefix rest)
   in
@@ -128,22 +171,41 @@ let build ?(z_divisor = 64.0) tri =
         in
         fst (Net.Hierarchy.nearest hier level u))
   in
-  let zooms = Pool.init n zoom_of in
-  (* --- Translation maps zeta_ui. *)
-  let zetas_of u =
+  let zooms = Ron_obs.Profile.phase "zooms" @@ fun () -> Pool.init n zoom_of in
+  (* --- Translation maps zeta_ui. [phi_inv_u] is the dense inverse of
+     phi.(u), built once per node by the labels pass; probing it and
+     [psi_inv] turns the scale-set join into pure array reads while adding
+     exactly the same entries in the same order as the enumeration-backed
+     lookups did. *)
+  let zetas_of u phi_inv_u =
     Array.init (li - 1) (fun i ->
-        let z = Translation.create () in
+        let this_scale = scale_sets.(u).(i) in
         let next_scale = scale_sets.(u).(i + 1) in
+        (* Count pass: joined pairs are distinct (x per v, y per w), so the
+           count is the exact entry total — the table allocates once, with
+           no doubling or rehash garbage. *)
+        let hits = ref 0 in
         Array.iter
           (fun v ->
-            let x = Enumeration.index_exn phi.(u) v in
+            let piv = psi_inv.(v) in
+            Array.iter (fun w -> if piv.(w) >= 0 then incr hits) next_scale)
+          this_scale;
+        let z = Translation.create ~size_hint:!hits () in
+        Array.iter
+          (fun v ->
+            let x = phi_inv_u.(v) in
+            if x < 0 then failwith "Dls.build: scale-set node outside phi";
+            let piv = psi_inv.(v) in
             Array.iter
               (fun w ->
-                match Enumeration.index psi.(v) w with
-                | None -> ()
-                | Some y -> Translation.add z ~x ~y ~z:(Enumeration.index_exn phi.(u) w))
+                let y = piv.(w) in
+                if y >= 0 then begin
+                  let zz = phi_inv_u.(w) in
+                  if zz < 0 then failwith "Dls.build: scale-set node outside phi";
+                  Translation.add z ~x ~y ~z:zz
+                end)
               next_scale)
-          scale_sets.(u).(i);
+          this_scale;
         z)
   in
   (* --- Quantized distances. *)
@@ -151,13 +213,16 @@ let build ?(z_divisor = 64.0) tri =
     Qfloat.codec_for ~delta ~aspect_ratio:(Float.max 2.0 (Indexed.aspect_ratio idx))
   in
   let labels =
+    Ron_obs.Profile.phase "labels" @@ fun () ->
     Pool.init n (fun u ->
         let e = phi.(u) in
         let k = Enumeration.size e in
         let dists =
           Array.init k (fun idx_k -> Qfloat.quantize codec (Indexed.dist idx u (Enumeration.node e idx_k)))
         in
-        let zetas = zetas_of u in
+        let phi_inv_u = Array.make n (-1) in
+        Array.iteri (fun k w -> phi_inv_u.(w) <- k) (Enumeration.nodes e);
+        let zetas = zetas_of u phi_inv_u in
         let f = zooms.(u) in
         let zoom_first =
           match Enumeration.index prefix f.(0) with
@@ -166,9 +231,9 @@ let build ?(z_divisor = 64.0) tri =
         in
         let zoom_rest =
           Array.init (li - 1) (fun i ->
-              match Enumeration.index psi.(f.(i)) f.(i + 1) with
-              | Some y -> y
-              | None -> failwith "Dls.build: Claim 3.5(c) violated: f_(u,i+1) not virtual at f_ui")
+              let y = psi_inv.(f.(i)).(f.(i + 1)) in
+              if y >= 0 then y
+              else failwith "Dls.build: Claim 3.5(c) violated: f_(u,i+1) not virtual at f_ui")
         in
         let host_bits = Bits.index_bits max_host in
         let virt_bits = Bits.index_bits max_virtual in

@@ -1,0 +1,168 @@
+module Rng = Ron_util.Rng
+module Bits = Ron_util.Bits
+module Qfloat = Ron_util.Qfloat
+module Pool = Ron_util.Pool
+module Probe = Ron_obs.Probe
+module Profile = Ron_obs.Profile
+module Graph = Ron_graph.Graph
+module Dijkstra = Ron_graph.Dijkstra
+module Sp_metric = Ron_graph.Sp_metric
+
+(* Near-linear distance labeling for the million-node regime: k seeded
+   beacons with full SSSP rows (k single-source runs through the on-demand
+   oracle) plus one bounded-radius ball per node (the "ring of neighbors"
+   local exactness). Total state is k rows + sum of ball sizes — no O(n^2)
+   structure anywhere, unlike the Indexed-backed schemes. *)
+
+type t = {
+  n : int;
+  beacons : int array;
+  rows : float array array; (* rows.(i).(v): dist from beacons.(i) to v *)
+  col : int array; (* col.(v): beacon index of v, or -1 *)
+  ball_off : int array; (* CSR over per-node local balls *)
+  ball_node : int array; (* node ids, ascending within each ball *)
+  ball_dist : float array;
+  local_radius : float;
+  qbits : int;
+  id_bits : int;
+}
+
+(* Sort a ball's (node, dist) parallel arrays by node id — insertion sort:
+   balls are small by construction, and the sort is deterministic. *)
+let sort_ball nodes dists =
+  let len = Array.length nodes in
+  for i = 1 to len - 1 do
+    let nv = nodes.(i) and dv = dists.(i) in
+    let j = ref (i - 1) in
+    while !j >= 0 && nodes.(!j) > nv do
+      nodes.(!j + 1) <- nodes.(!j);
+      dists.(!j + 1) <- dists.(!j);
+      decr j
+    done;
+    nodes.(!j + 1) <- nv;
+    dists.(!j + 1) <- dv
+  done
+
+let build ?jobs sp rng ~k ~local_radius =
+  Profile.phase "construct.landmark" @@ fun () ->
+  let g = Sp_metric.graph sp in
+  let n = Graph.size g in
+  if k < 1 || k > n then invalid_arg "Landmark.build: k out of range";
+  if not (local_radius >= 0.0) then invalid_arg "Landmark.build: negative radius";
+  let perm = Array.init n Fun.id in
+  Rng.shuffle rng perm;
+  let beacons = Array.sub perm 0 k in
+  Ron_util.Fsort.sort_ints beacons;
+  let col = Array.make n (-1) in
+  Array.iteri (fun i b -> col.(b) <- i) beacons;
+  let rows =
+    Profile.phase "beacon_rows" @@ fun () ->
+    Pool.init ?jobs k (fun i -> Sp_metric.distances_from sp beacons.(i))
+  in
+  let balls =
+    Profile.phase "local_balls" @@ fun () ->
+    Pool.init ?jobs n (fun u ->
+        let b = Dijkstra.run_bounded g u ~radius:local_radius in
+        let nodes = b.Dijkstra.nodes and dists = b.Dijkstra.dists in
+        sort_ball nodes dists;
+        if !Probe.on then Probe.ring_node ();
+        (nodes, dists))
+  in
+  Profile.phase "labels" @@ fun () ->
+  let ball_off = Array.make (n + 1) 0 in
+  for u = 0 to n - 1 do
+    ball_off.(u + 1) <- ball_off.(u) + Array.length (fst balls.(u))
+  done;
+  let total = ball_off.(n) in
+  let ball_node = Array.make (max total 1) 0 in
+  let ball_dist = Array.make (max total 1) 0.0 in
+  for u = 0 to n - 1 do
+    let nodes, dists = balls.(u) in
+    Array.blit nodes 0 ball_node ball_off.(u) (Array.length nodes);
+    Array.blit dists 0 ball_dist ball_off.(u) (Array.length dists);
+    if !Probe.on then Probe.label_node ()
+  done;
+  (* Aspect ratio for the distance codec, from the beacon rows (global
+     reach) — every stored distance is <= the largest row entry. *)
+  let max_d = ref 1.0 and min_d = ref infinity in
+  Array.iter
+    (fun row ->
+      Array.iter
+        (fun d ->
+          if Float.is_finite d && d > 0.0 then begin
+            if d > !max_d then max_d := d;
+            if d < !min_d then min_d := d
+          end)
+        row)
+    rows;
+  let aspect = if Float.is_finite !min_d && !min_d > 0.0 then !max_d /. !min_d else 2.0 in
+  let codec = Qfloat.codec_for ~delta:0.25 ~aspect_ratio:(Float.max 2.0 aspect) in
+  {
+    n;
+    beacons;
+    rows;
+    col;
+    ball_off;
+    ball_node;
+    ball_dist;
+    local_radius;
+    qbits = Qfloat.bits codec;
+    id_bits = Bits.index_bits n;
+  }
+
+let order t = Array.length t.beacons
+let beacons t = Array.copy t.beacons
+let size t = t.n
+let local_radius t = t.local_radius
+let ball_size t u = t.ball_off.(u + 1) - t.ball_off.(u)
+
+(* Binary search [v] in [u]'s ball; the exact stored distance, or nan. *)
+let ball_find t u v =
+  let lo = ref t.ball_off.(u) and hi = ref (t.ball_off.(u + 1) - 1) in
+  let found = ref Float.nan in
+  while Float.is_nan !found && !lo <= !hi do
+    let mid = (!lo + !hi) / 2 in
+    let x = t.ball_node.(mid) in
+    if x = v then found := t.ball_dist.(mid)
+    else if x < v then lo := mid + 1
+    else hi := mid - 1
+  done;
+  !found
+
+let estimate t u v =
+  if u = v then (0.0, 0.0)
+  else begin
+    let d = ball_find t u v in
+    if not (Float.is_nan d) then (d, d)
+    else if t.col.(v) >= 0 then begin
+      (* [v] is a beacon: its row holds the exact distance. *)
+      if !Probe.on then Probe.table_touch ();
+      let d = t.rows.(t.col.(v)).(u) in
+      (d, d)
+    end
+    else if t.col.(u) >= 0 then begin
+      if !Probe.on then Probe.table_touch ();
+      let d = t.rows.(t.col.(u)).(v) in
+      (d, d)
+    end
+    else begin
+      let lo = ref 0.0 and hi = ref infinity in
+      for i = 0 to Array.length t.beacons - 1 do
+        if !Probe.on then Probe.table_touch ();
+        let row = t.rows.(i) in
+        let da = row.(u) and db = row.(v) in
+        let diff = Float.abs (da -. db) in
+        if diff > !lo then lo := diff;
+        if da +. db < !hi then hi := da +. db
+      done;
+      (!lo, !hi)
+    end
+  end
+
+let label_bits t =
+  Array.init t.n (fun u ->
+      (* Per-node label: k quantized beacon distances, plus the local ball
+         as (id, quantized distance) pairs, plus the node's own id. *)
+      t.id_bits
+      + (Array.length t.beacons * t.qbits)
+      + (ball_size t u * (t.id_bits + t.qbits)))

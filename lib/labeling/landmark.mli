@@ -1,0 +1,42 @@
+(** Landmark + local-ball distance labeling: the near-linear scheme for the
+    million-node regime.
+
+    The Indexed-backed schemes (DLS, triangulation, beacons over a
+    materialized metric) all carry O(n^2) state somewhere; this scheme
+    carries [k] full beacon rows ([k] single-source runs through the
+    on-demand oracle) plus one bounded-radius ball per node
+    ({!Ron_graph.Dijkstra.run_bounded} — the "ring of neighbors" giving
+    local exactness). Estimates: exact for pairs inside a ball or involving
+    a beacon; otherwise the classic landmark sandwich
+    [max_i |d(u,b_i) - d(v,b_i)| <= d(u,v) <= min_i d(u,b_i) + d(v,b_i)].
+
+    Construction is parallel over beacons and over balls, and bit-identical
+    at every [RON_JOBS]. *)
+
+type t
+
+val build :
+  ?jobs:int -> Ron_graph.Sp_metric.t -> Ron_util.Rng.t -> k:int -> local_radius:float -> t
+(** [build sp rng ~k ~local_radius]: [k] beacons drawn by seeded shuffle
+    (sorted, like {!Beacon.build}), one radius-[local_radius] ball per node.
+    O(k (m + n log n)) for rows plus O(n * ball) for balls — no O(n^2)
+    term. *)
+
+val order : t -> int
+(** Number of beacons. *)
+
+val beacons : t -> int array
+val size : t -> int
+val local_radius : t -> float
+
+val ball_size : t -> int -> int
+(** Nodes within [local_radius] of [u] (including [u] itself). *)
+
+val estimate : t -> int -> int -> float * float
+(** [(lo, hi)] distance bounds; [lo = hi] exactly when the pair resolves
+    exactly (same node, in-ball, or a beacon endpoint). *)
+
+val label_bits : t -> int array
+(** Per-node storage: own id + [k] quantized beacon distances + the ball as
+    (id, quantized distance) pairs — quantization via {!Ron_util.Qfloat}
+    with the paper's [delta = 1/4] codec. *)

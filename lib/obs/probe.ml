@@ -37,6 +37,8 @@ let meridian_hops = Counter.make "meridian.hops"
    a wall-clock one. Shard sums are commutative, so totals are identical at
    every RON_JOBS. *)
 let sssp_sources = Counter.make "construct.sssp_sources"
+let oracle_hits = Counter.make "oracle.row_hits"
+let oracle_builds = Counter.make "oracle.row_builds"
 let table_nodes = Counter.make "construct.table_nodes"
 let label_nodes = Counter.make "construct.label_nodes"
 let ring_nodes = Counter.make "construct.ring_nodes"
@@ -118,6 +120,8 @@ let meridian_hop () =
 (* Construction events are not per-query: they bump counters only (no
    ledger charge). *)
 let sssp_source () = Counter.incr sssp_sources
+let oracle_hit () = Counter.incr oracle_hits
+let oracle_build () = Counter.incr oracle_builds
 let table_node () = Counter.incr table_nodes
 let label_node () = Counter.incr label_nodes
 let ring_node () = Counter.incr ring_nodes

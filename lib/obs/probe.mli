@@ -32,6 +32,8 @@ val meridian_hops : Counter.t
 (** Construction-side counters (preprocessing fan-out units). *)
 
 val sssp_sources : Counter.t
+val oracle_hits : Counter.t
+val oracle_builds : Counter.t
 val table_nodes : Counter.t
 val label_nodes : Counter.t
 val ring_nodes : Counter.t
@@ -74,6 +76,12 @@ val meridian_hop : unit -> unit
 
 val sssp_source : unit -> unit
 (** One shortest-path source solved ({!Ron_graph.Dijkstra}). *)
+
+val oracle_hit : unit -> unit
+(** One distance-oracle row served from the per-domain cache. *)
+
+val oracle_build : unit -> unit
+(** One distance-oracle row computed (cache miss). *)
 
 val table_node : unit -> unit
 (** One node's routing table built. *)

@@ -270,6 +270,187 @@ let test_hop_paths_rejects_bad_stretch () =
     (Invalid_argument "Hop_paths.min_hops_within_stretch: stretch must be >= 1") (fun () ->
       ignore (Hop_paths.min_hops_within_stretch sp ~src:0 ~stretch:0.9))
 
+(* ----------------------------------------------- on-demand oracle golden *)
+
+(* Every backend must reproduce the eager all-pairs matrix bit for bit:
+   distances by Float.equal, first hops exactly. *)
+
+let test_oracle_matches_all_pairs () =
+  let n = 90 in
+  let g = random_graph 21 n 150 in
+  let ap = Dijkstra.all_pairs g in
+  (* capacity 3 << 90 sources: the LRU must evict and recompute, and
+     recomputed rows must still be bit-identical. *)
+  let o = Dijkstra.Oracle.create ~capacity:3 g in
+  check_int "capacity" 3 (Dijkstra.Oracle.capacity o);
+  for u = 0 to n - 1 do
+    let dist = Dijkstra.Oracle.distances o u in
+    let hops = Dijkstra.Oracle.first_hops o u in
+    for v = 0 to n - 1 do
+      check_bool "oracle dist = apsp" (Float.equal dist.(v) (Dijkstra.distance ap u v));
+      check_int "oracle hop = apsp" (Dijkstra.first_hop ap u v) hops.(v)
+    done
+  done;
+  (* Revisit sources long since evicted, via the element accessors. *)
+  for u = 0 to 20 do
+    check_bool "re-derived row identical"
+      (Float.equal (Dijkstra.Oracle.distance o u (n - 1 - u)) (Dijkstra.distance ap u (n - 1 - u)));
+    check_int "re-derived hop identical" (Dijkstra.first_hop ap u (u + 7))
+      (Dijkstra.Oracle.first_hop o u (u + 7))
+  done
+
+let test_run_bounded_matches_run () =
+  let g = random_graph 22 70 120 in
+  List.iter
+    (fun radius ->
+      for src = 0 to 69 do
+        let full = Dijkstra.run g src in
+        let b = Dijkstra.run_bounded g src ~radius in
+        check_bool "radius recorded" (Float.equal b.Dijkstra.radius radius);
+        (* Settled set is exactly the closed ball. *)
+        let expect = ref 0 in
+        Array.iter (fun d -> if d <= radius then incr expect) full.Dijkstra.dist;
+        check_int "ball size" !expect (Array.length b.Dijkstra.nodes);
+        let prev = ref neg_infinity in
+        Array.iteri
+          (fun i v ->
+            check_bool "dist bit-identical on ball"
+              (Float.equal b.Dijkstra.dists.(i) full.Dijkstra.dist.(v));
+            check_int "hop bit-identical on ball" full.Dijkstra.first_hop.(v) b.Dijkstra.hops.(i);
+            check_bool "pop order nondecreasing" (b.Dijkstra.dists.(i) >= !prev);
+            prev := b.Dijkstra.dists.(i))
+          b.Dijkstra.nodes
+      done)
+    [ 0.0; 2.5; 6.0; 1e9 ]
+
+let test_sp_metric_modes_bit_identical () =
+  let n = 80 in
+  let g = random_graph 23 n 130 in
+  let eager = Sp_metric.create ~mode:Sp_metric.Eager g in
+  let lazy_ = Sp_metric.create ~mode:Sp_metric.On_demand g in
+  check_bool "modes recorded"
+    (Sp_metric.mode eager = Sp_metric.Eager && Sp_metric.mode lazy_ = Sp_metric.On_demand);
+  for u = 0 to n - 1 do
+    for v = 0 to n - 1 do
+      check_bool "dist identical across modes"
+        (Float.equal (Sp_metric.dist eager u v) (Sp_metric.dist lazy_ u v));
+      if u <> v then
+        check_int "first hop identical across modes" (Sp_metric.first_hop_index eager u v)
+          (Sp_metric.first_hop_index lazy_ u v)
+    done;
+    let re = Sp_metric.distances_from eager u and rl = Sp_metric.distances_from lazy_ u in
+    for v = 0 to n - 1 do
+      check_bool "raw row identical across modes" (Float.equal re.(v) rl.(v))
+    done
+  done
+
+let test_sample_ground_truth_golden () =
+  let g = random_graph 24 120 200 in
+  let eager = Sp_metric.create ~mode:Sp_metric.Eager g in
+  let lazy1 = Sp_metric.create ~jobs:1 ~mode:Sp_metric.On_demand g in
+  let lazy4 = Sp_metric.create ~jobs:4 ~mode:Sp_metric.On_demand g in
+  let se = Sp_metric.sample_ground_truth eager ~seed:5 ~count:400 in
+  let s1 = Sp_metric.sample_ground_truth lazy1 ~seed:5 ~count:400 in
+  let s4 = Sp_metric.sample_ground_truth lazy4 ~seed:5 ~count:400 in
+  check_int "sample size" 400 (Array.length se);
+  check_bool "eager = ondemand jobs1" (se = s1);
+  check_bool "ondemand jobs1 = jobs4" (s1 = s4);
+  Array.iter
+    (fun (u, v, d) ->
+      check_bool "distinct endpoints" (u <> v);
+      check_bool "distance is ground truth" (Float.equal d (Sp_metric.dist eager u v)))
+    se
+
+(* --------------------------------------------- streamed generator golden *)
+
+(* The CSR arrays of the streamed grid/torus, pinned to the adjacency order
+   of the original list-built generators (verified bit-for-bit against the
+   old implementation when the streaming path landed): routing first-hop
+   indices point into this order, so silently permuting it would change
+   every scheme's bits. *)
+let test_grid_csr_golden () =
+  let off, dst, w = Graph.csr (Graph_gen.grid 3 2) in
+  Alcotest.(check (array int)) "grid off" [| 0; 2; 5; 7; 9; 12; 14 |] off;
+  Alcotest.(check (array int)) "grid dst" [| 3; 1; 4; 2; 0; 5; 1; 4; 0; 5; 3; 1; 4; 2 |] dst;
+  Float.Array.iter (fun x -> check_float "grid unit weight" 1.0 x) w
+
+let test_torus_csr_golden () =
+  let off, dst, _ = Graph.csr (Graph_gen.torus 3 3) in
+  Alcotest.(check (array int)) "torus off" [| 0; 4; 8; 12; 16; 20; 24; 28; 32; 36 |] off;
+  Alcotest.(check (array int)) "torus dst"
+    [| 6; 2; 3; 1; 7; 4; 2; 0; 8; 5; 0; 1; 5; 6; 4; 0; 7; 5; 3; 1; 8; 3; 4; 2; 8; 0; 7; 3; 1; 8; 6; 4; 2; 6; 7; 5 |]
+    dst
+
+let test_is_connected_deep_path () =
+  (* A path this long overflowed the call stack under the old recursive
+     DFS; the iterative version must handle it, in both verdict polarities. *)
+  let n = 200_000 in
+  let path = Graph.of_edge_stream n (fun emit -> for v = 0 to n - 2 do emit v (v + 1) 1.0 done) in
+  check_bool "long path connected" (Graph.is_connected path);
+  let broken =
+    Graph.of_edge_stream n (fun emit ->
+        for v = 0 to n - 2 do
+          if v <> n / 2 then emit v (v + 1) 1.0
+        done)
+  in
+  check_bool "broken path disconnected" (not (Graph.is_connected broken))
+
+let test_random_geometric_cells_connected () =
+  List.iter
+    (fun seed ->
+      let g = Graph_gen.random_geometric_cells (Rng.create seed) ~n:2000 ~radius:0.02 in
+      check_bool "cells generator forced connectivity" (Graph.is_connected g))
+    [ 1; 2; 3 ]
+
+(* ------------------------------------------------------ landmark labels *)
+
+module Landmark = Ron_labeling.Landmark
+
+let test_landmark_sandwich () =
+  let g = Graph_gen.torus 12 12 in
+  let sp = Sp_metric.create ~mode:Sp_metric.Eager g in
+  let lm = Landmark.build sp (Rng.create 31) ~k:8 ~local_radius:2.0 in
+  let n = Graph.size g in
+  check_int "beacon count" 8 (Landmark.order lm);
+  for u = 0 to n - 1 do
+    (* Radius-2 ball on a unit torus: u, 4 neighbors, 8 at distance 2. *)
+    check_int "ball size" 13 (Landmark.ball_size lm u);
+    for v = 0 to n - 1 do
+      let d = Sp_metric.dist sp u v in
+      let lo, hi = Landmark.estimate lm u v in
+      check_bool "lower bound holds" (lo <= d);
+      check_bool "upper bound holds" (d <= hi);
+      if d <= 2.0 then check_bool "in-ball pairs exact" (Float.equal lo d && Float.equal hi d)
+    done
+  done;
+  let is_beacon = Array.make n false in
+  Array.iter (fun b -> is_beacon.(b) <- true) (Landmark.beacons lm);
+  for u = 0 to n - 1 do
+    for v = 0 to n - 1 do
+      if is_beacon.(u) || is_beacon.(v) then begin
+        let lo, hi = Landmark.estimate lm u v in
+        check_bool "beacon-endpoint pairs exact"
+          (Float.equal lo hi && Float.equal hi (Sp_metric.dist sp u v))
+      end
+    done
+  done;
+  Array.iter (fun bits -> check_bool "positive label bits" (bits > 0)) (Landmark.label_bits lm)
+
+let test_landmark_jobs_bit_identical () =
+  let g = Graph_gen.torus 10 10 in
+  let sp = Sp_metric.create ~mode:Sp_metric.On_demand g in
+  let lm1 = Landmark.build ~jobs:1 sp (Rng.create 31) ~k:6 ~local_radius:2.0 in
+  let lm4 = Landmark.build ~jobs:4 sp (Rng.create 31) ~k:6 ~local_radius:2.0 in
+  Alcotest.(check (array int)) "beacons identical" (Landmark.beacons lm1) (Landmark.beacons lm4);
+  Alcotest.(check (array int)) "label bits identical" (Landmark.label_bits lm1)
+    (Landmark.label_bits lm4);
+  for u = 0 to 99 do
+    for v = 0 to 99 do
+      let lo1, hi1 = Landmark.estimate lm1 u v and lo4, hi4 = Landmark.estimate lm4 u v in
+      check_bool "estimates identical" (Float.equal lo1 lo4 && Float.equal hi1 hi4)
+    done
+  done
+
 (* --------------------------------------------------------------- QCheck *)
 
 let prop_dijkstra_triangle =
@@ -319,9 +500,28 @@ let () =
           Alcotest.test_case "sp metric valid" `Quick test_sp_metric_is_metric;
           Alcotest.test_case "sp path" `Quick test_sp_metric_path;
         ] );
+      ( "oracle",
+        [
+          Alcotest.test_case "oracle = all_pairs, bit for bit (LRU evicting)" `Quick
+            test_oracle_matches_all_pairs;
+          Alcotest.test_case "run_bounded = run on the ball" `Quick test_run_bounded_matches_run;
+          Alcotest.test_case "eager/on-demand modes bit-identical" `Quick
+            test_sp_metric_modes_bit_identical;
+          Alcotest.test_case "sampled ground truth golden" `Quick test_sample_ground_truth_golden;
+        ] );
+      ( "landmark",
+        [
+          Alcotest.test_case "sandwich bounds + local exactness" `Quick test_landmark_sandwich;
+          Alcotest.test_case "bit-identical across jobs" `Quick test_landmark_jobs_bit_identical;
+        ] );
       ( "generators",
         [
           Alcotest.test_case "grid" `Quick test_grid_properties;
+          Alcotest.test_case "grid CSR golden" `Quick test_grid_csr_golden;
+          Alcotest.test_case "torus CSR golden" `Quick test_torus_csr_golden;
+          Alcotest.test_case "is_connected on deep paths" `Quick test_is_connected_deep_path;
+          Alcotest.test_case "random geometric cells connected" `Quick
+            test_random_geometric_cells_connected;
           Alcotest.test_case "torus" `Quick test_torus_properties;
           Alcotest.test_case "random geometric connected" `Quick test_random_geometric_connected;
           Alcotest.test_case "ring with chords" `Quick test_ring_with_chords_metric;
