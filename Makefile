@@ -1,4 +1,4 @@
-.PHONY: all build test check bench bench-json bench-diff scale-smoke trace-smoke fault-smoke profile-smoke clean
+.PHONY: all build test check bench bench-json bench-diff scale-smoke trace-smoke fault-smoke profile-smoke telemetry-smoke clean
 
 # Relative slowdown tolerated by bench-diff before a timing key fails
 # (0.5 = 50% slower); override per-run: make bench-diff RON_BENCH_DIFF_THRESHOLD=1.0
@@ -63,6 +63,25 @@ fault-smoke: build
 	  --crash 0.08 --drop 0.02 --dead-links 0.02 \
 	  --trace /tmp/ron_fault_smoke.jsonl --metrics-out /tmp/ron_fault_metrics.json
 	dune exec bin/trace_check.exe /tmp/ron_fault_smoke.jsonl
+
+# Telemetry smoke: the n = 10^5 scale run with the runtime sampler on,
+# then validate the snapshot series (seq/ts monotone, typed sections) and
+# render the per-series report. The JSONL lands in /tmp for CI to archive.
+TELEMETRY_SMOKE_N ?= 100000
+TELEMETRY_SMOKE_INTERVAL_MS ?= 200
+telemetry-smoke: build
+	timeout $(SCALE_SMOKE_BUDGET_S) dune exec bench/main.exe -- \
+	  --json /tmp/ron_telemetry_smoke_bench.json --scale-only \
+	  --scale $(TELEMETRY_SMOKE_N) \
+	  --telemetry /tmp/ron_telemetry_smoke.jsonl \
+	  --telemetry-interval $(TELEMETRY_SMOKE_INTERVAL_MS)
+	dune exec bin/trace_check.exe -- --telemetry /tmp/ron_telemetry_smoke.jsonl
+	dune exec bin/telemetry_report.exe -- /tmp/ron_telemetry_smoke.jsonl
+	dune exec bin/telemetry_report.exe -- /tmp/ron_telemetry_smoke.jsonl --json \
+	  > /tmp/ron_telemetry_smoke_report.json
+	grep -q '"rss_kb"' /tmp/ron_telemetry_smoke_report.json
+	grep -q '"gc.major_words"' /tmp/ron_telemetry_smoke_report.json
+	grep -q '"gauge:oracle.rows_cached"' /tmp/ron_telemetry_smoke_report.json
 
 # Profiler smoke: a profiled + traced routing run, then aggregate the trace
 # into the per-span table / folded stacks and assert the phase profile is

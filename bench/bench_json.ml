@@ -109,27 +109,10 @@ let apsp_same a b =
   done;
   !ok
 
-(* Peak resident set size in kB from the kernel's high-water mark; None
-   when /proc is unavailable (non-Linux). *)
-let peak_rss_kb () =
-  match open_in "/proc/self/status" with
-  | exception Sys_error _ -> None
-  | ic ->
-    let rec scan () =
-      match input_line ic with
-      | exception End_of_file -> None
-      | line ->
-        if String.length line > 6 && String.sub line 0 6 = "VmHWM:" then begin
-          let digits =
-            String.to_seq line |> Seq.filter (fun c -> c >= '0' && c <= '9') |> String.of_seq
-          in
-          int_of_string_opt digits
-        end
-        else scan ()
-    in
-    let r = scan () in
-    close_in ic;
-    r
+(* Peak resident set size in kB: the kernel's VmHWM high-water mark where
+   /proc exists, getrusage max-RSS elsewhere — Ron_obs.Rss normalises
+   units, so the column survives on non-Linux hosts too. *)
+let peak_rss_kb () = Ron_obs.Rss.peak_kb ()
 
 let graph_apsp_section n =
   (* Square grid with about n nodes: the experiments' canonical graph. *)
@@ -189,6 +172,31 @@ let graph_construction_section () =
           (Ron_smallworld.Meridian.build idx (Rng.create 9) ~ring_size:4
              ~members:(Array.init (Indexed.size idx) Fun.id)))
   in
+  (* Oracle row-cache behaviour on a deterministic single-domain access
+     pattern: capacity 4, three rounds of two hot sources plus one cold
+     one, so hits, builds and evictions are all exercised and the counts
+     are exact constants (6 builds, 6 hits, 2 evictions). *)
+  let oracle =
+    let module Probe = Ron_obs.Probe in
+    let module Counter = Ron_obs.Counter in
+    let o = Dijkstra.Oracle.create ~capacity:4 g in
+    let h0 = Counter.value Probe.oracle_hits
+    and b0 = Counter.value Probe.oracle_builds
+    and e0 = Counter.value Probe.oracle_evicts in
+    let was_on = !Probe.on in
+    Probe.on := true;
+    List.iter
+      (fun s -> ignore (Dijkstra.Oracle.distances o s))
+      [ 0; 1; 2; 3; 0; 1; 4; 0; 1; 5; 0; 1 ];
+    Probe.on := was_on;
+    Obj
+      [
+        ("capacity", Int (Dijkstra.Oracle.capacity o));
+        ("row_hits", Int (Counter.value Probe.oracle_hits - h0));
+        ("row_builds", Int (Counter.value Probe.oracle_builds - b0));
+        ("row_evicts", Int (Counter.value Probe.oracle_evicts - e0));
+      ]
+  in
   let fields =
     [
       ("nodes", Int (Ron_graph.Graph.size g));
@@ -198,6 +206,7 @@ let graph_construction_section () =
       ("triangulation_build_s", Float t_tri);
       ("dls_build_s", Float t_dls);
       ("meridian_build_s", Float t_meridian);
+      ("oracle", oracle);
     ]
   in
   Obj
@@ -411,7 +420,8 @@ let timestamp () =
 
 let ns_clock () = Int64.of_float (Unix.gettimeofday () *. 1e9)
 
-let run ?(scale_sizes = [ 10_000 ]) ?(scale_only = false) ~file ~sizes () =
+let run ?(scale_sizes = [ 10_000 ]) ?(scale_only = false) ?telemetry
+    ?(telemetry_interval_ms = 500) ~file ~sizes () =
   (* Open the output first so a bad path fails before minutes of measuring. *)
   let oc =
     try open_out file
@@ -425,6 +435,21 @@ let run ?(scale_sizes = [ 10_000 ]) ?(scale_only = false) ~file ~sizes () =
      not regression signals). *)
   Ron_obs.Profile.enable ~clock:ns_clock ();
   Ron_obs.Profile.reset ();
+  (* The telemetry sampler (if requested) rides along too. It needs the
+     probes on — which perturbs the timed sections slightly, so pass
+     --telemetry only when the time series is what you are measuring (the
+     measured overhead is ~1% on the scale smoke; see EXPERIMENTS.md). *)
+  (match telemetry with
+  | Some tfile ->
+    if telemetry_interval_ms < 1 then begin
+      Printf.eprintf "--telemetry-interval must be >= 1\n";
+      exit 1
+    end;
+    Ron_obs.Telemetry.start ~clock:ns_clock
+      ~interval:(Int64.of_int (telemetry_interval_ms * 1_000_000))
+      (Ron_obs.Trace.channel_sink (open_out tfile));
+    Ron_obs.enable ()
+  | None -> ());
   let env_fields =
     [
       ("schema", String "ron-bench/1");
@@ -475,6 +500,7 @@ let run ?(scale_sizes = [ 10_000 ]) ?(scale_only = false) ~file ~sizes () =
     end
   in
   let report = Obj (env_fields @ sections @ [ ("profile", Ron_obs.Profile.to_json ()) ]) in
+  Ron_obs.Telemetry.stop ();
   Ron_obs.Profile.disable ();
   output_string oc (to_string report);
   close_out oc;

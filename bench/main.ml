@@ -10,6 +10,10 @@
      dune exec bench/main.exe -- --json B.json --scale-only --scale 100000
                                          -- only the near-linear "scale"
                                             section (the CI scale smoke)
+     ... --json B.json --telemetry T.jsonl [--telemetry-interval MS]
+                                         -- sample runtime telemetry (counter
+                                            deltas, gauges, GC, RSS) as JSONL
+                                            while the report is measured
 
    One section is printed per paper artifact (table / figure / theorem); see
    DESIGN.md section 3 for the index and EXPERIMENTS.md for the recorded
@@ -132,6 +136,7 @@ let () =
   let args = List.tl (Array.to_list Sys.argv) in
   let json_file = ref None and sizes = ref [ 500; 1000; 2000 ] in
   let scale_sizes = ref [ 10_000 ] and scale_only = ref false in
+  let telemetry = ref None and telemetry_interval = ref 500 in
   let rec strip_flags = function
     | [] -> []
     | "--json" :: file :: rest ->
@@ -139,6 +144,22 @@ let () =
       strip_flags rest
     | [ "--json" ] ->
       Printf.eprintf "--json requires a file argument\n";
+      exit 1
+    | "--telemetry" :: file :: rest ->
+      telemetry := Some file;
+      strip_flags rest
+    | [ "--telemetry" ] ->
+      Printf.eprintf "--telemetry requires a file argument\n";
+      exit 1
+    | "--telemetry-interval" :: ms :: rest ->
+      (match int_of_string_opt ms with
+      | Some v when v >= 1 -> telemetry_interval := v
+      | _ ->
+        Printf.eprintf "bad --telemetry-interval %S (expected milliseconds >= 1)\n" ms;
+        exit 1);
+      strip_flags rest
+    | [ "--telemetry-interval" ] ->
+      Printf.eprintf "--telemetry-interval requires a milliseconds argument\n";
       exit 1
     | "--sizes" :: spec :: rest ->
       sizes := parse_sizes spec;
@@ -180,5 +201,10 @@ let () =
        ids);
   match !json_file with
   | Some file ->
-    Bench_json.run ~scale_sizes:!scale_sizes ~scale_only:!scale_only ~file ~sizes:!sizes ()
-  | None -> ()
+    Bench_json.run ~scale_sizes:!scale_sizes ~scale_only:!scale_only
+      ?telemetry:!telemetry ~telemetry_interval_ms:!telemetry_interval ~file ~sizes:!sizes ()
+  | None ->
+    if !telemetry <> None then begin
+      Printf.eprintf "--telemetry requires --json (the sampler rides along the bench report)\n";
+      exit 1
+    end

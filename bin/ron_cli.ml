@@ -81,6 +81,22 @@ let profile_arg =
           "Write a hierarchical phase profile (wall time and GC deltas per construction/query \
            phase) to $(docv) as JSON.")
 
+let telemetry_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "telemetry" ] ~docv:"FILE"
+        ~doc:
+          "Write periodic telemetry snapshots (counter deltas, gauges, bounded-histogram \
+           summaries, GC and RSS) to $(docv) as JSONL during the run.")
+
+let telemetry_interval_arg =
+  Arg.(
+    value
+    & opt int 500
+    & info [ "telemetry-interval" ] ~docv:"MS"
+        ~doc:"Telemetry sampling interval in milliseconds (default 500).")
+
 let jobs_arg =
   Arg.(
     value
@@ -98,10 +114,10 @@ let set_jobs jobs =
 let ns_clock () = Int64.of_float (Unix.gettimeofday () *. 1e9)
 
 (* Shared by every subcommand: configure the trace sink, the phase
-   profiler, and/or the probes, run, then write the snapshot/profile and
-   close the sink (also on error, so a crashed run still leaves its
-   artifacts on disk). *)
-let with_obs trace metrics profile f =
+   profiler, the telemetry sampler, and/or the probes, run, then write the
+   snapshot/profile and close the sinks (also on error, so a crashed run
+   still leaves its artifacts on disk). *)
+let with_obs trace metrics profile telemetry telemetry_interval f =
   (match trace with
   | Some file ->
     Ron_obs.Trace.configure ~clock:ns_clock (Ron_obs.Trace.channel_sink (open_out file))
@@ -109,7 +125,16 @@ let with_obs trace metrics profile f =
   (match profile with
   | Some _ -> Ron_obs.Profile.enable ~clock:ns_clock ()
   | None -> ());
-  if trace <> None || metrics <> None then Ron_obs.enable ();
+  (match telemetry with
+  | Some file ->
+    if telemetry_interval < 1 then failwith "--telemetry-interval must be >= 1";
+    Ron_obs.Telemetry.start ~clock:ns_clock
+      ~interval:(Int64.of_int (telemetry_interval * 1_000_000))
+      (Ron_obs.Trace.channel_sink (open_out file))
+  | None -> ());
+  (* Telemetry needs the probes on: counters, gauges and bucketed
+     histograms are all recorded behind [Probe.on]. *)
+  if trace <> None || metrics <> None || telemetry <> None then Ron_obs.enable ();
   Fun.protect
     ~finally:(fun () ->
       (match metrics with Some file -> Ron_obs.write_snapshot file | None -> ());
@@ -118,14 +143,15 @@ let with_obs trace metrics profile f =
         Ron_obs.Profile.write file;
         Ron_obs.Profile.disable ()
       | None -> ());
+      Ron_obs.Telemetry.stop ();
       Ron_obs.Trace.stop ())
     f
 
 (* -------------------------------------------------------------- estimate *)
 
-let run_estimate trace metrics profile jobs family n seed delta pairs =
+let run_estimate trace metrics profile telemetry telemetry_interval jobs family n seed delta pairs =
   set_jobs jobs;
-  with_obs trace metrics profile @@ fun () ->
+  with_obs trace metrics profile telemetry telemetry_interval @@ fun () ->
   let idx = Indexed.create (make_metric family n seed) in
   let n = Indexed.size idx in
   Printf.printf "metric=%s n=%d log2(aspect)=%d\n" family n (Indexed.log2_aspect_ratio idx);
@@ -155,7 +181,7 @@ let estimate_cmd =
   let doc = "Distance estimation: Theorem 3.2 triangulation + Theorem 3.4 labels." in
   Cmd.v (Cmd.info "estimate" ~doc)
     Term.(
-      const run_estimate $ trace_arg $ metrics_arg $ profile_arg $ jobs_arg $ metric_arg $ n_arg $ seed_arg
+      const run_estimate $ trace_arg $ metrics_arg $ profile_arg $ telemetry_arg $ telemetry_interval_arg $ jobs_arg $ metric_arg $ n_arg $ seed_arg
       $ delta_arg $ pairs_arg)
 
 (* ----------------------------------------------------------------- route *)
@@ -164,9 +190,9 @@ let scheme_arg =
   let doc = "Routing scheme: thm21 (graphs), thm41 (graphs), metric (Sec 4.1), thm42 (metric two-mode), trivial." in
   Arg.(value & opt string "thm21" & info [ "scheme" ] ~docv:"SCHEME" ~doc)
 
-let run_route trace metrics profile jobs family n seed delta pairs scheme =
+let run_route trace metrics profile telemetry telemetry_interval jobs family n seed delta pairs scheme =
   set_jobs jobs;
-  with_obs trace metrics profile @@ fun () ->
+  with_obs trace metrics profile telemetry telemetry_interval @@ fun () ->
   let rng = Rng.create seed in
   let report ?parallel name route dist max_table header n =
     let prs = Ron_experiments.Exp_common.sample_pairs (Rng.create (seed + 2)) ~n ~count:pairs in
@@ -234,7 +260,7 @@ let route_cmd =
   let doc = "Compact (1+delta)-stretch routing (Theorems 2.1, 4.1, 4.2; Section 4.1)." in
   Cmd.v (Cmd.info "route" ~doc)
     Term.(
-      const run_route $ trace_arg $ metrics_arg $ profile_arg $ jobs_arg $ metric_arg $ n_arg $ seed_arg
+      const run_route $ trace_arg $ metrics_arg $ profile_arg $ telemetry_arg $ telemetry_interval_arg $ jobs_arg $ metric_arg $ n_arg $ seed_arg
       $ delta_arg $ pairs_arg $ scheme_arg)
 
 (* ----------------------------------------------------------------- fault *)
@@ -260,9 +286,9 @@ let fault_seed_arg =
     & info [ "fault-seed" ] ~docv:"SEED"
         ~doc:"Seed of the fault model's dedicated random stream (independent of --seed).")
 
-let run_fault trace metrics profile jobs family n seed delta pairs scheme crash drop dead fseed =
+let run_fault trace metrics profile telemetry telemetry_interval jobs family n seed delta pairs scheme crash drop dead fseed =
   set_jobs jobs;
-  with_obs trace metrics profile @@ fun () ->
+  with_obs trace metrics profile telemetry telemetry_interval @@ fun () ->
   let module Fault = Ron_fault.Fault in
   let module C = Ron_experiments.Exp_common in
   let rng = Rng.create seed in
@@ -359,7 +385,7 @@ let fault_cmd =
   in
   Cmd.v (Cmd.info "fault" ~doc)
     Term.(
-      const run_fault $ trace_arg $ metrics_arg $ profile_arg $ jobs_arg $ metric_arg $ n_arg $ seed_arg
+      const run_fault $ trace_arg $ metrics_arg $ profile_arg $ telemetry_arg $ telemetry_interval_arg $ jobs_arg $ metric_arg $ n_arg $ seed_arg
       $ delta_arg $ pairs_arg $ scheme_arg $ crash_arg $ drop_arg $ dead_links_arg
       $ fault_seed_arg)
 
@@ -369,9 +395,9 @@ let model_arg =
   let doc = "Small-world model: a (Thm 5.2a), b (Thm 5.2b), structures, single (Thm 5.5 needs grid)." in
   Arg.(value & opt string "a" & info [ "model" ] ~docv:"MODEL" ~doc)
 
-let run_smallworld trace metrics profile jobs family n seed pairs model =
+let run_smallworld trace metrics profile telemetry telemetry_interval jobs family n seed pairs model =
   set_jobs jobs;
-  with_obs trace metrics profile @@ fun () ->
+  with_obs trace metrics profile telemetry telemetry_interval @@ fun () ->
   let idx = Indexed.create (make_metric family n seed) in
   let nn = Indexed.size idx in
   let mu = Measure.create idx (Net.Hierarchy.create idx) in
@@ -416,14 +442,14 @@ let smallworld_cmd =
   let doc = "Searchable small worlds on doubling metrics (Theorem 5.2, Section 5.2)." in
   Cmd.v (Cmd.info "smallworld" ~doc)
     Term.(
-      const run_smallworld $ trace_arg $ metrics_arg $ profile_arg $ jobs_arg $ metric_arg $ n_arg $ seed_arg
+      const run_smallworld $ trace_arg $ metrics_arg $ profile_arg $ telemetry_arg $ telemetry_interval_arg $ jobs_arg $ metric_arg $ n_arg $ seed_arg
       $ pairs_arg $ model_arg)
 
 (* --------------------------------------------------------------- inspect *)
 
-let run_inspect trace metrics profile jobs family n seed =
+let run_inspect trace metrics profile telemetry telemetry_interval jobs family n seed =
   set_jobs jobs;
-  with_obs trace metrics profile @@ fun () ->
+  with_obs trace metrics profile telemetry telemetry_interval @@ fun () ->
   let m = make_metric family n seed in
   (match Metric.check m with
   | Ok () -> ()
@@ -450,7 +476,7 @@ let run_inspect trace metrics profile jobs family n seed =
 let inspect_cmd =
   let doc = "Print substrate facts (dimension, nets, doubling measure) about a metric." in
   Cmd.v (Cmd.info "inspect" ~doc)
-    Term.(const run_inspect $ trace_arg $ metrics_arg $ profile_arg $ jobs_arg $ metric_arg $ n_arg $ seed_arg)
+    Term.(const run_inspect $ trace_arg $ metrics_arg $ profile_arg $ telemetry_arg $ telemetry_interval_arg $ jobs_arg $ metric_arg $ n_arg $ seed_arg)
 
 (* ------------------------------------------------------------ experiment *)
 
@@ -460,9 +486,9 @@ let experiment_ids =
     "mer"; "fault"; "scale";
   ]
 
-let run_experiment trace metrics profile jobs id =
+let run_experiment trace metrics profile telemetry telemetry_interval jobs id =
   set_jobs jobs;
-  with_obs trace metrics profile @@ fun () ->
+  with_obs trace metrics profile telemetry telemetry_interval @@ fun () ->
   let module E = Ron_experiments in
   let table =
     [
@@ -485,7 +511,7 @@ let experiment_cmd =
   let id = Arg.(required & pos 0 (some string) None & info [] ~docv:"ID") in
   let doc = "Run one reproduction experiment (same ids as bench/main.exe)." in
   Cmd.v (Cmd.info "experiment" ~doc)
-    Term.(const run_experiment $ trace_arg $ metrics_arg $ profile_arg $ jobs_arg $ id)
+    Term.(const run_experiment $ trace_arg $ metrics_arg $ profile_arg $ telemetry_arg $ telemetry_interval_arg $ jobs_arg $ id)
 
 let () =
   let doc = "rings of neighbors: distance estimation and object location (Slivkins, PODC 2005)" in

@@ -1,0 +1,197 @@
+(* Render a --telemetry JSONL snapshot series as per-series min/max/last
+   plus a sparkline-style time table, analogous to trace_report for
+   traces. Series are extracted per name: counter deltas, gauge levels,
+   bounded-histogram count/p99, gc fields, rss_kb, and a derived oracle
+   hit-rate (hits / (hits + builds) per sample) when the oracle counters
+   appear at all. --json emits the same aggregates machine-readably for
+   CI.
+
+   usage: telemetry_report FILE.jsonl [--json] *)
+
+module Trace_read = Ron_obs.Trace_read
+module Json = Ron_obs.Json
+
+let fail fmt = Printf.ksprintf (fun s -> prerr_endline s; exit 1) fmt
+
+let number = function
+  | Json.Int i -> Some (float_of_int i)
+  | Json.Float f -> Some f
+  | _ -> None
+
+(* A series is (sample index, value) points — sections only carry a name
+   once it has something to report, so indices may be sparse. *)
+type series = { sname : string; points : (int * float) list }
+
+let sparkline_width = 40
+let spark_levels = [| "\xe2\x96\x81"; "\xe2\x96\x82"; "\xe2\x96\x83"; "\xe2\x96\x84";
+                     "\xe2\x96\x85"; "\xe2\x96\x86"; "\xe2\x96\x87"; "\xe2\x96\x88" |]
+
+(* Carry-forward resample to <= sparkline_width columns, scaled to the
+   series' own [min, max]; a flat series renders as a run of mid blocks. *)
+let sparkline n_samples s =
+  if n_samples = 0 || s.points = [] then ""
+  else begin
+    let filled = Array.make n_samples 0.0 in
+    let rec fill prev i points =
+      if i >= n_samples then ()
+      else
+        match points with
+        | (j, v) :: rest when j = i ->
+          filled.(i) <- v;
+          fill v (i + 1) rest
+        | _ ->
+          filled.(i) <- prev;
+          fill prev (i + 1) points
+    in
+    fill 0.0 0 s.points;
+    let w = min sparkline_width n_samples in
+    let cols =
+      Array.init w (fun c ->
+          (* Column c averages the sample range it covers. *)
+          let lo = c * n_samples / w and hi = max 1 ((c + 1) * n_samples / w) in
+          let hi = max (lo + 1) hi in
+          let sum = ref 0.0 in
+          for i = lo to hi - 1 do
+            sum := !sum +. filled.(i)
+          done;
+          !sum /. float_of_int (hi - lo))
+    in
+    let mn = Array.fold_left Float.min infinity cols in
+    let mx = Array.fold_left Float.max neg_infinity cols in
+    let buf = Buffer.create (3 * w) in
+    Array.iter
+      (fun v ->
+        let level =
+          if mx -. mn <= 0.0 then 3
+          else
+            let t = (v -. mn) /. (mx -. mn) in
+            max 0 (min 7 (int_of_float (t *. 7.999)))
+        in
+        Buffer.add_string buf spark_levels.(level))
+      cols;
+    Buffer.contents buf
+  end
+
+let stats s =
+  let vs = List.map snd s.points in
+  let mn = List.fold_left Float.min infinity vs in
+  let mx = List.fold_left Float.max neg_infinity vs in
+  let sum = List.fold_left ( +. ) 0.0 vs in
+  let last = List.nth vs (List.length vs - 1) in
+  (mn, mx, sum /. float_of_int (List.length vs), last)
+
+let () =
+  let file = ref None and json = ref false in
+  let rec parse_args = function
+    | [] -> ()
+    | "--json" :: rest ->
+      json := true;
+      parse_args rest
+    | arg :: rest when !file = None && String.length arg > 0 && arg.[0] <> '-' ->
+      file := Some arg;
+      parse_args rest
+    | arg :: _ -> fail "telemetry_report: unexpected argument %S" arg
+  in
+  parse_args (List.tl (Array.to_list Sys.argv));
+  let file =
+    match !file with
+    | Some f -> f
+    | None ->
+      prerr_endline "usage: telemetry_report FILE.jsonl [--json]";
+      exit 2
+  in
+  let snaps =
+    match Trace_read.read_snapshot_file file with
+    | exception Sys_error e -> fail "telemetry_report: %s" e
+    | Error e -> fail "telemetry_report: %s: %s" file e
+    | Ok snaps -> (
+      match Trace_read.validate_snapshots snaps with
+      | Error e -> fail "telemetry_report: %s: %s" file e
+      | Ok 0 -> fail "telemetry_report: %s: no telemetry samples" file
+      | Ok _ -> snaps)
+  in
+  let n_samples = List.length snaps in
+  (* name -> points, accumulated in sample order. *)
+  let acc : (string, (int * float) list) Hashtbl.t = Hashtbl.create 64 in
+  let push name i v =
+    Hashtbl.replace acc name ((i, v) :: Option.value (Hashtbl.find_opt acc name) ~default:[])
+  in
+  let hits_builds = ref [] in
+  List.iteri
+    (fun i (s : Trace_read.snapshot) ->
+      List.iter
+        (fun (k, v) -> Option.iter (push ("counter:" ^ k) i) (number v))
+        s.counters;
+      List.iter (fun (k, v) -> Option.iter (push ("gauge:" ^ k) i) (number v)) s.gauges;
+      List.iter
+        (fun (k, v) ->
+          match v with
+          | Json.Obj fields ->
+            Option.iter
+              (fun c -> Option.iter (push ("hist:" ^ k ^ ".count") i) (number c))
+              (List.assoc_opt "count" fields);
+            Option.iter
+              (fun p -> Option.iter (push ("hist:" ^ k ^ ".p99") i) (number p))
+              (List.assoc_opt "p99" fields)
+          | _ -> ())
+        s.hists;
+      (match s.gc with
+      | Some fields ->
+        List.iter (fun (k, v) -> Option.iter (push ("gc." ^ k) i) (number v)) fields
+      | None -> ());
+      (match s.rss_kb with Some kb -> push "rss_kb" i (float_of_int kb) | None -> ());
+      let delta k =
+        match List.assoc_opt k s.counters with
+        | Some (Json.Int d) -> float_of_int d
+        | _ -> 0.0
+      in
+      let h = delta "oracle.row_hits" and b = delta "oracle.row_builds" in
+      if h +. b > 0.0 then hits_builds := (i, h /. (h +. b)) :: !hits_builds)
+    snaps;
+  if !hits_builds <> [] then
+    Hashtbl.replace acc "derived:oracle.hit_rate" !hits_builds;
+  let series =
+    Hashtbl.fold (fun sname points l -> { sname; points = List.rev points } :: l) acc []
+    |> List.sort (fun a b -> String.compare a.sname b.sname)
+  in
+  let ts_first = (List.hd snaps).Trace_read.sts in
+  let ts_last = (List.nth snaps (n_samples - 1)).Trace_read.sts in
+  if !json then begin
+    let series_json s =
+      let mn, mx, mean, last = stats s in
+      Json.Obj
+        [
+          ("name", Json.String s.sname);
+          ("points", Json.Int (List.length s.points));
+          ("min", Json.Float mn);
+          ("max", Json.Float mx);
+          ("mean", Json.Float mean);
+          ("last", Json.Float last);
+        ]
+    in
+    let report =
+      Json.Obj
+        [
+          ("schema", Json.String "ron-telemetry-report/1");
+          ("file", Json.String file);
+          ("samples", Json.Int n_samples);
+          ("ts_first", Json.Int ts_first);
+          ("ts_last", Json.Int ts_last);
+          ("series", Json.List (List.map series_json series));
+        ]
+    in
+    print_endline (Json.to_string report)
+  end
+  else begin
+    Printf.printf "telemetry_report: %s: %d samples, ts %d..%d, %d series\n\n" file
+      n_samples ts_first ts_last (List.length series);
+    Printf.printf "%-36s %7s %12s %12s %12s  %s\n" "series" "points" "min" "max" "last"
+      "trend";
+    Printf.printf "%s\n" (String.make 124 '-');
+    List.iter
+      (fun s ->
+        let mn, mx, _, last = stats s in
+        Printf.printf "%-36s %7d %12.6g %12.6g %12.6g  %s\n" s.sname
+          (List.length s.points) mn mx last (sparkline n_samples s))
+      series
+  end

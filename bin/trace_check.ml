@@ -1,28 +1,44 @@
-(* Validate a JSONL trace file produced by --trace: every line must parse
-   as a trace event (integer "ts"/"dom", string "name", "ph" one of
-   B/E/i), per domain the B/E events must balance like brackets, the
-   "error" arg (emitted when a span unwinds on an exception) may appear
-   only on "E" events and must be a string, and the file must not be
-   empty. Exit 0 on success, 1 otherwise — used by `make trace-smoke`
-   and CI. *)
+(* Validate a JSONL observability file. Default mode checks a --trace
+   stream: every line must parse as a trace event (integer "ts"/"dom",
+   string "name", "ph" one of B/E/i), per domain the B/E events must
+   balance like brackets, the "error" arg (emitted when a span unwinds on
+   an exception) may appear only on "E" events and must be a string, and
+   the file must not be empty. With --telemetry the file is a --telemetry
+   snapshot series instead: seq counts from 0 with no gaps, ts never goes
+   backwards, and every section is well-typed (Trace_read.
+   validate_snapshots). Exit 0 on success, 1 otherwise — used by
+   `make trace-smoke` / `make telemetry-smoke` and CI. *)
 
 module Trace_read = Ron_obs.Trace_read
 
 let fail fmt = Printf.ksprintf (fun s -> prerr_endline s; exit 1) fmt
 
 let () =
-  let file =
+  let telemetry, file =
     match Sys.argv with
-    | [| _; file |] -> file
+    | [| _; file |] -> (false, file)
+    | [| _; "--telemetry"; file |] | [| _; file; "--telemetry" |] -> (true, file)
     | _ ->
-      prerr_endline "usage: trace_check FILE.jsonl";
+      prerr_endline "usage: trace_check [--telemetry] FILE.jsonl";
       exit 2
   in
-  match Trace_read.read_file file with
-  | exception Sys_error e -> fail "trace_check: %s" e
-  | Error e -> fail "trace_check: %s: %s" file e
-  | Ok events -> (
-    match Trace_read.validate events with
+  if telemetry then begin
+    match Trace_read.read_snapshot_file file with
+    | exception Sys_error e -> fail "trace_check: %s" e
     | Error e -> fail "trace_check: %s: %s" file e
-    | Ok 0 -> fail "trace_check: %s: no trace events" file
-    | Ok n -> Printf.printf "trace_check: %s: %d well-formed events\n" file n)
+    | Ok snaps -> (
+      match Trace_read.validate_snapshots snaps with
+      | Error e -> fail "trace_check: %s: %s" file e
+      | Ok 0 -> fail "trace_check: %s: no telemetry samples" file
+      | Ok n -> Printf.printf "trace_check: %s: %d well-formed telemetry samples\n" file n)
+  end
+  else begin
+    match Trace_read.read_file file with
+    | exception Sys_error e -> fail "trace_check: %s" e
+    | Error e -> fail "trace_check: %s: %s" file e
+    | Ok events -> (
+      match Trace_read.validate events with
+      | Error e -> fail "trace_check: %s: %s" file e
+      | Ok 0 -> fail "trace_check: %s: no trace events" file
+      | Ok n -> Printf.printf "trace_check: %s: %d well-formed events\n" file n)
+  end

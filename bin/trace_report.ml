@@ -10,9 +10,10 @@
    ticks by default, nanoseconds under ron_cli --trace), so the columns
    are labelled generically as "ticks".
 
-   usage: trace_report FILE.jsonl [--folded OUT] *)
+   usage: trace_report FILE.jsonl [--folded OUT] [--json] *)
 
 module Trace_read = Ron_obs.Trace_read
+module Json = Ron_obs.Json
 
 let fail fmt = Printf.ksprintf (fun s -> prerr_endline s; exit 1) fmt
 
@@ -35,11 +36,14 @@ let percentile sorted q =
   end
 
 let () =
-  let file = ref None and folded = ref None in
+  let file = ref None and folded = ref None and json = ref false in
   let rec parse_args = function
     | [] -> ()
     | "--folded" :: out :: rest ->
       folded := Some out;
+      parse_args rest
+    | "--json" :: rest ->
+      json := true;
       parse_args rest
     | arg :: rest when !file = None && String.length arg > 0 && arg.[0] <> '-' ->
       file := Some arg;
@@ -51,7 +55,7 @@ let () =
     match !file with
     | Some f -> f
     | None ->
-      prerr_endline "usage: trace_report FILE.jsonl [--folded OUT]";
+      prerr_endline "usage: trace_report FILE.jsonl [--folded OUT] [--json]";
       exit 2
   in
   let events =
@@ -114,31 +118,75 @@ let () =
         match compare b.total a.total with 0 -> String.compare na nb | c -> c)
       rows
   in
-  Printf.printf "trace_report: %s: %d events, %d span names, %d instant names\n\n" file
-    (List.length events) (List.length rows) (Hashtbl.length instants);
-  Printf.printf "%-28s %8s %14s %14s %12s %12s  %s\n" "span" "count" "total_ticks"
-    "self_ticks" "p50" "p95" "domains (count@total)";
-  Printf.printf "%s\n" (String.make 110 '-');
-  List.iter
-    (fun (name, agg) ->
+  let inst = Hashtbl.fold (fun name c acc -> (name, c) :: acc) instants [] in
+  let inst = List.sort (fun (a, _) (b, _) -> String.compare a b) inst in
+  if !json then begin
+    (* Machine-readable mirror of the table, for CI consumption. *)
+    let span_json (name, agg) =
       let sorted = Array.of_list agg.durations in
       Array.sort compare sorted;
       let doms = Hashtbl.fold (fun d ct acc -> (d, ct) :: acc) agg.by_dom [] in
       let doms = List.sort (fun (a, _) (b, _) -> compare a b) doms in
-      let doms_s =
-        String.concat " "
-          (List.map (fun (d, (c, t)) -> Printf.sprintf "%d:%d@%d" d c t) doms)
-      in
-      Printf.printf "%-28s %8d %14d %14d %12d %12d  %s\n" name agg.count agg.total agg.self
-        (percentile sorted 0.50) (percentile sorted 0.95) doms_s)
-    rows;
-  let inst = Hashtbl.fold (fun name c acc -> (name, c) :: acc) instants [] in
-  if inst <> [] then begin
-    Printf.printf "\n%-28s %8s\n" "instant" "count";
-    Printf.printf "%s\n" (String.make 37 '-');
+      Json.Obj
+        [
+          ("name", Json.String name);
+          ("count", Json.Int agg.count);
+          ("total_ticks", Json.Int agg.total);
+          ("self_ticks", Json.Int agg.self);
+          ("p50", Json.Int (percentile sorted 0.50));
+          ("p95", Json.Int (percentile sorted 0.95));
+          ("p99", Json.Int (percentile sorted 0.99));
+          ( "domains",
+            Json.List
+              (List.map
+                 (fun (d, (c, t)) ->
+                   Json.Obj
+                     [ ("dom", Json.Int d); ("count", Json.Int c); ("total_ticks", Json.Int t) ])
+                 doms) );
+        ]
+    in
+    let report =
+      Json.Obj
+        [
+          ("schema", Json.String "ron-trace-report/1");
+          ("file", Json.String file);
+          ("events", Json.Int (List.length events));
+          ("spans", Json.List (List.map span_json rows));
+          ( "instants",
+            Json.List
+              (List.map
+                 (fun (name, c) ->
+                   Json.Obj [ ("name", Json.String name); ("count", Json.Int c) ])
+                 inst) );
+        ]
+    in
+    print_endline (Json.to_string report)
+  end
+  else begin
+    Printf.printf "trace_report: %s: %d events, %d span names, %d instant names\n\n" file
+      (List.length events) (List.length rows) (Hashtbl.length instants);
+    Printf.printf "%-28s %8s %14s %14s %12s %12s %12s  %s\n" "span" "count" "total_ticks"
+      "self_ticks" "p50" "p95" "p99" "domains (count@total)";
+    Printf.printf "%s\n" (String.make 123 '-');
     List.iter
-      (fun (name, c) -> Printf.printf "%-28s %8d\n" name c)
-      (List.sort (fun (a, _) (b, _) -> String.compare a b) inst)
+      (fun (name, agg) ->
+        let sorted = Array.of_list agg.durations in
+        Array.sort compare sorted;
+        let doms = Hashtbl.fold (fun d ct acc -> (d, ct) :: acc) agg.by_dom [] in
+        let doms = List.sort (fun (a, _) (b, _) -> compare a b) doms in
+        let doms_s =
+          String.concat " "
+            (List.map (fun (d, (c, t)) -> Printf.sprintf "%d:%d@%d" d c t) doms)
+        in
+        Printf.printf "%-28s %8d %14d %14d %12d %12d %12d  %s\n" name agg.count agg.total
+          agg.self
+          (percentile sorted 0.50) (percentile sorted 0.95) (percentile sorted 0.99) doms_s)
+      rows;
+    if inst <> [] then begin
+      Printf.printf "\n%-28s %8s\n" "instant" "count";
+      Printf.printf "%s\n" (String.make 37 '-');
+      List.iter (fun (name, c) -> Printf.printf "%-28s %8d\n" name c) inst
+    end
   end;
   match !folded with
   | None -> ()
@@ -149,4 +197,5 @@ let () =
       (fun (p, v) -> Printf.fprintf oc "%s %d\n" p v)
       (List.sort (fun (a, _) (b, _) -> String.compare a b) paths);
     close_out oc;
-    Printf.printf "\nfolded stacks: %d paths -> %s\n" (List.length paths) out
+    if not !json then
+      Printf.printf "\nfolded stacks: %d paths -> %s\n" (List.length paths) out

@@ -69,7 +69,9 @@ let collect_routes_keyed ?(parallel = true) ~route ~dist pairs =
   let np = Array.length pairs_a in
   let eval i =
     let (u, v) = pairs_a.(i) in
-    Ron_obs.Ledger.with_query ~kind:"route" ~id:i (fun () -> route ~query:i u v)
+    let r = Ron_obs.Ledger.with_query ~kind:"route" ~id:i (fun () -> route ~query:i u v) in
+    if !Ron_obs.Telemetry.active then Ron_obs.Telemetry.tick ();
+    r
   in
   let was_on = !Ron_obs.Probe.on in
   Ron_obs.Probe.on := true;

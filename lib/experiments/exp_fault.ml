@@ -80,7 +80,8 @@ let sweep_rows ~n ~route_wrapped ~dist ~parallel pairs =
           C.cell_float ~w:9 (float_of_int fc.retries /. float_of_int nq);
           C.cell_int ~w:9 fc.injected;
         ];
-      if q.C.failures > 0 then C.note (C.pp_observed q))
+      if q.C.failures > 0 then C.note (C.pp_observed q);
+      if !Ron_obs.Telemetry.active then Ron_obs.Telemetry.tick ())
     rates
 
 let run () =

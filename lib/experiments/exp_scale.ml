@@ -75,7 +75,8 @@ let measure n =
   for u = 0 to nn - 1 do
     let b = Landmark.ball_size lm u in
     ball_sum := !ball_sum + b;
-    ball_max := max !ball_max b
+    ball_max := max !ball_max b;
+    if !Ron_obs.Telemetry.active then Ron_obs.Telemetry.tick ()
   done;
   let pairs = Array.length truth in
   {

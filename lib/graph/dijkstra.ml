@@ -500,13 +500,20 @@ module Oracle = struct
               victim := k
             end)
           c.tbl;
-        if !victim >= 0 then Hashtbl.remove c.tbl !victim
+        if !victim >= 0 then begin
+          Hashtbl.remove c.tbl !victim;
+          if !Probe.on then Probe.oracle_evict ()
+        end
       end;
       Hashtbl.add c.tbl s { srow = r; last = c.tick };
       if !Probe.on then begin
         Probe.oracle_build ();
-        Probe.sssp_source ()
+        Probe.sssp_source ();
+        Probe.oracle_occupancy (Hashtbl.length c.tbl)
       end;
+      (* Row builds are the oracle's unit of heavy work — a natural
+         telemetry cadence for long on-demand phases. *)
+      if !Ron_obs.Telemetry.active then Ron_obs.Telemetry.tick ();
       r
 
   (* The returned arrays are the cache's own storage: read-only. *)

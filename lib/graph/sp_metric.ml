@@ -113,5 +113,9 @@ let sample_ground_truth t ~seed ~count =
       if c <> 0 then c else Int.compare a b)
     order;
   let out = Array.make count 0.0 in
-  Array.iter (fun i -> out.(i) <- dist t us.(i) vs.(i)) order;
+  Array.iter
+    (fun i ->
+      out.(i) <- dist t us.(i) vs.(i);
+      if !Ron_obs.Telemetry.active then Ron_obs.Telemetry.tick ())
+    order;
   Array.init count (fun i -> (us.(i), vs.(i), out.(i)))

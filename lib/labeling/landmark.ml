@@ -66,6 +66,10 @@ let build ?jobs sp rng ~k ~local_radius =
         let nodes = b.Dijkstra.nodes and dists = b.Dijkstra.dists in
         sort_ball nodes dists;
         if !Probe.on then Probe.ring_node ();
+        (* In-chunk ticks are no-ops (sampling is chunk-free); this fires
+           exactly once per build, via Pool.init's seed call for u = 0,
+           giving a snapshot at the start of the long ball phase. *)
+        if !Ron_obs.Telemetry.active then Ron_obs.Telemetry.tick ();
         (nodes, dists))
   in
   Profile.phase "labels" @@ fun () ->
@@ -80,7 +84,8 @@ let build ?jobs sp rng ~k ~local_radius =
     let nodes, dists = balls.(u) in
     Array.blit nodes 0 ball_node ball_off.(u) (Array.length nodes);
     Array.blit dists 0 ball_dist ball_off.(u) (Array.length dists);
-    if !Probe.on then Probe.label_node ()
+    if !Probe.on then Probe.label_node ();
+    if !Ron_obs.Telemetry.active then Ron_obs.Telemetry.tick ()
   done;
   (* Aspect ratio for the distance codec, from the beacon rows (global
      reach) — every stored distance is <= the largest row entry. *)

@@ -1,0 +1,89 @@
+(* Process-wide gauges, sharded per domain like Counter. A gauge holds a
+   "current level" (cache occupancy, batch size, effective job count)
+   rather than a monotone count: each domain's shard keeps the last value
+   that domain wrote, and the merged reading is the sum over shards that
+   have been written at all. Sum commutes, so the reading is independent
+   of registration order; a gauge written only from the orchestrating
+   domain reads back exactly its last write at any RON_JOBS, which is what
+   deterministic snapshots rely on.
+
+   Gauges whose value necessarily reflects the execution environment
+   (effective worker count, per-domain cache occupancy summed over a
+   RON_JOBS-dependent number of caches) are declared with [~env:true] and
+   excluded from deterministic surfaces: [Ron_obs.snapshot] skips them,
+   and [Telemetry] only emits them alongside the other process-level
+   fields (GC, RSS) that are already nondeterministic. *)
+
+type shard = { mutable v : float; mutable written : bool }
+
+type t = {
+  name : string;
+  env : bool;
+  mu : Mutex.t;
+  shards : shard list ref;
+  key : shard Domain.DLS.key;
+}
+
+let registry_mu = Mutex.create ()
+let registry : t list ref = ref []
+
+(* Idempotent per name, like Counter.make; the [env] flag of the first
+   declaration wins. *)
+let make ?(env = false) name =
+  Mutex.protect registry_mu (fun () ->
+      match List.find_opt (fun t -> String.equal t.name name) !registry with
+      | Some t -> t
+      | None ->
+        let mu = Mutex.create () in
+        let shards = ref [] in
+        let key =
+          Domain.DLS.new_key (fun () ->
+              let s = { v = 0.0; written = false } in
+              Mutex.protect mu (fun () -> shards := s :: !shards);
+              s)
+        in
+        let t = { name; env; mu; shards; key } in
+        registry := t :: !registry;
+        t)
+
+let name t = t.name
+let env t = t.env
+
+let set t x =
+  let s = Domain.DLS.get t.key in
+  s.v <- x;
+  s.written <- true
+
+let set_int t i = set t (float_of_int i)
+
+let add t by =
+  let s = Domain.DLS.get t.key in
+  s.v <- s.v +. by;
+  s.written <- true
+
+let written t =
+  Mutex.protect t.mu (fun () -> List.exists (fun s -> s.written) !(t.shards))
+
+let value t =
+  Mutex.protect t.mu (fun () ->
+      List.fold_left (fun a s -> if s.written then a +. s.v else a) 0.0 !(t.shards))
+
+let max_value t =
+  Mutex.protect t.mu (fun () ->
+      List.fold_left
+        (fun a s -> if s.written then Float.max a s.v else a)
+        neg_infinity !(t.shards))
+
+let reset t =
+  Mutex.protect t.mu (fun () ->
+      List.iter
+        (fun s ->
+          s.v <- 0.0;
+          s.written <- false)
+        !(t.shards))
+
+let all () =
+  let l = Mutex.protect registry_mu (fun () -> !registry) in
+  List.sort (fun a b -> String.compare a.name b.name) l
+
+let reset_all () = List.iter reset (all ())

@@ -77,3 +77,194 @@ let all () =
   List.sort (fun a b -> String.compare a.name b.name) l
 
 let reset_all () = List.iter reset (all ())
+
+(* Bounded log-bucketed histograms (HDR/DDSketch-style) for serving-scale
+   workloads where holding raw samples is the memory bug the telemetry is
+   supposed to catch. A finite positive value v lands in bucket
+   floor(log v / log gamma) with gamma = (1+e)/(1-e) for relative error e;
+   everything else (zeros, negatives, non-finite) counts in a dedicated
+   zero bucket with representative 0.0. Memory is O(occupied buckets) per
+   domain — for e = 1%, about 1150 buckets per decade-spanning workload,
+   independent of observation count.
+
+   Quantiles use the same rank rule as Ron_util.Stats.percentile
+   (rank = ceil(q*n), element at rank-1) over the cumulative bucket
+   counts, answering with the bucket's geometric midpoint gamma^(i+0.5)
+   clamped to the observed [min, max]. Bucket index is monotone in the
+   value, so the rank-r element of the sorted raw sample lies in the
+   bucket the estimator picks: the answer is within one bucket — a factor
+   of gamma — of the exact raw-sample quantile (tested by QCheck).
+
+   Shard counts merge by per-bucket addition and min/max by order-free
+   extrema, so summaries are bit-identical at every RON_JOBS. *)
+module Bucketed = struct
+  type shard = {
+    tbl : (int, int ref) Hashtbl.t;
+    mutable zero : int;
+    mutable total : int;
+    mutable mn : float;
+    mutable mx : float;
+  }
+
+  type t = {
+    name : string;
+    gamma : float;
+    log_gamma : float;
+    relative_error : float;
+    mu : Mutex.t;
+    shards : shard list ref;
+    key : shard Domain.DLS.key;
+  }
+
+  type summary = {
+    count : int;
+    min : float;
+    max : float;
+    p50 : float;
+    p95 : float;
+    p99 : float;
+  }
+
+  let registry_mu = Mutex.create ()
+  let registry : t list ref = ref []
+
+  (* Idempotent per name, like Counter.make; the [relative_error] of the
+     first declaration wins. *)
+  let make ?(relative_error = 0.01) name =
+    if not (relative_error > 0.0 && relative_error < 1.0) then
+      invalid_arg "Histogram.Bucketed.make: relative_error outside (0, 1)";
+    Mutex.protect registry_mu (fun () ->
+        match List.find_opt (fun t -> String.equal t.name name) !registry with
+        | Some t -> t
+        | None ->
+          let gamma = (1.0 +. relative_error) /. (1.0 -. relative_error) in
+          let mu = Mutex.create () in
+          let shards = ref [] in
+          let key =
+            Domain.DLS.new_key (fun () ->
+                let s =
+                  { tbl = Hashtbl.create 64; zero = 0; total = 0;
+                    mn = infinity; mx = neg_infinity }
+                in
+                Mutex.protect mu (fun () -> shards := s :: !shards);
+                s)
+          in
+          let t =
+            { name; gamma; log_gamma = log gamma; relative_error; mu; shards; key }
+          in
+          registry := t :: !registry;
+          t)
+
+  let name t = t.name
+  let relative_error t = t.relative_error
+  let gamma t = t.gamma
+
+  let observe t x =
+    let s = Domain.DLS.get t.key in
+    if Float.is_finite x && x > 0.0 then begin
+      let idx = int_of_float (Float.floor (log x /. t.log_gamma)) in
+      (match Hashtbl.find_opt s.tbl idx with
+      | Some r -> incr r
+      | None -> Hashtbl.add s.tbl idx (ref 1));
+      if x < s.mn then s.mn <- x;
+      if x > s.mx then s.mx <- x
+    end
+    else begin
+      s.zero <- s.zero + 1;
+      if 0.0 < s.mn then s.mn <- 0.0;
+      if 0.0 > s.mx then s.mx <- 0.0
+    end;
+    s.total <- s.total + 1
+
+  let observe_int t i = observe t (float_of_int i)
+
+  let count t =
+    Mutex.protect t.mu (fun () ->
+        List.fold_left (fun a s -> a + s.total) 0 !(t.shards))
+
+  (* Merge every shard: (zero count, sorted (bucket, count) array, total,
+     min, max). Addition and extrema commute, so the merge is independent
+     of shard registration order. *)
+  let merged t =
+    let shards = Mutex.protect t.mu (fun () -> !(t.shards)) in
+    let acc = Hashtbl.create 64 in
+    let zero = ref 0 and total = ref 0 in
+    let mn = ref infinity and mx = ref neg_infinity in
+    List.iter
+      (fun s ->
+        zero := !zero + s.zero;
+        total := !total + s.total;
+        if s.mn < !mn then mn := s.mn;
+        if s.mx > !mx then mx := s.mx;
+        Hashtbl.iter
+          (fun idx c ->
+            match Hashtbl.find_opt acc idx with
+            | Some r -> r := !r + !c
+            | None -> Hashtbl.add acc idx (ref !c))
+          s.tbl)
+      shards;
+    let buckets =
+      Hashtbl.fold (fun idx c l -> (idx, !c) :: l) acc []
+      |> List.sort (fun (a, _) (b, _) -> Int.compare a b)
+      |> Array.of_list
+    in
+    (!zero, buckets, !total, !mn, !mx)
+
+  let bucket_count t =
+    let _, buckets, _, _, _ = merged t in
+    Array.length buckets
+
+  let quantile_of_merged t (zero, buckets, total, mn, mx) q =
+    if total = 0 then nan
+    else begin
+      let rank =
+        let r = int_of_float (ceil (q *. float_of_int total)) in
+        Stdlib.max 1 (Stdlib.min total r)
+      in
+      if rank <= zero then 0.0
+      else begin
+        let seen = ref zero and est = ref mx in
+        (try
+           Array.iter
+             (fun (idx, c) ->
+               seen := !seen + c;
+               if !seen >= rank then begin
+                 est := exp ((float_of_int idx +. 0.5) *. t.log_gamma);
+                 raise Exit
+               end)
+             buckets
+         with Exit -> ());
+        Stdlib.max mn (Stdlib.min mx !est)
+      end
+    end
+
+  let quantile t q = quantile_of_merged t (merged t) q
+
+  let summary t =
+    let ((_, _, total, mn, mx) as m) = merged t in
+    {
+      count = total;
+      min = (if total = 0 then nan else mn);
+      max = (if total = 0 then nan else mx);
+      p50 = quantile_of_merged t m 0.50;
+      p95 = quantile_of_merged t m 0.95;
+      p99 = quantile_of_merged t m 0.99;
+    }
+
+  let reset t =
+    Mutex.protect t.mu (fun () ->
+        List.iter
+          (fun s ->
+            Hashtbl.reset s.tbl;
+            s.zero <- 0;
+            s.total <- 0;
+            s.mn <- infinity;
+            s.mx <- neg_infinity)
+          !(t.shards))
+
+  let all () =
+    let l = Mutex.protect registry_mu (fun () -> !registry) in
+    List.sort (fun a b -> String.compare a.name b.name) l
+
+  let reset_all () = List.iter reset (all ())
+end

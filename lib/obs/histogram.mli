@@ -27,3 +27,58 @@ val all : unit -> t list
 (** Every registered histogram, sorted by name. *)
 
 val reset_all : unit -> unit
+
+(** Bounded log-bucketed histograms (HDR/DDSketch-style): O(occupied
+    buckets) memory regardless of observation count, quantiles within one
+    bucket — a factor of [gamma = (1+e)/(1-e)] — of the exact raw-sample
+    quantile under the {!Ron_util.Stats.percentile} rank rule. Finite
+    positive values are log-bucketed; zeros, negatives and non-finite
+    values count in a dedicated zero bucket with representative [0.0].
+    Sharded per domain with commutative merges, so summaries are
+    bit-identical at every [RON_JOBS]. This registry is separate from the
+    raw-sample one above. *)
+module Bucketed : sig
+  type t
+
+  type summary = {
+    count : int;
+    min : float;
+    max : float;
+    p50 : float;
+    p95 : float;
+    p99 : float;
+  }
+
+  val make : ?relative_error:float -> string -> t
+  (** Create and register (idempotent per name; the first declaration's
+      [relative_error] wins). Default relative error 1%. Raises
+      [Invalid_argument] unless [relative_error] is in (0, 1). *)
+
+  val name : t -> string
+  val relative_error : t -> float
+  val gamma : t -> float
+
+  val observe : t -> float -> unit
+  val observe_int : t -> int -> unit
+
+  val count : t -> int
+  (** Total observations across shards. *)
+
+  val bucket_count : t -> int
+  (** Occupied (merged) log buckets — the memory footprint proxy. *)
+
+  val quantile : t -> float -> float
+  (** [quantile t q] for [q] in [0, 1]; [nan] when empty. *)
+
+  val summary : t -> summary
+  (** count/min/max/p50/p95/p99; min/max are exact, quantiles within one
+      bucket. All [nan] except [count] when empty. *)
+
+  val reset : t -> unit
+  (** Drop every observation. Do not race with concurrent observes. *)
+
+  val all : unit -> t list
+  (** Every registered bucketed histogram, sorted by name. *)
+
+  val reset_all : unit -> unit
+end

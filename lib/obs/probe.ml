@@ -39,9 +39,11 @@ let meridian_hops = Counter.make "meridian.hops"
 let sssp_sources = Counter.make "construct.sssp_sources"
 let oracle_hits = Counter.make "oracle.row_hits"
 let oracle_builds = Counter.make "oracle.row_builds"
+let oracle_evicts = Counter.make "oracle.row_evicts"
 let table_nodes = Counter.make "construct.table_nodes"
 let label_nodes = Counter.make "construct.label_nodes"
 let ring_nodes = Counter.make "construct.ring_nodes"
+let pool_batches = Counter.make "pool.batches"
 
 (* Fault-injection counters: one bump per injected fault or per fallback the
    retry/detour policy took. Commutative sums, so totals are identical at
@@ -51,6 +53,18 @@ let fault_crashed_hits = Counter.make "fault.crashed_hits"
 let fault_dead_links = Counter.make "fault.dead_link_hits"
 let fault_retries = Counter.make "fault.retries"
 let fault_detours = Counter.make "fault.detours"
+
+(* -- gauges ------------------------------------------------------------- *)
+
+(* Current-level readings for telemetry. The oracle occupancy and the
+   effective worker count reflect the execution environment (how many
+   per-domain caches exist, what RON_JOBS resolved to), so they are [env]
+   gauges — excluded from deterministic snapshots and only emitted next
+   to the other process-level telemetry fields. Batch items are set from
+   the orchestrating domain only, so that gauge stays deterministic. *)
+let oracle_rows = Gauge.make ~env:true "oracle.rows_cached"
+let pool_jobs = Gauge.make ~env:true "pool.jobs"
+let pool_batch_items = Gauge.make "pool.batch_items"
 
 (* -- histograms --------------------------------------------------------- *)
 
@@ -122,9 +136,23 @@ let meridian_hop () =
 let sssp_source () = Counter.incr sssp_sources
 let oracle_hit () = Counter.incr oracle_hits
 let oracle_build () = Counter.incr oracle_builds
+let oracle_evict () = Counter.incr oracle_evicts
+let oracle_occupancy rows = Gauge.set_int oracle_rows rows
 let table_node () = Counter.incr table_nodes
 let label_node () = Counter.incr label_nodes
 let ring_node () = Counter.incr ring_nodes
+
+(* Pool batches are observed through Pool's hook (the util layer cannot
+   call up into this one). Installed unconditionally at module init; the
+   [!on] check inside keeps disabled runs at a load and a branch per
+   top-level batch. *)
+let () =
+  Ron_util.Pool.set_observer (fun ~jobs ~items ->
+      if !on then begin
+        Counter.incr pool_batches;
+        Gauge.set_int pool_jobs jobs;
+        Gauge.set_int pool_batch_items items
+      end)
 
 (* Fault events bump counters only; the simulator's hop/route counters keep
    charging the ledger, so per-query costs already include detour hops. *)

@@ -34,9 +34,19 @@ val meridian_hops : Counter.t
 val sssp_sources : Counter.t
 val oracle_hits : Counter.t
 val oracle_builds : Counter.t
+val oracle_evicts : Counter.t
 val table_nodes : Counter.t
 val label_nodes : Counter.t
 val ring_nodes : Counter.t
+val pool_batches : Counter.t
+
+(** Gauges (current levels, for telemetry snapshots). [oracle_rows] and
+    [pool_jobs] are [env] gauges: their values depend on the execution
+    environment, so deterministic surfaces exclude them. *)
+
+val oracle_rows : Gauge.t
+val pool_jobs : Gauge.t
+val pool_batch_items : Gauge.t
 
 (** Fault-injection counters (injected faults and fallback decisions). *)
 
@@ -82,6 +92,12 @@ val oracle_hit : unit -> unit
 
 val oracle_build : unit -> unit
 (** One distance-oracle row computed (cache miss). *)
+
+val oracle_evict : unit -> unit
+(** One distance-oracle row evicted from a full per-domain cache. *)
+
+val oracle_occupancy : int -> unit
+(** Record the calling domain's current cached-row count (env gauge). *)
 
 val table_node : unit -> unit
 (** One node's routing table built. *)

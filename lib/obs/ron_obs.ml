@@ -9,12 +9,15 @@
 
 module Json = Json
 module Counter = Counter
+module Gauge = Gauge
 module Histogram = Histogram
 module Ledger = Ledger
 module Trace = Trace
 module Trace_read = Trace_read
 module Probe = Probe
 module Profile = Profile
+module Telemetry = Telemetry
+module Rss = Rss
 
 let enable () = Probe.on := true
 let disable () = Probe.on := false
@@ -22,7 +25,9 @@ let enabled () = !Probe.on
 
 let reset () =
   Counter.reset_all ();
+  Gauge.reset_all ();
   Histogram.reset_all ();
+  Histogram.Bucketed.reset_all ();
   Ledger.reset ()
 
 let summary_json (s : Ron_util.Stats.summary) =
@@ -41,6 +46,37 @@ let summary_json (s : Ron_util.Stats.summary) =
 let counters_json () =
   Json.Obj
     (List.map (fun c -> (Counter.name c, Json.Int (Counter.value c))) (Counter.all ()))
+
+(* Env gauges (worker counts, per-domain cache occupancy) depend on
+   RON_JOBS by nature; the deterministic snapshot carries only the rest. *)
+let gauges_json () =
+  Json.Obj
+    (List.filter_map
+       (fun g ->
+         if Gauge.written g && not (Gauge.env g) then
+           Some (Gauge.name g, Json.Float (Gauge.value g))
+         else None)
+       (Gauge.all ()))
+
+let bucketed_json () =
+  Json.Obj
+    (List.filter_map
+       (fun h ->
+         let s = Histogram.Bucketed.summary h in
+         if s.Histogram.Bucketed.count = 0 then None
+         else
+           Some
+             ( Histogram.Bucketed.name h,
+               Json.Obj
+                 [
+                   ("count", Json.Int s.Histogram.Bucketed.count);
+                   ("min", Json.Float s.Histogram.Bucketed.min);
+                   ("max", Json.Float s.Histogram.Bucketed.max);
+                   ("p50", Json.Float s.Histogram.Bucketed.p50);
+                   ("p95", Json.Float s.Histogram.Bucketed.p95);
+                   ("p99", Json.Float s.Histogram.Bucketed.p99);
+                 ] ))
+       (Histogram.Bucketed.all ()))
 
 let histograms_json () =
   Json.Obj
@@ -96,7 +132,9 @@ let snapshot () =
     [
       ("schema", Json.String "ron-obs/1");
       ("counters", counters_json ());
+      ("gauges", gauges_json ());
       ("histograms", histograms_json ());
+      ("bucketed_histograms", bucketed_json ());
       ("queries", queries_json ());
     ]
 

@@ -9,12 +9,15 @@
 
 module Json = Json
 module Counter = Counter
+module Gauge = Gauge
 module Histogram = Histogram
 module Ledger = Ledger
 module Trace = Trace
 module Trace_read = Trace_read
 module Probe = Probe
 module Profile = Profile
+module Telemetry = Telemetry
+module Rss = Rss
 
 val enable : unit -> unit
 (** Turn the probes on ([Probe.on := true]). *)
@@ -23,13 +26,16 @@ val disable : unit -> unit
 val enabled : unit -> bool
 
 val reset : unit -> unit
-(** Zero all counters, histograms, and ledger entries. *)
+(** Zero all counters, gauges, histograms (raw and bucketed), and ledger
+    entries. *)
 
 val snapshot : unit -> Json.t
 (** Deterministic summary: [{"schema":"ron-obs/1","counters":{...},
-    "histograms":{...},"queries":{...}}]. Counters sort by name; each
-    histogram reports a {!Ron_util.Stats.summary}; ledger entries group by
-    kind with per-field summaries. *)
+    "gauges":{...},"histograms":{...},"bucketed_histograms":{...},
+    "queries":{...}}]. Counters sort by name; gauges include only written,
+    non-env ones; each histogram reports a {!Ron_util.Stats.summary} (and
+    each bucketed histogram its {!Histogram.Bucketed.summary}); ledger
+    entries group by kind with per-field summaries. *)
 
 val write_snapshot : string -> unit
 (** Write [snapshot ()] as pretty JSON to a file. *)

@@ -1,0 +1,56 @@
+(* Resident-set-size readings, normalised to kB. Current RSS comes from
+   /proc/self/statm (pages, converted via the stub's page size) — the
+   cheapest per-sample source, a single short read. Peak RSS prefers the
+   kernel's VmHWM high-water mark and falls back to getrusage max-RSS
+   where /proc is unavailable (non-Linux), so bench reports keep a peak
+   column everywhere. *)
+
+external maxrss_kb_stub : unit -> int = "ron_obs_maxrss_kb"
+external page_size_stub : unit -> int = "ron_obs_page_size"
+
+let page_kb = lazy (max 1 (page_size_stub () / 1024))
+
+let current_kb () =
+  match open_in "/proc/self/statm" with
+  | exception Sys_error _ -> None
+  | ic ->
+    let r =
+      match input_line ic with
+      | exception End_of_file -> None
+      | line -> (
+        (* "size resident shared text lib data dt", all in pages. *)
+        match String.split_on_char ' ' line with
+        | _ :: resident :: _ ->
+          Option.map (fun p -> p * Lazy.force page_kb) (int_of_string_opt resident)
+        | _ -> None)
+    in
+    close_in ic;
+    r
+
+let vmhwm_kb () =
+  match open_in "/proc/self/status" with
+  | exception Sys_error _ -> None
+  | ic ->
+    let rec scan () =
+      match input_line ic with
+      | exception End_of_file -> None
+      | line ->
+        if String.length line > 6 && String.sub line 0 6 = "VmHWM:" then
+          let digits =
+            String.to_seq line
+            |> Seq.filter (fun c -> c >= '0' && c <= '9')
+            |> String.of_seq
+          in
+          int_of_string_opt digits
+        else scan ()
+    in
+    let r = scan () in
+    close_in ic;
+    r
+
+let getrusage_peak_kb () =
+  let kb = maxrss_kb_stub () in
+  if kb > 0 then Some kb else None
+
+let peak_kb () =
+  match vmhwm_kb () with Some k -> Some k | None -> getrusage_peak_kb ()

@@ -1,0 +1,14 @@
+(** Process resident-set-size readings, normalised to kB. *)
+
+val current_kb : unit -> int option
+(** Current RSS from [/proc/self/statm]; [None] where /proc is
+    unavailable (non-Linux). Cheap enough to call per telemetry sample. *)
+
+val peak_kb : unit -> int option
+(** Peak RSS: the kernel's VmHWM high-water mark when /proc is available,
+    otherwise getrusage max-RSS (units already normalised to kB on every
+    platform, including macOS's bytes). *)
+
+val getrusage_peak_kb : unit -> int option
+(** The getrusage max-RSS reading alone, in kB; [None] if the call fails.
+    Exposed for tests of the fallback path. *)

@@ -1,0 +1,29 @@
+/* Process memory facts the OCaml stdlib does not expose: getrusage
+   max-RSS (the portable peak fallback when /proc is unavailable) and the
+   page size (to convert /proc/self/statm pages to kB). Units are
+   normalised to kB here so the OCaml side never branches on platform. */
+
+#include <caml/mlvalues.h>
+#include <sys/resource.h>
+#include <unistd.h>
+
+CAMLprim value ron_obs_maxrss_kb(value unit)
+{
+  struct rusage ru;
+  long kb;
+  (void)unit;
+  if (getrusage(RUSAGE_SELF, &ru) != 0)
+    return Val_long(-1);
+  kb = (long)ru.ru_maxrss;
+#ifdef __APPLE__
+  kb /= 1024; /* macOS reports bytes, Linux kB */
+#endif
+  return Val_long(kb);
+}
+
+CAMLprim value ron_obs_page_size(value unit)
+{
+  long ps = sysconf(_SC_PAGESIZE);
+  (void)unit;
+  return Val_long(ps > 0 ? ps : 4096);
+}

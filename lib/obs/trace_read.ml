@@ -121,3 +121,143 @@ let read_file file =
         | exception End_of_file -> List.rev acc
       in
       parse_lines (slurp []))
+
+(* -- telemetry snapshot records ----------------------------------------- *)
+
+(* One Telemetry JSONL sample, parsed shallowly: the fixed header fields
+   are extracted and typed; the section payloads stay as Json.t so the
+   validator below and telemetry_report can each walk what they need. *)
+type snapshot = {
+  sts : int;
+  seq : int;
+  counters : (string * Json.t) list;
+  gauges : (string * Json.t) list;
+  hists : (string * Json.t) list;
+  gc : (string * Json.t) list option;
+  rss_kb : int option;
+}
+
+let parse_snapshot_line line =
+  match Json.of_string line with
+  | Error e -> Error e
+  | Ok j -> (
+    let int_field k =
+      match Json.member k j with
+      | Some (Json.Int v) -> Ok v
+      | Some _ -> Error (Printf.sprintf "field %S is not an integer" k)
+      | None -> Error (Printf.sprintf "missing %S" k)
+    in
+    let obj_field k =
+      match Json.member k j with
+      | Some (Json.Obj fields) -> Ok fields
+      | Some _ -> Error (Printf.sprintf "field %S is not an object" k)
+      | None -> Error (Printf.sprintf "missing %S" k)
+    in
+    match Json.member "kind" j with
+    | Some (Json.String "sample") -> (
+      match (int_field "ts", int_field "seq") with
+      | Error e, _ | _, Error e -> Error e
+      | Ok sts, Ok seq -> (
+        match (obj_field "counters", obj_field "gauges", obj_field "hists") with
+        | Error e, _, _ | _, Error e, _ | _, _, Error e -> Error e
+        | Ok counters, Ok gauges, Ok hists -> (
+          let gc =
+            match Json.member "gc" j with
+            | None -> Ok None
+            | Some (Json.Obj fields) -> Ok (Some fields)
+            | Some _ -> Error "field \"gc\" is not an object"
+          in
+          let rss =
+            match Json.member "rss_kb" j with
+            | None -> Ok None
+            | Some (Json.Int v) -> Ok (Some v)
+            | Some _ -> Error "field \"rss_kb\" is not an integer"
+          in
+          match (gc, rss) with
+          | Error e, _ | _, Error e -> Error e
+          | Ok gc, Ok rss_kb -> Ok { sts; seq; counters; gauges; hists; gc; rss_kb })))
+    | Some (Json.String other) -> Error (Printf.sprintf "unknown record kind %S" other)
+    | Some _ -> Error "field \"kind\" is not a string"
+    | None -> Error "missing \"kind\"")
+
+let is_number = function Json.Int _ | Json.Float _ -> true | _ -> false
+
+(* Structural validation of a telemetry series:
+   - seq starts at 0 and increases by exactly 1 (one writer, no loss);
+   - ts is non-decreasing (clocks are monotone, logical or wall);
+   - counter deltas are integers, gauge values numbers;
+   - every histogram summary carries integer count >= 1 and numeric
+     min/max/p50/p95/p99 (empty histograms are omitted at emission);
+   - gc fields are numbers and rss_kb is non-negative when present. *)
+let validate_snapshots snaps =
+  let err i fmt =
+    Printf.ksprintf (fun s -> Error (Printf.sprintf "sample %d: %s" (i + 1) s)) fmt
+  in
+  let rec go i prev_ts = function
+    | [] -> Ok i
+    | s :: rest ->
+      if s.seq <> i then err i "seq %d, expected %d" s.seq i
+      else if s.sts < prev_ts then err i "ts %d goes backwards (previous %d)" s.sts prev_ts
+      else if s.rss_kb <> None && Option.get s.rss_kb < 0 then
+        err i "negative rss_kb"
+      else begin
+        let bad_counter =
+          List.find_opt (fun (_, v) -> match v with Json.Int _ -> false | _ -> true) s.counters
+        in
+        let bad_gauge = List.find_opt (fun (_, v) -> not (is_number v)) s.gauges in
+        let bad_gc =
+          match s.gc with
+          | None -> None
+          | Some fields -> List.find_opt (fun (_, v) -> not (is_number v)) fields
+        in
+        let bad_hist =
+          List.find_opt
+            (fun (_, v) ->
+              match v with
+              | Json.Obj fields ->
+                (match List.assoc_opt "count" fields with
+                | Some (Json.Int c) when c >= 1 -> false
+                | _ -> true)
+                || List.exists
+                     (fun k ->
+                       match List.assoc_opt k fields with
+                       | Some v -> not (is_number v)
+                       | None -> true)
+                     [ "min"; "max"; "p50"; "p95"; "p99" ]
+              | _ -> true)
+            s.hists
+        in
+        match (bad_counter, bad_gauge, bad_gc, bad_hist) with
+        | Some (k, _), _, _, _ -> err i "counter %S is not an integer delta" k
+        | _, Some (k, _), _, _ -> err i "gauge %S is not a number" k
+        | _, _, Some (k, _), _ -> err i "gc field %S is not a number" k
+        | _, _, _, Some (k, _) -> err i "histogram %S is not a well-formed summary" k
+        | None, None, None, None -> go (i + 1) s.sts rest
+      end
+  in
+  go 0 min_int snaps
+
+let parse_snapshot_lines lines =
+  let rec go i acc = function
+    | [] -> Ok (List.rev acc)
+    | line :: rest ->
+      if String.trim line = "" then go (i + 1) acc rest
+      else begin
+        match parse_snapshot_line line with
+        | Ok s -> go (i + 1) (s :: acc) rest
+        | Error e -> Error (Printf.sprintf "line %d: %s" (i + 1) e)
+      end
+  in
+  go 1 [] lines
+
+let read_snapshot_file file =
+  let ic = open_in file in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () ->
+      let rec slurp acc =
+        match input_line ic with
+        | line -> slurp (line :: acc)
+        | exception End_of_file -> List.rev acc
+      in
+      parse_snapshot_lines (slurp []))

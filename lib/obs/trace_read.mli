@@ -29,3 +29,33 @@ val validate : event list -> (int, string) result
     string, and per domain every ["E"] closes the innermost open ["B"] of
     the same name with nothing left open at the end. Returns the event
     count. *)
+
+(** {2 Telemetry snapshot records}
+
+    Reader side of {!Telemetry}'s JSONL samples, shared by
+    [bin/trace_check --telemetry] and [bin/telemetry_report]. *)
+
+type snapshot = {
+  sts : int;  (** the sample's clock reading ([ts] in the record) *)
+  seq : int;
+  counters : (string * Json.t) list;
+  gauges : (string * Json.t) list;
+  hists : (string * Json.t) list;
+  gc : (string * Json.t) list option;
+  rss_kb : int option;
+}
+
+val parse_snapshot_line : string -> (snapshot, string) result
+(** One JSONL line to one snapshot; rejects non-["sample"] kinds and
+    missing/ill-typed header fields. Section payloads are kept as raw
+    JSON fields for {!validate_snapshots} and report rendering. *)
+
+val parse_snapshot_lines : string list -> (snapshot list, string) result
+val read_snapshot_file : string -> (snapshot list, string) result
+
+val validate_snapshots : snapshot list -> (int, string) result
+(** Check a whole series: [seq] counts 0,1,2,… with no gaps, [ts] never
+    goes backwards, counter deltas are integers, gauges and gc fields are
+    numbers, histogram summaries carry [count >= 1] plus numeric
+    min/max/p50/p95/p99, and [rss_kb] is non-negative when present.
+    Returns the sample count. *)

@@ -44,11 +44,39 @@ let sequential_for lo hi f =
     f i
   done
 
+(* Observer hook for the obs layer (which sits above this library, so it
+   cannot be called directly): fired once per top-level [parallel_for]
+   batch with the effective job count and item count. Nested (inside-pool)
+   calls do not fire — they are an implementation detail of the outer
+   batch, and reporting them would make the batch sequence depend on the
+   split. The default is a no-op; Ron_obs installs its hook at module
+   initialization. *)
+let observer : (jobs:int -> items:int -> unit) ref = ref (fun ~jobs:_ ~items:_ -> ())
+let set_observer f = observer := f
+
+(* Is the current domain executing a pool chunk right now? The telemetry
+   sampler gates on this: sampling only outside chunks means the owner
+   never reads shared shard state while workers mutate it, and the sample
+   sequence cannot depend on how the work was split. *)
+let inside_chunk () = Domain.DLS.get inside
+
 let parallel_for ?jobs:j n f =
   if n > 0 then begin
     let j = match j with Some j -> max 1 j | None -> jobs () in
     let j = min j n in
-    if j <= 1 || Domain.DLS.get inside then sequential_for 0 n f
+    let nested = Domain.DLS.get inside in
+    if not nested then !observer ~jobs:j ~items:n;
+    if nested then sequential_for 0 n f
+    else if j <= 1 then begin
+      (* A top-level single-job run still marks its body as "in a chunk":
+         chunk-gated code (nested-call detection, telemetry sampling) must
+         behave identically at every job count, so the flag cannot depend
+         on whether the chunk happens to execute on the caller. *)
+      Domain.DLS.set inside true;
+      Fun.protect
+        ~finally:(fun () -> Domain.DLS.set inside false)
+        (fun () -> sequential_for 0 n f)
+    end
     else begin
       (* Chunk c covers [c*base + min c rem, ...): sizes differ by <= 1. *)
       let base = n / j and rem = n mod j in

@@ -21,6 +21,20 @@ val set_default_jobs : int option -> unit
     [--jobs N] flag sets. [Some j] requires [j >= 1]; [None] restores the
     [RON_JOBS]/hardware resolution. Explicit [?jobs] arguments still win. *)
 
+val set_observer : (jobs:int -> items:int -> unit) -> unit
+(** Install the batch observer, fired once per top-level {!parallel_for}
+    call (nested, inside-pool calls do not fire) with the effective job
+    count and the item count. One observer; installing replaces the
+    previous one. The obs layer installs its gauge/counter hook here at
+    module initialization — regular user code should not need this. *)
+
+val inside_chunk : unit -> bool
+(** Is the calling domain currently executing a pool chunk? True on
+    workers, and on the calling domain while it works its own chunk —
+    including the whole body of a top-level [jobs = 1] run, so the answer
+    at a given call site never depends on the job count. The telemetry
+    sampler gates on this to keep its sample points chunk-free. *)
+
 val parallel_for : ?jobs:int -> int -> (int -> unit) -> unit
 (** [parallel_for n f] runs [f 0 .. f (n-1)], in parallel chunks when
     [jobs > 1]. If any iteration raises, every domain is still joined and

@@ -4,7 +4,10 @@
 
 module Json = Ron_obs.Json
 module Counter = Ron_obs.Counter
+module Gauge = Ron_obs.Gauge
 module Histogram = Ron_obs.Histogram
+module Bucketed = Ron_obs.Histogram.Bucketed
+module Telemetry = Ron_obs.Telemetry
 module Ledger = Ron_obs.Ledger
 module Trace = Ron_obs.Trace
 module Trace_read = Ron_obs.Trace_read
@@ -22,7 +25,8 @@ let fresh () =
   Ron_obs.disable ();
   Ron_obs.reset ();
   Profile.disable ();
-  Profile.reset ()
+  Profile.reset ();
+  Telemetry.stop ()
 
 (* ------------------------------------------------------------------ JSON *)
 
@@ -456,6 +460,305 @@ let test_probe_off_records_nothing () =
     (fun (name, v) -> check_bool (name ^ " stays 0") (v = Json.Int 0))
     counters
 
+(* ----------------------------------------------------------------- gauge *)
+
+let test_gauge_basics () =
+  fresh ();
+  let g = Gauge.make "test.gauge.basic" in
+  check_bool "same name yields the same gauge" (Gauge.make "test.gauge.basic" == g);
+  check_bool "unwritten" (not (Gauge.written g));
+  check_bool "value 0 when unwritten" (Gauge.value g = 0.0);
+  Gauge.set g 3.0;
+  Gauge.set g 7.0;
+  check_bool "last write wins" (Gauge.value g = 7.0);
+  Gauge.add g 2.0;
+  check_bool "add adjusts in place" (Gauge.value g = 9.0);
+  Gauge.set_int g 4;
+  check_bool "set_int" (Gauge.value g = 4.0);
+  check_bool "written after a set" (Gauge.written g);
+  Gauge.reset g;
+  check_bool "reset unwrites" (not (Gauge.written g));
+  check_bool "reset zeroes the reading" (Gauge.value g = 0.0)
+
+let test_gauge_merge_sums_domains () =
+  fresh ();
+  (* Two domains, one item each: both shards are written, and the merged
+     reading is their sum (the per-domain-cache-occupancy use case). *)
+  let g = Gauge.make "test.gauge.merge" in
+  Ron_util.Pool.parallel_for ~jobs:2 2 (fun _ -> Gauge.set g 1.0);
+  check_bool "merged value sums the shards" (Gauge.value g = 2.0);
+  check_bool "max over shards" (Gauge.max_value g = 1.0)
+
+let test_gauge_env_excluded_from_snapshot () =
+  fresh ();
+  let vis = Gauge.make "test.gauge.visible" in
+  let env = Gauge.make ~env:true "test.gauge.envonly" in
+  check_bool "env flag recorded" (Gauge.env env && not (Gauge.env vis));
+  Gauge.set vis 5.0;
+  Gauge.set env 5.0;
+  let gauges =
+    match Ron_obs.snapshot () with
+    | Json.Obj fields -> (
+      match List.assoc "gauges" fields with
+      | Json.Obj gs -> gs
+      | _ -> Alcotest.fail "gauges not an object")
+    | _ -> Alcotest.fail "snapshot not an object"
+  in
+  check_bool "written non-env gauge surfaces"
+    (List.assoc_opt "test.gauge.visible" gauges = Some (Json.Float 5.0));
+  check_bool "env gauge is excluded from the deterministic snapshot"
+    (List.assoc_opt "test.gauge.envonly" gauges = None)
+
+(* ---------------------------------------------------- bucketed histogram *)
+
+let test_bucketed_empty_zero_and_registry () =
+  fresh ();
+  let h = Bucketed.make "test.bucketed.basic" in
+  check_bool "same name yields the same histogram"
+    (Bucketed.make "test.bucketed.basic" == h);
+  (match Bucketed.make ~relative_error:2.0 "test.bucketed.bad" with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "accepted relative_error outside (0, 1)");
+  check_int "empty count" 0 (Bucketed.count h);
+  check_bool "empty quantile is nan" (Float.is_nan (Bucketed.quantile h 0.5));
+  let s = Bucketed.summary h in
+  check_bool "empty summary is nan except count"
+    (s.Bucketed.count = 0 && Float.is_nan s.Bucketed.min && Float.is_nan s.Bucketed.p99);
+  (* Non-positive and non-finite observations land in the zero bucket:
+     counted, bounded memory, quantile 0. *)
+  Bucketed.observe h 0.0;
+  Bucketed.observe h (-3.5);
+  Bucketed.observe h nan;
+  check_int "zero-bucket observations counted" 3 (Bucketed.count h);
+  check_int "zero bucket occupies no log bucket" 0 (Bucketed.bucket_count h);
+  check_bool "all-zero quantile" (Bucketed.quantile h 0.99 = 0.0);
+  Bucketed.reset h;
+  check_int "reset drops everything" 0 (Bucketed.count h)
+
+let test_bucketed_bounded_memory () =
+  fresh ();
+  (* 100k observations over 6 decades: the footprint stays O(buckets),
+     bounded by log-range / log-gamma, not by the observation count. *)
+  let h = Bucketed.make "test.bucketed.memory" in
+  let rng = Ron_util.Rng.create 42 in
+  for _ = 1 to 100_000 do
+    Bucketed.observe h (exp (Ron_util.Rng.float rng 13.8))
+  done;
+  check_int "100k observations" 100_000 (Bucketed.count h);
+  let bound = int_of_float (13.8 /. log (Bucketed.gamma h)) + 2 in
+  check_bool
+    (Printf.sprintf "buckets %d <= log-range bound %d" (Bucketed.bucket_count h) bound)
+    (Bucketed.bucket_count h <= bound)
+
+let prop_bucketed_quantiles_within_one_bucket =
+  QCheck.Test.make ~name:"bucketed p50/p95/p99 within one bucket of exact" ~count:60
+    QCheck.(pair (int_range 1 400) (int_range 0 1_000_000))
+    (fun (n, seed) ->
+      fresh ();
+      let h = Bucketed.make "test.bucketed.prop" in
+      let rng = Ron_util.Rng.create seed in
+      (* Spread over ~7 decades so many distinct buckets are exercised. *)
+      let xs = Array.init n (fun _ -> exp (Ron_util.Rng.float rng 16.0 -. 8.0)) in
+      Array.iter (Bucketed.observe h) xs;
+      let s = Bucketed.summary h in
+      let g = Bucketed.gamma h in
+      let within q est =
+        let exact = Ron_util.Stats.percentile xs (q *. 100.0) in
+        (* Same nearest-rank rule on both sides, so the estimate is the
+           representative of the bucket holding the exact rank element:
+           off by at most one bucket width. *)
+        est >= (exact /. g) *. (1.0 -. 1e-9) && est <= exact *. g *. (1.0 +. 1e-9)
+      in
+      s.Bucketed.count = n
+      && s.Bucketed.min = Ron_util.Stats.minimum xs
+      && s.Bucketed.max = Ron_util.Stats.maximum xs
+      && within 0.50 s.Bucketed.p50
+      && within 0.95 s.Bucketed.p95
+      && within 0.99 s.Bucketed.p99)
+
+let bucketed_summary_of_run ~jobs =
+  let h = Bucketed.make "test.bucketed.jobs" in
+  Bucketed.reset h;
+  Ron_util.Pool.parallel_for ~jobs 500 (fun i ->
+      Bucketed.observe h (float_of_int ((i mod 37) + 1) *. 0.81));
+  (Bucketed.summary h, Bucketed.bucket_count h)
+
+let test_bucketed_merge_across_jobs () =
+  fresh ();
+  (* The shard merge is a commutative sum/extrema, so the summary depends
+     only on the observed multiset — identical at any job count. *)
+  let s1, b1 = bucketed_summary_of_run ~jobs:1 in
+  let s4, b4 = bucketed_summary_of_run ~jobs:4 in
+  check_bool "summaries bit-identical at jobs 1 and 4" (s1 = s4);
+  check_int "bucket count identical" b1 b4
+
+(* ------------------------------------------------------------- telemetry *)
+
+let telemetry_lines ~jobs ~process_stats =
+  fresh ();
+  Ron_obs.enable ();
+  let sink, lines = Trace.memory_sink () in
+  Telemetry.start ~process_stats sink;
+  let c = Counter.make "test.tel.counter" in
+  let b = Bucketed.make "test.tel.hist" in
+  let g = Gauge.make "test.tel.gauge" in
+  for round = 1 to 5 do
+    Ron_util.Pool.parallel_for ~jobs 200 (fun i ->
+        Counter.add c ((i mod 5) + 1);
+        Bucketed.observe b (float_of_int ((i mod 17) + 1)));
+    Gauge.set_int g round;
+    Telemetry.tick ()
+  done;
+  Telemetry.stop ();
+  Ron_obs.disable ();
+  lines ()
+
+let test_telemetry_series_bit_identical_across_jobs () =
+  (* The headline contract: default logical clock + process_stats:false
+     gives a JSONL series that is byte-identical at RON_JOBS=1 and 4 —
+     counters merge commutatively, sampling is chunk-free, and worker
+     ticks never touch the clock. *)
+  let l1 = telemetry_lines ~jobs:1 ~process_stats:false in
+  let l4 = telemetry_lines ~jobs:4 ~process_stats:false in
+  check_int "baseline + 5 ticks + stop" 7 (List.length l1);
+  Alcotest.(check (list string)) "series bit-identical at jobs 1 and 4" l1 l4
+
+let test_telemetry_in_chunk_tick_is_noop () =
+  fresh ();
+  let sink, _ = Trace.memory_sink () in
+  Telemetry.start ~process_stats:false sink;
+  check_int "baseline emitted by start" 1 (Telemetry.snapshots_emitted ());
+  (* Ticks inside a pool chunk never sample — including the whole body of
+     a top-level jobs=1 run, so the answer matches any other job count. *)
+  Ron_util.Pool.parallel_for ~jobs:1 50 (fun _ -> Telemetry.tick ());
+  check_int "in-chunk ticks are no-ops" 1 (Telemetry.snapshots_emitted ());
+  Ron_util.Pool.parallel_for ~jobs:4 50 (fun _ -> Telemetry.tick ());
+  check_int "worker ticks are no-ops" 1 (Telemetry.snapshots_emitted ());
+  Telemetry.tick ();
+  check_int "a chunk-free tick samples" 2 (Telemetry.snapshots_emitted ());
+  Telemetry.stop ()
+
+let test_telemetry_start_contract () =
+  fresh ();
+  let sink, _ = Trace.memory_sink () in
+  Telemetry.start sink;
+  check_bool "active after start" !Telemetry.active;
+  (match Telemetry.start sink with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "double start accepted");
+  Telemetry.stop ();
+  Telemetry.stop ();
+  check_bool "stop is idempotent and deactivates" (not !Telemetry.active);
+  let sink2, _ = Trace.memory_sink () in
+  (match Telemetry.start ~interval:0L sink2 with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "interval < 1 accepted");
+  (* Counter deltas are measured from start: a counter bumped before
+     start must not leak into the first post-start delta. *)
+  let c = Counter.make "test.tel.prestart" in
+  Counter.add c 5;
+  let sink3, lines3 = Trace.memory_sink () in
+  Telemetry.start ~process_stats:false sink3;
+  Telemetry.tick ();
+  Telemetry.stop ();
+  List.iter
+    (fun line ->
+      match Trace_read.parse_snapshot_line line with
+      | Ok s ->
+        check_bool "pre-start counts never appear as a delta"
+          (List.assoc_opt "test.tel.prestart" s.Trace_read.counters = None)
+      | Error e -> Alcotest.failf "bad snapshot line: %s" e)
+    (lines3 ())
+
+let test_telemetry_interval_throttles () =
+  fresh ();
+  let sink, _ = Trace.memory_sink () in
+  Telemetry.start ~process_stats:false ~interval:10L sink;
+  (* Logical clock: one tick per read; 30 reads / interval 10 = 3 samples
+     past the baseline. *)
+  for _ = 1 to 30 do
+    Telemetry.tick ()
+  done;
+  check_int "interval thins the tick stream" 4 (Telemetry.snapshots_emitted ());
+  Telemetry.stop ()
+
+let test_telemetry_series_parses_and_validates () =
+  fresh ();
+  let lines = telemetry_lines ~jobs:2 ~process_stats:true in
+  match Trace_read.parse_snapshot_lines lines with
+  | Error e -> Alcotest.failf "emitted series does not parse: %s" e
+  | Ok snaps -> (
+    match Trace_read.validate_snapshots snaps with
+    | Error e -> Alcotest.failf "emitted series does not validate: %s" e
+    | Ok n ->
+      check_int "every line validates" (List.length lines) n;
+      let with_gc =
+        List.filter (fun (s : Trace_read.snapshot) -> s.Trace_read.gc <> None) snaps
+      in
+      check_int "process_stats:true carries gc on every sample" n
+        (List.length with_gc))
+
+(* ---------------------------------------------------- snapshot validator *)
+
+let test_snapshot_line_parser () =
+  let bad s =
+    match Trace_read.parse_snapshot_line s with
+    | Ok _ -> Alcotest.failf "accepted %S" s
+    | Error _ -> ()
+  in
+  bad "{}";
+  bad "{\"kind\":\"event\",\"ts\":1,\"seq\":0,\"counters\":{},\"gauges\":{},\"hists\":{}}";
+  bad "{\"kind\":\"sample\",\"seq\":0,\"counters\":{},\"gauges\":{},\"hists\":{}}";
+  bad "{\"kind\":\"sample\",\"ts\":1,\"seq\":\"0\",\"counters\":{},\"gauges\":{},\"hists\":{}}";
+  bad "{\"kind\":\"sample\",\"ts\":1,\"seq\":0,\"counters\":3,\"gauges\":{},\"hists\":{}}";
+  match
+    Trace_read.parse_snapshot_line
+      "{\"kind\":\"sample\",\"ts\":7,\"seq\":0,\"counters\":{\"c\":2},\"gauges\":{\"g\":1.5},\"hists\":{},\"rss_kb\":12}"
+  with
+  | Ok s ->
+    check_int "ts" 7 s.Trace_read.sts;
+    check_int "seq" 0 s.Trace_read.seq;
+    check_bool "counters" (s.Trace_read.counters = [ ("c", Json.Int 2) ]);
+    check_bool "rss" (s.Trace_read.rss_kb = Some 12)
+  | Error e -> Alcotest.failf "rejected a valid line: %s" e
+
+let test_snapshot_validator_rules () =
+  let parse s =
+    match Trace_read.parse_snapshot_line s with
+    | Ok snap -> snap
+    | Error e -> Alcotest.failf "parse %S: %s" s e
+  in
+  let sample ?(extra = "") ts seq =
+    parse
+      (Printf.sprintf
+         "{\"kind\":\"sample\",\"ts\":%d,\"seq\":%d,\"counters\":{},\"gauges\":{},\"hists\":{}%s}"
+         ts seq extra)
+  in
+  let reject what snaps =
+    match Trace_read.validate_snapshots snaps with
+    | Ok _ -> Alcotest.failf "validator accepted %s" what
+    | Error _ -> ()
+  in
+  reject "a seq gap" [ sample 0 0; sample 1 2 ];
+  reject "a series not starting at seq 0" [ sample 0 1 ];
+  reject "time going backwards" [ sample 5 0; sample 4 1 ];
+  reject "a float counter delta"
+    [ parse "{\"kind\":\"sample\",\"ts\":0,\"seq\":0,\"counters\":{\"c\":1.5},\"gauges\":{},\"hists\":{}}" ];
+  reject "a non-numeric gauge"
+    [ parse "{\"kind\":\"sample\",\"ts\":0,\"seq\":0,\"counters\":{},\"gauges\":{\"g\":\"x\"},\"hists\":{}}" ];
+  reject "a histogram summary without count"
+    [ parse
+        "{\"kind\":\"sample\",\"ts\":0,\"seq\":0,\"counters\":{},\"gauges\":{},\"hists\":{\"h\":{\"min\":1,\"max\":2,\"p50\":1,\"p95\":2,\"p99\":2}}}" ];
+  reject "an empty histogram summary in a sample"
+    [ parse
+        "{\"kind\":\"sample\",\"ts\":0,\"seq\":0,\"counters\":{},\"gauges\":{},\"hists\":{\"h\":{\"count\":0,\"min\":1,\"max\":2,\"p50\":1,\"p95\":2,\"p99\":2}}}" ];
+  reject "negative rss" [ sample ~extra:",\"rss_kb\":-4" 0 0 ];
+  (* Equal timestamps are fine (a forced sample right after a tick), and
+     ts non-decreasing across the whole series. *)
+  match Trace_read.validate_snapshots [ sample 3 0; sample 3 1; sample 9 2 ] with
+  | Ok n -> check_int "well-formed series validates" 3 n
+  | Error e -> Alcotest.failf "rejected a valid series: %s" e
+
 let () =
   Alcotest.run "ron_obs"
     [
@@ -481,6 +784,40 @@ let () =
           Alcotest.test_case "growth, empty, reset" `Quick test_histogram_growth_and_empty;
           Alcotest.test_case "reset + re-observe identical across jobs" `Quick
             test_histogram_reset_reobserve_across_jobs;
+        ] );
+      ( "gauge",
+        [
+          Alcotest.test_case "last write wins, add, reset" `Quick test_gauge_basics;
+          Alcotest.test_case "merge sums written shards" `Quick test_gauge_merge_sums_domains;
+          Alcotest.test_case "env gauges stay out of the snapshot" `Quick
+            test_gauge_env_excluded_from_snapshot;
+        ] );
+      ( "bucketed",
+        [
+          Alcotest.test_case "empty, zero bucket, registry" `Quick
+            test_bucketed_empty_zero_and_registry;
+          Alcotest.test_case "memory bounded by log range" `Quick test_bucketed_bounded_memory;
+          QCheck_alcotest.to_alcotest prop_bucketed_quantiles_within_one_bucket;
+          Alcotest.test_case "merge identical across jobs" `Quick
+            test_bucketed_merge_across_jobs;
+        ] );
+      ( "telemetry",
+        [
+          Alcotest.test_case "series bit-identical at jobs 1 and 4" `Quick
+            test_telemetry_series_bit_identical_across_jobs;
+          Alcotest.test_case "in-chunk ticks are no-ops" `Quick
+            test_telemetry_in_chunk_tick_is_noop;
+          Alcotest.test_case "start/stop contract" `Quick test_telemetry_start_contract;
+          Alcotest.test_case "interval throttles the tick stream" `Quick
+            test_telemetry_interval_throttles;
+          Alcotest.test_case "emitted series parses and validates" `Quick
+            test_telemetry_series_parses_and_validates;
+        ] );
+      ( "snapshot-validator",
+        [
+          Alcotest.test_case "line parser rejects malformed records" `Quick
+            test_snapshot_line_parser;
+          Alcotest.test_case "series rules" `Quick test_snapshot_validator_rules;
         ] );
       ( "profile",
         [

@@ -143,6 +143,38 @@ let test_sort_floats () =
     check_bool "floats sorted" (a = expect)
   done
 
+let test_inside_chunk_flag () =
+  check_bool "false outside any region" (not (Pool.inside_chunk ()));
+  (* The flag answers identically at every job count — a jobs=1 body is
+     still "in a chunk" — so chunk-gated code (telemetry sampling) cannot
+     behave differently depending on how the work was split. *)
+  List.iter
+    (fun jobs ->
+      let seen = Array.make 8 false in
+      Pool.parallel_for ~jobs 8 (fun i -> seen.(i) <- Pool.inside_chunk ());
+      check_bool
+        (Printf.sprintf "true inside every chunk at jobs=%d" jobs)
+        (Array.for_all Fun.id seen))
+    [ 1; 3 ];
+  check_bool "restored after the region" (not (Pool.inside_chunk ()))
+
+let test_observer_fires_once_per_top_level_batch () =
+  let batches = ref [] in
+  Pool.set_observer (fun ~jobs ~items -> batches := (jobs, items) :: !batches);
+  Fun.protect
+    ~finally:(fun () -> Pool.set_observer (fun ~jobs:_ ~items:_ -> ()))
+    (fun () ->
+      Pool.parallel_for ~jobs:2 6 (fun _ -> ());
+      (* Nested and jobs=1-nested regions are implementation details of
+         the outer batch: no observer call, at any top-level job count. *)
+      List.iter
+        (fun jobs ->
+          Pool.parallel_for ~jobs 4 (fun _ -> Pool.parallel_for ~jobs:2 3 (fun _ -> ())))
+        [ 1; 2 ];
+      Pool.parallel_for ~jobs:1 0 (fun _ -> ()));
+  check_bool "one record per top-level nonempty batch"
+    (List.rev !batches = [ (2, 6); (1, 4); (2, 4) ])
+
 let test_sort_ints () =
   let a = [| 5; -1; 3; 3; 0; 42; -7 |] in
   Fsort.sort_ints a;
@@ -162,6 +194,9 @@ let () =
           Alcotest.test_case "earliest chunk's exception wins" `Quick test_exception_first_chunk_wins;
           Alcotest.test_case "nested regions run sequentially" `Quick test_nested_parallel_for_is_sequential;
           Alcotest.test_case "jobs() sane" `Quick test_jobs_env_default;
+          Alcotest.test_case "inside_chunk is jobs-invariant" `Quick test_inside_chunk_flag;
+          Alcotest.test_case "observer fires once per top-level batch" `Quick
+            test_observer_fires_once_per_top_level_batch;
         ] );
       ( "fsort",
         [
