@@ -1,4 +1,4 @@
-.PHONY: all build test check bench bench-json bench-diff scale-smoke trace-smoke fault-smoke profile-smoke telemetry-smoke clean
+.PHONY: all build test check bench bench-json bench-diff scale-smoke trace-smoke fault-smoke profile-smoke telemetry-smoke serve-smoke clean
 
 # Relative slowdown tolerated by bench-diff before a timing key fails
 # (0.5 = 50% slower); override per-run: make bench-diff RON_BENCH_DIFF_THRESHOLD=1.0
@@ -82,6 +82,26 @@ telemetry-smoke: build
 	grep -q '"rss_kb"' /tmp/ron_telemetry_smoke_report.json
 	grep -q '"gc.major_words"' /tmp/ron_telemetry_smoke_report.json
 	grep -q '"gauge:oracle.rows_cached"' /tmp/ron_telemetry_smoke_report.json
+
+# Serving smoke: freeze a scheme into an off-heap snapshot, serve a seeded
+# Zipf-skewed batch workload from it twice — once warm (built in-process,
+# saving the snapshot) and once cold (reloaded from the file) — and assert
+# the two runs produced byte-identical results (same workload digest).
+# RON_JOBS=4 on the cold run doubles as a jobs-invariance check.
+SERVE_SMOKE_N ?= 100
+SERVE_SMOKE_QUERIES ?= 20000
+serve-smoke: build
+	dune exec bin/ron_cli.exe -- serve --scheme basic -n $(SERVE_SMOKE_N) \
+	  --queries $(SERVE_SMOKE_QUERIES) --snapshot /tmp/ron_serve_smoke.snap \
+	  | tee /tmp/ron_serve_smoke_warm.txt
+	RON_JOBS=4 dune exec bin/ron_cli.exe -- serve --load /tmp/ron_serve_smoke.snap \
+	  --queries $(SERVE_SMOKE_QUERIES) \
+	  | tee /tmp/ron_serve_smoke_cold.txt
+	@warm=$$(grep -o 'digest=[0-9a-f]*' /tmp/ron_serve_smoke_warm.txt); \
+	cold=$$(grep -o 'digest=[0-9a-f]*' /tmp/ron_serve_smoke_cold.txt); \
+	if [ "$$warm" != "$$cold" ]; then \
+	  echo "serve-smoke: warm/cold digests differ ($$warm vs $$cold)"; exit 1; \
+	else echo "serve-smoke: warm/cold digests match ($$warm)"; fi
 
 # Profiler smoke: a profiled + traced routing run, then aggregate the trace
 # into the per-span table / folded stacks and assert the phase profile is

@@ -281,6 +281,82 @@ let scale_section n =
     | Some kb -> fields @ [ ("peak_rss_kb", Int kb) ]
     | None -> fields)
 
+(* ----------------------------------------------------- serving hot path *)
+
+(* The frozen-snapshot serving loop: freeze each scheme, round-trip it
+   through a snapshot file, and serve a seeded Zipf-skewed mixed workload.
+   Entries are keyed by scheme name (an Obj, not a List — five schemes
+   would collide on bench_diff's "n" list matching). qps is the
+   higher-is-better throughput key; the digest and the two booleans are
+   the deterministic regression surface (byte-identical across job counts
+   and across the snapshot round-trip); minor_words_per_query is
+   machine-noise (bench_diff ignores it) but alloc_within_budget pins the
+   zero-allocation claim. *)
+let serve_scheme_entry ~scheme ~n ~queries =
+  let module Server = Ron_serve.Server in
+  let module Loop = Ron_serve.Loop in
+  let (t, t_freeze) = time (fun () -> Ron_serve.Fixture.build ~scheme ~n ~seed:5) in
+  let nodes = Server.size t in
+  let file = Filename.temp_file "ron_serve" ".snap" in
+  Server.save t file;
+  let bytes = Server.byte_size t in
+  let (loaded, t_load) =
+    time (fun () ->
+        match Server.load file with
+        | Ok t -> t
+        | Error e -> failwith (Printf.sprintf "serve bench: reload of %s failed: %s" scheme e))
+  in
+  Sys.remove file;
+  let work = Loop.prepare t ~seed:5 ~queries ~zipf_s:1.1 ~route_frac:0.6 ~dist_frac:0.3 in
+  let res = Loop.results_create queries in
+  (* Cold: first batch served straight off the freshly loaded image. *)
+  let t_cold = time_unit (fun () -> Loop.run ~jobs:1 loaded work res) in
+  let d_loaded = Loop.digest res in
+  Loop.run ~jobs:1 t work res;
+  let d1 = Loop.digest res in
+  Loop.run ~jobs:4 t work res;
+  let d4 = Loop.digest res in
+  (* Warm throughput, at the ambient job count. *)
+  let t_warm = time_unit (fun () -> Loop.run t work res) in
+  let qps = float_of_int queries /. Float.max t_warm 1e-9 in
+  let hist =
+    Ron_obs.Histogram.Bucketed.make (Printf.sprintf "serve.latency_ns.%s" scheme)
+  in
+  Loop.measure_latency ~limit:(min queries 5_000) t work res hist;
+  let q p = Ron_obs.Histogram.Bucketed.quantile hist p in
+  let words = Loop.minor_words_per_query t work res in
+  ( Server.scheme_name t,
+    Obj
+      [
+        ("n", Int nodes);
+        ("queries", Int queries);
+        ("snapshot_bytes", Int bytes);
+        ("snapshot_bytes_per_node", Float (float_of_int bytes /. float_of_int (max 1 nodes)));
+        ("freeze_s", Float t_freeze);
+        ("snapshot_load_s", Float t_load);
+        ("cold_run_s", Float t_cold);
+        ("qps", Float qps);
+        ("latency_p50_ns", Float (q 0.5));
+        ("latency_p99_ns", Float (q 0.99));
+        ("latency_p999_ns", Float (q 0.999));
+        ("digest", String (Printf.sprintf "%x" d1));
+        ("roundtrip_identical", Bool (d_loaded = d1));
+        ("jobs_invariant", Bool (d1 = d4));
+        ("minor_words_per_query", Float words);
+        ("alloc_within_budget", Bool (words <= 8.0));
+      ] )
+
+let serve_section () =
+  Obj
+    (List.map
+       (fun scheme ->
+         (* The labelled scheme's per-hop neighbor selection re-scores via
+            DLS labels, so its per-query cost dwarfs the others'; a smaller
+            instance and workload keep the section inside a CI budget. *)
+         let (n, queries) = if scheme = "labelled" then (64, 400) else (100, 4_000) in
+         serve_scheme_entry ~scheme ~n ~queries)
+       Ron_serve.Fixture.names)
+
 (* -------------------------------------------- Table 1-3 headline numbers *)
 
 let max_arr = Array.fold_left max 0
@@ -487,6 +563,8 @@ let run ?(scale_sizes = [ 10_000 ]) ?(scale_only = false) ?telemetry
       Ron_obs.reset ();
       let t1 = table1 () and t2 = table2 () and t3 = table3 () in
       let fault = fault_section () in
+      Printf.printf "[JSON] measuring frozen-snapshot serving hot path...\n%!";
+      let serve = serve_section () in
       [
         ("index", List index);
         ("graph", graph);
@@ -495,6 +573,7 @@ let run ?(scale_sizes = [ 10_000 ]) ?(scale_only = false) ?telemetry
         ("table2", t2);
         ("table3", t3);
         ("fault", fault);
+        ("serve", serve);
         ("obs", Ron_obs.snapshot ());
       ]
     end

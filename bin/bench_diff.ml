@@ -2,13 +2,18 @@
    section and flag regressions. Three kinds of leaf comparison:
 
    - timing keys (suffix "_s" or containing "_ns"): noisy wall-clock
-     measurements, compared with a relative threshold — default 0.5
-     (50% slower fails), overridable with --threshold or the
+     measurements, lower is better, compared with a relative threshold —
+     default 0.5 (50% slower fails), overridable with --threshold or the
      RON_BENCH_DIFF_THRESHOLD env var;
+   - throughput keys ("qps", *_qps, *_per_s): the same threshold with the
+     direction flipped — higher is better, a drop fails;
    - booleans (the bit-identity invariants): must match exactly;
    - every other number or string: deterministic outputs of seeded
      workloads (stretch, hops, counter deltas, table bits), compared
      with a tight relative tolerance (--det-threshold, default 1e-9).
+
+   The timing/throughput/deterministic split lives in
+   Ron_util.Bench_keys so report writers and this gate agree on it.
 
    Environment-describing keys (timestamp, ocaml_version, ron_jobs,
    word_size, peak_rss_kb, ...), derived speedup_* ratios, and the
@@ -31,21 +36,12 @@ let fail fmt = Printf.ksprintf (fun s -> prerr_endline s; exit 2) fmt
 let ignored_keys =
   [
     "schema"; "timestamp"; "ocaml_version"; "ron_jobs"; "recommended_domains";
-    "word_size"; "peak_rss_kb"; "profile";
+    "word_size"; "peak_rss_kb"; "profile"; "minor_words_per_query";
   ]
 
 let ignored key =
   List.mem key ignored_keys
   || (String.length key >= 8 && String.sub key 0 8 = "speedup_")
-
-let is_timing key =
-  let len = String.length key in
-  (len >= 2 && String.sub key (len - 2) 2 = "_s")
-  ||
-  let rec contains i =
-    i + 3 <= len && (String.sub key i 3 = "_ns" || contains (i + 1))
-  in
-  contains 0
 
 type status = Ok_same | Faster | Slower | Mismatch | Skipped
 
@@ -81,19 +77,28 @@ let rel_change base next =
 
 let compare_leaf ~threshold ~det_threshold path key base next =
   match (number base, number next) with
-  | Some b, Some n ->
+  | Some b, Some n -> (
     let d = rel_change b n in
-    if is_timing key then begin
+    match Ron_util.Bench_keys.classify key with
+    | Ron_util.Bench_keys.Timing ->
       if d > threshold then
         add path (num_string b) (num_string n) (Some d) Slower
           (Printf.sprintf "exceeds +%.0f%% threshold" (threshold *. 100.0))
       else if d < -.threshold then
         add path (num_string b) (num_string n) (Some d) Faster ""
       else add path (num_string b) (num_string n) (Some d) Ok_same ""
-    end
-    else if Float.abs d > det_threshold then
+    | Ron_util.Bench_keys.Throughput ->
+      (* Higher is better: a drop beyond the threshold regresses. *)
+      if d < -.threshold then
+        add path (num_string b) (num_string n) (Some d) Slower
+          (Printf.sprintf "throughput fell past -%.0f%% threshold" (threshold *. 100.0))
+      else if d > threshold then
+        add path (num_string b) (num_string n) (Some d) Faster ""
+      else add path (num_string b) (num_string n) (Some d) Ok_same ""
+    | Ron_util.Bench_keys.Deterministic ->
+    if Float.abs d > det_threshold then
       add path (num_string b) (num_string n) (Some d) Mismatch "deterministic value changed"
-    else add path (num_string b) (num_string n) (Some d) Ok_same ""
+    else add path (num_string b) (num_string n) (Some d) Ok_same "")
   | _ -> (
     match (base, next) with
     | Json.Bool b, Json.Bool n ->

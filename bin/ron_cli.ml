@@ -478,6 +478,105 @@ let inspect_cmd =
   Cmd.v (Cmd.info "inspect" ~doc)
     Term.(const run_inspect $ trace_arg $ metrics_arg $ profile_arg $ telemetry_arg $ telemetry_interval_arg $ jobs_arg $ metric_arg $ n_arg $ seed_arg)
 
+(* ----------------------------------------------------------------- serve *)
+
+let serve_scheme_arg =
+  let doc =
+    Printf.sprintf "Scheme to serve: %s." (String.concat ", " Ron_serve.Fixture.names)
+  in
+  Arg.(value & opt string "basic" & info [ "scheme" ] ~docv:"SCHEME" ~doc)
+
+let snapshot_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "snapshot" ] ~docv:"FILE"
+        ~doc:"Freeze the built scheme into an off-heap snapshot at $(docv).")
+
+let load_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "load" ] ~docv:"FILE"
+        ~doc:"Serve from an existing snapshot instead of building (cold start).")
+
+let queries_arg =
+  Arg.(value & opt int 100_000 & info [ "queries" ] ~docv:"Q" ~doc:"Queries to serve.")
+
+let batch_arg =
+  Arg.(
+    value
+    & opt int Ron_serve.Loop.default_batch
+    & info [ "batch" ] ~docv:"B" ~doc:"Batch size sharded across worker domains.")
+
+let zipf_arg =
+  Arg.(
+    value & opt float 1.1
+    & info [ "zipf" ] ~docv:"S" ~doc:"Zipf exponent of the target-popularity skew.")
+
+let mix_arg =
+  Arg.(
+    value & opt string "0.6,0.3,0.1"
+    & info [ "mix" ] ~docv:"R,D,L"
+        ~doc:
+          "Traffic mix as comma-separated route,dist,locate weights (normalized; each scheme \
+           collapses unsupported kinds onto its native operation).")
+
+let parse_mix s =
+  match String.split_on_char ',' s with
+  | [ a; b; c ] ->
+    let r = float_of_string a and d = float_of_string b and l = float_of_string c in
+    if r < 0.0 || d < 0.0 || l < 0.0 || r +. d +. l <= 0.0 then
+      failwith "--mix weights must be non-negative with a positive sum";
+    let t = r +. d +. l in
+    (r /. t, d /. t)
+  | _ -> failwith "--mix expects three comma-separated weights, e.g. 0.6,0.3,0.1"
+
+let run_serve trace metrics profile telemetry telemetry_interval jobs scheme n seed snapshot
+    load queries batch zipf mix =
+  set_jobs jobs;
+  with_obs trace metrics profile telemetry telemetry_interval @@ fun () ->
+  let module Server = Ron_serve.Server in
+  let module Loop = Ron_serve.Loop in
+  let (route_frac, dist_frac) = parse_mix mix in
+  let t =
+    match load with
+    | Some file ->
+      (match Server.load file with
+      | Ok t -> t
+      | Error e -> failwith (Printf.sprintf "cannot load snapshot %s: %s" file e))
+    | None ->
+      let t = Ron_serve.Fixture.build ~scheme ~n ~seed in
+      (match snapshot with Some file -> Server.save t file | None -> ());
+      t
+  in
+  let nodes = Server.size t in
+  Printf.printf "serve scheme=%s nodes=%d snapshot=%d bytes (%.1f bytes/node)\n"
+    (Server.scheme_name t) nodes (Server.byte_size t)
+    (float_of_int (Server.byte_size t) /. float_of_int (max 1 nodes));
+  let work = Loop.prepare t ~seed ~queries ~zipf_s:zipf ~route_frac ~dist_frac in
+  let res = Loop.results_create queries in
+  let t0 = Unix.gettimeofday () in
+  Loop.run ~batch t work res;
+  let dt = Unix.gettimeofday () -. t0 in
+  let qps = float_of_int queries /. Float.max dt 1e-9 in
+  Printf.printf "queries=%d batch=%d elapsed=%.3fs qps=%.0f digest=%x\n" queries batch dt qps
+    (Loop.digest res);
+  let hist = Ron_obs.Histogram.Bucketed.make "serve.latency_ns" in
+  Loop.measure_latency ~limit:(min queries 20_000) t work res hist;
+  let q p = Ron_obs.Histogram.Bucketed.quantile hist p in
+  Printf.printf "latency p50=%.0fns p99=%.0fns p999=%.0fns\n" (q 0.5) (q 0.99) (q 0.999);
+  0
+
+let serve_cmd =
+  let doc =
+    "Serve batched distance/route/locate queries from a frozen off-heap scheme snapshot."
+  in
+  Cmd.v (Cmd.info "serve" ~doc)
+    Term.(
+      const run_serve $ trace_arg $ metrics_arg $ profile_arg $ telemetry_arg $ telemetry_interval_arg $ jobs_arg $ serve_scheme_arg $ n_arg $ seed_arg
+      $ snapshot_arg $ load_arg $ queries_arg $ batch_arg $ zipf_arg $ mix_arg)
+
 (* ------------------------------------------------------------ experiment *)
 
 let experiment_ids =
@@ -520,4 +619,4 @@ let () =
   exit
     (Cmd.eval'
        (Cmd.group ~default info
-          [ estimate_cmd; route_cmd; fault_cmd; smallworld_cmd; inspect_cmd; experiment_cmd ]))
+          [ estimate_cmd; route_cmd; fault_cmd; smallworld_cmd; inspect_cmd; serve_cmd; experiment_cmd ]))

@@ -1,10 +1,11 @@
 (* Render a --telemetry JSONL snapshot series as per-series min/max/last
    plus a sparkline-style time table, analogous to trace_report for
    traces. Series are extracted per name: counter deltas, gauge levels,
-   bounded-histogram count/p99, gc fields, rss_kb, and a derived oracle
-   hit-rate (hits / (hits + builds) per sample) when the oracle counters
-   appear at all. --json emits the same aggregates machine-readably for
-   CI.
+   bounded-histogram count/p99, gc fields, rss_kb, and two derived
+   series when their counters appear at all: an oracle hit-rate
+   (hits / (hits + builds) per sample) and a serving throughput
+   (serve.queries delta over the sample's wall-clock span, in qps).
+   --json emits the same aggregates machine-readably for CI.
 
    usage: telemetry_report FILE.jsonl [--json] *)
 
@@ -117,6 +118,10 @@ let () =
     Hashtbl.replace acc name ((i, v) :: Option.value (Hashtbl.find_opt acc name) ~default:[])
   in
   let hits_builds = ref [] in
+  let serve_qps = ref [] in
+  let ts_arr =
+    Array.of_list (List.map (fun (s : Trace_read.snapshot) -> s.Trace_read.sts) snaps)
+  in
   List.iteri
     (fun i (s : Trace_read.snapshot) ->
       List.iter
@@ -146,10 +151,19 @@ let () =
         | _ -> 0.0
       in
       let h = delta "oracle.row_hits" and b = delta "oracle.row_builds" in
-      if h +. b > 0.0 then hits_builds := (i, h /. (h +. b)) :: !hits_builds)
+      if h +. b > 0.0 then hits_builds := (i, h /. (h +. b)) :: !hits_builds;
+      (* Serving throughput: queries completed this sample over the
+         sample's wall-clock span (ts is ns). The first sample has no
+         span, and a clock stall must not divide by zero. *)
+      let q = delta "serve.queries" in
+      if q > 0.0 && i > 0 then begin
+        let dt = float_of_int (ts_arr.(i) - ts_arr.(i - 1)) /. 1e9 in
+        if dt > 0.0 then serve_qps := (i, q /. dt) :: !serve_qps
+      end)
     snaps;
   if !hits_builds <> [] then
     Hashtbl.replace acc "derived:oracle.hit_rate" !hits_builds;
+  if !serve_qps <> [] then Hashtbl.replace acc "derived:serve.qps" !serve_qps;
   let series =
     Hashtbl.fold (fun sname points l -> { sname; points = List.rev points } :: l) acc []
     |> List.sort (fun a b -> String.compare a.sname b.sname)

@@ -394,3 +394,52 @@ let deserialize wc bytes =
     zoom_rest;
     bits = 8 * Bytes.length bytes;
   }
+
+(* ----------------------------------------------------------------- Export *)
+
+type export = {
+  x_n : int;
+  x_levels : int;
+  x_prefix_len : int;
+  x_max_virt : int;
+  x_dists : float array array;
+  x_zoom_first : int array;
+  x_zoom_rest : int array array;
+  x_zetas : (int * int * int) array array array;
+  x_hosts : int array array;
+}
+
+let compare_xy (x1, y1, _) (x2, y2, _) =
+  if x1 <> x2 then Int.compare x1 x2 else Int.compare y1 y2
+
+let export t =
+  let n = Array.length t.labels in
+  let levels = if n = 0 then 0 else Array.length t.labels.(0).zetas in
+  let max_virt = ref 1 in
+  let zetas =
+    Array.map
+      (fun l ->
+        Array.map
+          (fun z ->
+            let e = Array.of_list (Translation.entries z) in
+            Array.iter (fun (_, y, _) -> if y + 1 > !max_virt then max_virt := y + 1) e;
+            Array.sort compare_xy e;
+            e)
+          l.zetas)
+      t.labels
+  in
+  Array.iter
+    (fun l ->
+      Array.iter (fun y -> if y + 1 > !max_virt then max_virt := y + 1) l.zoom_rest)
+    t.labels;
+  {
+    x_n = n;
+    x_levels = levels;
+    x_prefix_len = (if n = 0 then 0 else t.labels.(0).prefix_len);
+    x_max_virt = !max_virt;
+    x_dists = Array.map (fun l -> l.dists) t.labels;
+    x_zoom_first = Array.map (fun l -> l.zoom_first) t.labels;
+    x_zoom_rest = Array.map (fun l -> l.zoom_rest) t.labels;
+    x_zetas = zetas;
+    x_hosts = t.host_order;
+  }

@@ -86,3 +86,24 @@ val label_bits : t -> int array
     triples, the encoded zooming sequence, and the global id. *)
 
 val max_label_bits : t -> int
+
+(** {2 Export}
+
+    Flat, string-free state extraction for the off-heap snapshot layer
+    ([ron_serve]). Arrays may share structure with the live value — treat
+    them as borrowed and read-only. *)
+
+type export = {
+  x_n : int;
+  x_levels : int;  (** translation maps per label ([levels - 1]) *)
+  x_prefix_len : int;
+  x_max_virt : int;  (** scratch bound: 1 + the largest virtual index *)
+  x_dists : float array array;  (** quantized host distances, per node *)
+  x_zoom_first : int array;
+  x_zoom_rest : int array array;
+  x_zetas : (int * int * int) array array array;
+      (** [(x, y, z)] triples of [zetas.(u).(j)], sorted by [(x, y)] *)
+  x_hosts : int array array;  (** host enumeration order, per node *)
+}
+
+val export : t -> export

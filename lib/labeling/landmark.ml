@@ -171,3 +171,26 @@ let label_bits t =
       t.id_bits
       + (Array.length t.beacons * t.qbits)
       + (ball_size t u * (t.id_bits + t.qbits)))
+
+(* ----------------------------------------------------------------- Export *)
+
+type export = {
+  x_n : int;
+  x_beacons : int array;
+  x_rows : float array array;
+  x_col : int array;
+  x_ball_off : int array;
+  x_ball_node : int array;
+  x_ball_dist : float array;
+}
+
+let export t =
+  {
+    x_n = t.n;
+    x_beacons = t.beacons;
+    x_rows = t.rows;
+    x_col = t.col;
+    x_ball_off = t.ball_off;
+    x_ball_node = t.ball_node;
+    x_ball_dist = t.ball_dist;
+  }

@@ -40,3 +40,21 @@ val label_bits : t -> int array
 (** Per-node storage: own id + [k] quantized beacon distances + the ball as
     (id, quantized distance) pairs — quantization via {!Ron_util.Qfloat}
     with the paper's [delta = 1/4] codec. *)
+
+(** {2 Export}
+
+    Flat state extraction for the off-heap snapshot layer ([ron_serve]).
+    Arrays may share structure with the live value — treat them as borrowed
+    and read-only. *)
+
+type export = {
+  x_n : int;
+  x_beacons : int array;  (** sorted beacon ids *)
+  x_rows : float array array;  (** [x_rows.(i).(v)]: beacon [i] to [v] *)
+  x_col : int array;  (** beacon index of [v], or [-1] *)
+  x_ball_off : int array;  (** CSR over per-node local balls *)
+  x_ball_node : int array;
+  x_ball_dist : float array;
+}
+
+val export : t -> export

@@ -45,6 +45,12 @@ let label_nodes = Counter.make "construct.label_nodes"
 let ring_nodes = Counter.make "construct.ring_nodes"
 let pool_batches = Counter.make "pool.batches"
 
+(* Serving-loop counters: queries completed and batches dispatched by the
+   frozen-snapshot serving loop. Commutative sums, identical at every
+   RON_JOBS. *)
+let serve_queries = Counter.make "serve.queries"
+let serve_batches = Counter.make "serve.batches"
+
 (* Fault-injection counters: one bump per injected fault or per fallback the
    retry/detour policy took. Commutative sums, so totals are identical at
    every RON_JOBS. *)
@@ -65,6 +71,12 @@ let fault_detours = Counter.make "fault.detours"
 let oracle_rows = Gauge.make ~env:true "oracle.rows_cached"
 let pool_jobs = Gauge.make ~env:true "pool.jobs"
 let pool_batch_items = Gauge.make "pool.batch_items"
+
+(* Serving-loop gauges, set from the orchestrating domain only (so both
+   stay deterministic): queries in flight in the current batch, and the
+   batch size the loop is dispatching. *)
+let serve_inflight = Gauge.make "serve.inflight"
+let serve_batch_size = Gauge.make "serve.batch_size"
 
 (* -- histograms --------------------------------------------------------- *)
 
@@ -138,6 +150,14 @@ let oracle_hit () = Counter.incr oracle_hits
 let oracle_build () = Counter.incr oracle_builds
 let oracle_evict () = Counter.incr oracle_evicts
 let oracle_occupancy rows = Gauge.set_int oracle_rows rows
+(* Serve events are bumped once per batch from the orchestrating domain
+   (the hot query loop itself stays probe-free). *)
+let serve_batch ~size ~inflight =
+  Counter.incr serve_batches;
+  Counter.add serve_queries size;
+  Gauge.set_int serve_batch_size size;
+  Gauge.set_int serve_inflight inflight
+
 let table_node () = Counter.incr table_nodes
 let label_node () = Counter.incr label_nodes
 let ring_node () = Counter.incr ring_nodes

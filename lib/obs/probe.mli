@@ -40,6 +40,11 @@ val label_nodes : Counter.t
 val ring_nodes : Counter.t
 val pool_batches : Counter.t
 
+(** Serving-loop counters (queries completed, batches dispatched). *)
+
+val serve_queries : Counter.t
+val serve_batches : Counter.t
+
 (** Gauges (current levels, for telemetry snapshots). [oracle_rows] and
     [pool_jobs] are [env] gauges: their values depend on the execution
     environment, so deterministic surfaces exclude them. *)
@@ -47,6 +52,8 @@ val pool_batches : Counter.t
 val oracle_rows : Gauge.t
 val pool_jobs : Gauge.t
 val pool_batch_items : Gauge.t
+val serve_inflight : Gauge.t
+val serve_batch_size : Gauge.t
 
 (** Fault-injection counters (injected faults and fallback decisions). *)
 
@@ -98,6 +105,11 @@ val oracle_evict : unit -> unit
 
 val oracle_occupancy : int -> unit
 (** Record the calling domain's current cached-row count (env gauge). *)
+
+val serve_batch : size:int -> inflight:int -> unit
+(** One serving-loop batch dispatched: bumps the batch counter, adds
+    [size] completed queries, and sets both serve gauges. Call from the
+    orchestrating domain only. *)
 
 val table_node : unit -> unit
 (** One node's routing table built. *)

@@ -167,3 +167,61 @@ let route_header t ~src header =
     ~header_bits:(fun _ -> hb)
     ~src ~header
     ~max_hops:(max 64 (8 * n)) ()
+
+(* ----------------------------------------------------------------- Export *)
+
+type export = {
+  x_n : int;
+  x_scales : int;
+  x_max_hops : int;
+  x_header_bits : int array;
+  x_label_first : int array;
+  x_label_rest : int array array;
+  x_enums : int array array array;
+  x_zetas : (int * int * int) array array array;
+  x_table : (int * int * float) array array;
+}
+
+let compare_xy (x1, y1, _) (x2, y2, _) =
+  if x1 <> x2 then Int.compare x1 x2 else Int.compare y1 y2
+
+let compare_w (w1, _, _) (w2, _, _) = Int.compare w1 w2
+
+let export t =
+  let st = t.st in
+  let n = Indexed.size st.Structure.idx in
+  let g = Sp_metric.graph t.sp in
+  let scales = st.Structure.scales in
+  {
+    x_n = n;
+    x_scales = scales;
+    x_max_hops = max 64 (8 * n);
+    x_header_bits =
+      Array.init n (fun dst ->
+          Structure.label_bits st dst + Bits.index_bits (scales + 1));
+    x_label_first = Array.map (fun enc -> enc.Zooming.first) st.Structure.labels;
+    x_label_rest = Array.map (fun enc -> Array.copy enc.Zooming.rest) st.Structure.labels;
+    x_enums =
+      Array.init n (fun u ->
+          Array.init scales (fun j -> Ron_core.Enumeration.nodes st.Structure.enums.(u).(j)));
+    x_zetas =
+      Array.init n (fun u ->
+          Array.map
+            (fun z ->
+              let e = Array.of_list (Ron_core.Translation.entries z) in
+              Array.sort compare_xy e;
+              e)
+            st.Structure.zetas.(u));
+    x_table =
+      Array.init n (fun u ->
+          let entries =
+            Hashtbl.fold
+              (fun w k acc ->
+                let next = Graph.hop g u k in
+                (w, next, Sp_metric.dist t.sp u next) :: acc)
+              t.first_hop.(u) []
+          in
+          let a = Array.of_list entries in
+          Array.sort compare_w a;
+          a);
+  }

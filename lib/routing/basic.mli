@@ -72,3 +72,26 @@ val ring : t -> int -> int -> int array
 
 val zooming : t -> int -> int array
 (** [zooming t u]: the sequence [f_uj] (for tests). *)
+
+(** {2 Export}
+
+    Flat, string-free state extraction for the off-heap snapshot layer
+    ([ron_serve]): everything the step function reads, as plain arrays.
+    Arrays may share structure with the live value — treat them as borrowed
+    and read-only. *)
+
+type export = {
+  x_n : int;
+  x_scales : int;
+  x_max_hops : int;  (** the routing budget [route] uses *)
+  x_header_bits : int array;  (** per destination *)
+  x_label_first : int array;
+  x_label_rest : int array array;  (** per node, [scales - 1] entries *)
+  x_enums : int array array array;  (** ring enumeration order, per (u, j) *)
+  x_zetas : (int * int * int) array array array;
+      (** translation triples of [(u, j)], sorted by [(x, y)] *)
+  x_table : (int * int * float) array array;
+      (** per node, sorted by neighbor: (intermediate, next hop, hop cost) *)
+}
+
+val export : t -> export

@@ -172,3 +172,39 @@ let header_bits t =
   Array.fold_left max 0 t.dls_bits + Bits.index_bits n
 
 let out_degree t = Array.fold_left (fun acc a -> max acc (Array.length a)) 0 t.nbrs
+
+(* ----------------------------------------------------------------- Export *)
+
+type export = {
+  x_n : int;
+  x_max_hops : int;
+  x_header_bits : int array;
+  x_nbrs : int array array;
+  x_table : (int * int * float) array array;
+  x_dls : Dls.export;
+}
+
+let compare_w (w1, _, _) (w2, _, _) = Int.compare w1 w2
+
+let export t =
+  let n = Indexed.size t.idx in
+  let g = Sp_metric.graph t.sp in
+  {
+    x_n = n;
+    x_max_hops = max 64 (8 * n);
+    x_header_bits = Array.map (fun b -> b + Bits.index_bits n) t.dls_bits;
+    x_nbrs = t.nbrs;
+    x_table =
+      Array.init n (fun u ->
+          let entries =
+            Hashtbl.fold
+              (fun w k acc ->
+                let next = Graph.hop g u k in
+                (w, next, Sp_metric.dist t.sp u next) :: acc)
+              t.first_hop.(u) []
+          in
+          let a = Array.of_list entries in
+          Array.sort compare_w a;
+          a);
+    x_dls = Dls.export t.dls;
+  }

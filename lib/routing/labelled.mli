@@ -45,3 +45,21 @@ val out_degree : t -> int
 (** Max number of neighbors (the overlay degree). *)
 
 val neighbors : t -> int -> int array
+
+(** {2 Export}
+
+    Flat state extraction for the off-heap snapshot layer ([ron_serve]).
+    Arrays may share structure with the live value — treat them as borrowed
+    and read-only. *)
+
+type export = {
+  x_n : int;
+  x_max_hops : int;
+  x_header_bits : int array;  (** per destination *)
+  x_nbrs : int array array;  (** sorted distinct neighbor ids, per node *)
+  x_table : (int * int * float) array array;
+      (** per node, sorted by neighbor: (neighbor, next hop, hop cost) *)
+  x_dls : Ron_labeling.Dls.export;
+}
+
+val export : t -> export

@@ -310,3 +310,69 @@ let out_degree t =
     best := max !best (Hashtbl.length links)
   done;
   !best
+
+(* ----------------------------------------------------------------- Export *)
+
+type export = {
+  x_n : int;
+  x_li : int;
+  x_max_hops : int;
+  x_header_bits : int;
+  x_m1_threshold : float;
+  x_r_level : float array array;
+  x_hub_ptr : int array array;
+  x_hub_g : int array array;
+  x_dir_members : int array array;
+  x_dir_boundaries : int array array;
+  x_owned : int array array array;
+  x_dist : float array;
+  x_dls : Dls.export;
+}
+
+let export t =
+  let n = Indexed.size t.idx in
+  let li = max 1 t.li in
+  let gcount = Array.fold_left (fun acc ds -> acc + Array.length ds) 0 t.dirs in
+  let dir_members = Array.make (max 1 gcount) [||] in
+  let dir_boundaries = Array.make (max 1 gcount) [||] in
+  let hub_g = Array.init li (fun _ -> Array.make n (-1)) in
+  let g = ref 0 in
+  Array.iteri
+    (fun i ds ->
+      Array.iter
+        (fun d ->
+          dir_members.(!g) <- d.members;
+          dir_boundaries.(!g) <- d.boundaries;
+          hub_g.(i).(d.hub) <- !g;
+          incr g)
+        ds)
+    t.dirs;
+  let dist = Array.make (n * n) 0.0 in
+  for u = 0 to n - 1 do
+    for v = 0 to n - 1 do
+      dist.((u * n) + v) <- Indexed.dist t.idx u v
+    done
+  done;
+  {
+    x_n = n;
+    x_li = li;
+    x_max_hops = max 64 (8 * t.li);
+    x_header_bits = header_bits t;
+    x_m1_threshold = t.m1_threshold;
+    x_r_level = Array.init n (fun u -> Array.init li (fun i -> Indexed.r_level t.idx u i));
+    x_hub_ptr = t.hub_ptr;
+    x_hub_g = hub_g;
+    x_dir_members = Array.sub dir_members 0 gcount;
+    x_dir_boundaries = Array.sub dir_boundaries 0 gcount;
+    x_owned =
+      Array.init li (fun i ->
+          Array.init n (fun u ->
+              let a =
+                Array.of_list
+                  (Hashtbl.fold (fun k () acc -> k :: acc) t.owned_lookup.(i).(u) [])
+              in
+              Ron_util.Fsort.sort_ints a;
+              a));
+    x_dist = dist;
+    x_dls = Dls.export t.dls;
+  }

@@ -59,3 +59,28 @@ val table_bits_m2 : t -> int array
 
 val header_bits : t -> int
 val out_degree : t -> int
+
+(** {2 Export}
+
+    Flat state extraction for the off-heap snapshot layer ([ron_serve]).
+    Arrays may share structure with the live value — treat them as borrowed
+    and read-only. *)
+
+type export = {
+  x_n : int;
+  x_li : int;  (** scale count ([max 1] of the hierarchy's levels) *)
+  x_max_hops : int;
+  x_header_bits : int;  (** constant across routes *)
+  x_m1_threshold : float;
+  x_r_level : float array array;  (** [r_level idx u i], per node, [x_li] each *)
+  x_hub_ptr : int array array;  (** covering-ball hubs, per node per scale *)
+  x_hub_g : int array array;
+      (** per scale, per node: global directory index hubbed there, or [-1] *)
+  x_dir_members : int array array;  (** per global directory, sorted *)
+  x_dir_boundaries : int array array;  (** parallel to [x_dir_members] *)
+  x_owned : int array array array;  (** [i].[u]: sorted owned target ids *)
+  x_dist : float array;  (** the [n * n] metric, row-major *)
+  x_dls : Ron_labeling.Dls.export;
+}
+
+val export : t -> export

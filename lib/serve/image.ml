@@ -1,0 +1,231 @@
+(* Off-heap snapshot images: a frozen scheme is a tag plus two ordered
+   lists of Bigarray sections (native ints and float64s), saved to disk in
+   a versioned, checksummed, mmap-friendly layout.
+
+   File layout (everything 8-byte aligned, little-endian int64 header):
+
+     magic "RONSRV01"                                   8 bytes
+     version | scheme tag | word_size | #isecs | #fsecs 5 x int64
+     per int section:   length | FNV-1a checksum        2 x int64 each
+     per float section: length | FNV-1a checksum        2 x int64 each
+     int section payloads, in order                     8 bytes/elt
+     float section payloads, in order                   8 bytes/elt
+
+   Sections are mapped with [Unix.map_file] (private mapping) on load, so
+   a snapshot larger than RAM still serves; the checksum pass touches each
+   word once and rejects torn or corrupted files before any query runs. *)
+
+type ints = (int, Bigarray.int_elt, Bigarray.c_layout) Bigarray.Array1.t
+type floats = (float, Bigarray.float64_elt, Bigarray.c_layout) Bigarray.Array1.t
+
+type t = { scheme : int; isecs : ints array; fsecs : floats array }
+
+let magic = "RONSRV01"
+let version = 1
+
+let ints_create n : ints = Bigarray.Array1.create Bigarray.int Bigarray.c_layout n
+let floats_create n : floats = Bigarray.Array1.create Bigarray.float64 Bigarray.c_layout n
+
+let ints_of_array a =
+  let b = ints_create (Array.length a) in
+  Array.iteri (fun i v -> Bigarray.Array1.unsafe_set b i v) a;
+  b
+
+let floats_of_array a =
+  let b = floats_create (Array.length a) in
+  Array.iteri (fun i v -> Bigarray.Array1.unsafe_set b i v) a;
+  b
+
+(* -- checksums: FNV-1a over the 64-bit words of a section ---------------- *)
+
+let fnv_offset = 0xcbf29ce484222325L
+let fnv_prime = 0x100000001b3L
+
+let checksum_ints (a : ints) =
+  let h = ref fnv_offset in
+  for i = 0 to Bigarray.Array1.dim a - 1 do
+    h := Int64.mul (Int64.logxor !h (Int64.of_int (Bigarray.Array1.unsafe_get a i))) fnv_prime
+  done;
+  !h
+
+let checksum_floats (a : floats) =
+  let h = ref fnv_offset in
+  for i = 0 to Bigarray.Array1.dim a - 1 do
+    h :=
+      Int64.mul
+        (Int64.logxor !h (Int64.bits_of_float (Bigarray.Array1.unsafe_get a i)))
+        fnv_prime
+  done;
+  !h
+
+(* -- sizes --------------------------------------------------------------- *)
+
+let header_bytes t =
+  (* magic + 5 header words + (len, checksum) per section *)
+  8 + (8 * 5) + (16 * (Array.length t.isecs + Array.length t.fsecs))
+
+let payload_words t =
+  Array.fold_left (fun acc s -> acc + Bigarray.Array1.dim s) 0 t.isecs
+  + Array.fold_left (fun acc s -> acc + Bigarray.Array1.dim s) 0 t.fsecs
+
+let byte_size t = header_bytes t + (8 * payload_words t)
+
+(* -- save ---------------------------------------------------------------- *)
+
+let bytes_set_i64 buf off v =
+  for k = 0 to 7 do
+    Bytes.set buf (off + k) (Char.chr (Int64.to_int (Int64.logand (Int64.shift_right_logical v (8 * k)) 0xffL)))
+  done
+
+let bytes_get_i64 buf off =
+  let v = ref 0L in
+  for k = 7 downto 0 do
+    v := Int64.logor (Int64.shift_left !v 8) (Int64.of_int (Char.code (Bytes.get buf (off + k))))
+  done;
+  !v
+
+let write_all fd buf = ignore (Unix.write fd buf 0 (Bytes.length buf))
+
+let map_ints fd ~pos n : ints =
+  Bigarray.array1_of_genarray
+    (Unix.map_file fd ~pos:(Int64.of_int pos) Bigarray.int Bigarray.c_layout true [| n |])
+
+let map_floats fd ~pos n : floats =
+  Bigarray.array1_of_genarray
+    (Unix.map_file fd ~pos:(Int64.of_int pos) Bigarray.float64 Bigarray.c_layout true [| n |])
+
+let save t file =
+  let hb = header_bytes t in
+  let buf = Bytes.create hb in
+  Bytes.blit_string magic 0 buf 0 8;
+  bytes_set_i64 buf 8 (Int64.of_int version);
+  bytes_set_i64 buf 16 (Int64.of_int t.scheme);
+  bytes_set_i64 buf 24 (Int64.of_int Sys.word_size);
+  bytes_set_i64 buf 32 (Int64.of_int (Array.length t.isecs));
+  bytes_set_i64 buf 40 (Int64.of_int (Array.length t.fsecs));
+  let off = ref 48 in
+  Array.iter
+    (fun s ->
+      bytes_set_i64 buf !off (Int64.of_int (Bigarray.Array1.dim s));
+      bytes_set_i64 buf (!off + 8) (checksum_ints s);
+      off := !off + 16)
+    t.isecs;
+  Array.iter
+    (fun s ->
+      bytes_set_i64 buf !off (Int64.of_int (Bigarray.Array1.dim s));
+      bytes_set_i64 buf (!off + 8) (checksum_floats s);
+      off := !off + 16)
+    t.fsecs;
+  let fd = Unix.openfile file [ Unix.O_RDWR; Unix.O_CREAT; Unix.O_TRUNC ] 0o644 in
+  Fun.protect
+    ~finally:(fun () -> Unix.close fd)
+    (fun () ->
+      write_all fd buf;
+      (* Mapping past the current end grows the file; blit each section
+         straight into its mapped window. *)
+      let pos = ref hb in
+      Array.iter
+        (fun s ->
+          let n = Bigarray.Array1.dim s in
+          if n > 0 then begin
+            let dst = map_ints fd ~pos:!pos n in
+            Bigarray.Array1.blit s dst
+          end;
+          pos := !pos + (8 * n))
+        t.isecs;
+      Array.iter
+        (fun s ->
+          let n = Bigarray.Array1.dim s in
+          if n > 0 then begin
+            let dst = map_floats fd ~pos:!pos n in
+            Bigarray.Array1.blit s dst
+          end;
+          pos := !pos + (8 * n))
+        t.fsecs)
+
+(* -- load ---------------------------------------------------------------- *)
+
+let read_exactly fd n =
+  let buf = Bytes.create n in
+  let got = ref 0 in
+  (try
+     while !got < n do
+       let r = Unix.read fd buf !got (n - !got) in
+       if r = 0 then raise Exit;
+       got := !got + r
+     done
+   with Exit -> ());
+  if !got = n then Some buf else None
+
+let map_ints_ro fd ~pos n : ints =
+  if n = 0 then ints_create 0
+  else
+    Bigarray.array1_of_genarray
+      (Unix.map_file fd ~pos:(Int64.of_int pos) Bigarray.int Bigarray.c_layout false [| n |])
+
+let map_floats_ro fd ~pos n : floats =
+  if n = 0 then floats_create 0
+  else
+    Bigarray.array1_of_genarray
+      (Unix.map_file fd ~pos:(Int64.of_int pos) Bigarray.float64 Bigarray.c_layout false [| n |])
+
+let load file =
+  match Unix.openfile file [ Unix.O_RDONLY ] 0 with
+  | exception Unix.Unix_error (e, _, _) ->
+    Error (Printf.sprintf "%s: %s" file (Unix.error_message e))
+  | fd ->
+    Fun.protect
+      ~finally:(fun () -> Unix.close fd)
+      (fun () ->
+        match read_exactly fd 48 with
+        | None -> Error (Printf.sprintf "%s: truncated header" file)
+        | Some hdr ->
+          if Bytes.sub_string hdr 0 8 <> magic then
+            Error (Printf.sprintf "%s: bad magic (not a snapshot)" file)
+          else if bytes_get_i64 hdr 8 <> Int64.of_int version then
+            Error
+              (Printf.sprintf "%s: unsupported snapshot version %Ld" file (bytes_get_i64 hdr 8))
+          else if bytes_get_i64 hdr 24 <> Int64.of_int Sys.word_size then
+            Error
+              (Printf.sprintf "%s: word size mismatch (snapshot %Ld, host %d)" file
+                 (bytes_get_i64 hdr 24) Sys.word_size)
+          else begin
+            let scheme = Int64.to_int (bytes_get_i64 hdr 16) in
+            let n_isecs = Int64.to_int (bytes_get_i64 hdr 32) in
+            let n_fsecs = Int64.to_int (bytes_get_i64 hdr 40) in
+            if n_isecs < 0 || n_fsecs < 0 || n_isecs + n_fsecs > 4096 then
+              Error (Printf.sprintf "%s: implausible section counts" file)
+            else
+              match read_exactly fd (16 * (n_isecs + n_fsecs)) with
+              | None -> Error (Printf.sprintf "%s: truncated section table" file)
+              | Some tbl -> (
+                let lens = Array.init (n_isecs + n_fsecs) (fun i -> Int64.to_int (bytes_get_i64 tbl (16 * i))) in
+                let sums = Array.init (n_isecs + n_fsecs) (fun i -> bytes_get_i64 tbl ((16 * i) + 8)) in
+                if Array.exists (fun l -> l < 0) lens then
+                  Error (Printf.sprintf "%s: negative section length" file)
+                else
+                  try
+                    let pos = ref (48 + (16 * (n_isecs + n_fsecs))) in
+                    let isecs =
+                      Array.init n_isecs (fun i ->
+                          let s = map_ints_ro fd ~pos:!pos lens.(i) in
+                          pos := !pos + (8 * lens.(i));
+                          if checksum_ints s <> sums.(i) then
+                            failwith (Printf.sprintf "int section %d checksum mismatch" i);
+                          s)
+                    in
+                    let fsecs =
+                      Array.init n_fsecs (fun i ->
+                          let s = map_floats_ro fd ~pos:!pos lens.(n_isecs + i) in
+                          pos := !pos + (8 * lens.(n_isecs + i));
+                          if checksum_floats s <> sums.(n_isecs + i) then
+                            failwith (Printf.sprintf "float section %d checksum mismatch" i);
+                          s)
+                    in
+                    Ok { scheme; isecs; fsecs }
+                  with
+                  | Failure msg -> Error (Printf.sprintf "%s: %s" file msg)
+                  | Unix.Unix_error (e, _, _) ->
+                    Error (Printf.sprintf "%s: truncated payload (%s)" file (Unix.error_message e))
+                  | Sys_error msg -> Error (Printf.sprintf "%s: %s" file msg))
+          end)

@@ -1,0 +1,176 @@
+(* The batch serving loop over a frozen server.
+
+   Workloads are generated off-heap as Bigarray columns whose entries are
+   pure functions of (seed, global query index) — [Rng.mix] draws and the
+   Zipf sampler from [Ron_util.Workload] — so a workload is bit-identical
+   at every RON_JOBS and under any evaluation order. Execution shards each
+   batch across Pool domains into disjoint result slots, so result columns
+   (and their digest) are also jobs-invariant. *)
+
+module A1 = Bigarray.Array1
+module Pool = Ron_util.Pool
+module Rng = Ron_util.Rng
+module Workload = Ron_util.Workload
+module Probe = Ron_obs.Probe
+module Gauge = Ron_obs.Gauge
+module Telemetry = Ron_obs.Telemetry
+
+type ints = Image.ints
+type floats = Image.floats
+
+let[@inline always] ig (a : ints) i = A1.unsafe_get a i
+
+let default_batch = 65536
+
+(* ------------------------------------------------------------- workload *)
+
+type workload = { wq : int; w_kind : ints; w_src : ints; w_dst : ints }
+
+let queries w = w.wq
+let kind_of w i = ig w.w_kind i
+let src_of w i = ig w.w_src i
+let dst_of w i = ig w.w_dst i
+
+(* Per-query draw streams, keyed off the workload seed. *)
+let kind_seed seed = Rng.mix seed 1
+let dst_seed seed = Rng.mix seed 2
+let src_seed seed = Rng.mix seed 3
+
+let prepare t ~seed ~queries ~zipf_s ~route_frac ~dist_frac =
+  if queries < 0 then invalid_arg "Loop.prepare: negative query count";
+  if not (route_frac >= 0.0 && dist_frac >= 0.0 && route_frac +. dist_frac <= 1.0) then
+    invalid_arg "Loop.prepare: traffic mix must be non-negative and sum to at most 1";
+  let n = Server.size t in
+  let zipf = Workload.Zipf.create ~n ~s:zipf_s in
+  let srcs = Server.sources t in
+  let w_kind = Image.ints_create queries in
+  let w_src = Image.ints_create queries in
+  let w_dst = Image.ints_create queries in
+  let ks = kind_seed seed and ds = dst_seed seed and ss = src_seed seed in
+  for i = 0 to queries - 1 do
+    let uk = Workload.u01 ~seed:ks i in
+    let kind =
+      if uk < route_frac then 0 else if uk < route_frac +. dist_frac then 1 else 2
+    in
+    A1.unsafe_set w_kind i (Server.effective_kind t kind);
+    (* Zipf rank k names node k: rank 0 is the hottest target. *)
+    A1.unsafe_set w_dst i (Workload.Zipf.sample_at zipf ~seed:ds i);
+    let r = Rng.mix ss i in
+    let src =
+      match srcs with Some members -> ig members (r mod A1.dim members) | None -> r mod n
+    in
+    A1.unsafe_set w_src i src
+  done;
+  { wq = queries; w_kind; w_src; w_dst }
+
+(* -------------------------------------------------------------- results *)
+
+(* Result columns, by effective kind:
+   route:  ra = outcome, rb = hops, rx = path length, ry = header bits
+   dist:   ra = 0,       rb = 0,    rx = lower bound, ry = upper bound
+   locate: ra = found,   rb = hops, rx = measurements, ry = 0 *)
+type results = { ra : ints; rb : ints; rx : floats; ry : floats }
+
+let results_create q =
+  {
+    ra = Image.ints_create q;
+    rb = Image.ints_create q;
+    rx = Image.floats_create q;
+    ry = Image.floats_create q;
+  }
+
+(* One query into result slot [i]. Top-level and float-free (floats move
+   straight from scratch slots into the float64 columns, unboxed), so the
+   steady-state loop body allocates nothing. *)
+let run_query t sc work res i =
+  let kind = ig work.w_kind i in
+  Server.query t sc ~kind ~src:(ig work.w_src i) ~dst:(ig work.w_dst i);
+  if kind = 0 then begin
+    A1.unsafe_set res.ra i sc.Server.r_outcome;
+    A1.unsafe_set res.rb i sc.Server.r_hops;
+    A1.unsafe_set res.rx i sc.Server.fbuf.(2);
+    A1.unsafe_set res.ry i (float_of_int sc.Server.r_aux)
+  end
+  else if kind = 1 then begin
+    A1.unsafe_set res.ra i 0;
+    A1.unsafe_set res.rb i 0;
+    A1.unsafe_set res.rx i sc.Server.fbuf.(3);
+    A1.unsafe_set res.ry i sc.Server.fbuf.(4)
+  end
+  else begin
+    A1.unsafe_set res.ra i sc.Server.r_next;
+    A1.unsafe_set res.rb i sc.Server.r_hops;
+    A1.unsafe_set res.rx i (float_of_int sc.Server.r_aux);
+    A1.unsafe_set res.ry i 0.0
+  end
+
+(* ------------------------------------------------------------ execution *)
+
+(* Run the whole workload in batches of [batch], each sharded across Pool
+   domains into disjoint result slots. Chunk boundaries depend only on
+   (size, jobs), so results are bit-identical at every job count. *)
+let run ?(batch = default_batch) ?jobs t work res =
+  if batch < 1 then invalid_arg "Loop.run: batch must be positive";
+  let q = work.wq in
+  let b = ref 0 in
+  while !b < q do
+    let b0 = !b in
+    let size = min batch (q - b0) in
+    if !Probe.on then Probe.serve_batch ~size ~inflight:size;
+    Pool.parallel_for ?jobs size (fun k ->
+        run_query t (Server.scratch_for t) work res (b0 + k));
+    if !Telemetry.active then Telemetry.tick ();
+    b := b0 + size
+  done;
+  if !Probe.on then Gauge.set_int Probe.serve_inflight 0
+
+(* --------------------------------------------------------------- digest *)
+
+let fnv_prime = 0x100000001b3L
+
+(* Order-sensitive digest of the result columns; equal digests at
+   different job counts certify bit-identical serving output. *)
+let digest res =
+  let mix h c = Int64.mul (Int64.logxor h c) fnv_prime in
+  let h = 0xcbf29ce484222325L in
+  let h = mix h (Image.checksum_ints res.ra) in
+  let h = mix h (Image.checksum_ints res.rb) in
+  let h = mix h (Image.checksum_floats res.rx) in
+  let h = mix h (Image.checksum_floats res.ry) in
+  Int64.to_int (Int64.logand h Int64.max_int)
+
+(* -------------------------------------------------- latency measurement *)
+
+(* Sequential per-query latency pass (wall-clock per query, ns) into a
+   bounded-memory bucketed histogram. Separate from the throughput run:
+   two gettimeofday calls per query would tax qps. *)
+let measure_latency ?(limit = max_int) t work res hist =
+  let q = min limit work.wq in
+  let sc = Server.scratch_for t in
+  for i = 0 to q - 1 do
+    let t0 = Unix.gettimeofday () in
+    run_query t sc work res i;
+    let t1 = Unix.gettimeofday () in
+    Ron_obs.Histogram.Bucketed.observe hist ((t1 -. t0) *. 1e9)
+  done
+
+(* ------------------------------------------------------------- GC audit *)
+
+(* Steady-state minor-heap allocation per query, in words: one warm pass
+   grows every scratch buffer, then an audited sequential pass is measured
+   with [Gc.quick_stat] deltas. The quick_stat records themselves cost a
+   few dozen words total, amortized to ~0 over the workload. *)
+let minor_words_per_query t work res =
+  if work.wq = 0 then 0.0
+  else begin
+    let sc = Server.scratch_for t in
+    for i = 0 to work.wq - 1 do
+      run_query t sc work res i
+    done;
+    let s0 = Gc.quick_stat () in
+    for i = 0 to work.wq - 1 do
+      run_query t sc work res i
+    done;
+    let s1 = Gc.quick_stat () in
+    (s1.Gc.minor_words -. s0.Gc.minor_words) /. float_of_int work.wq
+  end

@@ -1,0 +1,80 @@
+(** The batch serving loop: seeded workloads, sharded execution, digests.
+
+    Workload columns are pure functions of (seed, query index), so the
+    same seed yields the same workload at every [RON_JOBS]; execution
+    writes each query's result into its own slot of off-heap result
+    columns, so serving output (and its digest) is bit-identical at every
+    job count. *)
+
+type ints = Image.ints
+type floats = Image.floats
+
+val default_batch : int
+
+(** {1 Workloads} *)
+
+type workload
+
+val queries : workload -> int
+
+val kind_of : workload -> int -> int
+(** Effective kind of query [i] (0 route, 1 dist, 2 locate). *)
+
+val src_of : workload -> int -> int
+val dst_of : workload -> int -> int
+
+val prepare :
+  Server.t ->
+  seed:int ->
+  queries:int ->
+  zipf_s:float ->
+  route_frac:float ->
+  dist_frac:float ->
+  workload
+(** A seeded mixed workload: each query's kind is drawn from the
+    (route, dist, locate) mix with weights [route_frac], [dist_frac],
+    [1 - route_frac - dist_frac], then collapsed through
+    {!Server.effective_kind}; targets are Zipf(s)-skewed over node ids
+    (rank 0 hottest); sources are uniform over the server's source
+    population. *)
+
+(** {1 Results} *)
+
+(** Off-heap result columns, by effective kind:
+    route — [ra] outcome, [rb] hops, [rx] path length, [ry] header bits;
+    dist — [rx] lower bound, [ry] upper bound;
+    locate — [ra] found member, [rb] hops, [rx] measurements. *)
+type results = { ra : ints; rb : ints; rx : floats; ry : floats }
+
+val results_create : int -> results
+
+val run_query : Server.t -> Server.scratch -> workload -> results -> int -> unit
+(** Execute query [i] into result slot [i]; allocation-free in steady
+    state. *)
+
+val run : ?batch:int -> ?jobs:int -> Server.t -> workload -> results -> unit
+(** Run the whole workload in batches of [batch] (default
+    {!default_batch}), each sharded across Pool domains. Fires the serve
+    probes and a telemetry tick once per batch, from the orchestrating
+    domain. *)
+
+val digest : results -> int
+(** Order-sensitive FNV digest of all four result columns (non-negative).
+    Equal digests across job counts certify bit-identical output. *)
+
+(** {1 Measurement} *)
+
+val measure_latency :
+  ?limit:int ->
+  Server.t ->
+  workload ->
+  results ->
+  Ron_obs.Histogram.Bucketed.t ->
+  unit
+(** Sequential pass observing per-query wall-clock latency (ns) for the
+    first [limit] queries. *)
+
+val minor_words_per_query : Server.t -> workload -> results -> float
+(** Steady-state minor-heap allocation per query, in words: one warm
+    sequential pass, then a measured pass under [Gc.quick_stat] deltas.
+    ~0 when the hot path is allocation-free. *)

@@ -1,0 +1,100 @@
+(** Frozen, off-heap query servers.
+
+    A constructed scheme is exported, packed into an {!Image.t} (Bigarray
+    sections, int-indexed, string-free), and served through flat views
+    whose query loops replicate the live step functions and
+    [Scheme.simulate]'s Brent cycle detection operation for operation —
+    frozen results are byte-identical to the live scheme's. The hot path
+    is zero-allocation in steady state: all per-query mutable state lives
+    in a preallocated per-domain {!scratch}, results land in its
+    registers, and no hot function passes or returns a float. *)
+
+type ints = Image.ints
+type floats = Image.floats
+
+(** {1 Scratch} *)
+
+(** Per-domain query state. Query results are read from the [r_*]
+    registers and [fbuf] slots documented at {!query}; the remaining
+    fields are internal working storage. *)
+type scratch = {
+  mutable m : int array;
+  mutable right_gen : int array;
+  mutable right_val : int array;
+  mutable gen : int;
+  mutable memo_d : float array;
+  mutable memo_gen : int array;
+  mutable mgen : int;
+  fbuf : float array;
+  mutable best_w : int;
+  mutable sel_w : int;
+  mutable r_outcome : int;
+  mutable r_hops : int;
+  mutable r_next : int;
+  mutable r_aux : int;
+}
+
+(** {1 Servers} *)
+
+type t
+
+val freeze_basic : Ron_routing.Basic.export -> Image.t
+val freeze_labelled : Ron_routing.Labelled.export -> Image.t
+val freeze_two_mode : Ron_routing.Two_mode.export -> Image.t
+val freeze_meridian : Ron_smallworld.Meridian.export -> Image.t
+val freeze_landmark : Ron_labeling.Landmark.export -> Image.t
+
+val freeze_basic_t : Ron_routing.Basic.export -> t
+val freeze_labelled_t : Ron_routing.Labelled.export -> t
+val freeze_two_mode_t : Ron_routing.Two_mode.export -> t
+val freeze_meridian_t : Ron_smallworld.Meridian.export -> t
+val freeze_landmark_t : Ron_labeling.Landmark.export -> t
+
+val of_image : Image.t -> (t, string) result
+(** Wrap an image's sections — zero-copy — into a server, validating the
+    scheme tag and per-scheme section counts. *)
+
+val load : string -> (t, string) result
+(** [Image.load] followed by {!of_image}. *)
+
+val save : t -> string -> unit
+val image : t -> Image.t
+
+val byte_size : t -> int
+(** Exact on-disk size of the underlying snapshot. *)
+
+val scheme_tag : t -> int
+(** 1 basic, 2 labelled, 3 two_mode, 4 meridian, 5 landmark. *)
+
+val scheme_name : t -> string
+val size : t -> int
+
+val sources : t -> ints option
+(** Source population for workloads: [Some members] for Meridian (walks
+    must start at ring members), [None] for node-id-uniform schemes. *)
+
+val scratch_for : t -> scratch
+(** This domain's scratch, grown to the server's bounds. Call once per
+    domain (per server) before the query loop; {!query} itself never grows
+    the scratch. *)
+
+val prepare_scratch : t -> scratch -> unit
+
+(** {1 Queries} *)
+
+val effective_kind : t -> int -> int
+(** The kind actually executed for a requested kind (0 route, 1 dist,
+    2 locate): each scheme collapses unsupported kinds onto its native
+    operation. *)
+
+val query : t -> scratch -> kind:int -> src:int -> dst:int -> unit
+(** Execute one query on this domain's scratch; allocation-free in steady
+    state. Results, by effective kind:
+
+    - route (0): [r_outcome] (0 delivered, 1 truncated, 2 self-forward,
+      3 cycled), [r_hops], [r_aux] = header bits, [fbuf.(2)] = path
+      length;
+    - dist (1): [fbuf.(3)] = lower bound, [fbuf.(4)] = upper bound (equal
+      for the label-based point estimates);
+    - locate (2): [r_next] = found member, [r_hops], [r_aux] =
+      measurements. *)

@@ -290,3 +290,29 @@ let exact_within t target radius =
   let a = Array.of_list !out in
   Ron_util.Fsort.sort_ints a;
   a
+
+(* ----------------------------------------------------------------- Export *)
+
+type export = {
+  x_n : int;
+  x_scales : int;
+  x_members : int array;
+  x_rings : int array array array;
+  x_dist : float array;
+}
+
+let export t =
+  let n = Indexed.size t.idx in
+  let dist = Array.make (n * n) 0.0 in
+  for u = 0 to n - 1 do
+    for v = 0 to n - 1 do
+      dist.((u * n) + v) <- Indexed.dist t.idx u v
+    done
+  done;
+  {
+    x_n = n;
+    x_scales = t.scales;
+    x_members = members t;
+    x_rings = Array.map (fun rs -> Array.map Array.of_list rs) t.rings;
+    x_dist = dist;
+  }

@@ -84,3 +84,19 @@ val join : t -> Ron_util.Rng.t -> int -> unit
 val leave : t -> int -> unit
 (** Remove a member and purge it from every ring. Raises
     [Invalid_argument] if it is not a member or is the last member. *)
+
+(** {2 Export}
+
+    Flat state extraction for the off-heap snapshot layer ([ron_serve]).
+    Ring arrays preserve each ring's live list order, which the closest-
+    member walk depends on for tie-breaking parity. *)
+
+type export = {
+  x_n : int;
+  x_scales : int;
+  x_members : int array;  (** ascending member ids *)
+  x_rings : int array array array;  (** per node, per scale, in ring order *)
+  x_dist : float array;  (** the [n * n] metric, row-major *)
+}
+
+val export : t -> export

@@ -1,0 +1,23 @@
+(* Shared classification of bench-JSON numeric keys, so every consumer
+   (bench_diff today, future gates) agrees on which direction is "worse".
+
+   Timing keys (seconds or nanoseconds) regress when they grow; throughput
+   keys (queries per second and friends) regress when they shrink; anything
+   else numeric is treated as deterministic and must match exactly. The
+   throughput check runs first because "_per_s" also ends in "_s". *)
+
+type direction = Throughput | Timing | Deterministic
+
+let has_suffix s suffix = String.length s >= String.length suffix
+  && String.sub s (String.length s - String.length suffix) (String.length suffix) = suffix
+
+let contains s sub =
+  let n = String.length s and m = String.length sub in
+  let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+  go 0
+
+let classify key =
+  if key = "qps" || has_suffix key "_qps" || has_suffix key "_per_s" then
+    Throughput
+  else if has_suffix key "_s" || contains key "_ns" then Timing
+  else Deterministic

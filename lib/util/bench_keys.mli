@@ -1,0 +1,15 @@
+(** Shared direction classification for bench-JSON numeric keys.
+
+    [bench_diff] (and anything else gating on bench output) uses this to
+    decide how a relative threshold applies: {!Timing} keys are
+    lower-is-better, {!Throughput} keys are higher-is-better, and
+    {!Deterministic} keys must match exactly. *)
+
+type direction =
+  | Throughput  (** ["qps"], [*_qps], [*_per_s] — higher is better. *)
+  | Timing  (** [*_s] or containing ["_ns"] — lower is better. *)
+  | Deterministic  (** everything else — compare exactly. *)
+
+val classify : string -> direction
+(** [classify key] decides the direction for a numeric bench key. The
+    throughput rule wins over the timing rule (["_per_s"] ends in ["_s"]). *)

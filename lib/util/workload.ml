@@ -1,0 +1,47 @@
+(* Seeded, jobs-invariant query workloads for the serving loop.
+
+   Every draw is a pure function of (seed, global index) through Rng.mix,
+   so a workload is bit-identical at every RON_JOBS and independent of the
+   order in which domains touch the queries — same discipline the fault
+   layer uses for its per-(query, hop) coins. *)
+
+(* [mix] returns a uniform value in [0, 2^62); scale by 2^-62 for [0, 1). *)
+let u01 ~seed i = float_of_int (Rng.mix seed i) *. 0x1p-62
+
+module Zipf = struct
+  type t = { n : int; s : float; cdf : float array }
+
+  let create ~n ~s =
+    if n < 1 then invalid_arg "Workload.Zipf.create: n < 1";
+    if not (s >= 0.0) then invalid_arg "Workload.Zipf.create: negative exponent";
+    let cdf = Array.make n 0.0 in
+    let acc = ref 0.0 in
+    for k = 0 to n - 1 do
+      acc := !acc +. (1.0 /. (float_of_int (k + 1) ** s));
+      cdf.(k) <- !acc
+    done;
+    let total = !acc in
+    for k = 0 to n - 1 do
+      cdf.(k) <- cdf.(k) /. total
+    done;
+    (* Guard against rounding: the last bucket must absorb every u < 1. *)
+    cdf.(n - 1) <- 1.0;
+    { n; s; cdf }
+
+  let size t = t.n
+  let exponent t = t.s
+  let mass t k = if k = 0 then t.cdf.(0) else t.cdf.(k) -. t.cdf.(k - 1)
+  let cdf t k = t.cdf.(k)
+
+  (* Smallest rank whose cumulative mass exceeds [u]; allocation-free. *)
+  let sample t u =
+    if not (u >= 0.0 && u < 1.0) then invalid_arg "Workload.Zipf.sample: u outside [0, 1)";
+    let lo = ref 0 and hi = ref (t.n - 1) in
+    while !lo < !hi do
+      let mid = (!lo + !hi) / 2 in
+      if t.cdf.(mid) > u then hi := mid else lo := mid + 1
+    done;
+    !lo
+
+  let sample_at t ~seed i = sample t (u01 ~seed i)
+end

@@ -1,0 +1,35 @@
+(** Seeded, jobs-invariant query workloads for the serving loop.
+
+    Draws are pure functions of (seed, global query index) via {!Rng.mix},
+    so generated workloads are bit-identical at every [RON_JOBS] and under
+    any evaluation order. *)
+
+val u01 : seed:int -> int -> float
+(** [u01 ~seed i] is a uniform deviate in [0, 1) keyed by the pair. *)
+
+(** Zipf-skewed rank sampler: rank [k] (0-based) is drawn with probability
+    proportional to [1 / (k+1)^s] — rank 0 is the hottest object. *)
+module Zipf : sig
+  type t
+
+  val create : n:int -> s:float -> t
+  (** [create ~n ~s] precomputes the normalized cumulative weights for [n]
+      ranks with exponent [s >= 0] ([s = 0] degenerates to uniform). *)
+
+  val size : t -> int
+  val exponent : t -> float
+
+  val mass : t -> int -> float
+  (** Analytic probability of rank [k]. *)
+
+  val cdf : t -> int -> float
+  (** Analytic cumulative mass of ranks [0..k]; [cdf t (size t - 1) = 1]. *)
+
+  val sample : t -> float -> int
+  (** [sample t u] maps a uniform deviate in [0, 1) to a rank: the smallest
+      [k] with [cdf t k > u]. Allocation-free. *)
+
+  val sample_at : t -> seed:int -> int -> int
+  (** [sample_at t ~seed i] is [sample t (u01 ~seed i)] — the deterministic
+      rank for global query index [i]. *)
+end

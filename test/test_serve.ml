@@ -1,0 +1,167 @@
+(* Tests for the ron_serve library: frozen snapshots must route
+   byte-identically to the live schemes they were frozen from, survive a
+   save/load round-trip unchanged at every job count, and reject corrupted
+   images. *)
+
+module Server = Ron_serve.Server
+module Loop = Ron_serve.Loop
+module Fixture = Ron_serve.Fixture
+module Image = Ron_serve.Image
+module Scheme = Ron_routing.Scheme
+
+let check_bool msg b = Alcotest.(check bool) msg true b
+let check_int = Alcotest.(check int)
+
+let contains hay needle =
+  let nh = String.length hay and nn = String.length needle in
+  let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+  go 0
+
+let outcome_code = function
+  | Scheme.Delivered -> 0
+  | Scheme.Truncated -> 1
+  | Scheme.Self_forward -> 2
+  | Scheme.Cycled -> 3
+  | Scheme.Dropped -> 4
+
+(* One small workload per scheme; labelled is per-query expensive, so its
+   instance and workload stay tiny. *)
+let case scheme = if scheme = "labelled" then (scheme, 49, 60) else (scheme, 100, 300)
+
+let workload_for t ~queries =
+  Loop.prepare t ~seed:11 ~queries ~zipf_s:1.1 ~route_frac:0.6 ~dist_frac:0.3
+
+(* ------------------------------------------- frozen vs live, per query *)
+
+(* The reference result for query [i], computed through the live scheme's
+   own public API. Labelled/two_mode dist queries have no public live
+   estimator; those are covered by the round-trip and jobs invariance
+   checks instead. *)
+let check_against_live live t work res i =
+  let kind = Loop.kind_of work i and src = Loop.src_of work i and dst = Loop.dst_of work i in
+  let tag = Printf.sprintf "%s q%d (%d->%d)" (Server.scheme_name t) i src dst in
+  let module A1 = Bigarray.Array1 in
+  let route_matches (r : Scheme.result) =
+    check_int (tag ^ " outcome") (outcome_code r.Scheme.outcome) (A1.get res.Loop.ra i);
+    check_int (tag ^ " hops") r.Scheme.hops (A1.get res.Loop.rb i);
+    check_bool (tag ^ " length") (Float.equal r.Scheme.length (A1.get res.Loop.rx i));
+    check_int (tag ^ " header bits") r.Scheme.max_header_bits
+      (int_of_float (A1.get res.Loop.ry i))
+  in
+  match (live, kind) with
+  | (Fixture.L_basic s, 0) -> route_matches (Ron_routing.Basic.route s ~src ~dst)
+  | (Fixture.L_labelled s, 0) -> route_matches (Ron_routing.Labelled.route s ~src ~dst)
+  | (Fixture.L_two_mode s, 0) -> route_matches (Ron_routing.Two_mode.route s ~src ~dst)
+  | (Fixture.L_meridian s, 2) ->
+    let r = Ron_smallworld.Meridian.closest s ~start:src ~target:dst in
+    check_int (tag ^ " found") r.Ron_smallworld.Meridian.found (A1.get res.Loop.ra i);
+    check_int (tag ^ " hops") r.Ron_smallworld.Meridian.hops (A1.get res.Loop.rb i);
+    check_int (tag ^ " measurements") r.Ron_smallworld.Meridian.measurements
+      (int_of_float (A1.get res.Loop.rx i))
+  | (Fixture.L_landmark s, 1) ->
+    let (lo, hi) = Ron_labeling.Landmark.estimate s src dst in
+    check_bool (tag ^ " lo") (Float.equal lo (A1.get res.Loop.rx i));
+    check_bool (tag ^ " hi") (Float.equal hi (A1.get res.Loop.ry i))
+  | ((Fixture.L_labelled _ | Fixture.L_two_mode _), 1) -> ()
+  | _ -> Alcotest.failf "%s: unexpected effective kind %d" tag kind
+
+let test_matches_live scheme () =
+  let (scheme, n, queries) = case scheme in
+  let live = Fixture.build_live ~scheme ~n ~seed:5 in
+  let t = Fixture.freeze live in
+  let work = workload_for t ~queries in
+  let res = Loop.results_create queries in
+  Loop.run ~jobs:1 t work res;
+  for i = 0 to queries - 1 do
+    check_against_live live t work res i
+  done
+
+(* --------------------------------------- round-trip and jobs invariance *)
+
+let test_roundtrip scheme () =
+  let (scheme, n, queries) = case scheme in
+  let t = Fixture.build ~scheme ~n ~seed:5 in
+  let work = workload_for t ~queries in
+  let res = Loop.results_create queries in
+  Loop.run ~jobs:1 t work res;
+  let reference = Loop.digest res in
+  Loop.run ~jobs:4 t work res;
+  check_int (scheme ^ " jobs=4 digest") reference (Loop.digest res);
+  let file = Filename.temp_file "ron_serve_test" ".snap" in
+  Server.save t file;
+  let loaded =
+    match Server.load file with
+    | Ok t -> t
+    | Error e -> Alcotest.failf "%s: load failed: %s" scheme e
+  in
+  Sys.remove file;
+  check_int (scheme ^ " loaded tag") (Server.scheme_tag t) (Server.scheme_tag loaded);
+  check_int (scheme ^ " loaded size") (Server.size t) (Server.size loaded);
+  Loop.run ~jobs:1 loaded work res;
+  check_int (scheme ^ " loaded jobs=1 digest") reference (Loop.digest res);
+  Loop.run ~jobs:4 loaded work res;
+  check_int (scheme ^ " loaded jobs=4 digest") reference (Loop.digest res)
+
+(* ------------------------------------------------- corruption rejection *)
+
+let test_corrupt_rejected () =
+  let t = Fixture.build ~scheme:"meridian" ~n:60 ~seed:5 in
+  let file = Filename.temp_file "ron_serve_test" ".snap" in
+  Server.save t file;
+  (* Flip one byte in the last section's payload: the per-section FNV
+     checksum must catch it. *)
+  let fd = Unix.openfile file [ Unix.O_RDWR ] 0 in
+  let size = (Unix.fstat fd).Unix.st_size in
+  ignore (Unix.lseek fd (size - 5) Unix.SEEK_SET);
+  let b = Bytes.create 1 in
+  ignore (Unix.read fd b 0 1);
+  Bytes.set b 0 (Char.chr (Char.code (Bytes.get b 0) lxor 0xff));
+  ignore (Unix.lseek fd (size - 5) Unix.SEEK_SET);
+  ignore (Unix.write fd b 0 1);
+  Unix.close fd;
+  (match Server.load file with
+  | Ok _ -> Alcotest.fail "corrupted snapshot accepted"
+  | Error e -> check_bool "mentions checksum" (contains e "checksum"));
+  Sys.remove file
+
+let test_truncated_rejected () =
+  let t = Fixture.build ~scheme:"landmark" ~n:49 ~seed:5 in
+  let file = Filename.temp_file "ron_serve_test" ".snap" in
+  Server.save t file;
+  let size = (Unix.stat file).Unix.st_size in
+  let fd = Unix.openfile file [ Unix.O_RDWR ] 0 in
+  Unix.ftruncate fd (size / 2);
+  Unix.close fd;
+  (match Server.load file with
+  | Ok _ -> Alcotest.fail "truncated snapshot accepted"
+  | Error _ -> ());
+  Sys.remove file
+
+(* ------------------------------------------------------------ GC audit *)
+
+let test_zero_alloc scheme () =
+  let (scheme, n, queries) = case scheme in
+  let t = Fixture.build ~scheme ~n ~seed:5 in
+  let work = workload_for t ~queries in
+  let res = Loop.results_create queries in
+  let words = Loop.minor_words_per_query t work res in
+  check_bool
+    (Printf.sprintf "%s steady-state allocation ~ 0 (got %.3f words/query)" scheme words)
+    (words <= 8.0)
+
+let () =
+  let per_scheme mk = List.map (fun s -> mk s) Fixture.names in
+  Alcotest.run "ron_serve"
+    [
+      ("frozen matches live",
+       per_scheme (fun s -> Alcotest.test_case s `Quick (test_matches_live s)));
+      ("snapshot round-trip",
+       per_scheme (fun s -> Alcotest.test_case s `Quick (test_roundtrip s)));
+      ("corruption",
+       [
+         Alcotest.test_case "checksum flip rejected" `Quick test_corrupt_rejected;
+         Alcotest.test_case "truncation rejected" `Quick test_truncated_rejected;
+       ]);
+      ("zero allocation",
+       per_scheme (fun s -> Alcotest.test_case s `Quick (test_zero_alloc s)));
+    ]

@@ -251,6 +251,112 @@ let test_stats_summary () =
   check_float "p90" 90.0 s.Stats.p90;
   check_float "p99" 99.0 s.Stats.p99
 
+(* ----------------------------------------------------------- bench keys *)
+
+module Bench_keys = Ron_util.Bench_keys
+
+let test_bench_keys_classify () =
+  let dir = function
+    | Bench_keys.Throughput -> "throughput"
+    | Bench_keys.Timing -> "timing"
+    | Bench_keys.Deterministic -> "det"
+  in
+  let check key expect = Alcotest.(check string) key expect (dir (Bench_keys.classify key)) in
+  check "qps" "throughput";
+  check "warm_qps" "throughput";
+  check "routes_per_s" "throughput";
+  (* The throughput rule must win over the timing "_s" suffix rule. *)
+  check "queries_per_s" "throughput";
+  check "freeze_s" "timing";
+  check "snapshot_load_s" "timing";
+  check "latency_p999_ns" "timing";
+  check "ns_total" "det";  (* "_ns" must be a real infix, not a prefix *)
+  check "stretch_max" "det";
+  check "qps_note" "det";  (* "qps" only counts as a suffix or the whole key *)
+  check "n" "det";
+  check "s" "det"
+
+(* ----------------------------------------------------------------- zipf *)
+
+module Workload = Ron_util.Workload
+
+let test_zipf_analytic () =
+  let z = Workload.Zipf.create ~n:4 ~s:1.0 in
+  (* Weights 1, 1/2, 1/3, 1/4 normalize over 25/12. *)
+  let total = 1.0 +. 0.5 +. (1.0 /. 3.0) +. 0.25 in
+  check_float "mass 0" (1.0 /. total) (Workload.Zipf.mass z 0);
+  check_float "mass 3" (0.25 /. total) (Workload.Zipf.mass z 3);
+  check_float "cdf end" 1.0 (Workload.Zipf.cdf z 3);
+  let u = Workload.Zipf.create ~n:8 ~s:0.0 in
+  check_float "s=0 uniform mass" 0.125 (Workload.Zipf.mass u 5)
+
+let test_zipf_deterministic () =
+  let z = Workload.Zipf.create ~n:1000 ~s:1.2 in
+  for i = 0 to 200 do
+    check_int "same (seed, i) draw"
+      (Workload.Zipf.sample_at z ~seed:31 i)
+      (Workload.Zipf.sample_at z ~seed:31 i)
+  done;
+  let differs = ref false in
+  for i = 0 to 200 do
+    if Workload.Zipf.sample_at z ~seed:31 i <> Workload.Zipf.sample_at z ~seed:32 i then
+      differs := true
+  done;
+  check_bool "seed sensitivity" !differs
+
+let prop_zipf_in_range =
+  QCheck.Test.make ~name:"zipf sample in [0, n)" ~count:200
+    QCheck.(tup3 (int_range 1 50) (float_range 0.0 2.5) small_nat)
+    (fun (n, s, i) ->
+      let z = Workload.Zipf.create ~n ~s in
+      let k = Workload.Zipf.sample_at z ~seed:7 i in
+      k >= 0 && k < n)
+
+let prop_zipf_inverts_cdf =
+  (* sample must return the smallest rank whose cdf exceeds the deviate. *)
+  QCheck.Test.make ~name:"zipf sample inverts cdf" ~count:500
+    QCheck.(tup3 (int_range 1 40) (float_range 0.0 2.0) (float_range 0.0 0.9999))
+    (fun (n, s, u) ->
+      let z = Workload.Zipf.create ~n ~s in
+      let k = Workload.Zipf.cdf z (Workload.Zipf.sample z u) in
+      let ok_above = k > u in
+      let ok_least =
+        Workload.Zipf.sample z u = 0
+        || Workload.Zipf.cdf z (Workload.Zipf.sample z u - 1) <= u
+      in
+      ok_above && ok_least)
+
+(* Empirical head and tail mass over a large seeded draw must pin the
+   analytic CDF: the head (rank 0) within 10% relative, the tail
+   (ranks >= n/2) within 10% relative of its analytic mass. *)
+let test_zipf_empirical_mass () =
+  let n = 100 and draws = 200_000 in
+  let z = Workload.Zipf.create ~n ~s:1.1 in
+  let counts = Array.make n 0 in
+  for i = 0 to draws - 1 do
+    let k = Workload.Zipf.sample_at z ~seed:91 i in
+    counts.(k) <- counts.(k) + 1
+  done;
+  let freq k = float_of_int counts.(k) /. float_of_int draws in
+  let head_analytic = Workload.Zipf.mass z 0 in
+  check_bool "head mass within 10%"
+    (Float.abs (freq 0 -. head_analytic) < 0.1 *. head_analytic);
+  let tail_emp = ref 0.0 in
+  for k = n / 2 to n - 1 do
+    tail_emp := !tail_emp +. freq k
+  done;
+  let tail_analytic = 1.0 -. Workload.Zipf.cdf z ((n / 2) - 1) in
+  check_bool "tail mass within 10%"
+    (Float.abs (!tail_emp -. tail_analytic) < 0.1 *. tail_analytic);
+  (* And the skew is real: the hottest rank beats the whole tail. *)
+  check_bool "head outweighs tail" (freq 0 > !tail_emp)
+
+let test_u01_range () =
+  for i = 0 to 10_000 do
+    let u = Workload.u01 ~seed:5 i in
+    check_bool "in [0,1)" (u >= 0.0 && u < 1.0)
+  done
+
 let () =
   let qt = QCheck_alcotest.to_alcotest in
   Alcotest.run "ron_util"
@@ -286,6 +392,17 @@ let () =
           qt prop_qfloat_upper_bound;
           qt prop_qfloat_relative_error;
           qt prop_qfloat_monotone;
+        ] );
+      ( "bench_keys",
+        [ Alcotest.test_case "classify directions" `Quick test_bench_keys_classify ] );
+      ( "workload",
+        [
+          Alcotest.test_case "zipf analytic mass/cdf" `Quick test_zipf_analytic;
+          Alcotest.test_case "zipf deterministic draws" `Quick test_zipf_deterministic;
+          Alcotest.test_case "zipf empirical head/tail mass" `Quick test_zipf_empirical_mass;
+          Alcotest.test_case "u01 range" `Quick test_u01_range;
+          qt prop_zipf_in_range;
+          qt prop_zipf_inverts_cdf;
         ] );
       ( "stats",
         [
