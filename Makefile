@@ -1,4 +1,4 @@
-.PHONY: all build test check bench bench-json bench-diff scale-smoke trace-smoke fault-smoke profile-smoke telemetry-smoke serve-smoke clean
+.PHONY: all build test check bench bench-json bench-diff scale-smoke trace-smoke fault-smoke churn-smoke profile-smoke telemetry-smoke serve-smoke clean
 
 # Relative slowdown tolerated by bench-diff before a timing key fails
 # (0.5 = 50% slower); override per-run: make bench-diff RON_BENCH_DIFF_THRESHOLD=1.0
@@ -63,6 +63,24 @@ fault-smoke: build
 	  --crash 0.08 --drop 0.02 --dead-links 0.02 \
 	  --trace /tmp/ron_fault_smoke.jsonl --metrics-out /tmp/ron_fault_metrics.json
 	dune exec bin/trace_check.exe /tmp/ron_fault_smoke.jsonl
+
+# Churn smoke: the dynamic-membership sweep at a reduced landmark size,
+# run at RON_JOBS=1 and 4 — the outputs must be byte-identical (the
+# schedule and every repair are sequential seeded hashes) and the repair
+# must stay incremental (churn.rebuilds = 0). Then one CLI run composing
+# churn with per-hop drops. Outputs land in /tmp for CI to archive.
+CHURN_SMOKE_N ?= 2000
+churn-smoke: build
+	RON_CHURN_N=$(CHURN_SMOKE_N) RON_JOBS=1 dune exec bench/main.exe -- churn \
+	  > /tmp/ron_churn_smoke_j1.txt
+	RON_CHURN_N=$(CHURN_SMOKE_N) RON_JOBS=4 dune exec bench/main.exe -- churn \
+	  > /tmp/ron_churn_smoke_j4.txt
+	cmp /tmp/ron_churn_smoke_j1.txt /tmp/ron_churn_smoke_j4.txt
+	grep -q 'churn.rebuilds = 0' /tmp/ron_churn_smoke_j1.txt
+	dune exec bin/ron_cli.exe -- churn -m grid -n 100 -p 300 \
+	  --join-rate 0.05 --leave-rate 0.05 --crash 0 --drop 0.0125 --dead-links 0 \
+	  | tee /tmp/ron_churn_smoke_cli.txt
+	grep -q 'repair:' /tmp/ron_churn_smoke_cli.txt
 
 # Telemetry smoke: the n = 10^5 scale run with the runtime sampler on,
 # then validate the snapshot series (seq/ts monotone, typed sections) and

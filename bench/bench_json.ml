@@ -487,6 +487,82 @@ let fault_section () =
      :: ("fault_detours", Int (Counter.value Probe.fault_detours - v0))
      :: quality_obj q)
 
+(* ------------------------------------------------------------------ churn *)
+
+(* Dynamic membership over the Table 1 workload: symmetric join/leave
+   churn with incremental ring repair, one object per rate. Deterministic
+   (pure function of the schedule seed), so the section regression-checks
+   delivery, stretch inflation, query-time staleness, and repair cost per
+   event. *)
+let churn_section () =
+  let module Churn = Ron_churn.Churn in
+  let module Probe = Ron_obs.Probe in
+  let module Counter = Ron_obs.Counter in
+  let sp = Ron_graph.Sp_metric.create (Ron_graph.Graph_gen.grid 8 8) in
+  let b = Ron_routing.Basic.build sp ~delta:0.25 in
+  let n = Ron_graph.Graph.size (Ron_graph.Sp_metric.graph sp) in
+  let pairs = Exp_common.sample_pairs (Rng.create 101) ~n ~count:800 in
+  let base_stretch = ref nan in
+  let row rate =
+    let sched =
+      Churn.Schedule.make ~seed:9191 ~n ~slots:120 ~join_rate:rate ~leave_rate:rate ()
+    in
+    let st = Churn.state_of_schedule sched in
+    let rr =
+      Churn.Ring_repair.create st (Ron_routing.Basic.substrate b)
+        (Ron_routing.Basic.rings_collection b)
+    in
+    let was_on = !Probe.on in
+    Probe.on := true;
+    let summary =
+      Fun.protect
+        ~finally:(fun () -> Probe.on := was_on)
+        (fun () ->
+          Churn.Driver.apply sched st
+            ~on_leave:(fun v -> Churn.Ring_repair.leave rr v)
+            ~on_join:(fun v -> Churn.Ring_repair.join rr v)
+            ())
+    in
+    let live_pairs =
+      List.filter (fun (u, v) -> Churn.is_live st u && Churn.is_live st v) pairs
+    in
+    let s0 = Counter.value Probe.churn_stale_hits
+    and t0 = Counter.value Probe.churn_detours in
+    let cw = Churn.wrapper st in
+    let q =
+      Exp_common.collect_routes_keyed
+        ~route:(fun ~query:_ u v -> Ron_routing.Basic.route_wrapped cw b ~src:u ~dst:v)
+        ~dist:(fun u v -> Ron_graph.Sp_metric.dist sp u v)
+        live_pairs
+    in
+    if Float.is_nan !base_stretch then base_stretch := q.Exp_common.stretch_mean;
+    let delivered = q.Exp_common.queries - q.Exp_common.failures in
+    let events = summary.Churn.Driver.joins + summary.Churn.Driver.leaves in
+    Obj
+      (("graph", String "grid8x8")
+       :: ("scheme", String "thm2.1")
+       :: ("model", String (Churn.Schedule.describe sched))
+       :: ("rate", Float rate)
+       :: ("churn_events", Int events)
+       :: ("churn_joins", Int summary.Churn.Driver.joins)
+       :: ("churn_leaves", Int summary.Churn.Driver.leaves)
+       :: ("live_nodes", Int (Churn.live_count st))
+       :: ("delivery_rate",
+           Float (float_of_int delivered /. float_of_int (max 1 q.Exp_common.queries)))
+       :: ("stretch_inflation", Float (q.Exp_common.stretch_mean /. !base_stretch))
+       :: ("churn_stale_hits", Int (Counter.value Probe.churn_stale_hits - s0))
+       :: ("churn_detours", Int (Counter.value Probe.churn_detours - t0))
+       :: ("churn_repair_updates", Int summary.Churn.Driver.cost.Churn.updates)
+       :: ("churn_refills", Int summary.Churn.Driver.cost.Churn.refills)
+       :: ("repair_updates_per_event",
+           Float
+             (float_of_int summary.Churn.Driver.cost.Churn.updates
+             /. float_of_int (max 1 events)))
+       :: ("stale_after_repair", Int (Churn.Ring_repair.stale_members rr))
+       :: quality_obj q)
+  in
+  List (Stdlib.List.map row [ 0.0; 0.02; 0.05; 0.1 ])
+
 (* ------------------------------------------------------------------ main *)
 
 let timestamp () =
@@ -563,6 +639,7 @@ let run ?(scale_sizes = [ 10_000 ]) ?(scale_only = false) ?telemetry
       Ron_obs.reset ();
       let t1 = table1 () and t2 = table2 () and t3 = table3 () in
       let fault = fault_section () in
+      let churn = churn_section () in
       Printf.printf "[JSON] measuring frozen-snapshot serving hot path...\n%!";
       let serve = serve_section () in
       [
@@ -573,6 +650,7 @@ let run ?(scale_sizes = [ 10_000 ]) ?(scale_only = false) ?telemetry
         ("table2", t2);
         ("table3", t3);
         ("fault", fault);
+        ("churn", churn);
         ("serve", serve);
         ("obs", Ron_obs.snapshot ());
       ]

@@ -39,6 +39,7 @@ let experiments : (string * string * (unit -> unit)) list =
     ("mer", "Meridian-style object location over rings (Sec 6)", E.Exp_mer.run);
     ("fault", "Fault injection & graceful degradation sweep", E.Exp_fault.run);
     ("scale", "Scaling regime: landmark labels over the on-demand oracle", E.Exp_scale.run);
+    ("churn", "Dynamic membership: joins/leaves with incremental repair", E.Exp_churn.run);
   ]
 
 (* ------------------------------------------------- Bechamel micro-benches *)

@@ -70,35 +70,35 @@ let num_string v = Printf.sprintf "%.6g" v
 
 let number = function Json.Int i -> Some (float_of_int i) | Json.Float f -> Some f | _ -> None
 
-let rel_change base next =
-  if base = next then 0.0
-  else if Float.abs base < 1e-300 then infinity
-  else (next -. base) /. Float.abs base
-
 let compare_leaf ~threshold ~det_threshold path key base next =
   match (number base, number next) with
   | Some b, Some n -> (
-    let d = rel_change b n in
-    match Ron_util.Bench_keys.classify key with
-    | Ron_util.Bench_keys.Timing ->
-      if d > threshold then
-        add path (num_string b) (num_string n) (Some d) Slower
-          (Printf.sprintf "exceeds +%.0f%% threshold" (threshold *. 100.0))
-      else if d < -.threshold then
-        add path (num_string b) (num_string n) (Some d) Faster ""
-      else add path (num_string b) (num_string n) (Some d) Ok_same ""
-    | Ron_util.Bench_keys.Throughput ->
-      (* Higher is better: a drop beyond the threshold regresses. *)
-      if d < -.threshold then
-        add path (num_string b) (num_string n) (Some d) Slower
-          (Printf.sprintf "throughput fell past -%.0f%% threshold" (threshold *. 100.0))
-      else if d > threshold then
-        add path (num_string b) (num_string n) (Some d) Faster ""
-      else add path (num_string b) (num_string n) (Some d) Ok_same ""
-    | Ron_util.Bench_keys.Deterministic ->
-    if Float.abs d > det_threshold then
-      add path (num_string b) (num_string n) (Some d) Mismatch "deterministic value changed"
-    else add path (num_string b) (num_string n) (Some d) Ok_same "")
+    let module K = Ron_util.Bench_keys in
+    let dir = K.classify key in
+    let outcome, delta = K.verdict dir ~threshold ~det_threshold ~base:b ~next:n in
+    let nonfinite = not (Float.is_finite b && Float.is_finite n) in
+    match outcome with
+    | K.Same -> add path (num_string b) (num_string n) delta Ok_same ""
+    | K.Better ->
+      add path (num_string b) (num_string n) delta Faster
+        (if delta = None then "zero baseline: judged by key direction" else "")
+    | K.Worse ->
+      let note =
+        match (delta, dir) with
+        | None, _ -> "zero baseline: judged by key direction"
+        | Some _, K.Timing ->
+          Printf.sprintf "exceeds +%.0f%% threshold" (threshold *. 100.0)
+        | Some _, _ ->
+          Printf.sprintf "throughput fell past -%.0f%% threshold" (threshold *. 100.0)
+      in
+      add path (num_string b) (num_string n) delta Slower note
+    | K.Changed ->
+      let note =
+        if nonfinite then "non-finite value"
+        else if delta = None then "deterministic value changed from zero baseline"
+        else "deterministic value changed"
+      in
+      add path (num_string b) (num_string n) delta Mismatch note)
   | _ -> (
     match (base, next) with
     | Json.Bool b, Json.Bool n ->

@@ -389,6 +389,198 @@ let fault_cmd =
       $ delta_arg $ pairs_arg $ scheme_arg $ crash_arg $ drop_arg $ dead_links_arg
       $ fault_seed_arg)
 
+(* ----------------------------------------------------------------- churn *)
+
+let join_rate_arg =
+  Arg.(
+    value & opt float 0.05
+    & info [ "join-rate" ] ~docv:"RATE"
+        ~doc:"Per-slot probability that a departed node rejoins.")
+
+let leave_rate_arg =
+  Arg.(
+    value & opt float 0.05
+    & info [ "leave-rate" ] ~docv:"RATE"
+        ~doc:"Per-slot probability that a live node leaves.")
+
+let churn_seed_arg =
+  Arg.(
+    value & opt int 9191
+    & info [ "churn-seed" ] ~docv:"SEED"
+        ~doc:"Seed of the churn schedule's dedicated random stream (independent of --seed).")
+
+let slots_arg =
+  Arg.(
+    value & opt int 120
+    & info [ "slots" ] ~docv:"SLOTS" ~doc:"Event slots in the churn schedule.")
+
+let run_churn trace metrics profile telemetry telemetry_interval jobs family n seed delta pairs
+    scheme jrate lrate cseed slots crash drop dead fseed =
+  set_jobs jobs;
+  with_obs trace metrics profile telemetry telemetry_interval @@ fun () ->
+  let module Churn = Ron_churn.Churn in
+  let module Fault = Ron_fault.Fault in
+  let module Scheme = Ron_routing.Scheme in
+  let module C = Ron_experiments.Exp_common in
+  let module Counter = Ron_obs.Counter in
+  let module Probe = Ron_obs.Probe in
+  let rng = Rng.create seed in
+  let report ?parallel name ~make_repair route_wrapped dist nn =
+    let sched =
+      Churn.Schedule.make ~seed:cseed ~n:nn ~slots ~join_rate:jrate ~leave_rate:lrate ()
+    in
+    let st = Churn.state_of_schedule sched in
+    let on_leave, on_join, backlog, stale_after = make_repair st in
+    let was_on = !Probe.on in
+    Probe.on := true;
+    let summary =
+      Fun.protect
+        ~finally:(fun () -> Probe.on := was_on)
+        (fun () -> Churn.Driver.apply sched st ~on_leave ~on_join ?backlog ())
+    in
+    (* Composable with the fault axis: churn detours innermost, fault
+       injection on top. All-zero fault rates compose with the identity. *)
+    let fault =
+      if crash = 0.0 && drop = 0.0 && dead = 0.0 then None
+      else
+        Some
+          (Fault.make ~seed:fseed ~crash_fraction:crash ~drop_rate:drop
+             ~dead_link_fraction:dead ~n:nn ())
+    in
+    let prs =
+      List.filter
+        (fun (u, v) ->
+          Churn.is_live st u && Churn.is_live st v
+          && match fault with
+             | None -> true
+             | Some f -> not (Fault.crashed f u || Fault.crashed f v))
+        (C.sample_pairs (Rng.create (seed + 2)) ~n:nn ~count:pairs)
+    in
+    let cw = Churn.wrapper st in
+    let wrapper_for query =
+      match fault with
+      | None -> cw
+      | Some f -> Scheme.compose (Fault.wrapper f ~query) cw
+    in
+    let before name c = (name, c, Counter.value c) in
+    let base =
+      [
+        before "stale hits" Probe.churn_stale_hits;
+        before "detours" Probe.churn_detours;
+      ]
+    in
+    let q =
+      C.collect_routes_keyed ?parallel
+        ~route:(fun ~query u v -> route_wrapped (wrapper_for query) u v)
+        ~dist prs
+    in
+    Printf.printf "%s under churn (%s)\n" name (Churn.Schedule.describe sched);
+    (match fault with
+    | Some f -> Printf.printf "  composed with %s\n" (Fault.describe f)
+    | None -> ());
+    Printf.printf "  %s\n  %s\n" (C.pp_quality q) (C.pp_observed q);
+    let delivered = q.C.queries - q.C.failures in
+    Printf.printf "  delivery rate %.3f (%d/%d live pairs), live nodes %d/%d\n"
+      (float_of_int delivered /. float_of_int (max 1 q.C.queries))
+      delivered q.C.queries (Churn.live_count st) nn;
+    let ev = summary.Churn.Driver.joins + summary.Churn.Driver.leaves in
+    Printf.printf "  repair: %d updates, %d refills, %d relabels over %d events (%.1f/ev), stale after %d\n"
+      summary.Churn.Driver.cost.Churn.updates summary.Churn.Driver.cost.Churn.refills
+      summary.Churn.Driver.cost.Churn.relabels ev
+      (float_of_int summary.Churn.Driver.cost.Churn.updates /. float_of_int (max 1 ev))
+      (stale_after ());
+    Printf.printf "  churn events:";
+    List.iter
+      (fun (nm, c, v0) -> Printf.printf " %s %d" nm (Counter.value c - v0))
+      base;
+    print_newline ()
+  in
+  begin
+    match scheme with
+    | "thm42" ->
+      let idx = Indexed.create (make_metric family n seed) in
+      let nn = Indexed.size idx in
+      let s = Ron_routing.Two_mode.build idx ~delta:(Float.min delta 0.125) in
+      let x = Ron_routing.Two_mode.export s in
+      let rows =
+        Array.init nn (fun u ->
+            let dirs = ref [] in
+            for i = Array.length x.Ron_routing.Two_mode.x_hub_g - 1 downto 0 do
+              let g = x.Ron_routing.Two_mode.x_hub_g.(i).(u) in
+              if g >= 0 then
+                dirs := x.Ron_routing.Two_mode.x_dir_members.(g) :: !dirs
+            done;
+            Array.concat (x.Ron_routing.Two_mode.x_hub_ptr.(u) :: !dirs))
+      in
+      let scales = Array.length x.Ron_routing.Two_mode.x_hub_g in
+      report ~parallel:false "Thm 4.2 two-mode"
+        ~make_repair:(fun st ->
+          let ov = Churn.Overlay.create st rows ~relabel_cost:(fun _ -> scales) in
+          ( (fun v -> Churn.Overlay.leave ov v),
+            (fun v -> Churn.Overlay.join ov v),
+            Some (fun () -> Churn.Overlay.backlog ov),
+            fun () -> Churn.Overlay.stale_entries ov ))
+        (fun w u v -> Ron_routing.Two_mode.route_wrapped w s ~src:u ~dst:v)
+        (fun u v -> Indexed.dist idx u v)
+        nn
+    | "thm21" | "thm41" ->
+      let g =
+        match family with
+        | "grid" ->
+          let side = max 2 (int_of_float (sqrt (float_of_int n))) in
+          Ron_graph.Graph_gen.grid side side
+        | "expline" -> Ron_graph.Graph_gen.exponential_line_graph (min n 40)
+        | _ -> Ron_graph.Graph_gen.random_geometric rng ~n ~radius:(2.0 /. sqrt (float_of_int n))
+      in
+      let sp = Ron_graph.Sp_metric.create g in
+      let nn = Ron_graph.Graph.size g in
+      let dist u v = Ron_graph.Sp_metric.dist sp u v in
+      if scheme = "thm21" then begin
+        let s = Ron_routing.Basic.build sp ~delta:(Float.min delta 0.25) in
+        report "Thm 2.1"
+          ~make_repair:(fun st ->
+            let rr =
+              Churn.Ring_repair.create st (Ron_routing.Basic.substrate s)
+                (Ron_routing.Basic.rings_collection s)
+            in
+            ( (fun v -> Churn.Ring_repair.leave rr v),
+              (fun v -> Churn.Ring_repair.join rr v),
+              None,
+              fun () -> Churn.Ring_repair.stale_members rr ))
+          (fun w u v -> Ron_routing.Basic.route_wrapped w s ~src:u ~dst:v)
+          dist nn
+      end
+      else begin
+        let s = Ron_routing.Labelled.build sp ~delta in
+        let rows = Array.init nn (fun u -> Ron_routing.Labelled.neighbors s u) in
+        report "Thm 4.1"
+          ~make_repair:(fun st ->
+            let ov =
+              Churn.Overlay.create st rows
+                ~relabel_cost:(fun v -> Array.length rows.(v))
+            in
+            ( (fun v -> Churn.Overlay.leave ov v),
+              (fun v -> Churn.Overlay.join ov v),
+              Some (fun () -> Churn.Overlay.backlog ov),
+              fun () -> Churn.Overlay.stale_entries ov ))
+          (fun w u v -> Ron_routing.Labelled.route_wrapped w s ~src:u ~dst:v)
+          dist nn
+      end
+    | other -> failwith (Printf.sprintf "unknown scheme %S (churn supports thm21, thm41, thm42)" other)
+  end;
+  0
+
+let churn_cmd =
+  let doc =
+    "Route under dynamic membership (seeded joins/leaves) with incremental ring repair; \
+     composable with the fault-injection flags."
+  in
+  Cmd.v (Cmd.info "churn" ~doc)
+    Term.(
+      const run_churn $ trace_arg $ metrics_arg $ profile_arg $ telemetry_arg $ telemetry_interval_arg $ jobs_arg $ metric_arg $ n_arg $ seed_arg
+      $ delta_arg $ pairs_arg $ scheme_arg $ join_rate_arg $ leave_rate_arg $ churn_seed_arg
+      $ slots_arg $ crash_arg $ drop_arg $ dead_links_arg $ fault_seed_arg)
+
 (* ------------------------------------------------------------ smallworld *)
 
 let model_arg =
@@ -522,15 +714,22 @@ let mix_arg =
           "Traffic mix as comma-separated route,dist,locate weights (normalized; each scheme \
            collapses unsupported kinds onto its native operation).")
 
+(* Validation errors are user errors: report on stderr and exit 2, never an
+   uncaught exception (exit 125). [Error] carries the message. *)
 let parse_mix s =
   match String.split_on_char ',' s with
-  | [ a; b; c ] ->
-    let r = float_of_string a and d = float_of_string b and l = float_of_string c in
-    if r < 0.0 || d < 0.0 || l < 0.0 || r +. d +. l <= 0.0 then
-      failwith "--mix weights must be non-negative with a positive sum";
-    let t = r +. d +. l in
-    (r /. t, d /. t)
-  | _ -> failwith "--mix expects three comma-separated weights, e.g. 0.6,0.3,0.1"
+  | [ a; b; c ] -> (
+    match (float_of_string_opt a, float_of_string_opt b, float_of_string_opt c) with
+    | Some r, Some d, Some l
+      when Float.is_finite r && Float.is_finite d && Float.is_finite l
+           && r >= 0.0 && d >= 0.0 && l >= 0.0 && r +. d +. l > 0.0 ->
+      let t = r +. d +. l in
+      Ok (r /. t, d /. t)
+    | _ ->
+      Error
+        (Printf.sprintf
+           "--mix %S: weights must be finite and non-negative with a positive sum" s))
+  | _ -> Error "--mix expects three comma-separated weights, e.g. 0.6,0.3,0.1"
 
 let run_serve trace metrics profile telemetry telemetry_interval jobs scheme n seed snapshot
     load queries batch zipf mix =
@@ -538,7 +737,20 @@ let run_serve trace metrics profile telemetry telemetry_interval jobs scheme n s
   with_obs trace metrics profile telemetry telemetry_interval @@ fun () ->
   let module Server = Ron_serve.Server in
   let module Loop = Ron_serve.Loop in
-  let (route_frac, dist_frac) = parse_mix mix in
+  match parse_mix mix with
+  | Error e ->
+    prerr_endline e;
+    2
+  | Ok (route_frac, dist_frac) ->
+  if not (Float.is_finite zipf && zipf > 0.0) then begin
+    Printf.eprintf "--zipf %g: the exponent must be finite and positive\n" zipf;
+    2
+  end
+  else if queries < 0 || batch < 0 then begin
+    Printf.eprintf "--queries and --batch must be non-negative\n";
+    2
+  end
+  else begin
   let t =
     match load with
     | Some file ->
@@ -554,19 +766,28 @@ let run_serve trace metrics profile telemetry telemetry_interval jobs scheme n s
   Printf.printf "serve scheme=%s nodes=%d snapshot=%d bytes (%.1f bytes/node)\n"
     (Server.scheme_name t) nodes (Server.byte_size t)
     (float_of_int (Server.byte_size t) /. float_of_int (max 1 nodes));
-  let work = Loop.prepare t ~seed ~queries ~zipf_s:zipf ~route_frac ~dist_frac in
-  let res = Loop.results_create queries in
-  let t0 = Unix.gettimeofday () in
-  Loop.run ~batch t work res;
-  let dt = Unix.gettimeofday () -. t0 in
-  let qps = float_of_int queries /. Float.max dt 1e-9 in
-  Printf.printf "queries=%d batch=%d elapsed=%.3fs qps=%.0f digest=%x\n" queries batch dt qps
-    (Loop.digest res);
-  let hist = Ron_obs.Histogram.Bucketed.make "serve.latency_ns" in
-  Loop.measure_latency ~limit:(min queries 20_000) t work res hist;
-  let q p = Ron_obs.Histogram.Bucketed.quantile hist p in
-  Printf.printf "latency p50=%.0fns p99=%.0fns p999=%.0fns\n" (q 0.5) (q 0.99) (q 0.999);
-  0
+  if queries = 0 || batch = 0 then begin
+    (* Nothing to serve: an empty-but-valid report, not a spin or a crash. *)
+    Printf.printf "queries=0 batch=%d elapsed=0.000s qps=0 digest=0\n" batch;
+    Printf.printf "latency p50=0ns p99=0ns p999=0ns\n";
+    0
+  end
+  else begin
+    let work = Loop.prepare t ~seed ~queries ~zipf_s:zipf ~route_frac ~dist_frac in
+    let res = Loop.results_create queries in
+    let t0 = Unix.gettimeofday () in
+    Loop.run ~batch t work res;
+    let dt = Unix.gettimeofday () -. t0 in
+    let qps = float_of_int queries /. Float.max dt 1e-9 in
+    Printf.printf "queries=%d batch=%d elapsed=%.3fs qps=%.0f digest=%x\n" queries batch dt qps
+      (Loop.digest res);
+    let hist = Ron_obs.Histogram.Bucketed.make "serve.latency_ns" in
+    Loop.measure_latency ~limit:(min queries 20_000) t work res hist;
+    let q p = Ron_obs.Histogram.Bucketed.quantile hist p in
+    Printf.printf "latency p50=%.0fns p99=%.0fns p999=%.0fns\n" (q 0.5) (q 0.99) (q 0.999);
+    0
+  end
+  end
 
 let serve_cmd =
   let doc =
@@ -582,7 +803,7 @@ let serve_cmd =
 let experiment_ids =
   [
     "t1"; "t2"; "t3"; "e21"; "e32"; "e34"; "e41"; "e52a"; "e52b"; "e54"; "e55"; "esub"; "fig1";
-    "mer"; "fault"; "scale";
+    "mer"; "fault"; "scale"; "churn";
   ]
 
 let run_experiment trace metrics profile telemetry telemetry_interval jobs id =
@@ -596,6 +817,7 @@ let run_experiment trace metrics profile telemetry telemetry_interval jobs id =
       ("e41", E.Exp_e41.run); ("e52a", E.Exp_e52.run_a); ("e52b", E.Exp_e52.run_b);
       ("e54", E.Exp_e54.run); ("e55", E.Exp_e55.run); ("esub", E.Exp_esub.run); ("mer", E.Exp_mer.run);
       ("fig1", E.Exp_fig1.run); ("fault", E.Exp_fault.run); ("scale", E.Exp_scale.run);
+      ("churn", E.Exp_churn.run);
     ]
   in
   match List.assoc_opt id table with
@@ -619,4 +841,4 @@ let () =
   exit
     (Cmd.eval'
        (Cmd.group ~default info
-          [ estimate_cmd; route_cmd; fault_cmd; smallworld_cmd; inspect_cmd; serve_cmd; experiment_cmd ]))
+          [ estimate_cmd; route_cmd; fault_cmd; churn_cmd; smallworld_cmd; inspect_cmd; serve_cmd; experiment_cmd ]))

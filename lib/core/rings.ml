@@ -17,6 +17,18 @@ type t = {
 
 let of_rings rings = { rings; neighbors_cache = Array.make (Array.length rings) None }
 
+(* Deep copy: member arrays are duplicated so in-place repair (the churn
+   layer) never aliases the pristine collection; the dedup cache restarts
+   cold. *)
+let copy t =
+  {
+    rings =
+      Array.map
+        (fun rs -> Array.map (fun r -> { r with members = Array.copy r.members }) rs)
+        t.rings;
+    neighbors_cache = Array.make (Array.length t.rings) None;
+  }
+
 let ring t u i =
   let r = t.rings.(u).(i) in
   if !Ron_obs.Probe.on then
@@ -110,6 +122,31 @@ let measure_rings idx mu rng ~scales ~samples ~radius_of =
                    fst (Indexed.nth_neighbor idx u k))
              in
              { scale = j; radius; members })))
+
+(* In-place membership surgery for incremental repair. Both operations
+   invalidate [u]'s dedup cache; neither reallocates the member array, so a
+   repaired collection keeps its footprint. *)
+
+let replace_member t u i ~at ~with_ =
+  let r = t.rings.(u).(i) in
+  if at < 0 || at >= Array.length r.members then
+    invalid_arg "Rings.replace_member: slot out of range";
+  r.members.(at) <- with_;
+  t.neighbors_cache.(u) <- None
+
+let find_member t u i v =
+  let r = t.rings.(u).(i) in
+  let out = ref (-1) in
+  (try
+     Array.iteri
+       (fun k w ->
+         if w = v then begin
+           out := k;
+           raise Exit
+         end)
+       r.members
+   with Exit -> ());
+  !out
 
 let check_containment idx t =
   let ok = ref true in

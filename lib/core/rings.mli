@@ -104,5 +104,18 @@ val measure_rings :
     [samples] draws from [B_u(radius_of j)] proportionally to a doubling
     measure (the Y-type neighbors of Theorem 5.2a). *)
 
+val copy : t -> t
+(** Deep copy: member arrays are duplicated (in-place repair of the copy
+    never corrupts the original) and the dedup cache restarts cold. *)
+
+val replace_member : t -> int -> int -> at:int -> with_:int -> unit
+(** [replace_member t u i ~at ~with_]: overwrite slot [at] of ring [i] of
+    node [u] and invalidate [u]'s neighbor-dedup cache. The incremental
+    repair primitive — O(1) plus the cache refill on next access. *)
+
+val find_member : t -> int -> int -> int -> int
+(** [find_member t u i v]: first slot of ring [i] of [u] holding [v], or
+    [-1]. *)
+
 val check_containment : Ron_metric.Indexed.t -> t -> bool
 (** Structural invariant: every ring member lies inside its ring's ball. *)

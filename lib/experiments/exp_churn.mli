@@ -1,0 +1,11 @@
+(** Churn experiment: sweep symmetric join/leave rates against each scheme
+    with incremental repair — ring refill by bounded-radius exploration
+    (Basic), neighbor/directory overlay repair (Labelled, Two-mode),
+    ranked Meridian ring replacement, and local-ball re-labeling at scale
+    (Landmark) — reporting delivery rate, stretch inflation, query-time
+    staleness, and repair cost per event. Rate 0 is byte-identical to
+    running with no churn layer. The sweep is a pure function of its fixed
+    seeds: output is byte-identical across [RON_JOBS] settings and reruns
+    (the Landmark subsection's size is [RON_CHURN_N], default 10000). *)
+
+val run : unit -> unit

@@ -121,6 +121,11 @@ let size t = t.n
 let local_radius t = t.local_radius
 let ball_size t u = t.ball_off.(u + 1) - t.ball_off.(u)
 
+(* Fresh copy of [u]'s ball membership (ascending node ids, [u] included):
+   the reference list the churn layer's table overlay repairs. *)
+let ball_members t u =
+  Array.sub t.ball_node t.ball_off.(u) (ball_size t u)
+
 (* Binary search [v] in [u]'s ball; the exact stored distance, or nan. *)
 let ball_find t u v =
   let lo = ref t.ball_off.(u) and hi = ref (t.ball_off.(u + 1) - 1) in

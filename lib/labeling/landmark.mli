@@ -32,6 +32,10 @@ val local_radius : t -> float
 val ball_size : t -> int -> int
 (** Nodes within [local_radius] of [u] (including [u] itself). *)
 
+val ball_members : t -> int -> int array
+(** Fresh copy of [u]'s local-ball node ids, ascending, [u] included —
+    the per-node "ring of neighbors" the churn layer repairs. *)
+
 val estimate : t -> int -> int -> float * float
 (** [(lo, hi)] distance bounds; [lo = hi] exactly when the pair resolves
     exactly (same node, in-ball, or a beacon endpoint). *)

@@ -82,10 +82,13 @@ let reset_all () = List.iter reset (all ())
    workloads where holding raw samples is the memory bug the telemetry is
    supposed to catch. A finite positive value v lands in bucket
    floor(log v / log gamma) with gamma = (1+e)/(1-e) for relative error e;
-   everything else (zeros, negatives, non-finite) counts in a dedicated
-   zero bucket with representative 0.0. Memory is O(occupied buckets) per
-   domain — for e = 1%, about 1150 buckets per decade-spanning workload,
-   independent of observation count.
+   zeros and negatives count in a dedicated zero bucket with
+   representative 0.0. Non-finite inputs (nan, +/-infinity — e.g. stretch
+   values computed against an unreachable node) are rejected: they bump a
+   separate [nonfinite] tally and never touch the buckets, the totals, or
+   min/max, so one bad sample cannot corrupt the summary. Memory is
+   O(occupied buckets) per domain — for e = 1%, about 1150 buckets per
+   decade-spanning workload, independent of observation count.
 
    Quantiles use the same rank rule as Ron_util.Stats.percentile
    (rank = ceil(q*n), element at rank-1) over the cumulative bucket
@@ -93,7 +96,9 @@ let reset_all () = List.iter reset (all ())
    clamped to the observed [min, max]. Bucket index is monotone in the
    value, so the rank-r element of the sorted raw sample lies in the
    bucket the estimator picks: the answer is within one bucket — a factor
-   of gamma — of the exact raw-sample quantile (tested by QCheck).
+   of gamma — of the exact raw-sample quantile (tested by QCheck). The
+   boundary q = 1.0 bypasses the bucket estimate entirely and returns the
+   exact recorded max, matching the raw-sample maximum bit-for-bit.
 
    Shard counts merge by per-bucket addition and min/max by order-free
    extrema, so summaries are bit-identical at every RON_JOBS. *)
@@ -101,6 +106,7 @@ module Bucketed = struct
   type shard = {
     tbl : (int, int ref) Hashtbl.t;
     mutable zero : int;
+    mutable nonfinite : int;
     mutable total : int;
     mutable mn : float;
     mutable mx : float;
@@ -143,8 +149,8 @@ module Bucketed = struct
           let key =
             Domain.DLS.new_key (fun () ->
                 let s =
-                  { tbl = Hashtbl.create 64; zero = 0; total = 0;
-                    mn = infinity; mx = neg_infinity }
+                  { tbl = Hashtbl.create 64; zero = 0; nonfinite = 0;
+                    total = 0; mn = infinity; mx = neg_infinity }
                 in
                 Mutex.protect mu (fun () -> shards := s :: !shards);
                 s)
@@ -161,26 +167,36 @@ module Bucketed = struct
 
   let observe t x =
     let s = Domain.DLS.get t.key in
-    if Float.is_finite x && x > 0.0 then begin
-      let idx = int_of_float (Float.floor (log x /. t.log_gamma)) in
-      (match Hashtbl.find_opt s.tbl idx with
-      | Some r -> incr r
-      | None -> Hashtbl.add s.tbl idx (ref 1));
-      if x < s.mn then s.mn <- x;
-      if x > s.mx then s.mx <- x
-    end
+    if not (Float.is_finite x) then
+      (* Rejected, tallied apart: nan/inf must not poison min/max or shift
+         quantile ranks. *)
+      s.nonfinite <- s.nonfinite + 1
     else begin
-      s.zero <- s.zero + 1;
-      if 0.0 < s.mn then s.mn <- 0.0;
-      if 0.0 > s.mx then s.mx <- 0.0
-    end;
-    s.total <- s.total + 1
+      if x > 0.0 then begin
+        let idx = int_of_float (Float.floor (log x /. t.log_gamma)) in
+        (match Hashtbl.find_opt s.tbl idx with
+        | Some r -> incr r
+        | None -> Hashtbl.add s.tbl idx (ref 1));
+        if x < s.mn then s.mn <- x;
+        if x > s.mx then s.mx <- x
+      end
+      else begin
+        s.zero <- s.zero + 1;
+        if 0.0 < s.mn then s.mn <- 0.0;
+        if 0.0 > s.mx then s.mx <- 0.0
+      end;
+      s.total <- s.total + 1
+    end
 
   let observe_int t i = observe t (float_of_int i)
 
   let count t =
     Mutex.protect t.mu (fun () ->
         List.fold_left (fun a s -> a + s.total) 0 !(t.shards))
+
+  let nonfinite_count t =
+    Mutex.protect t.mu (fun () ->
+        List.fold_left (fun a s -> a + s.nonfinite) 0 !(t.shards))
 
   (* Merge every shard: (zero count, sorted (bucket, count) array, total,
      min, max). Addition and extrema commute, so the merge is independent
@@ -222,6 +238,11 @@ module Bucketed = struct
         Stdlib.max 1 (Stdlib.min total r)
       in
       if rank <= zero then 0.0
+      else if rank = total then
+        (* q = 1.0 (or a rank landing on the last element): the maximum is
+           tracked exactly, so answer with it instead of the top bucket's
+           midpoint. *)
+        mx
       else begin
         let seen = ref zero and est = ref mx in
         (try
@@ -257,6 +278,7 @@ module Bucketed = struct
           (fun s ->
             Hashtbl.reset s.tbl;
             s.zero <- 0;
+            s.nonfinite <- 0;
             s.total <- 0;
             s.mn <- infinity;
             s.mx <- neg_infinity)

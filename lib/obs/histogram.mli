@@ -32,11 +32,13 @@ val reset_all : unit -> unit
     buckets) memory regardless of observation count, quantiles within one
     bucket — a factor of [gamma = (1+e)/(1-e)] — of the exact raw-sample
     quantile under the {!Ron_util.Stats.percentile} rank rule. Finite
-    positive values are log-bucketed; zeros, negatives and non-finite
-    values count in a dedicated zero bucket with representative [0.0].
-    Sharded per domain with commutative merges, so summaries are
-    bit-identical at every [RON_JOBS]. This registry is separate from the
-    raw-sample one above. *)
+    positive values are log-bucketed; zeros and negatives count in a
+    dedicated zero bucket with representative [0.0]; non-finite values
+    (nan, infinities) are rejected — tallied in {!Bucketed.nonfinite_count}
+    without touching buckets, counts, or min/max. Sharded per domain with
+    commutative merges, so summaries are bit-identical at every
+    [RON_JOBS]. This registry is separate from the raw-sample one
+    above. *)
 module Bucketed : sig
   type t
 
@@ -62,13 +64,20 @@ module Bucketed : sig
   val observe_int : t -> int -> unit
 
   val count : t -> int
-  (** Total observations across shards. *)
+  (** Total accepted (finite) observations across shards. Rejected
+      non-finite inputs are not included; see {!nonfinite_count}. *)
+
+  val nonfinite_count : t -> int
+  (** Rejected observations (nan, +/-infinity) across shards. These never
+      enter the buckets or min/max, so a stray non-finite sample cannot
+      corrupt quantiles. *)
 
   val bucket_count : t -> int
   (** Occupied (merged) log buckets — the memory footprint proxy. *)
 
   val quantile : t -> float -> float
-  (** [quantile t q] for [q] in [0, 1]; [nan] when empty. *)
+  (** [quantile t q] for [q] in [0, 1]; [nan] when empty. [q = 1.0]
+      returns the exact recorded maximum, not a bucket representative. *)
 
   val summary : t -> summary
   (** count/min/max/p50/p95/p99; min/max are exact, quantiles within one

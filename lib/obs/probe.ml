@@ -60,6 +60,19 @@ let fault_dead_links = Counter.make "fault.dead_link_hits"
 let fault_retries = Counter.make "fault.retries"
 let fault_detours = Counter.make "fault.detours"
 
+(* Churn counters: membership events applied, table entries touched by
+   incremental repair, stale entries hit at route time, and — the
+   incrementality invariant — from-scratch reconstructions, which the
+   repair paths never perform (tests pin this counter at 0). *)
+let churn_joins = Counter.make "churn.joins"
+let churn_leaves = Counter.make "churn.leaves"
+let churn_repair_updates = Counter.make "churn.repair_updates"
+let churn_refills = Counter.make "churn.refills"
+let churn_relabels = Counter.make "churn.relabels"
+let churn_stale_hits = Counter.make "churn.stale_hits"
+let churn_detours = Counter.make "churn.detours"
+let churn_rebuilds = Counter.make "churn.rebuilds"
+
 (* -- gauges ------------------------------------------------------------- *)
 
 (* Current-level readings for telemetry. The oracle occupancy and the
@@ -77,6 +90,12 @@ let pool_batch_items = Gauge.make "pool.batch_items"
    batch size the loop is dispatching. *)
 let serve_inflight = Gauge.make "serve.inflight"
 let serve_batch_size = Gauge.make "serve.batch_size"
+
+(* Churn gauges, set from the (sequential) event-application loop only:
+   how many nodes are currently live, and how many invalidated labels are
+   waiting for their local re-label. *)
+let churn_live_nodes = Gauge.make "churn.live_nodes"
+let churn_repair_backlog = Gauge.make "churn.repair_backlog"
 
 (* -- histograms --------------------------------------------------------- *)
 
@@ -181,3 +200,17 @@ let fault_crashed_hit () = Counter.incr fault_crashed_hits
 let fault_dead_link () = Counter.incr fault_dead_links
 let fault_retry () = Counter.incr fault_retries
 let fault_detour () = Counter.incr fault_detours
+
+(* Churn events: counters only (event application is not a per-query cost);
+   the route-time stale/detour events ride on queries like fault events. *)
+let churn_join () = Counter.incr churn_joins
+let churn_leave () = Counter.incr churn_leaves
+let churn_repair ~updates = Counter.add churn_repair_updates updates
+let churn_refill () = Counter.incr churn_refills
+let churn_relabel () = Counter.incr churn_relabels
+let churn_stale_hit () = Counter.incr churn_stale_hits
+let churn_detour () = Counter.incr churn_detours
+let churn_rebuild () = Counter.incr churn_rebuilds
+let churn_levels ~live ~backlog =
+  Gauge.set_int churn_live_nodes live;
+  Gauge.set_int churn_repair_backlog backlog

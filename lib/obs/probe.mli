@@ -63,6 +63,24 @@ val fault_dead_links : Counter.t
 val fault_retries : Counter.t
 val fault_detours : Counter.t
 
+(** Churn counters (membership events, incremental-repair work, route-time
+    staleness). [churn_rebuilds] counts from-scratch reconstructions — the
+    incremental repair paths never bump it, and tests pin it at 0. *)
+
+val churn_joins : Counter.t
+val churn_leaves : Counter.t
+val churn_repair_updates : Counter.t
+val churn_refills : Counter.t
+val churn_relabels : Counter.t
+val churn_stale_hits : Counter.t
+val churn_detours : Counter.t
+val churn_rebuilds : Counter.t
+
+(** Churn gauges, set from the sequential event-application loop only. *)
+
+val churn_live_nodes : Gauge.t
+val churn_repair_backlog : Gauge.t
+
 val route_hops_hist : Histogram.t
 val route_header_bits_hist : Histogram.t
 val meridian_probes_hist : Histogram.t
@@ -128,3 +146,29 @@ val fault_crashed_hit : unit -> unit
 val fault_dead_link : unit -> unit
 val fault_retry : unit -> unit
 val fault_detour : unit -> unit
+
+(** Churn helpers (call only under [if !on]; counters/gauges only). *)
+
+val churn_join : unit -> unit
+val churn_leave : unit -> unit
+
+val churn_repair : updates:int -> unit
+(** [updates] table entries touched while repairing one event. *)
+
+val churn_refill : unit -> unit
+(** One ring/table slot re-filled by bounded exploration. *)
+
+val churn_relabel : unit -> unit
+(** One invalidated label locally recomputed. *)
+
+val churn_stale_hit : unit -> unit
+(** A route consulted a table entry naming a departed node. *)
+
+val churn_detour : unit -> unit
+(** A route recovered from a stale entry through a ranked alternate. *)
+
+val churn_rebuild : unit -> unit
+(** A from-scratch reconstruction — never called by incremental repair. *)
+
+val churn_levels : live:int -> backlog:int -> unit
+(** Set the live-node and repair-backlog gauges (sequential caller only). *)

@@ -23,6 +23,12 @@ let zooming t u = Array.copy t.st.Structure.zoomings.(u)
 
 let max_ring_size t = Rings.max_ring_size t.st.Structure.rings
 
+(* Structural accessors for the churn layer: the live ring collection and
+   the metric substrate it was built over, so incremental ring repair can
+   explore each ring's own ball. Borrowed — callers must repair a copy. *)
+let rings_collection t = t.st.Structure.rings
+let substrate t = t.st.Structure.idx
+
 let build sp ~delta =
   Ron_obs.Profile.phase "construct.basic" @@ fun () ->
   let idx = Indexed.create (Sp_metric.metric sp) in

@@ -73,6 +73,14 @@ val ring : t -> int -> int -> int array
 val zooming : t -> int -> int array
 (** [zooming t u]: the sequence [f_uj] (for tests). *)
 
+val rings_collection : t -> Ron_core.Rings.t
+(** The scheme's live ring collection, borrowed read-only — the churn
+    layer deep-copies it ({!Ron_core.Rings.copy}) and repairs the copy. *)
+
+val substrate : t -> Ron_metric.Indexed.t
+(** The indexed metric the rings were built over (for bounded-radius
+    repair exploration). Borrowed. *)
+
 (** {2 Export}
 
     Flat, string-free state extraction for the off-heap snapshot layer

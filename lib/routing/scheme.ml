@@ -111,6 +111,21 @@ type wrapper = {
 
 let identity_wrapper = { wrap = (fun step ~alternates:_ -> step); detect_cycles = true }
 
+(* [compose outer inner]: the packet passes through [inner] first, then the
+   combined step through [outer] — e.g. churn blocking inside, fault drops
+   outside. Both layers see the same ranked alternates (they are links the
+   node's table holds regardless of which wrapper consults them). Cycle
+   detection survives only if both layers keep their steps state-determined. *)
+let compose outer inner =
+  if outer == identity_wrapper then inner
+  else if inner == identity_wrapper then outer
+  else
+    {
+      wrap =
+        (fun step ~alternates -> outer.wrap (inner.wrap step ~alternates) ~alternates);
+      detect_cycles = outer.detect_cycles && inner.detect_cycles;
+    }
+
 type table_stats = {
   max_table_bits : int;
   mean_table_bits : float;

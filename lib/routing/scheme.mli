@@ -87,6 +87,13 @@ val identity_wrapper : wrapper
 (** Returns the step unchanged (physically equal — the wrapped route is
     byte-identical to the unwrapped one) and keeps cycle detection on. *)
 
+val compose : wrapper -> wrapper -> wrapper
+(** [compose outer inner]: wrap with [inner] first, then [outer] (so the
+    outer layer sees the inner layer's decisions). Both receive the same
+    ranked alternates; [detect_cycles] is the conjunction. Composing with
+    {!identity_wrapper} on either side returns the other wrapper
+    physically unchanged. *)
+
 type table_stats = {
   max_table_bits : int;
   mean_table_bits : float;

@@ -46,21 +46,28 @@ let out_degree t =
 (* Insert [v] into [u]'s ring for their distance, reservoir-style: rings
    keep at most [ring_size] entries; beyond that an existing entry is
    replaced with probability ring_size/occupancy (approximated by random
-   eviction), keeping the ring a uniform-ish sample of the annulus. *)
+   eviction), keeping the ring a uniform-ish sample of the annulus.
+   Returns whether the ring changed, so churn repair can count entry
+   updates. *)
 let insert_scaled t rng u v i =
   let current = t.rings.(u).(i) in
-  if not (List.mem v current) then begin
-    if List.length current < t.ring_size then t.rings.(u).(i) <- v :: current
-    else begin
-      let slot = Rng.int rng (t.ring_size + 1) in
-      if slot < t.ring_size then
-        t.rings.(u).(i) <- v :: List.filteri (fun k _ -> k <> slot) current
+  if List.mem v current then false
+  else if List.length current < t.ring_size then begin
+    t.rings.(u).(i) <- v :: current;
+    true
+  end
+  else begin
+    let slot = Rng.int rng (t.ring_size + 1) in
+    if slot < t.ring_size then begin
+      t.rings.(u).(i) <- v :: List.filteri (fun k _ -> k <> slot) current;
+      true
     end
+    else false
   end
 
 let insert_into_ring t rng u v =
   if u <> v && t.member.(u) && t.member.(v) then
-    insert_scaled t rng u v (scale_of t (Indexed.dist t.idx u v))
+    ignore (insert_scaled t rng u v (scale_of t (Indexed.dist t.idx u v)))
 
 let rebuild_rings_of t rng u =
   Array.iteri (fun i _ -> t.rings.(u).(i) <- []) t.rings.(u);
@@ -113,7 +120,8 @@ let build idx rng ~ring_size ~members =
       (fun a u ->
         let row = rows.(a) in
         Array.iteri
-          (fun b v -> if u <> v then insert_scaled t rng u v (Char.code (Bytes.unsafe_get row b)))
+          (fun b v ->
+            if u <> v then ignore (insert_scaled t rng u v (Char.code (Bytes.unsafe_get row b))))
           order)
       order
   end
@@ -240,6 +248,85 @@ let leave t u =
       if m then
         Array.iteri (fun i l -> t.rings.(v).(i) <- List.filter (( <> ) u) l) t.rings.(v))
     t.member
+
+(* --------------------------------------------------------------- churn *)
+
+(* Deep copy (rings and membership), so a churn run repairs its own overlay
+   while the pristine instance keeps serving other sweeps. The Indexed
+   substrate is shared — it is immutable. *)
+let copy t =
+  {
+    t with
+    member = Array.copy t.member;
+    rings = Array.map Array.copy t.rings;
+  }
+
+(* Annulus bounds of scale [i], matching [scale_of]: (2^(i-1), 2^i], with
+   scale 0 = (0, 1] and the clamped top scale open-ended. *)
+let annulus_bounds t i =
+  let lo = if i = 0 then 0.0 else Float.of_int (1 lsl (i - 1)) in
+  let hi = if i >= t.scales - 1 then infinity else Float.of_int (1 lsl i) in
+  (lo, hi)
+
+(* Counted join: the joining node fills its own rings from the live
+   membership and gossips itself into theirs — bounded per-event work, no
+   global reconstruction. Returns table entries written. *)
+let join_counted t rng u =
+  join t rng u;
+  let inserted = ref 0 in
+  Array.iter (fun l -> inserted := !inserted + List.length l) t.rings.(u);
+  Array.iteri
+    (fun v m ->
+      if m && v <> u then
+        Array.iter (fun l -> if List.mem u l then incr inserted) t.rings.(v))
+    t.member;
+  !inserted
+
+(* Counted leave with ranked refill: after purging [u], every ring that
+   lost it is topped back up with the nearest live member of the same
+   annulus not already present — Meridian's ranked-replacement repair.
+   Returns (entries touched, slots refilled). *)
+let leave_counted t u =
+  if not t.member.(u) then invalid_arg "Meridian.leave_counted: not a member";
+  if t.member_count <= 1 then invalid_arg "Meridian.leave_counted: cannot empty the overlay";
+  t.member.(u) <- false;
+  t.member_count <- t.member_count - 1;
+  let updates = ref 0 and refills = ref 0 in
+  Array.iteri
+    (fun i l ->
+      updates := !updates + List.length l;
+      t.rings.(u).(i) <- [])
+    t.rings.(u);
+  Array.iteri
+    (fun v m ->
+      if m then
+        Array.iteri
+          (fun i l ->
+            if List.mem u l then begin
+              let purged = List.filter (( <> ) u) l in
+              incr updates;
+              let lo, hi = annulus_bounds t i in
+              let cands = Indexed.annulus t.idx v lo hi in
+              let pick = ref (-1) in
+              (try
+                 Array.iter
+                   (fun w ->
+                     if w <> v && t.member.(w) && not (List.mem w purged) then begin
+                       pick := w;
+                       raise Exit
+                     end)
+                   cands
+               with Exit -> ());
+              if !pick >= 0 then begin
+                t.rings.(v).(i) <- !pick :: purged;
+                incr updates;
+                incr refills
+              end
+              else t.rings.(v).(i) <- purged
+            end)
+          t.rings.(v))
+    t.member;
+  (!updates, !refills)
 
 type range_result = { matches : int array; range_hops : int; range_measurements : int }
 

@@ -85,6 +85,23 @@ val leave : t -> int -> unit
 (** Remove a member and purge it from every ring. Raises
     [Invalid_argument] if it is not a member or is the last member. *)
 
+val copy : t -> t
+(** Deep copy of the overlay (membership and rings); the immutable metric
+    substrate is shared. Churn runs repair the copy, leaving the pristine
+    instance intact. *)
+
+val join_counted : t -> Ron_util.Rng.t -> int -> int
+(** {!join} that also returns the number of ring entries written (the
+    joining node's own rings plus its gossip insertions) — the churn
+    layer's repair-cost accounting. *)
+
+val leave_counted : t -> int -> int * int
+(** {!leave} followed by ranked refill: every ring that lost the departed
+    member is topped back up with the nearest live member of the same
+    annulus not already present. Returns (entries touched, slots
+    refilled). Incremental — per-event work is bounded by the departed
+    node's ring presence; no ring is rebuilt from scratch. *)
+
 (** {2 Export}
 
     Flat state extraction for the off-heap snapshot layer ([ron_serve]).

@@ -21,3 +21,33 @@ let classify key =
     Throughput
   else if has_suffix key "_s" || contains key "_ns" then Timing
   else Deterministic
+
+(* ------------------------------------------------------------- verdicts *)
+
+type outcome = Same | Better | Worse | Changed
+
+(* A baseline this small has no meaningful relative scale: a nonzero
+   candidate against it must be judged by direction, not by ratio. *)
+let zeroish x = Float.abs x < 1e-300
+
+let verdict dir ~threshold ~det_threshold ~base ~next =
+  if base = next then (Same, Some 0.0)
+  else if not (Float.is_finite base && Float.is_finite next) then
+    (* nan anywhere (or inf vs a finite number) can never silently pass:
+       every float comparison with nan is false, so threshold checks on a
+       nan ratio would report "ok". Flag it explicitly instead. *)
+    (Changed, None)
+  else if zeroish base then
+    (match dir with
+    | Timing -> ((if next > 0.0 then Worse else Better), None)
+    | Throughput -> ((if next > 0.0 then Better else Worse), None)
+    | Deterministic -> (Changed, None))
+  else
+    let d = (next -. base) /. Float.abs base in
+    match dir with
+    | Timing ->
+      ((if d > threshold then Worse else if d < -.threshold then Better else Same), Some d)
+    | Throughput ->
+      ((if d < -.threshold then Worse else if d > threshold then Better else Same), Some d)
+    | Deterministic ->
+      ((if Float.abs d > det_threshold then Changed else Same), Some d)

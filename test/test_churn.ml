@@ -1,0 +1,428 @@
+(* Tests for ron_churn: the seeded join/leave schedule, the staleness
+   wrapper, and the incremental repair structures. The three pinned
+   guarantees: same seed => same schedule and jobs-invariant routing,
+   rate 0 => byte-identical to running with no churn layer at all, and
+   repair is incremental — hand-computed per-event costs, a zero
+   stale-reference invariant after every event, and churn.rebuilds = 0. *)
+
+module Rng = Ron_util.Rng
+module Pool = Ron_util.Pool
+module Indexed = Ron_metric.Indexed
+module Generators = Ron_metric.Generators
+module Graph_gen = Ron_graph.Graph_gen
+module Sp_metric = Ron_graph.Sp_metric
+module Scheme = Ron_routing.Scheme
+module Basic = Ron_routing.Basic
+module Labelled = Ron_routing.Labelled
+module Two_mode = Ron_routing.Two_mode
+module Meridian = Ron_smallworld.Meridian
+module Landmark = Ron_labeling.Landmark
+module Churn = Ron_churn.Churn
+module Counter = Ron_obs.Counter
+module Probe = Ron_obs.Probe
+
+let check_bool msg b = Alcotest.(check bool) msg true b
+let check_int = Alcotest.(check int)
+
+let sp_fixture = lazy (Sp_metric.create (Graph_gen.grid 8 8))
+
+let sample_pairs rng ~n ~count =
+  List.init count (fun _ ->
+      let u = Rng.int rng n in
+      let v = Rng.int rng n in
+      (u, v))
+  |> List.filter (fun (u, v) -> u <> v)
+
+let with_probes f =
+  let was_on = !Probe.on in
+  Probe.on := true;
+  Fun.protect ~finally:(fun () -> Probe.on := was_on) f
+
+(* -------------------------------------------------------------- schedule *)
+
+let test_schedule_deterministic () =
+  let mk () =
+    Churn.Schedule.make ~seed:9191 ~initial_down_fraction:0.1 ~n:200 ~slots:150
+      ~join_rate:0.1 ~leave_rate:0.1 ()
+  in
+  let a = mk () and b = mk () in
+  check_bool "events equal" (Churn.Schedule.events a = Churn.Schedule.events b);
+  check_bool "initial_down equal"
+    (Churn.Schedule.initial_down a = Churn.Schedule.initial_down b);
+  check_bool "describe equal"
+    (Churn.Schedule.describe a = Churn.Schedule.describe b);
+  check_bool "nonzero rates produce events"
+    (Array.length (Churn.Schedule.events a) > 0)
+
+let test_schedule_validation () =
+  let bad f = try ignore (f ()); false with Invalid_argument _ -> true in
+  let mk ?(idf = 0.0) ~j ~l () =
+    Churn.Schedule.make ~initial_down_fraction:idf ~n:10 ~slots:5 ~join_rate:j
+      ~leave_rate:l ()
+  in
+  check_bool "negative join_rate rejected" (bad (fun () -> mk ~j:(-0.1) ~l:0.0 ()));
+  check_bool "negative leave_rate rejected" (bad (fun () -> mk ~j:0.0 ~l:(-0.1) ()));
+  check_bool "rates summing past 1 rejected" (bad (fun () -> mk ~j:0.6 ~l:0.6 ()));
+  check_bool "nan rate rejected" (bad (fun () -> mk ~j:nan ~l:0.0 ()));
+  check_bool "initial_down_fraction 1.0 rejected"
+    (bad (fun () -> mk ~idf:1.0 ~j:0.0 ~l:0.0 ()));
+  check_bool "negative n rejected"
+    (bad (fun () ->
+         Churn.Schedule.make ~n:(-1) ~slots:5 ~join_rate:0.0 ~leave_rate:0.0 ()))
+
+let test_schedule_rejoin_model () =
+  (* Replaying the events against the initial down set must be consistent:
+     leaves only take live nodes, joins only re-admit departed ones, and
+     the live floor of half the eligible population holds throughout. *)
+  let n = 120 in
+  let eligible v = v mod 2 = 0 in
+  let s =
+    Churn.Schedule.make ~seed:7 ~initial_down_fraction:0.2 ~eligible ~n
+      ~slots:400 ~join_rate:0.25 ~leave_rate:0.25 ()
+  in
+  let m = Churn.Schedule.eligible_count s in
+  check_int "eligible population is the even nodes" (n / 2) m;
+  Array.iter
+    (fun v -> check_bool "initially-down node is eligible" (eligible v))
+    (Churn.Schedule.initial_down s);
+  let floor_live = m - (m / 2) in
+  let down = Array.make n false in
+  Array.iter (fun v -> down.(v) <- true) (Churn.Schedule.initial_down s);
+  let live = ref (m - Array.length (Churn.Schedule.initial_down s)) in
+  let prev_slot = ref (-1) in
+  Array.iter
+    (fun (e : Churn.Schedule.event) ->
+      check_bool "events in strictly increasing slot order"
+        (e.Churn.Schedule.slot > !prev_slot);
+      prev_slot := e.Churn.Schedule.slot;
+      let v = e.Churn.Schedule.node in
+      check_bool "event node is eligible" (eligible v);
+      (match e.Churn.Schedule.kind with
+      | Churn.Schedule.Leave ->
+        check_bool "leave takes a live node" (not down.(v));
+        down.(v) <- true;
+        decr live
+      | Churn.Schedule.Join ->
+        check_bool "join re-admits a departed node" down.(v);
+        down.(v) <- false;
+        incr live);
+      check_bool "live floor holds" (!live >= floor_live))
+    (Churn.Schedule.events s)
+
+let test_schedule_null_and_state () =
+  let s = Churn.Schedule.make ~seed:3 ~n:50 ~slots:100 ~join_rate:0.0 ~leave_rate:0.0 () in
+  check_bool "rate 0 is null" (Churn.Schedule.is_null s);
+  let st = Churn.state_of_schedule s in
+  check_int "all live" 50 (Churn.live_count st);
+  check_int "none down" 0 (Churn.down_count st);
+  Churn.mark_leave st 7;
+  check_int "leave decrements" 49 (Churn.live_count st);
+  check_bool "double leave rejected"
+    (try Churn.mark_leave st 7; false with Invalid_argument _ -> true);
+  Churn.mark_join st 7;
+  check_bool "double join rejected"
+    (try Churn.mark_join st 7; false with Invalid_argument _ -> true)
+
+(* -------------------------------------------- rate 0 => byte-identical *)
+
+let test_rate_zero_wrapper_is_identity () =
+  let st = Churn.fresh_state 30 in
+  check_bool "all-live wrapper is THE identity wrapper"
+    (Churn.wrapper st == Scheme.identity_wrapper)
+
+let test_rate_zero_identical_graph_schemes () =
+  let sp = Lazy.force sp_fixture in
+  let n = Ron_graph.Graph.size (Sp_metric.graph sp) in
+  let s = Churn.Schedule.make ~seed:9191 ~n ~slots:120 ~join_rate:0.0 ~leave_rate:0.0 () in
+  let st = Churn.state_of_schedule s in
+  let w = Churn.wrapper st in
+  let b = Basic.build sp ~delta:0.25 in
+  let l = Labelled.build sp ~delta:0.25 in
+  List.iter
+    (fun (u, v) ->
+      check_bool "basic identical"
+        (Basic.route b ~src:u ~dst:v = Basic.route_wrapped w b ~src:u ~dst:v);
+      check_bool "labelled identical"
+        (Labelled.route l ~src:u ~dst:v = Labelled.route_wrapped w l ~src:u ~dst:v))
+    (sample_pairs (Rng.create 21) ~n ~count:200)
+
+let test_rate_zero_identical_two_mode () =
+  let idx = Indexed.create (Generators.grid2d 6 6) in
+  let tm = Two_mode.build idx ~delta:0.125 in
+  let n = Indexed.size idx in
+  let w = Churn.wrapper (Churn.fresh_state n) in
+  List.iter
+    (fun (u, v) ->
+      check_bool "two-mode identical"
+        (Two_mode.route tm ~src:u ~dst:v = Two_mode.route_wrapped w tm ~src:u ~dst:v))
+    (sample_pairs (Rng.create 22) ~n ~count:100)
+
+let test_rate_zero_identical_meridian () =
+  (* A null schedule drives zero events through the repair hooks: the
+     repaired copy answers every query exactly like the original. *)
+  let idx = Indexed.create (Generators.random_cloud (Rng.create 4) ~n:120 ~dim:2) in
+  let members = Array.init 100 Fun.id in
+  let m0 = Meridian.build idx (Rng.create 5) ~ring_size:6 ~members in
+  let s = Churn.Schedule.make ~seed:1 ~n:120 ~slots:120 ~join_rate:0.0 ~leave_rate:0.0 () in
+  let st = Churn.state_of_schedule s in
+  let mc = Meridian.copy m0 in
+  let summary =
+    Churn.Driver.apply s st
+      ~on_leave:(fun v ->
+        let updates, refills = Meridian.leave_counted mc v in
+        { Churn.updates; refills; relabels = 0 })
+      ~on_join:(fun _ -> Churn.zero_cost)
+      ()
+  in
+  check_int "no events" 0 (summary.Churn.Driver.joins + summary.Churn.Driver.leaves);
+  for target = 100 to 119 do
+    let start = target mod 100 in
+    check_bool "meridian identical"
+      (Meridian.closest m0 ~start ~target = Meridian.closest mc ~start ~target)
+  done
+
+let test_rate_zero_identical_landmark_overlay () =
+  let sp = Sp_metric.create (Graph_gen.torus 8 8) in
+  let n = Ron_graph.Graph.size (Sp_metric.graph sp) in
+  let lm = Landmark.build sp (Rng.create 97) ~k:4 ~local_radius:2.0 in
+  let balls = Array.init n (fun u -> Landmark.ball_members lm u) in
+  let st = Churn.fresh_state n in
+  let ov = Churn.Overlay.create st balls ~relabel_cost:(fun _ -> 1) in
+  check_int "no stale entries" 0 (Churn.Overlay.stale_entries ov);
+  check_int "no backlog" 0 (Churn.Overlay.backlog ov);
+  for u = 0 to n - 1 do
+    check_bool "rows untouched" (Churn.Overlay.row ov u = balls.(u));
+    check_bool "labels valid" (Churn.Overlay.valid_label ov u)
+  done
+
+(* ------------------------------------------------- hand-computed repair *)
+
+(* A 4-node overlay small enough to trace by hand. Rows:
+     0: [1; 2]   1: [2; 3]   2: [3; 0]   3: [0; 1]
+   The default substitute draws from the referrer's own pristine row, so
+   with these tight rows every leave tombstones (no spare live member),
+   which makes the per-event costs exactly predictable. *)
+let test_overlay_hand_trace () =
+  let rows = [| [| 1; 2 |]; [| 2; 3 |]; [| 3; 0 |]; [| 0; 1 |] |] in
+  let st = Churn.fresh_state 4 in
+  let ov = Churn.Overlay.create st rows ~relabel_cost:(fun v -> 10 + v) in
+
+  Churn.mark_leave st 2;
+  let c = Churn.Overlay.leave ov 2 in
+  (* Referrers of 2 are rows 0 and 1; neither pristine row offers a spare
+     live member, so both slots tombstone: 2 updates, 0 refills. *)
+  check_int "leave 2: updates" 2 c.Churn.updates;
+  check_int "leave 2: refills" 0 c.Churn.refills;
+  check_bool "leave 2: row 0" (Churn.Overlay.row ov 0 = [| 1; -1 |]);
+  check_bool "leave 2: row 1" (Churn.Overlay.row ov 1 = [| -1; 3 |]);
+  check_bool "leave 2: label invalidated" (not (Churn.Overlay.valid_label ov 2));
+  check_int "leave 2: backlog" 1 (Churn.Overlay.backlog ov);
+  check_int "leave 2: stale invariant" 0 (Churn.Overlay.stale_entries ov);
+
+  Churn.mark_leave st 3;
+  let c = Churn.Overlay.leave ov 3 in
+  (* Live referrer is row 1 only — row 2's owner is down, and its stale
+     slot is deliberately left for the owner's own rejoin. *)
+  check_int "leave 3: updates" 1 c.Churn.updates;
+  check_bool "leave 3: row 1" (Churn.Overlay.row ov 1 = [| -1; -1 |]);
+  check_bool "leave 3: dormant row 2 untouched" (Churn.Overlay.row ov 2 = [| 3; 0 |]);
+  check_int "leave 3: backlog" 2 (Churn.Overlay.backlog ov);
+  check_int "leave 3: stale invariant" 0 (Churn.Overlay.stale_entries ov);
+
+  Churn.mark_join st 2;
+  let c = Churn.Overlay.join ov 2 in
+  (* Rejoin: own row drops the still-down 3 (1 update), re-adoption at the
+     two pristine positions (2 updates), full re-label. *)
+  check_int "join 2: updates" 3 c.Churn.updates;
+  check_int "join 2: relabels" 12 c.Churn.relabels;
+  check_bool "join 2: own row" (Churn.Overlay.row ov 2 = [| -1; 0 |]);
+  check_bool "join 2: re-adopted in row 0" (Churn.Overlay.row ov 0 = [| 1; 2 |]);
+  check_bool "join 2: re-adopted in row 1" (Churn.Overlay.row ov 1 = [| 2; -1 |]);
+  check_bool "join 2: label valid again" (Churn.Overlay.valid_label ov 2);
+  check_int "join 2: stale invariant" 0 (Churn.Overlay.stale_entries ov);
+
+  Churn.mark_join st 3;
+  let c = Churn.Overlay.join ov 3 in
+  check_int "join 3: updates" 2 c.Churn.updates;
+  check_int "join 3: relabels" 13 c.Churn.relabels;
+  check_int "join 3: backlog drained" 0 (Churn.Overlay.backlog ov);
+  for u = 0 to 3 do
+    check_bool "everyone back: rows are pristine again"
+      (Churn.Overlay.row ov u = rows.(u))
+  done
+
+let test_overlay_custom_substitute_refill_and_eviction () =
+  (* With a ranked substitute the lost slot refills (counted), and the
+     rejoin evicts the stand-in from its pristine position. *)
+  let rows = [| [| 1; 2 |]; [| 0; 2 |]; [| 0; 1 |]; [| 0; 1 |] |] in
+  let st = Churn.fresh_state 4 in
+  let substitute ~u ~slot:_ ~exclude =
+    let best = ref (-1) in
+    for w = 3 downto 0 do
+      if w <> u && Churn.is_live st w && not (exclude w) then best := w
+    done;
+    !best
+  in
+  let ov = Churn.Overlay.create ~substitute st rows ~relabel_cost:(fun _ -> 1) in
+  Churn.mark_leave st 2;
+  let c = Churn.Overlay.leave ov 2 in
+  (* Rows 0 and 1 each lose member 2 and refill with 3 — the only live
+     node outside the row. *)
+  check_int "refill counted per repaired slot" 2 c.Churn.refills;
+  check_int "one update per repaired slot" 2 c.Churn.updates;
+  check_bool "row 0 refilled" (Churn.Overlay.row ov 0 = [| 1; 3 |]);
+  check_bool "row 1 refilled" (Churn.Overlay.row ov 1 = [| 0; 3 |]);
+  check_int "stale invariant" 0 (Churn.Overlay.stale_entries ov);
+  Churn.mark_join st 2;
+  ignore (Churn.Overlay.join ov 2);
+  check_bool "rejoin evicts the stand-in (row 0)" (Churn.Overlay.row ov 0 = [| 1; 2 |]);
+  check_bool "rejoin evicts the stand-in (row 1)" (Churn.Overlay.row ov 1 = [| 0; 2 |]);
+  check_int "stale invariant after rejoin" 0 (Churn.Overlay.stale_entries ov)
+
+let test_ring_repair_invariant_and_restore () =
+  (* Drive a real schedule over Basic's rings: zero stale members after
+     every event, and rejoining everybody restores the pristine rings. *)
+  let sp = Lazy.force sp_fixture in
+  let n = Ron_graph.Graph.size (Sp_metric.graph sp) in
+  let b = Basic.build sp ~delta:0.25 in
+  let s =
+    Churn.Schedule.make ~seed:9191 ~n ~slots:120 ~join_rate:0.1 ~leave_rate:0.1 ()
+  in
+  let st = Churn.state_of_schedule s in
+  let rr = Churn.Ring_repair.create st (Basic.substrate b) (Basic.rings_collection b) in
+  check_bool "schedule has events" (Array.length (Churn.Schedule.events s) > 0);
+  Array.iter
+    (fun (e : Churn.Schedule.event) ->
+      (match e.Churn.Schedule.kind with
+      | Churn.Schedule.Leave ->
+        Churn.mark_leave st e.Churn.Schedule.node;
+        let c = Churn.Ring_repair.leave rr e.Churn.Schedule.node in
+        check_bool "leave does work" (c.Churn.updates >= 0)
+      | Churn.Schedule.Join ->
+        Churn.mark_join st e.Churn.Schedule.node;
+        ignore (Churn.Ring_repair.join rr e.Churn.Schedule.node));
+      check_int "no live ring references a departed node" 0
+        (Churn.Ring_repair.stale_members rr))
+    (Churn.Schedule.events s);
+  (* Bring every departed node back; the working copy must converge to the
+     pristine collection exactly. *)
+  for v = 0 to n - 1 do
+    if not (Churn.is_live st v) then begin
+      Churn.mark_join st v;
+      ignore (Churn.Ring_repair.join rr v)
+    end
+  done;
+  let pristine = Basic.rings_collection b and work = Churn.Ring_repair.rings rr in
+  for u = 0 to n - 1 do
+    check_bool "rings restored to pristine"
+      (Ron_core.Rings.rings_of work u = Ron_core.Rings.rings_of pristine u)
+  done
+
+(* ------------------------------------------------ counters / rebuilds *)
+
+let test_driver_counters_and_rebuilds_zero () =
+  with_probes (fun () ->
+      let joins0 = Counter.value Probe.churn_joins in
+      let leaves0 = Counter.value Probe.churn_leaves in
+      let rebuilds0 = Counter.value Probe.churn_rebuilds in
+      let sp = Lazy.force sp_fixture in
+      let n = Ron_graph.Graph.size (Sp_metric.graph sp) in
+      let b = Basic.build sp ~delta:0.25 in
+      let s =
+        Churn.Schedule.make ~seed:9191 ~initial_down_fraction:0.05 ~n ~slots:120
+          ~join_rate:0.1 ~leave_rate:0.1 ()
+      in
+      let st = Churn.state_of_schedule s in
+      let rr = Churn.Ring_repair.create st (Basic.substrate b) (Basic.rings_collection b) in
+      let summary =
+        Churn.Driver.apply s st
+          ~on_leave:(fun v -> Churn.Ring_repair.leave rr v)
+          ~on_join:(fun v -> Churn.Ring_repair.join rr v)
+          ()
+      in
+      check_int "join counter matches summary"
+        summary.Churn.Driver.joins
+        (Counter.value Probe.churn_joins - joins0);
+      check_int "leave counter matches summary"
+        summary.Churn.Driver.leaves
+        (Counter.value Probe.churn_leaves - leaves0);
+      check_bool "summary cost aggregates updates"
+        (summary.Churn.Driver.cost.Churn.updates > 0);
+      check_int "incremental repair never rebuilds" 0
+        (Counter.value Probe.churn_rebuilds - rebuilds0))
+
+(* ------------------------------------------- jobs-invariant routing *)
+
+let test_churn_routes_jobs_invariant () =
+  (* The schedule applies sequentially; routing the surviving pairs under
+     the frozen live set must then be identical at jobs 1 and 4. *)
+  let sp = Lazy.force sp_fixture in
+  let n = Ron_graph.Graph.size (Sp_metric.graph sp) in
+  let b = Basic.build sp ~delta:0.25 in
+  let run ~jobs =
+    let s =
+      Churn.Schedule.make ~seed:9191 ~n ~slots:120 ~join_rate:0.1 ~leave_rate:0.1 ()
+    in
+    let st = Churn.state_of_schedule s in
+    let rr = Churn.Ring_repair.create st (Basic.substrate b) (Basic.rings_collection b) in
+    let _ =
+      Churn.Driver.apply s st
+        ~on_leave:(fun v -> Churn.Ring_repair.leave rr v)
+        ~on_join:(fun v -> Churn.Ring_repair.join rr v)
+        ()
+    in
+    let pairs =
+      sample_pairs (Rng.create 31) ~n ~count:300
+      |> List.filter (fun (u, v) -> Churn.is_live st u && Churn.is_live st v)
+      |> Array.of_list
+    in
+    let w = Churn.wrapper st in
+    Pool.init ~jobs (Array.length pairs) (fun i ->
+        let u, v = pairs.(i) in
+        Basic.route_wrapped w b ~src:u ~dst:v)
+  in
+  let r1 = run ~jobs:1 and r4 = run ~jobs:4 in
+  check_bool "jobs=1 equals jobs=4" (r1 = r4);
+  check_bool "rerun equals first run" (run ~jobs:4 = r4);
+  let d = Array.fold_left (fun a r -> if r.Scheme.delivered then a + 1 else a) 0 r1 in
+  check_bool
+    (Printf.sprintf "most packets still delivered (%d/%d)" d (Array.length r1))
+    (2 * d > Array.length r1)
+
+let () =
+  Alcotest.run "ron_churn"
+    [
+      ( "schedule",
+        [
+          Alcotest.test_case "make is deterministic" `Quick test_schedule_deterministic;
+          Alcotest.test_case "make validates parameters" `Quick test_schedule_validation;
+          Alcotest.test_case "rejoin model and live floor" `Quick test_schedule_rejoin_model;
+          Alcotest.test_case "null schedule and state flips" `Quick
+            test_schedule_null_and_state;
+        ] );
+      ( "rate zero",
+        [
+          Alcotest.test_case "wrapper is identity" `Quick test_rate_zero_wrapper_is_identity;
+          Alcotest.test_case "graph schemes byte-identical" `Quick
+            test_rate_zero_identical_graph_schemes;
+          Alcotest.test_case "two-mode byte-identical" `Quick test_rate_zero_identical_two_mode;
+          Alcotest.test_case "meridian byte-identical" `Quick test_rate_zero_identical_meridian;
+          Alcotest.test_case "landmark overlay untouched" `Quick
+            test_rate_zero_identical_landmark_overlay;
+        ] );
+      ( "repair",
+        [
+          Alcotest.test_case "overlay hand-computed trace" `Quick test_overlay_hand_trace;
+          Alcotest.test_case "ranked substitute refills and is evicted" `Quick
+            test_overlay_custom_substitute_refill_and_eviction;
+          Alcotest.test_case "ring repair invariant and restore" `Quick
+            test_ring_repair_invariant_and_restore;
+        ] );
+      ( "determinism",
+        [
+          Alcotest.test_case "driver counters, rebuilds stay 0" `Quick
+            test_driver_counters_and_rebuilds_zero;
+          Alcotest.test_case "churn routes jobs-invariant" `Quick
+            test_churn_routes_jobs_invariant;
+        ] );
+    ]

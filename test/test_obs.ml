@@ -524,16 +524,24 @@ let test_bucketed_empty_zero_and_registry () =
   let s = Bucketed.summary h in
   check_bool "empty summary is nan except count"
     (s.Bucketed.count = 0 && Float.is_nan s.Bucketed.min && Float.is_nan s.Bucketed.p99);
-  (* Non-positive and non-finite observations land in the zero bucket:
-     counted, bounded memory, quantile 0. *)
+  (* Non-positive observations land in the zero bucket: counted, bounded
+     memory, quantile 0. Non-finite inputs are rejected into a separate
+     tally and must not shift counts, ranks, or min/max. *)
   Bucketed.observe h 0.0;
   Bucketed.observe h (-3.5);
   Bucketed.observe h nan;
-  check_int "zero-bucket observations counted" 3 (Bucketed.count h);
+  Bucketed.observe h infinity;
+  Bucketed.observe h neg_infinity;
+  check_int "zero-bucket observations counted" 2 (Bucketed.count h);
+  check_int "non-finite observations tallied apart" 3 (Bucketed.nonfinite_count h);
   check_int "zero bucket occupies no log bucket" 0 (Bucketed.bucket_count h);
   check_bool "all-zero quantile" (Bucketed.quantile h 0.99 = 0.0);
+  let s = Bucketed.summary h in
+  check_bool "non-finite inputs do not corrupt min/max"
+    (s.Bucketed.min = 0.0 && s.Bucketed.max = 0.0);
   Bucketed.reset h;
-  check_int "reset drops everything" 0 (Bucketed.count h)
+  check_int "reset drops everything" 0 (Bucketed.count h);
+  check_int "reset drops the non-finite tally" 0 (Bucketed.nonfinite_count h)
 
 let test_bucketed_bounded_memory () =
   fresh ();
@@ -575,6 +583,47 @@ let prop_bucketed_quantiles_within_one_bucket =
       && within 0.50 s.Bucketed.p50
       && within 0.95 s.Bucketed.p95
       && within 0.99 s.Bucketed.p99)
+
+let prop_bucketed_q1_is_exact_max =
+  QCheck.Test.make ~name:"bucketed quantile at q=1.0 is the exact recorded max"
+    ~count:100
+    QCheck.(pair (int_range 1 300) (int_range 0 1_000_000))
+    (fun (n, seed) ->
+      fresh ();
+      let h = Bucketed.make "test.bucketed.qmax" in
+      let rng = Ron_util.Rng.create seed in
+      let xs = Array.init n (fun _ -> exp (Ron_util.Rng.float rng 16.0 -. 8.0)) in
+      Array.iter (Bucketed.observe h) xs;
+      (* Bit-for-bit, not within-a-bucket: q=1.0 must bypass the bucket
+         midpoint estimate. *)
+      Bucketed.quantile h 1.0 = Ron_util.Stats.maximum xs)
+
+let prop_bucketed_nonfinite_does_not_corrupt =
+  QCheck.Test.make
+    ~name:"bucketed summary ignores interleaved nan/inf observations" ~count:100
+    QCheck.(triple (int_range 1 200) (int_range 0 1_000_000) (int_range 1 50))
+    (fun (n, seed, bad) ->
+      fresh ();
+      let rng = Ron_util.Rng.create seed in
+      let xs = Array.init n (fun _ -> exp (Ron_util.Rng.float rng 16.0 -. 8.0)) in
+      let clean = Bucketed.make "test.bucketed.clean" in
+      Array.iter (Bucketed.observe clean) xs;
+      let dirty = Bucketed.make "test.bucketed.dirty" in
+      let junk = [| nan; infinity; neg_infinity |] in
+      Array.iteri
+        (fun i x ->
+          Bucketed.observe dirty junk.(i mod 3);
+          Bucketed.observe dirty x)
+        xs;
+      for i = 0 to bad - 1 do
+        Bucketed.observe dirty junk.(i mod 3)
+      done;
+      (* The dirty histogram saw every finite value plus interleaved junk:
+         identical summary, junk visible only in the separate tally. *)
+      Bucketed.summary dirty = Bucketed.summary clean
+      && Bucketed.count dirty = n
+      && Bucketed.nonfinite_count dirty = n + bad
+      && Bucketed.quantile dirty 1.0 = Bucketed.quantile clean 1.0)
 
 let bucketed_summary_of_run ~jobs =
   let h = Bucketed.make "test.bucketed.jobs" in
@@ -798,6 +847,8 @@ let () =
             test_bucketed_empty_zero_and_registry;
           Alcotest.test_case "memory bounded by log range" `Quick test_bucketed_bounded_memory;
           QCheck_alcotest.to_alcotest prop_bucketed_quantiles_within_one_bucket;
+          QCheck_alcotest.to_alcotest prop_bucketed_q1_is_exact_max;
+          QCheck_alcotest.to_alcotest prop_bucketed_nonfinite_does_not_corrupt;
           Alcotest.test_case "merge identical across jobs" `Quick
             test_bucketed_merge_across_jobs;
         ] );

@@ -274,7 +274,51 @@ let test_bench_keys_classify () =
   check "stretch_max" "det";
   check "qps_note" "det";  (* "qps" only counts as a suffix or the whole key *)
   check "n" "det";
-  check "s" "det"
+  check "s" "det";
+  (* The churn bench keys are seeded-workload outputs: all deterministic. *)
+  check "repair_updates_per_event" "det";
+  check "stretch_inflation" "det";
+  check "churn_stale_hits" "det";
+  check "delivery_rate" "det";
+  check "stale_after_repair" "det"
+
+let test_bench_keys_verdict () =
+  let name = function
+    | Bench_keys.Same -> "same"
+    | Bench_keys.Better -> "better"
+    | Bench_keys.Worse -> "worse"
+    | Bench_keys.Changed -> "changed"
+  in
+  let v dir ~base ~next =
+    Bench_keys.verdict dir ~threshold:0.5 ~det_threshold:1e-9 ~base ~next
+  in
+  let check msg dir ~base ~next expect_outcome expect_delta =
+    let o, d = v dir ~base ~next in
+    Alcotest.(check string) msg expect_outcome (name o);
+    Alcotest.(check bool) (msg ^ " delta presence") expect_delta (d <> None)
+  in
+  (* Ordinary relative comparisons on both sides of the threshold. *)
+  check "timing within threshold" Bench_keys.Timing ~base:1.0 ~next:1.4 "same" true;
+  check "timing past threshold" Bench_keys.Timing ~base:1.0 ~next:1.6 "worse" true;
+  check "timing improved" Bench_keys.Timing ~base:1.0 ~next:0.4 "better" true;
+  check "throughput drop" Bench_keys.Throughput ~base:100.0 ~next:40.0 "worse" true;
+  check "throughput gain" Bench_keys.Throughput ~base:100.0 ~next:160.0 "better" true;
+  check "det drift" Bench_keys.Deterministic ~base:2.0 ~next:2.1 "changed" true;
+  check "det equal" Bench_keys.Deterministic ~base:2.0 ~next:2.0 "same" true;
+  (* Zero baseline: no relative scale — the key's direction decides, and
+     no delta is reported. *)
+  check "time appears from zero" Bench_keys.Timing ~base:0.0 ~next:1.5 "worse" false;
+  check "throughput appears from zero" Bench_keys.Throughput ~base:0.0 ~next:100.0
+    "better" false;
+  check "det appears from zero" Bench_keys.Deterministic ~base:0.0 ~next:1.2
+    "changed" false;
+  check "zero baseline unchanged" Bench_keys.Timing ~base:0.0 ~next:0.0 "same" true;
+  (* Non-finite values must flag, never silently pass a threshold check. *)
+  check "nan next" Bench_keys.Timing ~base:1.0 ~next:nan "changed" false;
+  check "nan base" Bench_keys.Deterministic ~base:nan ~next:1.0 "changed" false;
+  check "inf next" Bench_keys.Throughput ~base:100.0 ~next:infinity "changed" false;
+  (* Equal infinities count as unchanged rather than mismatched. *)
+  check "equal inf" Bench_keys.Timing ~base:infinity ~next:infinity "same" true
 
 (* ----------------------------------------------------------------- zipf *)
 
@@ -394,7 +438,10 @@ let () =
           qt prop_qfloat_monotone;
         ] );
       ( "bench_keys",
-        [ Alcotest.test_case "classify directions" `Quick test_bench_keys_classify ] );
+        [
+          Alcotest.test_case "classify directions" `Quick test_bench_keys_classify;
+          Alcotest.test_case "verdict edge cases" `Quick test_bench_keys_verdict;
+        ] );
       ( "workload",
         [
           Alcotest.test_case "zipf analytic mass/cdf" `Quick test_zipf_analytic;
