@@ -1,4 +1,4 @@
-.PHONY: all build test check bench bench-json bench-diff scale-smoke trace-smoke fault-smoke churn-smoke profile-smoke telemetry-smoke serve-smoke clean
+.PHONY: all build test check bench bench-json bench-diff scale-smoke trace-smoke fault-smoke churn-smoke profile-smoke telemetry-smoke serve-smoke slo-smoke clean
 
 # Relative slowdown tolerated by bench-diff before a timing key fails
 # (0.5 = 50% slower); override per-run: make bench-diff RON_BENCH_DIFF_THRESHOLD=1.0
@@ -120,6 +120,27 @@ serve-smoke: build
 	if [ "$$warm" != "$$cold" ]; then \
 	  echo "serve-smoke: warm/cold digests differ ($$warm vs $$cold)"; exit 1; \
 	else echo "serve-smoke: warm/cold digests match ($$warm)"; fi
+
+# SLO smoke: serve a batch with the burn-rate monitor, flight recorder,
+# and Prometheus exposition all on; validate the exposition file, render
+# the verdict through slo_report (human + JSON), and assert the verdict
+# carries windows and a burn rate.
+SLO_SMOKE_N ?= 100
+SLO_SMOKE_QUERIES ?= 20000
+slo-smoke: build
+	dune exec bin/ron_cli.exe -- serve --scheme basic -n $(SLO_SMOKE_N) \
+	  --queries $(SLO_SMOKE_QUERIES) \
+	  --slo "p99<=50us,delivery>=0.99" --slo-out /tmp/ron_slo_smoke.json \
+	  --flight 4 --expo /tmp/ron_slo_smoke.prom \
+	  | tee /tmp/ron_slo_smoke_serve.txt
+	grep -q '^flight recorded=' /tmp/ron_slo_smoke_serve.txt
+	grep -q '^slo ' /tmp/ron_slo_smoke_serve.txt
+	dune exec bin/trace_check.exe -- --expo /tmp/ron_slo_smoke.prom
+	dune exec bin/slo_report.exe -- /tmp/ron_slo_smoke.json
+	dune exec bin/slo_report.exe -- /tmp/ron_slo_smoke.json --json \
+	  > /tmp/ron_slo_smoke_report.json
+	grep -q '"max_burn_rate"' /tmp/ron_slo_smoke_report.json
+	grep -q '"windows"' /tmp/ron_slo_smoke_report.json
 
 # Profiler smoke: a profiled + traced routing run, then aggregate the trace
 # into the per-span table / folded stacks and assert the phase profile is

@@ -357,6 +357,77 @@ let serve_section () =
          serve_scheme_entry ~scheme ~n ~queries)
        Ron_serve.Fixture.names)
 
+(* ----------------------------------------------------- slo / flight path *)
+
+(* Observed serving under the logical clock: the per-query cost is a pure
+   function of the result, so the flight dump and the SLO verdict must be
+   byte-identical at jobs 1 and 4 — the two *_jobs_invariant booleans pin
+   exactly that. burn-rate keys are lower-is-better (Bench_keys classifies
+   "burn_rate" as Timing); the remaining numbers are deterministic. *)
+let slo_scheme_entry ~scheme ~n ~queries =
+  let module Server = Ron_serve.Server in
+  let module Loop = Ron_serve.Loop in
+  let module Flight = Ron_obs.Flight in
+  let module Slo = Ron_obs.Slo in
+  let t = Ron_serve.Fixture.build ~scheme ~n ~seed:5 in
+  let work = Loop.prepare t ~seed:5 ~queries ~zipf_s:1.1 ~route_frac:0.6 ~dist_frac:0.3 in
+  let res = Loop.results_create queries in
+  let objectives =
+    match Slo.parse "p99<=65536,delivery>=0.9" with
+    | Ok o -> o
+    | Error e -> failwith ("slo bench: " ^ e)
+  in
+  let observed jobs =
+    let fr = Flight.create ~window:256 ~per_window:4 ~retain:4 ~trace_every:8 () in
+    let s =
+      Slo.create
+        ~window:(max 1 (queries / 8))
+        ~name:(Printf.sprintf "slo.bench.%s" scheme)
+        objectives
+    in
+    Loop.run_observed ~jobs ~flight:fr ~slo:s t work res;
+    (fr, s, Ron_obs.Json.to_line (Flight.to_json fr), Ron_obs.Json.to_line (Slo.to_json s))
+  in
+  let (fr, s, f1, v1) = observed 1 in
+  let (_, _, f4, v4) = observed 4 in
+  let (obs, okd) =
+    List.fold_left
+      (fun (a, b) (w : Slo.window_summary) -> (a + w.Slo.w_count, b + w.Slo.w_ok))
+      (0, 0) (Slo.windows s)
+  in
+  let traced =
+    List.fold_left
+      (fun a (_, es) ->
+        a + List.length (List.filter (fun x -> x.Flight.x_trace <> None) es))
+      0 (Flight.dump fr)
+  in
+  ( Server.scheme_name t,
+    Obj
+      [
+        ("n", Int (Server.size t));
+        ("queries", Int queries);
+        ("slo_window", Int (Slo.window s));
+        ("windows", Int (Slo.windows_closed s));
+        ("violation_windows", Int (Slo.violated_windows s));
+        ("max_burn_rate", Float (Slo.max_burn s));
+        ("delivery_rate", Float (float_of_int okd /. float_of_int (max 1 obs)));
+        ("recorded", Int (Flight.recorded fr));
+        ("exemplars", Int (Flight.exemplar_count fr));
+        ("traced_exemplars", Int traced);
+        ("flight_jobs_invariant", Bool (String.equal f1 f4));
+        ("verdict_jobs_invariant", Bool (String.equal v1 v4));
+        ("slo_ok", Bool (Slo.ok s));
+      ] )
+
+let slo_section () =
+  Obj
+    (List.map
+       (fun scheme ->
+         (* Same instance sizing rationale as serve_section. *)
+         let (n, queries) = if scheme = "labelled" then (64, 400) else (100, 4_000) in
+         slo_scheme_entry ~scheme ~n ~queries)
+       Ron_serve.Fixture.names)
+
 (* -------------------------------------------- Table 1-3 headline numbers *)
 
 let max_arr = Array.fold_left max 0
@@ -642,6 +713,8 @@ let run ?(scale_sizes = [ 10_000 ]) ?(scale_only = false) ?telemetry
       let churn = churn_section () in
       Printf.printf "[JSON] measuring frozen-snapshot serving hot path...\n%!";
       let serve = serve_section () in
+      Printf.printf "[JSON] measuring observed serving (flight recorder + SLO)...\n%!";
+      let slo = slo_section () in
       [
         ("index", List index);
         ("graph", graph);
@@ -652,6 +725,7 @@ let run ?(scale_sizes = [ 10_000 ]) ?(scale_only = false) ?telemetry
         ("fault", fault);
         ("churn", churn);
         ("serve", serve);
+        ("slo", slo);
         ("obs", Ron_obs.snapshot ());
       ]
     end

@@ -97,6 +97,76 @@ let telemetry_interval_arg =
     & info [ "telemetry-interval" ] ~docv:"MS"
         ~doc:"Telemetry sampling interval in milliseconds (default 500).")
 
+let expo_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "expo" ] ~docv:"FILE"
+        ~doc:
+          "Write the observability registry (counters, gauges, bucketed histograms, build \
+           info) to $(docv) in Prometheus text format — atomically rewritten on every \
+           telemetry tick (with $(b,--telemetry)) and once more at exit.")
+
+let slo_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "slo" ] ~docv:"SPEC"
+        ~doc:
+          "Serving objectives, e.g. $(b,p99<=2us,delivery>=0.999): evaluate rolling query \
+           windows against the spec and report the per-window error-budget burn rate.")
+
+let slo_out_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "slo-out" ] ~docv:"FILE"
+        ~doc:
+          "Write the machine-readable SLO verdict (ron-slo/1 JSON, flight-recorder exemplars \
+           embedded) to $(docv). Requires $(b,--slo).")
+
+let slo_window_arg =
+  Arg.(
+    value & opt int 2000
+    & info [ "slo-window" ] ~docv:"Q"
+        ~doc:"Queries per SLO evaluation window (default 2000).")
+
+let flight_arg =
+  Arg.(
+    value & opt int 0
+    & info [ "flight" ] ~docv:"K"
+        ~doc:
+          "Flight recorder: retain the $(docv) slowest queries of every recorder window with \
+           full context (0, the default, disables the recorder).")
+
+let flight_trace_every_arg =
+  Arg.(
+    value & opt int 32
+    & info [ "flight-trace-every" ] ~docv:"N"
+        ~doc:
+          "Capture the per-hop trace for one in $(docv) deterministically sampled queries \
+           (default 32; 0 disables trace capture).")
+
+(* Validate the SLO/flight flag set and build the observers; [Error] is a
+   user error (stderr + exit 2 at the caller). *)
+let make_observers ~slo ~slo_out ~slo_window ~flight ~flight_trace_every =
+  if slo_window < 1 then Error "--slo-window must be >= 1"
+  else if flight < 0 then Error "--flight must be >= 0"
+  else if flight_trace_every < 0 then Error "--flight-trace-every must be >= 0"
+  else if slo_out <> None && slo = None then Error "--slo-out requires --slo"
+  else
+    let flight_rec =
+      if flight > 0 then
+        Some (Ron_obs.Flight.create ~per_window:flight ~trace_every:flight_trace_every ())
+      else None
+    in
+    match slo with
+    | None -> Ok (None, flight_rec)
+    | Some spec -> (
+      match Ron_obs.Slo.parse spec with
+      | Error e -> Error (Printf.sprintf "--slo %S: %s" spec e)
+      | Ok objs -> Ok (Some (Ron_obs.Slo.create ~window:slo_window objs), flight_rec))
+
 let jobs_arg =
   Arg.(
     value
@@ -114,44 +184,66 @@ let set_jobs jobs =
 let ns_clock () = Int64.of_float (Unix.gettimeofday () *. 1e9)
 
 (* Shared by every subcommand: configure the trace sink, the phase
-   profiler, the telemetry sampler, and/or the probes, run, then write the
-   snapshot/profile and close the sinks (also on error, so a crashed run
-   still leaves its artifacts on disk). *)
-let with_obs trace metrics profile telemetry telemetry_interval f =
-  (match trace with
-  | Some file ->
-    Ron_obs.Trace.configure ~clock:ns_clock (Ron_obs.Trace.channel_sink (open_out file))
-  | None -> ());
-  (match profile with
-  | Some _ -> Ron_obs.Profile.enable ~clock:ns_clock ()
-  | None -> ());
-  (match telemetry with
-  | Some file ->
-    if telemetry_interval < 1 then failwith "--telemetry-interval must be >= 1";
-    Ron_obs.Telemetry.start ~clock:ns_clock
-      ~interval:(Int64.of_int (telemetry_interval * 1_000_000))
-      (Ron_obs.Trace.channel_sink (open_out file))
-  | None -> ());
-  (* Telemetry needs the probes on: counters, gauges and bucketed
-     histograms are all recorded behind [Probe.on]. *)
-  if trace <> None || metrics <> None || telemetry <> None then Ron_obs.enable ();
-  Fun.protect
-    ~finally:(fun () ->
-      (match metrics with Some file -> Ron_obs.write_snapshot file | None -> ());
-      (match profile with
+   profiler, the telemetry sampler, the exposition writer, and/or the
+   probes, run, then write the snapshot/profile/exposition and close the
+   sinks (also on error, so a crashed run still leaves its artifacts on
+   disk). Flag validation errors are user errors: stderr + exit 2, never
+   an uncaught exception. *)
+let with_obs trace metrics profile telemetry telemetry_interval expo f =
+  if telemetry_interval < 1 then begin
+    Printf.eprintf "--telemetry-interval %d: the interval must be >= 1 (milliseconds)\n"
+      telemetry_interval;
+    2
+  end
+  else
+    (* Probe the exposition path up front: the first atomic write
+       exercises both the temp file and the rename, so a bad path fails
+       before any expensive construction. *)
+    match
+      match expo with
+      | Some file -> ( try Ok (Ron_obs.Expo.write file) with Sys_error e -> Error e)
+      | None -> Ok ()
+    with
+    | Error e ->
+      Printf.eprintf "--expo: %s\n" e;
+      2
+    | Ok () ->
+      (match trace with
       | Some file ->
-        Ron_obs.Profile.write file;
-        Ron_obs.Profile.disable ()
+        Ron_obs.Trace.configure ~clock:ns_clock (Ron_obs.Trace.channel_sink (open_out file))
       | None -> ());
-      Ron_obs.Telemetry.stop ();
-      Ron_obs.Trace.stop ())
-    f
+      (match profile with
+      | Some _ -> Ron_obs.Profile.enable ~clock:ns_clock ()
+      | None -> ());
+      (match telemetry with
+      | Some file ->
+        Ron_obs.Telemetry.start ~clock:ns_clock
+          ~interval:(Int64.of_int (telemetry_interval * 1_000_000))
+          ?expo
+          (Ron_obs.Trace.channel_sink (open_out file))
+      | None -> ());
+      (* Telemetry and exposition need the probes on: counters, gauges and
+         bucketed histograms are all recorded behind [Probe.on]. *)
+      if trace <> None || metrics <> None || telemetry <> None || expo <> None then
+        Ron_obs.enable ();
+      Fun.protect
+        ~finally:(fun () ->
+          (match metrics with Some file -> Ron_obs.write_snapshot file | None -> ());
+          (match expo with Some file -> Ron_obs.Expo.write file | None -> ());
+          (match profile with
+          | Some file ->
+            Ron_obs.Profile.write file;
+            Ron_obs.Profile.disable ()
+          | None -> ());
+          Ron_obs.Telemetry.stop ();
+          Ron_obs.Trace.stop ())
+        f
 
 (* -------------------------------------------------------------- estimate *)
 
-let run_estimate trace metrics profile telemetry telemetry_interval jobs family n seed delta pairs =
+let run_estimate trace metrics profile telemetry telemetry_interval expo jobs family n seed delta pairs =
   set_jobs jobs;
-  with_obs trace metrics profile telemetry telemetry_interval @@ fun () ->
+  with_obs trace metrics profile telemetry telemetry_interval expo @@ fun () ->
   let idx = Indexed.create (make_metric family n seed) in
   let n = Indexed.size idx in
   Printf.printf "metric=%s n=%d log2(aspect)=%d\n" family n (Indexed.log2_aspect_ratio idx);
@@ -181,7 +273,7 @@ let estimate_cmd =
   let doc = "Distance estimation: Theorem 3.2 triangulation + Theorem 3.4 labels." in
   Cmd.v (Cmd.info "estimate" ~doc)
     Term.(
-      const run_estimate $ trace_arg $ metrics_arg $ profile_arg $ telemetry_arg $ telemetry_interval_arg $ jobs_arg $ metric_arg $ n_arg $ seed_arg
+      const run_estimate $ trace_arg $ metrics_arg $ profile_arg $ telemetry_arg $ telemetry_interval_arg $ expo_arg $ jobs_arg $ metric_arg $ n_arg $ seed_arg
       $ delta_arg $ pairs_arg)
 
 (* ----------------------------------------------------------------- route *)
@@ -190,9 +282,9 @@ let scheme_arg =
   let doc = "Routing scheme: thm21 (graphs), thm41 (graphs), metric (Sec 4.1), thm42 (metric two-mode), trivial." in
   Arg.(value & opt string "thm21" & info [ "scheme" ] ~docv:"SCHEME" ~doc)
 
-let run_route trace metrics profile telemetry telemetry_interval jobs family n seed delta pairs scheme =
+let run_route trace metrics profile telemetry telemetry_interval expo jobs family n seed delta pairs scheme =
   set_jobs jobs;
-  with_obs trace metrics profile telemetry telemetry_interval @@ fun () ->
+  with_obs trace metrics profile telemetry telemetry_interval expo @@ fun () ->
   let rng = Rng.create seed in
   let report ?parallel name route dist max_table header n =
     let prs = Ron_experiments.Exp_common.sample_pairs (Rng.create (seed + 2)) ~n ~count:pairs in
@@ -260,7 +352,7 @@ let route_cmd =
   let doc = "Compact (1+delta)-stretch routing (Theorems 2.1, 4.1, 4.2; Section 4.1)." in
   Cmd.v (Cmd.info "route" ~doc)
     Term.(
-      const run_route $ trace_arg $ metrics_arg $ profile_arg $ telemetry_arg $ telemetry_interval_arg $ jobs_arg $ metric_arg $ n_arg $ seed_arg
+      const run_route $ trace_arg $ metrics_arg $ profile_arg $ telemetry_arg $ telemetry_interval_arg $ expo_arg $ jobs_arg $ metric_arg $ n_arg $ seed_arg
       $ delta_arg $ pairs_arg $ scheme_arg)
 
 (* ----------------------------------------------------------------- fault *)
@@ -286,9 +378,9 @@ let fault_seed_arg =
     & info [ "fault-seed" ] ~docv:"SEED"
         ~doc:"Seed of the fault model's dedicated random stream (independent of --seed).")
 
-let run_fault trace metrics profile telemetry telemetry_interval jobs family n seed delta pairs scheme crash drop dead fseed =
+let run_fault trace metrics profile telemetry telemetry_interval expo jobs family n seed delta pairs scheme crash drop dead fseed =
   set_jobs jobs;
-  with_obs trace metrics profile telemetry telemetry_interval @@ fun () ->
+  with_obs trace metrics profile telemetry telemetry_interval expo @@ fun () ->
   let module Fault = Ron_fault.Fault in
   let module C = Ron_experiments.Exp_common in
   let rng = Rng.create seed in
@@ -385,7 +477,7 @@ let fault_cmd =
   in
   Cmd.v (Cmd.info "fault" ~doc)
     Term.(
-      const run_fault $ trace_arg $ metrics_arg $ profile_arg $ telemetry_arg $ telemetry_interval_arg $ jobs_arg $ metric_arg $ n_arg $ seed_arg
+      const run_fault $ trace_arg $ metrics_arg $ profile_arg $ telemetry_arg $ telemetry_interval_arg $ expo_arg $ jobs_arg $ metric_arg $ n_arg $ seed_arg
       $ delta_arg $ pairs_arg $ scheme_arg $ crash_arg $ drop_arg $ dead_links_arg
       $ fault_seed_arg)
 
@@ -414,18 +506,24 @@ let slots_arg =
     value & opt int 120
     & info [ "slots" ] ~docv:"SLOTS" ~doc:"Event slots in the churn schedule.")
 
-let run_churn trace metrics profile telemetry telemetry_interval jobs family n seed delta pairs
-    scheme jrate lrate cseed slots crash drop dead fseed =
+let run_churn trace metrics profile telemetry telemetry_interval expo jobs family n seed delta pairs
+    scheme jrate lrate cseed slots crash drop dead fseed slo slo_out slo_window flight
+    flight_trace_every =
   set_jobs jobs;
-  with_obs trace metrics profile telemetry telemetry_interval @@ fun () ->
+  with_obs trace metrics profile telemetry telemetry_interval expo @@ fun () ->
   let module Churn = Ron_churn.Churn in
   let module Fault = Ron_fault.Fault in
   let module Scheme = Ron_routing.Scheme in
   let module C = Ron_experiments.Exp_common in
   let module Counter = Ron_obs.Counter in
   let module Probe = Ron_obs.Probe in
+  match make_observers ~slo ~slo_out ~slo_window ~flight ~flight_trace_every with
+  | Error e ->
+    prerr_endline e;
+    2
+  | Ok (slo_mon, flight_rec) ->
   let rng = Rng.create seed in
-  let report ?parallel name ~make_repair route_wrapped dist nn =
+  let report ?parallel name ~tag ~make_repair route_wrapped dist nn =
     let sched =
       Churn.Schedule.make ~seed:cseed ~n:nn ~slots ~join_rate:jrate ~leave_rate:lrate ()
     in
@@ -493,7 +591,36 @@ let run_churn trace metrics profile telemetry telemetry_interval jobs family n s
     List.iter
       (fun (nm, c, v0) -> Printf.printf " %s %d" nm (Counter.value c - v0))
       base;
-    print_newline ()
+    print_newline ();
+    (* Observed pass for the SLO monitor / flight recorder: sequential and
+       wall-clocked — the monitor is single-feeder state, and the live
+       churn schemes have no frozen scratch, so exemplars carry full
+       context but no per-hop trace. *)
+    match (slo_mon, flight_rec) with
+    | None, None -> ()
+    | _ ->
+      List.iteri
+        (fun i (u, v) ->
+          let t0 = Unix.gettimeofday () in
+          let r = route_wrapped (wrapper_for i) u v in
+          let lat_ns = int_of_float ((Unix.gettimeofday () -. t0) *. 1e9) in
+          (match flight_rec with
+          | Some fr ->
+            let outcome =
+              match r.Scheme.outcome with
+              | Scheme.Delivered -> 0
+              | Scheme.Truncated -> 1
+              | Scheme.Self_forward -> 2
+              | Scheme.Cycled -> 3
+              | Scheme.Dropped -> 4
+            in
+            Ron_obs.Flight.record fr ~qid:i ~scheme:tag ~kind:0 ~src:u ~dst:v ~outcome
+              ~hops:r.Scheme.hops ~lat:lat_ns ~trace:[||] ~trace_len:(-1)
+          | None -> ());
+          match slo_mon with
+          | Some s -> Ron_obs.Slo.observe s ~lat:(float_of_int lat_ns) ~ok:r.Scheme.delivered
+          | None -> ())
+        prs
   in
   begin
     match scheme with
@@ -513,7 +640,7 @@ let run_churn trace metrics profile telemetry telemetry_interval jobs family n s
             Array.concat (x.Ron_routing.Two_mode.x_hub_ptr.(u) :: !dirs))
       in
       let scales = Array.length x.Ron_routing.Two_mode.x_hub_g in
-      report ~parallel:false "Thm 4.2 two-mode"
+      report ~parallel:false "Thm 4.2 two-mode" ~tag:3
         ~make_repair:(fun st ->
           let ov = Churn.Overlay.create st rows ~relabel_cost:(fun _ -> scales) in
           ( (fun v -> Churn.Overlay.leave ov v),
@@ -537,7 +664,7 @@ let run_churn trace metrics profile telemetry telemetry_interval jobs family n s
       let dist u v = Ron_graph.Sp_metric.dist sp u v in
       if scheme = "thm21" then begin
         let s = Ron_routing.Basic.build sp ~delta:(Float.min delta 0.25) in
-        report "Thm 2.1"
+        report "Thm 2.1" ~tag:1
           ~make_repair:(fun st ->
             let rr =
               Churn.Ring_repair.create st (Ron_routing.Basic.substrate s)
@@ -553,7 +680,7 @@ let run_churn trace metrics profile telemetry telemetry_interval jobs family n s
       else begin
         let s = Ron_routing.Labelled.build sp ~delta in
         let rows = Array.init nn (fun u -> Ron_routing.Labelled.neighbors s u) in
-        report "Thm 4.1"
+        report "Thm 4.1" ~tag:2
           ~make_repair:(fun st ->
             let ov =
               Churn.Overlay.create st rows
@@ -568,6 +695,28 @@ let run_churn trace metrics profile telemetry telemetry_interval jobs family n s
       end
     | other -> failwith (Printf.sprintf "unknown scheme %S (churn supports thm21, thm41, thm42)" other)
   end;
+  (match slo_mon with Some s -> Ron_obs.Slo.finish s | None -> ());
+  (match flight_rec with
+  | Some fr ->
+    let ex = Ron_obs.Flight.exemplar_count fr in
+    if !Probe.on then Probe.flight_exemplar_level ex;
+    Printf.printf "flight recorded=%d exemplars=%d\n" (Ron_obs.Flight.recorded fr) ex
+  | None -> ());
+  (match slo_mon with
+  | Some s ->
+    Printf.printf "slo %s: windows=%d violated=%d max_burn=%.3g ok=%b\n"
+      (Ron_obs.Slo.spec s) (Ron_obs.Slo.windows_closed s) (Ron_obs.Slo.violated_windows s)
+      (Ron_obs.Slo.max_burn s) (Ron_obs.Slo.ok s);
+    (match slo_out with
+    | Some file ->
+      let fj = Option.map Ron_obs.Flight.to_json flight_rec in
+      let oc = open_out file in
+      Fun.protect
+        ~finally:(fun () -> close_out oc)
+        (fun () ->
+          output_string oc (Ron_obs.Json.to_string (Ron_obs.Slo.to_json ?flight:fj s)))
+    | None -> ())
+  | None -> ());
   0
 
 let churn_cmd =
@@ -577,9 +726,10 @@ let churn_cmd =
   in
   Cmd.v (Cmd.info "churn" ~doc)
     Term.(
-      const run_churn $ trace_arg $ metrics_arg $ profile_arg $ telemetry_arg $ telemetry_interval_arg $ jobs_arg $ metric_arg $ n_arg $ seed_arg
+      const run_churn $ trace_arg $ metrics_arg $ profile_arg $ telemetry_arg $ telemetry_interval_arg $ expo_arg $ jobs_arg $ metric_arg $ n_arg $ seed_arg
       $ delta_arg $ pairs_arg $ scheme_arg $ join_rate_arg $ leave_rate_arg $ churn_seed_arg
-      $ slots_arg $ crash_arg $ drop_arg $ dead_links_arg $ fault_seed_arg)
+      $ slots_arg $ crash_arg $ drop_arg $ dead_links_arg $ fault_seed_arg
+      $ slo_arg $ slo_out_arg $ slo_window_arg $ flight_arg $ flight_trace_every_arg)
 
 (* ------------------------------------------------------------ smallworld *)
 
@@ -587,9 +737,9 @@ let model_arg =
   let doc = "Small-world model: a (Thm 5.2a), b (Thm 5.2b), structures, single (Thm 5.5 needs grid)." in
   Arg.(value & opt string "a" & info [ "model" ] ~docv:"MODEL" ~doc)
 
-let run_smallworld trace metrics profile telemetry telemetry_interval jobs family n seed pairs model =
+let run_smallworld trace metrics profile telemetry telemetry_interval expo jobs family n seed pairs model =
   set_jobs jobs;
-  with_obs trace metrics profile telemetry telemetry_interval @@ fun () ->
+  with_obs trace metrics profile telemetry telemetry_interval expo @@ fun () ->
   let idx = Indexed.create (make_metric family n seed) in
   let nn = Indexed.size idx in
   let mu = Measure.create idx (Net.Hierarchy.create idx) in
@@ -634,14 +784,14 @@ let smallworld_cmd =
   let doc = "Searchable small worlds on doubling metrics (Theorem 5.2, Section 5.2)." in
   Cmd.v (Cmd.info "smallworld" ~doc)
     Term.(
-      const run_smallworld $ trace_arg $ metrics_arg $ profile_arg $ telemetry_arg $ telemetry_interval_arg $ jobs_arg $ metric_arg $ n_arg $ seed_arg
+      const run_smallworld $ trace_arg $ metrics_arg $ profile_arg $ telemetry_arg $ telemetry_interval_arg $ expo_arg $ jobs_arg $ metric_arg $ n_arg $ seed_arg
       $ pairs_arg $ model_arg)
 
 (* --------------------------------------------------------------- inspect *)
 
-let run_inspect trace metrics profile telemetry telemetry_interval jobs family n seed =
+let run_inspect trace metrics profile telemetry telemetry_interval expo jobs family n seed =
   set_jobs jobs;
-  with_obs trace metrics profile telemetry telemetry_interval @@ fun () ->
+  with_obs trace metrics profile telemetry telemetry_interval expo @@ fun () ->
   let m = make_metric family n seed in
   (match Metric.check m with
   | Ok () -> ()
@@ -668,7 +818,7 @@ let run_inspect trace metrics profile telemetry telemetry_interval jobs family n
 let inspect_cmd =
   let doc = "Print substrate facts (dimension, nets, doubling measure) about a metric." in
   Cmd.v (Cmd.info "inspect" ~doc)
-    Term.(const run_inspect $ trace_arg $ metrics_arg $ profile_arg $ telemetry_arg $ telemetry_interval_arg $ jobs_arg $ metric_arg $ n_arg $ seed_arg)
+    Term.(const run_inspect $ trace_arg $ metrics_arg $ profile_arg $ telemetry_arg $ telemetry_interval_arg $ expo_arg $ jobs_arg $ metric_arg $ n_arg $ seed_arg)
 
 (* ----------------------------------------------------------------- serve *)
 
@@ -731,10 +881,10 @@ let parse_mix s =
            "--mix %S: weights must be finite and non-negative with a positive sum" s))
   | _ -> Error "--mix expects three comma-separated weights, e.g. 0.6,0.3,0.1"
 
-let run_serve trace metrics profile telemetry telemetry_interval jobs scheme n seed snapshot
-    load queries batch zipf mix =
+let run_serve trace metrics profile telemetry telemetry_interval expo jobs scheme n seed snapshot
+    load queries batch zipf mix slo slo_out slo_window flight flight_trace_every =
   set_jobs jobs;
-  with_obs trace metrics profile telemetry telemetry_interval @@ fun () ->
+  with_obs trace metrics profile telemetry telemetry_interval expo @@ fun () ->
   let module Server = Ron_serve.Server in
   let module Loop = Ron_serve.Loop in
   match parse_mix mix with
@@ -751,6 +901,11 @@ let run_serve trace metrics profile telemetry telemetry_interval jobs scheme n s
     2
   end
   else begin
+  match make_observers ~slo ~slo_out ~slo_window ~flight ~flight_trace_every with
+  | Error e ->
+    prerr_endline e;
+    2
+  | Ok (slo_mon, flight_rec) ->
   let t =
     match load with
     | Some file ->
@@ -776,7 +931,9 @@ let run_serve trace metrics profile telemetry telemetry_interval jobs scheme n s
     let work = Loop.prepare t ~seed ~queries ~zipf_s:zipf ~route_frac ~dist_frac in
     let res = Loop.results_create queries in
     let t0 = Unix.gettimeofday () in
-    Loop.run ~batch t work res;
+    (match (slo_mon, flight_rec) with
+    | None, None -> Loop.run ~batch t work res
+    | _ -> Loop.run_observed ~batch ~wall:true ?flight:flight_rec ?slo:slo_mon t work res);
     let dt = Unix.gettimeofday () -. t0 in
     let qps = float_of_int queries /. Float.max dt 1e-9 in
     Printf.printf "queries=%d batch=%d elapsed=%.3fs qps=%.0f digest=%x\n" queries batch dt qps
@@ -785,6 +942,36 @@ let run_serve trace metrics profile telemetry telemetry_interval jobs scheme n s
     Loop.measure_latency ~limit:(min queries 20_000) t work res hist;
     let q p = Ron_obs.Histogram.Bucketed.quantile hist p in
     Printf.printf "latency p50=%.0fns p99=%.0fns p999=%.0fns\n" (q 0.5) (q 0.99) (q 0.999);
+    (match flight_rec with
+    | Some fr ->
+      let ex = Ron_obs.Flight.exemplar_count fr in
+      let traced =
+        List.fold_left
+          (fun a (_, es) ->
+            a
+            + List.length
+                (List.filter (fun x -> x.Ron_obs.Flight.x_trace <> None) es))
+          0 (Ron_obs.Flight.dump fr)
+      in
+      if !Ron_obs.Probe.on then Ron_obs.Probe.flight_exemplar_level ex;
+      Printf.printf "flight recorded=%d exemplars=%d traced=%d\n"
+        (Ron_obs.Flight.recorded fr) ex traced
+    | None -> ());
+    (match slo_mon with
+    | Some s ->
+      Printf.printf "slo %s: windows=%d violated=%d max_burn=%.3g ok=%b\n"
+        (Ron_obs.Slo.spec s) (Ron_obs.Slo.windows_closed s)
+        (Ron_obs.Slo.violated_windows s) (Ron_obs.Slo.max_burn s) (Ron_obs.Slo.ok s);
+      (match slo_out with
+      | Some file ->
+        let fj = Option.map Ron_obs.Flight.to_json flight_rec in
+        let oc = open_out file in
+        Fun.protect
+          ~finally:(fun () -> close_out oc)
+          (fun () ->
+            output_string oc (Ron_obs.Json.to_string (Ron_obs.Slo.to_json ?flight:fj s)))
+      | None -> ())
+    | None -> ());
     0
   end
   end
@@ -795,8 +982,9 @@ let serve_cmd =
   in
   Cmd.v (Cmd.info "serve" ~doc)
     Term.(
-      const run_serve $ trace_arg $ metrics_arg $ profile_arg $ telemetry_arg $ telemetry_interval_arg $ jobs_arg $ serve_scheme_arg $ n_arg $ seed_arg
-      $ snapshot_arg $ load_arg $ queries_arg $ batch_arg $ zipf_arg $ mix_arg)
+      const run_serve $ trace_arg $ metrics_arg $ profile_arg $ telemetry_arg $ telemetry_interval_arg $ expo_arg $ jobs_arg $ serve_scheme_arg $ n_arg $ seed_arg
+      $ snapshot_arg $ load_arg $ queries_arg $ batch_arg $ zipf_arg $ mix_arg
+      $ slo_arg $ slo_out_arg $ slo_window_arg $ flight_arg $ flight_trace_every_arg)
 
 (* ------------------------------------------------------------ experiment *)
 
@@ -806,9 +994,9 @@ let experiment_ids =
     "mer"; "fault"; "scale"; "churn";
   ]
 
-let run_experiment trace metrics profile telemetry telemetry_interval jobs id =
+let run_experiment trace metrics profile telemetry telemetry_interval expo jobs id =
   set_jobs jobs;
-  with_obs trace metrics profile telemetry telemetry_interval @@ fun () ->
+  with_obs trace metrics profile telemetry telemetry_interval expo @@ fun () ->
   let module E = Ron_experiments in
   let table =
     [
@@ -832,7 +1020,7 @@ let experiment_cmd =
   let id = Arg.(required & pos 0 (some string) None & info [] ~docv:"ID") in
   let doc = "Run one reproduction experiment (same ids as bench/main.exe)." in
   Cmd.v (Cmd.info "experiment" ~doc)
-    Term.(const run_experiment $ trace_arg $ metrics_arg $ profile_arg $ telemetry_arg $ telemetry_interval_arg $ jobs_arg $ id)
+    Term.(const run_experiment $ trace_arg $ metrics_arg $ profile_arg $ telemetry_arg $ telemetry_interval_arg $ expo_arg $ jobs_arg $ id)
 
 let () =
   let doc = "rings of neighbors: distance estimation and object location (Slivkins, PODC 2005)" in

@@ -1,0 +1,183 @@
+(* Render a ron-slo/1 verdict (ron_cli --slo-out output) as a human
+   report: the spec, every closed window with per-objective value / burn
+   rate / verdict, burn and latency summaries (p50/p95/p99/p999 of the
+   retained flight exemplar latencies via the shared percentile helper),
+   and — when the verdict embeds a flight dump — the slow-query exemplars
+   attributed to each violated window.
+
+   usage: slo_report FILE.json [--json] *)
+
+module Json = Ron_obs.Json
+
+let fail fmt = Printf.ksprintf (fun s -> prerr_endline s; exit 1) fmt
+
+let mem name j = Json.member name j
+
+let str = function Some (Json.String s) -> s | _ -> "?"
+let num = function Some (Json.Int i) -> float_of_int i | Some (Json.Float f) -> f | _ -> nan
+let int_of = function Some (Json.Int i) -> i | _ -> 0
+let bool_of = function Some (Json.Bool b) -> b | _ -> false
+let list_of = function Some (Json.List l) -> l | _ -> []
+
+type wrow = {
+  index : int;
+  count : int;
+  ok : int;
+  results : (string * float * float * bool) list; (* objective, value, burn, violated *)
+}
+
+type xrow = { x_window : int; x_qid : int; x_lat : float; x_json : Json.t }
+
+let parse_window j =
+  {
+    index = int_of (mem "window" j);
+    count = int_of (mem "count" j);
+    ok = int_of (mem "delivered" j);
+    results =
+      List.map
+        (fun r ->
+          ( str (mem "objective" r),
+            num (mem "value" r),
+            num (mem "burn" r),
+            bool_of (mem "violated" r) ))
+        (list_of (mem "results" j));
+  }
+
+let parse_exemplars flight =
+  match flight with
+  | None -> []
+  | Some f ->
+    List.concat_map
+      (fun wj ->
+        let w = int_of (mem "window" wj) in
+        List.map
+          (fun xj ->
+            {
+              x_window = w;
+              x_qid = int_of (mem "qid" xj);
+              x_lat = num (mem "lat" xj);
+              x_json = xj;
+            })
+          (list_of (mem "exemplars" wj)))
+      (list_of (mem "windows" f))
+
+let () =
+  let file = ref None and json = ref false in
+  List.iter
+    (fun arg ->
+      if String.equal arg "--json" then json := true
+      else if !file = None && String.length arg > 0 && arg.[0] <> '-' then file := Some arg
+      else fail "slo_report: unexpected argument %S" arg)
+    (List.tl (Array.to_list Sys.argv));
+  let file =
+    match !file with
+    | Some f -> f
+    | None ->
+      prerr_endline "usage: slo_report FILE.json [--json]";
+      exit 2
+  in
+  let text =
+    match In_channel.with_open_text file In_channel.input_all with
+    | s -> s
+    | exception Sys_error e -> fail "slo_report: %s" e
+  in
+  let v =
+    match Json.of_string text with
+    | Ok j -> j
+    | Error e -> fail "slo_report: %s: %s" file e
+  in
+  (match mem "schema" v with
+  | Some (Json.String "ron-slo/1") -> ()
+  | _ -> fail "slo_report: %s: not a ron-slo/1 verdict" file);
+  let spec = str (mem "spec" v) in
+  let window = int_of (mem "window" v) in
+  let totals = mem "totals" v in
+  let t_field name = int_of (Option.bind totals (mem name)) in
+  let max_burn = num (Option.bind totals (mem "max_burn")) in
+  let windows = List.map parse_window (list_of (mem "windows" v)) in
+  let exemplars = parse_exemplars (mem "flight" v) in
+  let ok = bool_of (mem "ok" v) in
+  (* A flight window of W qids maps into the SLO window sequence by qid
+     range; exemplar qid / slo_window gives the SLO window it fell in. *)
+  let slo_index_of_qid qid = if window > 0 then qid / window else 0 in
+  let lat_summary =
+    let xs = Array.of_list (List.map (fun x -> x.x_lat) exemplars) in
+    Ron_util.Fsort.sort_floats xs;
+    xs
+  in
+  let pct p = Ron_util.Stats.percentile_sorted lat_summary p in
+  if !json then begin
+    let violated =
+      List.filter (fun w -> List.exists (fun (_, _, _, v) -> v) w.results) windows
+    in
+    let report =
+      Json.Obj
+        [
+          ("schema", Json.String "ron-slo-report/1");
+          ("file", Json.String file);
+          ("spec", Json.String spec);
+          ("window", Json.Int window);
+          ("windows", Json.Int (List.length windows));
+          ("violated_windows", Json.Int (List.length violated));
+          ("max_burn_rate", Json.Float max_burn);
+          ("observations", Json.Int (t_field "observations"));
+          ("delivered", Json.Int (t_field "delivered"));
+          ("exemplars", Json.Int (List.length exemplars));
+          ( "exemplar_lat",
+            Json.Obj
+              [
+                ("p50", Json.Float (pct 50.0));
+                ("p95", Json.Float (pct 95.0));
+                ("p99", Json.Float (pct 99.0));
+                ("p999", Json.Float (pct 99.9));
+              ] );
+          ("ok", Json.Bool ok);
+        ]
+    in
+    print_endline (Json.to_string report)
+  end
+  else begin
+    Printf.printf "slo_report: %s\n" file;
+    Printf.printf "  spec: %s   window: %d queries\n" spec window;
+    Printf.printf "  windows: %d   violated: %d   max burn rate: %.9g   ok: %b\n\n"
+      (List.length windows)
+      (List.length
+         (List.filter (fun w -> List.exists (fun (_, _, _, v) -> v) w.results) windows))
+      max_burn ok;
+    Printf.printf "%-8s %8s %10s  %s\n" "window" "count" "delivered"
+      "objective value/burn (flag = violated)";
+    Printf.printf "%s\n" (String.make 96 '-');
+    List.iter
+      (fun w ->
+        let cells =
+          String.concat "  "
+            (List.map
+               (fun (o, v, b, viol) ->
+                 Printf.sprintf "%s: %.9g burn %.3g%s" o v b (if viol then " !" else ""))
+               w.results)
+        in
+        Printf.printf "%-8d %8d %10d  %s\n" w.index w.count w.ok cells)
+      windows;
+    if exemplars <> [] then begin
+      Printf.printf "\nflight exemplars: %d retained (lat p50 %.9g  p95 %.9g  p99 %.9g  p999 %.9g)\n"
+        (List.length exemplars) (pct 50.0) (pct 95.0) (pct 99.0) (pct 99.9);
+      let violated_set =
+        List.filter_map
+          (fun w ->
+            if List.exists (fun (_, _, _, v) -> v) w.results then Some w.index else None)
+          windows
+      in
+      List.iter
+        (fun wi ->
+          let hits =
+            List.filter (fun x -> slo_index_of_qid x.x_qid = wi) exemplars
+          in
+          if hits <> [] then begin
+            Printf.printf "  violated window %d — %d exemplar(s):\n" wi (List.length hits);
+            List.iter
+              (fun x -> Printf.printf "    %s\n" (Json.to_line x.x_json))
+              hits
+          end)
+        violated_set
+    end
+  end

@@ -23,55 +23,10 @@ let number = function
    once it has something to report, so indices may be sparse. *)
 type series = { sname : string; points : (int * float) list }
 
-let sparkline_width = 40
-let spark_levels = [| "\xe2\x96\x81"; "\xe2\x96\x82"; "\xe2\x96\x83"; "\xe2\x96\x84";
-                     "\xe2\x96\x85"; "\xe2\x96\x86"; "\xe2\x96\x87"; "\xe2\x96\x88" |]
-
-(* Carry-forward resample to <= sparkline_width columns, scaled to the
-   series' own [min, max]; a flat series renders as a run of mid blocks. *)
-let sparkline n_samples s =
-  if n_samples = 0 || s.points = [] then ""
-  else begin
-    let filled = Array.make n_samples 0.0 in
-    let rec fill prev i points =
-      if i >= n_samples then ()
-      else
-        match points with
-        | (j, v) :: rest when j = i ->
-          filled.(i) <- v;
-          fill v (i + 1) rest
-        | _ ->
-          filled.(i) <- prev;
-          fill prev (i + 1) points
-    in
-    fill 0.0 0 s.points;
-    let w = min sparkline_width n_samples in
-    let cols =
-      Array.init w (fun c ->
-          (* Column c averages the sample range it covers. *)
-          let lo = c * n_samples / w and hi = max 1 ((c + 1) * n_samples / w) in
-          let hi = max (lo + 1) hi in
-          let sum = ref 0.0 in
-          for i = lo to hi - 1 do
-            sum := !sum +. filled.(i)
-          done;
-          !sum /. float_of_int (hi - lo))
-    in
-    let mn = Array.fold_left Float.min infinity cols in
-    let mx = Array.fold_left Float.max neg_infinity cols in
-    let buf = Buffer.create (3 * w) in
-    Array.iter
-      (fun v ->
-        let level =
-          if mx -. mn <= 0.0 then 3
-          else
-            let t = (v -. mn) /. (mx -. mn) in
-            max 0 (min 7 (int_of_float (t *. 7.999)))
-        in
-        Buffer.add_string buf spark_levels.(level))
-      cols;
-    Buffer.contents buf
-  end
+(* Rendering lives in Ron_obs.Sparkline (shared, unit-tested): carry-
+   forward resample seeded with the series' first value, column
+   averaging, and mid-block rendering for flat or single-sample series. *)
+let sparkline n_samples s = Ron_obs.Sparkline.render ~samples:n_samples s.points
 
 let stats s =
   let vs = List.map snd s.points in

@@ -1,4 +1,4 @@
-(* Validate a JSONL observability file. Default mode checks a --trace
+(* Validate an observability file. Default mode checks a --trace JSONL
    stream: every line must parse as a trace event (integer "ts"/"dom",
    string "name", "ph" one of B/E/i), per domain the B/E events must
    balance like brackets, the "error" arg (emitted when a span unwinds on
@@ -6,23 +6,33 @@
    the file must not be empty. With --telemetry the file is a --telemetry
    snapshot series instead: seq counts from 0 with no gaps, ts never goes
    backwards, and every section is well-typed (Trace_read.
-   validate_snapshots). Exit 0 on success, 1 otherwise — used by
-   `make trace-smoke` / `make telemetry-smoke` and CI. *)
+   validate_snapshots). With --expo the file is a Prometheus text-format
+   exposition (ron_cli --expo output): TYPE discipline, name/label
+   syntax, and histogram invariants (Expo.validate_file). Exit 0 on
+   success, 1 otherwise — used by `make trace-smoke` /
+   `make telemetry-smoke` / `make slo-smoke` and CI. *)
 
 module Trace_read = Ron_obs.Trace_read
 
 let fail fmt = Printf.ksprintf (fun s -> prerr_endline s; exit 1) fmt
 
 let () =
-  let telemetry, file =
+  let mode, file =
     match Sys.argv with
-    | [| _; file |] -> (false, file)
-    | [| _; "--telemetry"; file |] | [| _; file; "--telemetry" |] -> (true, file)
+    | [| _; file |] -> (`Trace, file)
+    | [| _; "--telemetry"; file |] | [| _; file; "--telemetry" |] -> (`Telemetry, file)
+    | [| _; "--expo"; file |] | [| _; file; "--expo" |] -> (`Expo, file)
     | _ ->
-      prerr_endline "usage: trace_check [--telemetry] FILE.jsonl";
+      prerr_endline "usage: trace_check [--telemetry | --expo] FILE";
       exit 2
   in
-  if telemetry then begin
+  match mode with
+  | `Expo -> (
+    match Ron_obs.Expo.validate_file file with
+    | exception Sys_error e -> fail "trace_check: %s" e
+    | Error e -> fail "trace_check: %s: %s" file e
+    | Ok n -> Printf.printf "trace_check: %s: %d well-formed exposition samples\n" file n)
+  | `Telemetry -> begin
     match Trace_read.read_snapshot_file file with
     | exception Sys_error e -> fail "trace_check: %s" e
     | Error e -> fail "trace_check: %s: %s" file e
@@ -32,7 +42,7 @@ let () =
       | Ok 0 -> fail "trace_check: %s: no telemetry samples" file
       | Ok n -> Printf.printf "trace_check: %s: %d well-formed telemetry samples\n" file n)
   end
-  else begin
+  | `Trace -> begin
     match Trace_read.read_file file with
     | exception Sys_error e -> fail "trace_check: %s" e
     | Error e -> fail "trace_check: %s: %s" file e

@@ -27,13 +27,16 @@ type span_agg = {
 
 type frame = { name : string; t0 : int; mutable child : int; path : string }
 
-let percentile sorted q =
-  let n = Array.length sorted in
-  if n = 0 then 0
-  else begin
-    let rank = int_of_float (Float.ceil (q *. float_of_int n)) in
-    sorted.(max 0 (min (n - 1) (rank - 1)))
-  end
+(* Nearest-rank percentiles via the shared helper (the same rank rule
+   slo_report and the bucketed histograms use); [p] in [0,100]. *)
+let percentile sorted p =
+  let v = Ron_util.Stats.percentile_sorted sorted p in
+  if Float.is_nan v then 0 else int_of_float v
+
+let sorted_durations agg =
+  let xs = Array.of_list (List.rev_map float_of_int agg.durations) in
+  Ron_util.Fsort.sort_floats xs;
+  xs
 
 let () =
   let file = ref None and folded = ref None and json = ref false in
@@ -123,8 +126,7 @@ let () =
   if !json then begin
     (* Machine-readable mirror of the table, for CI consumption. *)
     let span_json (name, agg) =
-      let sorted = Array.of_list agg.durations in
-      Array.sort compare sorted;
+      let sorted = sorted_durations agg in
       let doms = Hashtbl.fold (fun d ct acc -> (d, ct) :: acc) agg.by_dom [] in
       let doms = List.sort (fun (a, _) (b, _) -> compare a b) doms in
       Json.Obj
@@ -133,9 +135,10 @@ let () =
           ("count", Json.Int agg.count);
           ("total_ticks", Json.Int agg.total);
           ("self_ticks", Json.Int agg.self);
-          ("p50", Json.Int (percentile sorted 0.50));
-          ("p95", Json.Int (percentile sorted 0.95));
-          ("p99", Json.Int (percentile sorted 0.99));
+          ("p50", Json.Int (percentile sorted 50.0));
+          ("p95", Json.Int (percentile sorted 95.0));
+          ("p99", Json.Int (percentile sorted 99.0));
+          ("p999", Json.Int (percentile sorted 99.9));
           ( "domains",
             Json.List
               (List.map
@@ -165,22 +168,22 @@ let () =
   else begin
     Printf.printf "trace_report: %s: %d events, %d span names, %d instant names\n\n" file
       (List.length events) (List.length rows) (Hashtbl.length instants);
-    Printf.printf "%-28s %8s %14s %14s %12s %12s %12s  %s\n" "span" "count" "total_ticks"
-      "self_ticks" "p50" "p95" "p99" "domains (count@total)";
-    Printf.printf "%s\n" (String.make 123 '-');
+    Printf.printf "%-28s %8s %14s %14s %12s %12s %12s %12s  %s\n" "span" "count"
+      "total_ticks" "self_ticks" "p50" "p95" "p99" "p999" "domains (count@total)";
+    Printf.printf "%s\n" (String.make 136 '-');
     List.iter
       (fun (name, agg) ->
-        let sorted = Array.of_list agg.durations in
-        Array.sort compare sorted;
+        let sorted = sorted_durations agg in
         let doms = Hashtbl.fold (fun d ct acc -> (d, ct) :: acc) agg.by_dom [] in
         let doms = List.sort (fun (a, _) (b, _) -> compare a b) doms in
         let doms_s =
           String.concat " "
             (List.map (fun (d, (c, t)) -> Printf.sprintf "%d:%d@%d" d c t) doms)
         in
-        Printf.printf "%-28s %8d %14d %14d %12d %12d %12d  %s\n" name agg.count agg.total
-          agg.self
-          (percentile sorted 0.50) (percentile sorted 0.95) (percentile sorted 0.99) doms_s)
+        Printf.printf "%-28s %8d %14d %14d %12d %12d %12d %12d  %s\n" name agg.count
+          agg.total agg.self
+          (percentile sorted 50.0) (percentile sorted 95.0) (percentile sorted 99.0)
+          (percentile sorted 99.9) doms_s)
       rows;
     if inst <> [] then begin
       Printf.printf "\n%-28s %8s\n" "instant" "count";

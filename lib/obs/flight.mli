@@ -1,0 +1,96 @@
+(** Tail-latency flight recorder: per-domain sharded, windowed top-k
+    retention of the slowest queries with full context (scheme, src/dst,
+    outcome, hops, latency) and — for a deterministic
+    {!Ron_util.Rng.mix}-sampled subset — the per-hop trace.
+
+    Sharding follows the {!Counter}/{!Gauge} contract: each recording
+    domain owns a private shard, [record] never locks and never
+    allocates (preallocated entry records, pointer shifts only), and
+    {!dump} merges shards under the strict total order "higher latency
+    first, ties to the lower qid" — so dumps are bit-identical at every
+    [RON_JOBS] whenever the recorded latencies are (the deterministic
+    logical clock; wall-clock latencies are honest but not replayable).
+
+    Ring-safety contract: at most [retain] distinct windows may be live
+    among concurrently-recorded queries, or a ring slot could be
+    recycled out of order. {!Ron_serve.Loop.run_observed} enforces this
+    by capping its batch size at [window * (retain - 1)]. *)
+
+type t
+
+val create :
+  ?window:int ->
+  ?per_window:int ->
+  ?retain:int ->
+  ?trace_every:int ->
+  ?trace_seed:int ->
+  ?trace_cap:int ->
+  unit ->
+  t
+(** [create ()] — a recorder keeping the [per_window] (default 8)
+    slowest queries of each window of [window] (default 2048)
+    consecutive qids, retaining the last [retain] (default 8) windows.
+    One query in [trace_every] (default 32; [0] disables tracing) is
+    deterministically sampled for per-hop trace capture, up to
+    [trace_cap] (default 32) hops. Raises [Invalid_argument] when
+    [window < 1], [per_window < 1], [retain < 2], or [trace_cap < 1]. *)
+
+val window : t -> int
+val per_window : t -> int
+val retain : t -> int
+val trace_every : t -> int
+
+val want_trace : t -> int -> bool
+(** [want_trace t qid]: is [qid] in the deterministic trace sample?
+    Pure hash of the qid — same subset at every [RON_JOBS]. *)
+
+val record :
+  t ->
+  qid:int ->
+  scheme:int ->
+  kind:int ->
+  src:int ->
+  dst:int ->
+  outcome:int ->
+  hops:int ->
+  lat:int ->
+  trace:int array ->
+  trace_len:int ->
+  unit
+(** Record one served query. [lat] is in clock units (wall ns or logical
+    cost). [trace_len < 0] means "trace not sampled"; otherwise the
+    first [min trace_len trace_cap] elements of [trace] are copied into
+    the entry's preallocated buffer. Allocation-free; single-writer per
+    domain (the serving worker that ran the query). *)
+
+val recorded : t -> int
+(** Total [record] calls across shards. *)
+
+val reset : t -> unit
+(** Drop every retained entry. Do not race with concurrent records. *)
+
+(** Immutable dump form of a retained slow query. *)
+type exemplar = {
+  x_window : int;
+  x_qid : int;
+  x_scheme : int;
+  x_kind : int;
+  x_src : int;
+  x_dst : int;
+  x_outcome : int;
+  x_hops : int;
+  x_lat : int;
+  x_trace : int array option;
+}
+
+val dump : t -> (int * exemplar list) list
+(** Retained windows ascending, each with its exact global top-k
+    (latency descending, qid ascending within ties). Only the last
+    [retain] windows are reported. *)
+
+val exemplar_count : t -> int
+(** Total exemplars across retained windows. *)
+
+val to_json : t -> Json.t
+(** Schema [ron-flight/1]: parameters, [recorded], and the {!dump}
+    windows with their exemplars (sampled traces included inline). *)

@@ -174,9 +174,11 @@ module Bucketed = struct
     else begin
       if x > 0.0 then begin
         let idx = int_of_float (Float.floor (log x /. t.log_gamma)) in
-        (match Hashtbl.find_opt s.tbl idx with
-        | Some r -> incr r
-        | None -> Hashtbl.add s.tbl idx (ref 1));
+        (* [find] over [find_opt]: the hit path (every observation after a
+           bucket's first) must not allocate an option. *)
+        (match Hashtbl.find s.tbl idx with
+        | r -> incr r
+        | exception Not_found -> Hashtbl.add s.tbl idx (ref 1));
         if x < s.mn then s.mn <- x;
         if x > s.mx then s.mx <- x
       end
@@ -229,6 +231,39 @@ module Bucketed = struct
   let bucket_count t =
     let _, buckets, _, _, _ = merged t in
     Array.length buckets
+
+  (* Merged occupied buckets as (inclusive upper bound, count), ascending.
+     The zero bucket (zeros and negatives, representative 0.0) leads as
+     (0.0, count) when occupied; log bucket i spans (gamma^i, gamma^(i+1)]
+     and is reported by its upper edge. This is the cumulative-bucket view
+     the Prometheus exposition and the SLO fraction-above-limit
+     computation both consume; it depends only on the merged multiset, so
+     it is bit-identical at every RON_JOBS. *)
+  let buckets t =
+    let zero, bs, _, _, _ = merged t in
+    let logs =
+      Array.map
+        (fun (idx, c) -> (exp (float_of_int (idx + 1) *. t.log_gamma), c))
+        bs
+    in
+    if zero = 0 then logs else Array.append [| (0.0, zero) |] logs
+
+  (* Deterministic approximate sum: per-bucket count times the bucket's
+     geometric midpoint (clamped to the observed [min, max]), folded in
+     bucket order. Within a factor of gamma of the exact sum, and — unlike
+     a per-shard float accumulator — independent of how Pool sharded the
+     observations. Zero-bucket entries contribute their representative
+     0.0. *)
+  let approx_sum t =
+    let _, bs, total, mn, mx = merged t in
+    if total = 0 then 0.0
+    else
+      Array.fold_left
+        (fun a (idx, c) ->
+          let mid = exp ((float_of_int idx +. 0.5) *. t.log_gamma) in
+          let mid = Stdlib.max mn (Stdlib.min mx mid) in
+          a +. (float_of_int c *. mid))
+        0.0 bs
 
   let quantile_of_merged t (zero, buckets, total, mn, mx) q =
     if total = 0 then nan

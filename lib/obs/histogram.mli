@@ -75,6 +75,20 @@ module Bucketed : sig
   val bucket_count : t -> int
   (** Occupied (merged) log buckets — the memory footprint proxy. *)
 
+  val buckets : t -> (float * int) array
+  (** Merged occupied buckets as [(inclusive upper bound, count)] sorted
+      ascending; the zero bucket appears first as [(0.0, count)] when
+      occupied. Bit-identical at every [RON_JOBS]. Feeds the Prometheus
+      cumulative-bucket exposition ({!Ron_obs.Expo}) and the SLO
+      fraction-over-limit computation ({!Ron_obs.Slo}). *)
+
+  val approx_sum : t -> float
+  (** Deterministic approximate sum of the accepted observations: counts
+      times geometric bucket midpoints (clamped to the observed extrema),
+      folded in bucket order — within a factor of [gamma] of the exact
+      sum, and independent of sharding (an exact per-shard float
+      accumulator would not be). [0.0] when empty. *)
+
   val quantile : t -> float -> float
   (** [quantile t q] for [q] in [0, 1]; [nan] when empty. [q = 1.0]
       returns the exact recorded maximum, not a bucket representative. *)

@@ -97,6 +97,18 @@ let serve_batch_size = Gauge.make "serve.batch_size"
 let churn_live_nodes = Gauge.make "churn.live_nodes"
 let churn_repair_backlog = Gauge.make "churn.repair_backlog"
 
+(* SLO-monitor counters and gauges, driven from the sequential
+   window-close path only (Slo.observe feeds from the orchestrating
+   domain), so every reading is deterministic: windows closed, objective
+   violations, the closing window's worst burn rate, and the running
+   worst across windows. The flight-recorder exemplar level is set after
+   a dump, also from one domain. *)
+let slo_windows = Counter.make "slo.windows"
+let slo_violations = Counter.make "slo.violations"
+let slo_burn = Gauge.make "slo.burn_rate"
+let slo_worst_burn = Gauge.make "slo.worst_burn_rate"
+let flight_exemplars = Gauge.make "flight.exemplars"
+
 (* -- histograms --------------------------------------------------------- *)
 
 let route_hops_hist = Histogram.make "route.hops_per_query"
@@ -214,3 +226,13 @@ let churn_rebuild () = Counter.incr churn_rebuilds
 let churn_levels ~live ~backlog =
   Gauge.set_int churn_live_nodes live;
   Gauge.set_int churn_repair_backlog backlog
+
+(* SLO window close: bump the window counter, add that window's objective
+   violations, and set both burn gauges (sequential caller only). *)
+let slo_window ~violations ~burn ~worst_burn =
+  Counter.incr slo_windows;
+  Counter.add slo_violations violations;
+  Gauge.set slo_burn burn;
+  Gauge.set slo_worst_burn worst_burn
+
+let flight_exemplar_level n = Gauge.set_int flight_exemplars n

@@ -81,6 +81,15 @@ val churn_rebuilds : Counter.t
 val churn_live_nodes : Gauge.t
 val churn_repair_backlog : Gauge.t
 
+(** SLO-monitor counters and gauges, driven from the sequential
+    window-close path only, so every reading is deterministic. *)
+
+val slo_windows : Counter.t
+val slo_violations : Counter.t
+val slo_burn : Gauge.t
+val slo_worst_burn : Gauge.t
+val flight_exemplars : Gauge.t
+
 val route_hops_hist : Histogram.t
 val route_header_bits_hist : Histogram.t
 val meridian_probes_hist : Histogram.t
@@ -172,3 +181,12 @@ val churn_rebuild : unit -> unit
 
 val churn_levels : live:int -> backlog:int -> unit
 (** Set the live-node and repair-backlog gauges (sequential caller only). *)
+
+val slo_window : violations:int -> burn:float -> worst_burn:float -> unit
+(** One SLO window closed: [violations] objectives violated in it, its
+    worst burn rate, and the running worst across all closed windows
+    (sequential caller only). *)
+
+val flight_exemplar_level : int -> unit
+(** Set the flight-recorder exemplar gauge after a dump (sequential
+    caller only). *)

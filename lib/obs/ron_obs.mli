@@ -18,6 +18,10 @@ module Probe = Probe
 module Profile = Profile
 module Telemetry = Telemetry
 module Rss = Rss
+module Flight = Flight
+module Slo = Slo
+module Expo = Expo
+module Sparkline = Sparkline
 
 val enable : unit -> unit
 (** Turn the probes on ([Probe.on := true]). *)

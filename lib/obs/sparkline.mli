@@ -1,0 +1,26 @@
+(** Unicode block-element sparklines for sparse telemetry series.
+
+    A series is (sample index, value) points in ascending index order
+    over [0, samples); indices may be sparse (a section only reports a
+    name once it has data). Gaps are carry-forward filled; samples before
+    the first point carry the first point's value *backward*, so a
+    late-starting constant series renders flat instead of as a cliff from
+    a fabricated zero. *)
+
+val default_width : int
+(** Default column budget (40). *)
+
+val levels : string array
+(** The eight block glyphs, lowest to highest. *)
+
+val mid_level : int
+(** Index into {!levels} used for series with no range to scale against
+    (constant-valued, or a single sample). *)
+
+val render : ?width:int -> samples:int -> (int * float) list -> string
+(** [render ~samples points] resamples to at most [width] columns (each
+    column averages the samples it covers) and scales to the series' own
+    [min, max]. Flat and single-sample series render as a run of
+    {!mid_level} blocks — never a division by zero or a degenerate
+    all-low/all-high ramp. Returns [""] when [samples <= 0], [points] is
+    empty, or [width <= 0]. *)

@@ -36,6 +36,7 @@ type state = {
   mutable seq : int;
   mutable owner : int;
   mutable process_stats : bool;
+  mutable expo : string option; (* Prometheus exposition target, refreshed per sample *)
   prev : (string, int) Hashtbl.t; (* counter name -> value at last sample *)
 }
 
@@ -48,6 +49,7 @@ let state =
     seq = 0;
     owner = -1;
     process_stats = true;
+    expo = None;
     prev = Hashtbl.create 64;
   }
 
@@ -127,13 +129,19 @@ let emit ts =
         | None -> [])
   in
   state.sink.write (Json.to_line (Json.Obj fields));
+  (* Refresh the Prometheus exposition on the same cadence: the atomic
+     rename means a scraper racing the rewrite still reads a complete
+     file. Emitting happens outside every Pool chunk (see [may_sample]),
+     so the registry merges here cannot race worker shards either. *)
+  (match state.expo with Some file -> Expo.write file | None -> ());
   state.seq <- state.seq + 1;
   state.last <- ts
 
-let start ?clock ?(interval = 1L) ?(process_stats = true) sink =
+let start ?clock ?(interval = 1L) ?(process_stats = true) ?expo sink =
   if !active then invalid_arg "Telemetry.start: already started";
   if Int64.compare interval 1L < 0 then
     invalid_arg "Telemetry.start: interval must be >= 1";
+  state.expo <- expo;
   (match clock with
   | Some c -> state.clock <- c
   | None ->
@@ -187,6 +195,7 @@ let stop () =
     state.sink <- Trace.null_sink;
     state.clock <- logical_clock;
     state.owner <- -1;
+    state.expo <- None;
     Hashtbl.reset state.prev;
     active := false;
     s.close ()

@@ -19,11 +19,14 @@ val logical_clock : unit -> int64
 
 val start :
   ?clock:(unit -> int64) -> ?interval:int64 -> ?process_stats:bool ->
+  ?expo:string ->
   Trace.sink -> unit
 (** Begin sampling into [sink] and emit the seq-0 baseline snapshot.
     [interval] is in clock units (default [1L], i.e. every tick under the
-    logical clock; the CLI passes milliseconds converted to ns). Raises
-    [Invalid_argument] if already started or [interval < 1]. *)
+    logical clock; the CLI passes milliseconds converted to ns). [?expo]
+    names a file to re-render in Prometheus text format ({!Expo.write},
+    atomic rename) on every sample, so scrapers track the same cadence.
+    Raises [Invalid_argument] if already started or [interval < 1]. *)
 
 val tick : unit -> unit
 (** Sample if on the starting domain, outside every pool chunk, and the

@@ -14,6 +14,8 @@ module Workload = Ron_util.Workload
 module Probe = Ron_obs.Probe
 module Gauge = Ron_obs.Gauge
 module Telemetry = Ron_obs.Telemetry
+module Flight = Ron_obs.Flight
+module Slo = Ron_obs.Slo
 
 type ints = Image.ints
 type floats = Image.floats
@@ -122,6 +124,93 @@ let run ?(batch = default_batch) ?jobs t work res =
     if !Telemetry.active then Telemetry.tick ();
     b := b0 + size
   done;
+  if !Probe.on then Gauge.set_int Probe.serve_inflight 0
+
+(* ----------------------------------------------------------- observed run *)
+
+(* The latency clock for observed serving. Wall mode reads gettimeofday
+   around each query (honest nanoseconds, not replayable); logical mode
+   charges a deterministic per-query cost — 1 for a dist lookup, else
+   [hops * 256 + min aux 255] — a pure function of the query's result, so
+   observed latencies (hence flight dumps and SLO verdicts) are
+   bit-identical at every RON_JOBS. *)
+let[@inline] logical_cost (sc : Server.scratch) kind =
+  if kind = 1 then 1 else (sc.Server.r_hops * 256) + min sc.Server.r_aux 255
+
+(* One observed query: optional per-hop capture, latency on the chosen
+   clock, a flight-recorder record, and the query's slot in the latency
+   column feeding the SLO monitor. Runs on the worker domain; every write
+   outside the scratch goes to slot [i] of an off-heap column or into the
+   worker's own flight shard, so workers never contend. *)
+let observed_query t sc work res ~scheme ~wall ~flight ~lat_col i =
+  let want_tr = match flight with Some f -> Flight.want_trace f i | None -> false in
+  sc.Server.log_hops <- want_tr;
+  let t0 = if wall then Unix.gettimeofday () else 0.0 in
+  run_query t sc work res i;
+  let kind = ig work.w_kind i in
+  let lat =
+    if wall then int_of_float ((Unix.gettimeofday () -. t0) *. 1e9)
+    else logical_cost sc kind
+  in
+  (match flight with
+  | Some f ->
+    let outcome = if kind = 0 then sc.Server.r_outcome else 0 in
+    let trace_len =
+      if want_tr then min sc.Server.hop_len (Array.length sc.Server.hop_log) else -1
+    in
+    Flight.record f ~qid:i ~scheme ~kind ~src:(ig work.w_src i) ~dst:(ig work.w_dst i)
+      ~outcome ~hops:sc.Server.r_hops ~lat ~trace:sc.Server.hop_log ~trace_len
+  | None -> ());
+  (match lat_col with
+  | Some col -> A1.unsafe_set col i (float_of_int lat)
+  | None -> ());
+  (* Leave the shared scratch clean for any later plain [run]. *)
+  sc.Server.log_hops <- false
+
+(* [run] plus observability: flight recording on the workers, SLO feeding
+   from the orchestrator. Same batching/sharding as [run], so the result
+   columns are identical to an unobserved run's. *)
+let run_observed ?(batch = default_batch) ?jobs ?(wall = false) ?flight ?slo t work res =
+  if batch < 1 then invalid_arg "Loop.run_observed: batch must be positive";
+  (* Ring safety: cap the batch so concurrently-recorded qids span at most
+     [retain - 1] flight windows — a slot is never recycled mid-batch, and
+     across batch barriers recycling only evicts windows the dump has
+     already aged out. *)
+  let batch =
+    match flight with
+    | Some fr -> max 1 (min batch (Flight.window fr * (Flight.retain fr - 1)))
+    | None -> batch
+  in
+  let scheme = Server.scheme_tag t in
+  let lat_col = match slo with Some _ -> Some (Image.floats_create work.wq) | None -> None in
+  let q = work.wq in
+  let b = ref 0 in
+  while !b < q do
+    let b0 = !b in
+    let size = min batch (q - b0) in
+    if !Probe.on then Probe.serve_batch ~size ~inflight:size;
+    Pool.parallel_for ?jobs size (fun k ->
+        observed_query t (Server.scratch_for t) work res ~scheme ~wall ~flight ~lat_col
+          (b0 + k));
+    (* Feed the SLO monitor from the orchestrator, between batches, in qid
+       order: windows are sequential state, and the single ordered feeder
+       is what keeps the verdict jobs-invariant under the logical clock. *)
+    (match (slo, lat_col) with
+    | Some s, Some col ->
+      for i = b0 to b0 + size - 1 do
+        let kind = ig work.w_kind i in
+        let ok =
+          if kind = 0 then ig res.ra i = 0
+          else if kind = 2 then ig res.ra i >= 0
+          else true
+        in
+        Slo.observe s ~lat:(A1.unsafe_get col i) ~ok
+      done
+    | _ -> ());
+    if !Telemetry.active then Telemetry.tick ();
+    b := b0 + size
+  done;
+  (match slo with Some s -> Slo.finish s | None -> ());
   if !Probe.on then Gauge.set_int Probe.serve_inflight 0
 
 (* --------------------------------------------------------------- digest *)

@@ -58,6 +58,28 @@ val run : ?batch:int -> ?jobs:int -> Server.t -> workload -> results -> unit
     probes and a telemetry tick once per batch, from the orchestrating
     domain. *)
 
+val run_observed :
+  ?batch:int ->
+  ?jobs:int ->
+  ?wall:bool ->
+  ?flight:Ron_obs.Flight.t ->
+  ?slo:Ron_obs.Slo.t ->
+  Server.t ->
+  workload ->
+  results ->
+  unit
+(** {!run} plus observability: each query's latency is measured on the
+    wall clock ([wall:true], nanoseconds) or the deterministic logical
+    clock (default: cost [1] for a dist lookup, else
+    [hops * 256 + min aux 255] — a pure function of the result, so flight
+    dumps and SLO verdicts are bit-identical at every [RON_JOBS]).
+    Workers record into [flight] (batch size is capped at
+    [window * (retain - 1)] to honor its ring-safety contract); the
+    orchestrator feeds [slo] between batches in qid order — a route
+    counts as delivered on outcome 0, a locate when a member was found,
+    a dist always — and closes its trailing window at the end. Result
+    columns are identical to an unobserved {!run}'s. *)
+
 val digest : results -> int
 (** Order-sensitive FNV digest of all four result columns (non-negative).
     Equal digests across job counts certify bit-identical output. *)

@@ -54,6 +54,15 @@ type scratch = {
   mutable r_hops : int;
   mutable r_next : int; (* found member (locate) *)
   mutable r_aux : int; (* header bits (route) / measurements (locate) *)
+  (* Per-hop trace capture for the flight recorder: visited nodes land in
+     [hop_log] while [log_hops] is set (the observed loop arms it for the
+     deterministically sampled queries only). [hop_len] keeps counting
+     past the buffer so callers can see truncation; when off, each hop
+     pays one load and a fall-through branch — nothing is written and
+     nothing allocates, preserving the 0-words-per-query budget. *)
+  hop_log : int array;
+  mutable hop_len : int;
+  mutable log_hops : bool;
 }
 
 let scratch_key : scratch Domain.DLS.key =
@@ -73,6 +82,9 @@ let scratch_key : scratch Domain.DLS.key =
         r_hops = 0;
         r_next = 0;
         r_aux = 0;
+        hop_log = Array.make 64 0;
+        hop_len = 0;
+        log_hops = false;
       })
 
 let ensure sc ~decode ~virt ~nodes =
@@ -731,6 +743,14 @@ let rec tbl_find (tw : ints) s e w =
     else tbl_find tw s mid w
   end
 
+(* Append a visited node to the hop trace; counting continues past the
+   buffer so the recorder can tell a truncated trace from a full one. *)
+let[@inline] log_hop sc node =
+  if sc.log_hops then begin
+    if sc.hop_len < Array.length sc.hop_log then sc.hop_log.(sc.hop_len) <- node;
+    sc.hop_len <- sc.hop_len + 1
+  end
+
 let[@inline] finish sc code hops aux =
   sc.r_outcome <- code;
   sc.r_hops <- hops;
@@ -791,6 +811,7 @@ let rec basic_go fb sc ~dst ~hb node level saved_node saved_level power hops =
       else if hops >= fb.bmax_hops then finish sc code_truncated hops hb
       else begin
         sc.fbuf.(2) <- sc.fbuf.(2) +. fg fb.bt_cost e;
+        log_hop sc next;
         basic_go fb sc ~dst ~hb next j saved_node saved_level power (hops + 1)
       end
     end
@@ -863,6 +884,7 @@ let rec lab_go fl sc ~dst ~hb node inter saved_node saved_inter power hops =
       else if hops >= fl.lmax_hops then finish sc code_truncated hops hb
       else begin
         sc.fbuf.(2) <- sc.fbuf.(2) +. fg fl.lt_cost e;
+        log_hop sc next;
         lab_go fl sc ~dst ~hb next target saved_node saved_inter power (hops + 1)
       end
     end
@@ -981,6 +1003,7 @@ let rec tm_go fm sc ~dst node mode saved_node saved_mode power hops =
       else if hops >= fm.tmax_hops then finish sc code_truncated hops fm.thb
       else begin
         sc.fbuf.(2) <- sc.fbuf.(2) +. fg fm.tdmat ((node * fm.tn) + next);
+        log_hop sc next;
         tm_go fm sc ~dst next mode' saved_node saved_mode power (hops + 1)
       end
     end
@@ -1052,6 +1075,7 @@ let rec mer_go fm sc ~target u hops =
   let bd = sc.fbuf.(1) in
   if best <> u && (bd <= d /. 2.0 || bd < d) then begin
     sc.fbuf.(0) <- bd;
+    log_hop sc best;
     mer_go fm sc ~target best (hops + 1)
   end
   else begin
@@ -1147,6 +1171,7 @@ let query t sc ~kind ~src ~dst =
   sc.r_hops <- 0;
   sc.r_next <- 0;
   sc.r_aux <- 0;
+  if sc.log_hops then sc.hop_len <- 0;
   sc.fbuf.(2) <- 0.0;
   sc.fbuf.(3) <- 0.0;
   sc.fbuf.(4) <- 0.0;

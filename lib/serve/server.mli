@@ -32,7 +32,16 @@ type scratch = {
   mutable r_hops : int;
   mutable r_next : int;
   mutable r_aux : int;
+  hop_log : int array;
+  mutable hop_len : int;
+  mutable log_hops : bool;
 }
+(** [hop_log]/[hop_len]/[log_hops]: per-hop trace capture for the flight
+    recorder. While [log_hops] is set, every route/locate hop appends the
+    visited node to [hop_log] (and [hop_len] keeps counting past the
+    buffer, so truncation is visible); while clear — the default — each
+    hop costs one load and a fall-through branch, preserving the
+    0-words-per-query hot path. *)
 
 (** {1 Servers} *)
 

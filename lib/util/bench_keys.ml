@@ -19,7 +19,8 @@ let contains s sub =
 let classify key =
   if key = "qps" || has_suffix key "_qps" || has_suffix key "_per_s" then
     Throughput
-  else if has_suffix key "_s" || contains key "_ns" then Timing
+  else if has_suffix key "_s" || contains key "_ns" || contains key "burn_rate" then
+    Timing
   else Deterministic
 
 (* ------------------------------------------------------------- verdicts *)

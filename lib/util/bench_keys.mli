@@ -7,7 +7,9 @@
 
 type direction =
   | Throughput  (** ["qps"], [*_qps], [*_per_s] — higher is better. *)
-  | Timing  (** [*_s] or containing ["_ns"] — lower is better. *)
+  | Timing
+      (** [*_s], or containing ["_ns"] or ["burn_rate"] (SLO error-budget
+          burn) — lower is better. *)
   | Deterministic  (** everything else — compare exactly. *)
 
 val classify : string -> direction

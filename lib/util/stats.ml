@@ -15,14 +15,24 @@ let stddev xs =
 let minimum xs = if Array.length xs = 0 then nan else Array.fold_left min infinity xs
 let maximum xs = if Array.length xs = 0 then nan else Array.fold_left max neg_infinity xs
 
+(* Nearest-rank on an already-sorted sample: rank = ceil(p/100 * n),
+   element at rank-1. Shared by trace_report and slo_report so the two
+   tables agree on what "p999" means. *)
+let percentile_sorted sorted p =
+  let n = Array.length sorted in
+  if n = 0 then nan
+  else begin
+    let rank = int_of_float (ceil (p /. 100.0 *. float_of_int n)) in
+    sorted.(max 0 (min (n - 1) (rank - 1)))
+  end
+
 let percentile xs p =
   let n = Array.length xs in
   if n = 0 then nan
   else begin
     let sorted = Array.copy xs in
     Fsort.sort_floats sorted;
-    let rank = int_of_float (ceil (p /. 100.0 *. float_of_int n)) in
-    sorted.(max 0 (min (n - 1) (rank - 1)))
+    percentile_sorted sorted p
   end
 
 let median xs = percentile xs 50.0

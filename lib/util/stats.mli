@@ -16,6 +16,12 @@ val percentile : float array -> float -> float
 (** [percentile xs p] with [p] in [0,100]: nearest-rank percentile of the
     (internally sorted, input untouched) sample. *)
 
+val percentile_sorted : float array -> float -> float
+(** [percentile_sorted xs p] is {!percentile} for a sample that is already
+    sorted ascending: no copy, no re-sort. [nan] on an empty array. The
+    rank rule (rank = ceil(p/100*n), element at rank-1) is the one the
+    report tools and {!Ron_obs.Histogram.Bucketed} share. *)
+
 val median : float array -> float
 
 val of_ints : int array -> float array

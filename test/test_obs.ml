@@ -808,6 +808,227 @@ let test_snapshot_validator_rules () =
   | Ok n -> check_int "well-formed series validates" 3 n
   | Error e -> Alcotest.failf "rejected a valid series: %s" e
 
+(* ---------------------------------------------------------------- flight *)
+
+module Flight = Ron_obs.Flight
+module Slo = Ron_obs.Slo
+module Expo = Ron_obs.Expo
+module Sparkline = Ron_obs.Sparkline
+
+let rec_lat fr ~qid ~lat =
+  Flight.record fr ~qid ~scheme:1 ~kind:0 ~src:0 ~dst:1 ~outcome:0 ~hops:2 ~lat
+    ~trace:[||] ~trace_len:(-1)
+
+let test_flight_topk_tie_order () =
+  (* Ties rank by lower qid; the newcomer evicts the end of the ranking,
+     never the middle. *)
+  let fr = Flight.create ~window:100 ~per_window:3 ~retain:2 ~trace_every:0 () in
+  List.iter
+    (fun (qid, lat) -> rec_lat fr ~qid ~lat)
+    [ (5, 10); (1, 10); (3, 10); (2, 10); (4, 20) ];
+  (match Flight.dump fr with
+  | [ (0, es) ] ->
+    check_bool "ranked (lat desc, qid asc)"
+      (List.map (fun (x : Flight.exemplar) -> (x.Flight.x_qid, x.Flight.x_lat)) es
+      = [ (4, 20); (1, 10); (2, 10) ])
+  | d -> Alcotest.failf "expected one window, got %d" (List.length d));
+  check_int "recorded counts every call" 5 (Flight.recorded fr)
+
+let test_flight_retention () =
+  (* retain=2: after touching windows 0..3 only the last two survive, and
+     a recycled slot never leaks an older window's entries. *)
+  let fr = Flight.create ~window:100 ~per_window:2 ~retain:2 ~trace_every:0 () in
+  List.iter
+    (fun qid -> rec_lat fr ~qid ~lat:(1000 - qid))
+    [ 10; 150; 250; 310; 305 ];
+  match Flight.dump fr with
+  | [ (2, e2); (3, e3) ] ->
+    check_bool "window 2" (List.map (fun (x : Flight.exemplar) -> x.Flight.x_qid) e2 = [ 250 ]);
+    check_bool "window 3 ranked" (List.map (fun (x : Flight.exemplar) -> x.Flight.x_qid) e3 = [ 305; 310 ])
+  | d ->
+    Alcotest.failf "expected windows [2;3], got [%s]"
+      (String.concat ";" (List.map (fun (w, _) -> string_of_int w) d))
+
+let test_flight_trace_sampling () =
+  (* want_trace is a pure hash of the qid, and a recorded trace is copied
+     (capped) into the exemplar. *)
+  let fr = Flight.create ~window:64 ~per_window:4 ~retain:2 ~trace_every:2 ~trace_cap:3 () in
+  let qid =
+    let rec find q = if Flight.want_trace fr q then q else find (q + 1) in
+    find 0
+  in
+  Flight.record fr ~qid ~scheme:1 ~kind:0 ~src:0 ~dst:1 ~outcome:0 ~hops:5 ~lat:9
+    ~trace:[| 7; 8; 9; 10; 11 |] ~trace_len:5;
+  match List.concat_map snd (Flight.dump fr) with
+  | [ x ] -> (
+    match x.Flight.x_trace with
+    | Some tr -> check_bool "trace capped at trace_cap" (tr = [| 7; 8; 9 |])
+    | None -> Alcotest.fail "trace dropped")
+  | _ -> Alcotest.fail "expected exactly one exemplar"
+
+(* ------------------------------------------------------------------- slo *)
+
+let test_slo_parse () =
+  let ok spec canon =
+    match Slo.parse spec with
+    | Ok objs -> check_string (spec ^ " canonical") canon (Slo.describe objs)
+    | Error e -> Alcotest.failf "parse %S: %s" spec e
+  in
+  let bad spec =
+    match Slo.parse spec with
+    | Ok _ -> Alcotest.failf "parse %S: accepted a malformed spec" spec
+    | Error _ -> ()
+  in
+  ok "p99<=2us,delivery>=0.999" "p99<=2000,delivery>=0.999";
+  ok "p50<=10ms" "p50<=1e+07";
+  ok " p999<=1s , delivery>=0.5 " "p999<=1e+09,delivery>=0.5";
+  ok "p95<=4096" "p95<=4096";
+  bad "";
+  bad ",";
+  bad "p99<=";
+  bad "p0<=5";
+  bad "p99<5";
+  bad "q99<=5";
+  bad "p99<=-3us";
+  bad "delivery>=1.5";
+  bad "delivery>=0";
+  bad "delivery<=0.9";
+  bad "p99<=2us,delivery>=nope"
+
+let test_slo_window_arithmetic () =
+  (* Hand-computed windows of 10. Window 0: one of ten above the p90
+     limit — exactly the budget, burn 1.0; two undelivered against
+     delivery>=0.8 — also exactly the budget. Window 1: five above —
+     5x the budget and a violation. Burns are integer-count ratios, but
+     the budget goes through [1.0 -. q], so allow one ulp of slack. *)
+  let near msg expect got =
+    check_bool
+      (Printf.sprintf "%s (expected %g, got %.17g)" msg expect got)
+      (Float.abs (got -. expect) <= 1e-9 *. expect)
+  in
+  let objs =
+    match Slo.parse "p90<=100,delivery>=0.8" with
+    | Ok o -> o
+    | Error e -> Alcotest.fail e
+  in
+  let s = Slo.create ~window:10 ~name:"slo.test.arith" objs in
+  for i = 0 to 9 do
+    Slo.observe s ~lat:(if i = 0 then 200.0 else 50.0) ~ok:(i > 1)
+  done;
+  for i = 0 to 9 do
+    Slo.observe s ~lat:(if i < 5 then 200.0 else 50.0) ~ok:true
+  done;
+  Slo.finish s;
+  check_int "two closed windows" 2 (Slo.windows_closed s);
+  (match Slo.windows s with
+  | [ w0; w1 ] ->
+    check_int "w0 count" 10 w0.Slo.w_count;
+    check_int "w0 delivered" 8 w0.Slo.w_ok;
+    let lat0 = w0.Slo.w_results.(0) and del0 = w0.Slo.w_results.(1) in
+    check_bool "w0 p90 near 50 (bucket midpoint)"
+      (Float.abs (lat0.Slo.value -. 50.0) <= 2.0);
+    near "w0 latency burn" 1.0 lat0.Slo.burn;
+    check_bool "w0 latency not violated" (not lat0.Slo.violated);
+    near "w0 delivery burn" 1.0 del0.Slo.burn;
+    check_bool "w0 delivery not violated (0.8 >= 0.8)" (not del0.Slo.violated);
+    let lat1 = w1.Slo.w_results.(0) in
+    check_bool "w1 p90 near 200" (Float.abs (lat1.Slo.value -. 200.0) <= 5.0);
+    near "w1 latency burn" 5.0 lat1.Slo.burn;
+    check_bool "w1 violated" lat1.Slo.violated
+  | ws -> Alcotest.failf "expected 2 windows, got %d" (List.length ws));
+  check_int "one violated window" 1 (Slo.violated_windows s);
+  near "max burn" 5.0 (Slo.max_burn s);
+  check_bool "overall verdict false" (not (Slo.ok s))
+
+let test_slo_partial_window_and_empty () =
+  let objs = match Slo.parse "p50<=10" with Ok o -> o | Error e -> Alcotest.fail e in
+  let s = Slo.create ~window:100 ~name:"slo.test.partial" objs in
+  check_int "no windows before any observation" 0 (Slo.windows_closed s);
+  Slo.finish s;
+  check_int "finish on empty closes nothing" 0 (Slo.windows_closed s);
+  Slo.observe s ~lat:5.0 ~ok:true;
+  Slo.finish s;
+  check_int "finish closes the trailing partial window" 1 (Slo.windows_closed s);
+  check_bool "partial window evaluated" (Slo.ok s)
+
+(* ------------------------------------------------------------------ expo *)
+
+let test_expo_roundtrip_through_validator () =
+  fresh ();
+  Ron_obs.enable ();
+  let c = Counter.make "expo.test_total_queries" in
+  Counter.add c 7;
+  let g = Gauge.make "expo.test_level" in
+  Gauge.set g 2.5;
+  let h = Bucketed.make "expo.test_latency" in
+  List.iter (Bucketed.observe h) [ 0.0; 1.0; 10.0; 100.0; 1000.0 ];
+  let text = Expo.render () in
+  (match Expo.validate_string text with
+  | Ok n -> check_bool "several samples" (n > 5)
+  | Error e -> Alcotest.failf "rendered exposition rejected: %s\n%s" e text);
+  (* The file writer is atomic (tmp + rename) and produces the same body. *)
+  let file = Filename.temp_file "ron_expo_test" ".prom" in
+  Expo.write file;
+  (match Expo.validate_file file with
+  | Ok _ -> ()
+  | Error e -> Alcotest.failf "written exposition rejected: %s" e);
+  check_bool "no tmp litter" (not (Sys.file_exists (file ^ ".tmp")));
+  Sys.remove file;
+  fresh ()
+
+let test_expo_validator_rejects () =
+  let reject what text =
+    match Expo.validate_string text with
+    | Ok _ -> Alcotest.failf "validator accepted %s" what
+    | Error _ -> ()
+  in
+  reject "an empty exposition" "";
+  reject "a sample without TYPE" "ron_x 1\n";
+  reject "a bad metric name" "# TYPE 9bad counter\n9bad 1\n";
+  reject "a non-numeric value" "# TYPE ron_x counter\nron_x one\n";
+  reject "a duplicate TYPE" "# TYPE ron_x counter\n# TYPE ron_x counter\nron_x 1\n";
+  reject "a histogram without +Inf"
+    "# TYPE ron_h histogram\nron_h_bucket{le=\"1\"} 1\nron_h_sum 1\nron_h_count 1\n";
+  reject "a non-cumulative histogram"
+    "# TYPE ron_h histogram\n\
+     ron_h_bucket{le=\"1\"} 5\n\
+     ron_h_bucket{le=\"2\"} 3\n\
+     ron_h_bucket{le=\"+Inf\"} 5\n\
+     ron_h_sum 9\nron_h_count 5\n";
+  reject "a histogram whose count disagrees with +Inf"
+    "# TYPE ron_h histogram\n\
+     ron_h_bucket{le=\"+Inf\"} 5\n\
+     ron_h_sum 9\nron_h_count 4\n";
+  match
+    Expo.validate_string
+      "# HELP ron_x a counter\n# TYPE ron_x counter\nron_x 1\n# TYPE ron_g gauge\nron_g -2.5\n"
+  with
+  | Ok n -> check_int "valid exposition sample count" 2 n
+  | Error e -> Alcotest.failf "rejected a valid exposition: %s" e
+
+(* ------------------------------------------------------------- sparkline *)
+
+let test_sparkline_flat_and_single () =
+  let mid = Sparkline.levels.(Sparkline.mid_level) in
+  let rep n = String.concat "" (List.init n (fun _ -> mid)) in
+  (* A constant series must not degenerate into all-low or all-high. *)
+  check_string "flat series renders mid blocks" (rep 3)
+    (Sparkline.render ~samples:3 [ (0, 5.0); (1, 5.0); (2, 5.0) ]);
+  (* A single sample has no range at all. *)
+  check_string "single sample renders one mid block" (rep 1)
+    (Sparkline.render ~samples:1 [ (0, 42.0) ]);
+  (* A late-starting constant series carries the first value backward —
+     no fabricated zero cliff. *)
+  check_string "late-starting flat series stays flat" (rep 4)
+    (Sparkline.render ~samples:4 [ (2, 10.0); (3, 10.0) ]);
+  check_string "empty series" "" (Sparkline.render ~samples:0 []);
+  (* A genuine ramp uses the full level range. *)
+  let ramp = Sparkline.render ~samples:4 [ (0, 0.0); (1, 1.0); (2, 2.0); (3, 3.0) ] in
+  check_bool "ramp starts low" (String.length ramp >= 6
+    && String.sub ramp 0 3 = Sparkline.levels.(0));
+  check_bool "ramp ends high"
+    (String.sub ramp (String.length ramp - 3) 3 = Sparkline.levels.(7))
+
 let () =
   Alcotest.run "ron_obs"
     [
@@ -890,5 +1111,30 @@ let () =
           Alcotest.test_case "hop events match result" `Quick
             test_simulate_hops_match_trace_and_ledger;
           Alcotest.test_case "probes off record nothing" `Quick test_probe_off_records_nothing;
+        ] );
+      ( "flight",
+        [
+          Alcotest.test_case "top-k tie eviction order" `Quick test_flight_topk_tie_order;
+          Alcotest.test_case "window retention" `Quick test_flight_retention;
+          Alcotest.test_case "trace sampling and cap" `Quick test_flight_trace_sampling;
+        ] );
+      ( "slo",
+        [
+          Alcotest.test_case "spec parsing" `Quick test_slo_parse;
+          Alcotest.test_case "window arithmetic" `Quick test_slo_window_arithmetic;
+          Alcotest.test_case "partial and empty windows" `Quick
+            test_slo_partial_window_and_empty;
+        ] );
+      ( "expo",
+        [
+          Alcotest.test_case "render round-trips through validator" `Quick
+            test_expo_roundtrip_through_validator;
+          Alcotest.test_case "validator rejects malformed expositions" `Quick
+            test_expo_validator_rejects;
+        ] );
+      ( "sparkline",
+        [
+          Alcotest.test_case "flat, single-sample, late-start" `Quick
+            test_sparkline_flat_and_single;
         ] );
     ]

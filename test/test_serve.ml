@@ -149,6 +149,40 @@ let test_zero_alloc scheme () =
     (Printf.sprintf "%s steady-state allocation ~ 0 (got %.3f words/query)" scheme words)
     (words <= 8.0)
 
+(* ------------------------------------- observed serving: jobs invariance *)
+
+module Flight = Ron_obs.Flight
+module Slo = Ron_obs.Slo
+
+(* Under the logical clock the per-query cost is a pure function of the
+   result, so the flight dump and the SLO verdict must be byte-identical
+   at every job count — and recording must not perturb the result columns
+   themselves. *)
+let test_observed_invariant scheme () =
+  let (scheme, n, queries) = case scheme in
+  let t = Fixture.build ~scheme ~n ~seed:5 in
+  let work = workload_for t ~queries in
+  let res = Loop.results_create queries in
+  let observed jobs =
+    let fr = Flight.create ~window:32 ~per_window:4 ~retain:4 ~trace_every:4 () in
+    let objs =
+      match Slo.parse "p95<=65536,delivery>=0.5" with
+      | Ok o -> o
+      | Error e -> Alcotest.fail e
+    in
+    let s = Slo.create ~window:(max 1 (queries / 5)) ~name:("slo.test." ^ scheme) objs in
+    Loop.run_observed ~jobs ~flight:fr ~slo:s t work res;
+    ( Ron_obs.Json.to_string (Flight.to_json fr),
+      Ron_obs.Json.to_string (Slo.to_json ~flight:(Flight.to_json fr) s) )
+  in
+  let (f1, v1) = observed 1 in
+  let d_obs = Loop.digest res in
+  let (f4, v4) = observed 4 in
+  Alcotest.(check string) (scheme ^ " flight dump jobs-invariant") f1 f4;
+  Alcotest.(check string) (scheme ^ " slo verdict jobs-invariant") v1 v4;
+  Loop.run ~jobs:1 t work res;
+  check_int (scheme ^ " observed digest matches plain run") (Loop.digest res) d_obs
+
 let () =
   let per_scheme mk = List.map (fun s -> mk s) Fixture.names in
   Alcotest.run "ron_serve"
@@ -164,4 +198,6 @@ let () =
        ]);
       ("zero allocation",
        per_scheme (fun s -> Alcotest.test_case s `Quick (test_zero_alloc s)));
+      ("observed serving",
+       per_scheme (fun s -> Alcotest.test_case s `Quick (test_observed_invariant s)));
     ]
